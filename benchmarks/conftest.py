@@ -1,0 +1,47 @@
+"""Benchmark-harness fixtures.
+
+Each bench regenerates one paper table, prints it (run pytest with ``-s`` to
+see the rows), checks the qualitative shape documented in DESIGN.md §4, and
+times the run via pytest-benchmark.
+
+Scale: ``REPRO_BENCH_NYU_SCALE`` (default 0.05) controls the NYUSet size;
+set it to 1.0 to sweep the full 6,934-instance set as the paper does.
+``REPRO_BENCH_SEED`` overrides the seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro import experiments
+
+
+def bench_config() -> ExperimentConfig:
+    """The configuration all benches share (env-var tunable)."""
+    return ExperimentConfig(
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "7")),
+        nyu_scale=float(os.environ.get("REPRO_BENCH_NYU_SCALE", "0.05")),
+    )
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def data(config):
+    """The three datasets, built once per benchmark session."""
+    return experiments.build_datasets(config)
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark timer.
+
+    The experiments are deterministic end-to-end sweeps, not microbenchmarks;
+    a single timed round is the honest measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

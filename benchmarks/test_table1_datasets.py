@@ -1,0 +1,28 @@
+"""Table 1 — dataset statistics.
+
+Regenerates the per-class cardinalities of ShapeNetSet1 (82), ShapeNetSet2
+(100) and the NYUSet (6,934 at full scale; ratios preserved when scaled).
+"""
+
+from repro.datasets.classes import NYU_COUNTS, SNS1_VIEW_COUNTS, SNS2_VIEW_COUNTS
+from repro.datasets.nyu import scaled_counts
+from repro.evaluation.tables import format_dataset_table
+
+from conftest import run_once
+
+
+def test_table1_dataset_statistics(benchmark, data, config):
+    text = run_once(
+        benchmark, lambda: format_dataset_table([data.sns1, data.sns2, data.nyu])
+    )
+    print("\nTable 1 — Dataset statistics\n" + text)
+
+    # Exact Table-1 conformance for the reference sets.
+    assert data.sns1.class_counts() == SNS1_VIEW_COUNTS
+    assert data.sns2.class_counts() == SNS2_VIEW_COUNTS
+    assert len(data.sns1) == 82
+    assert len(data.sns2) == 100
+    # NYU counts follow Table 1 under the configured scale.
+    assert data.nyu.class_counts() == scaled_counts(config.nyu_scale)
+    if config.nyu_scale == 1.0:
+        assert data.nyu.class_counts() == NYU_COUNTS

@@ -1,0 +1,24 @@
+"""Table 3 — cumulative accuracy of SIFT/SURF/ORB matching on the
+controlled ShapeNet pairing (ratio test 0.5).
+
+Shape assertions (paper: SIFT 0.25, SURF 0.22, ORB 0.25, baseline 0.10):
+
+* every descriptor beats the random baseline;
+* all three land in a mid band (paper 0.22–0.25; we allow 0.1–0.45), below
+  strong supervised performance — the paper's "not sufficient" verdict.
+"""
+
+from repro.experiments import table3
+
+from conftest import run_once
+
+
+def test_table3_descriptor_accuracy(benchmark, data, config):
+    result = run_once(benchmark, lambda: table3(config, data=data, ratio=0.5))
+    print("\nTable 3 — Descriptor matching accuracy\n" + result.cumulative_text)
+
+    baseline = result.results["Baseline"].cumulative_accuracy
+    for method in ("SIFT", "SURF", "ORB"):
+        accuracy = result.results[method].cumulative_accuracy
+        assert accuracy > baseline, method
+        assert 0.10 <= accuracy <= 0.45, (method, accuracy)

@@ -1,0 +1,26 @@
+"""Table 9 — class-wise SIFT/SURF/ORB results (ratio 0.5) on the controlled
+pairing.
+
+Shape assertions: descriptor matching is unbalanced like everything else —
+each method leaves at least one class at (near-)zero recall (the paper's
+Table 9 has Paper at 0.00 for all three), and different methods favour
+different classes (SIFT's best class is not SURF's, etc.).
+"""
+
+from repro.experiments import table9
+
+from conftest import run_once
+
+
+def test_table9_descriptor_classwise(benchmark, data, config):
+    result = run_once(benchmark, lambda: table9(config, data=data, ratio=0.5))
+    print("\nTable 9 — Class-wise descriptor results\n" + result.classwise_text)
+
+    best_class = {}
+    for method in ("SIFT", "SURF", "ORB"):
+        report = result.results[method].report
+        recalls = {c: report[c].recall for c in report.per_class}
+        assert min(recalls.values()) < 0.2, method
+        best_class[method] = max(recalls, key=recalls.get)
+
+    assert len(set(best_class.values())) >= 2, best_class

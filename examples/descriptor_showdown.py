@@ -1,0 +1,50 @@
+"""Descriptor showdown: SIFT vs SURF vs ORB on the controlled ShapeNet
+pairing (paper Sec. 3.3, Tables 3 and 9).
+
+Runs all three keypoint pipelines with both ratio-test thresholds the paper
+evaluated (0.75 and 0.5), prints the cumulative accuracies and the per-class
+breakdown of the best configuration.
+
+Run:  python examples/descriptor_showdown.py
+"""
+
+from repro.config import ExperimentConfig
+from repro.datasets import build_sns1, build_sns2
+from repro.evaluation import format_classwise_table
+from repro.evaluation.runner import run_matching_experiment
+from repro.pipelines import DescriptorPipeline
+
+
+def main() -> None:
+    config = ExperimentConfig(seed=7, nyu_scale=0.01)
+    print("Building the two ShapeNet view sets...")
+    references = build_sns2(config)  # matched against, as in Sec. 3.3
+    queries = build_sns1(config)
+
+    print("Matching SNS1 views against SNS2 descriptors "
+          "(brute force + Lowe ratio test)\n")
+    results = {}
+    for method in ("sift", "surf", "orb"):
+        for ratio in (0.75, 0.5):
+            pipeline = DescriptorPipeline(
+                method=method, ratio=ratio, tie_break_seed=config.seed
+            )
+            result = run_matching_experiment(pipeline, queries, references)
+            results[(method, ratio)] = result
+            print(f"  {method.upper():4s} ratio={ratio:.2f}  "
+                  f"accuracy={result.cumulative_accuracy:.3f}")
+
+    best_key = max(results, key=lambda k: results[k].cumulative_accuracy)
+    best = results[best_key]
+    print(f"\nBest configuration: {best_key[0].upper()} at ratio {best_key[1]}")
+    print("Class-wise breakdown (paper Table 9 layout):\n")
+    print(format_classwise_table({best.pipeline_name: best.report}))
+
+    print(
+        "\nAs in the paper, accuracies sit in a mid band well below what the "
+        "task needs,\nand each method leaves some classes unrecognised."
+    )
+
+
+if __name__ == "__main__":
+    main()

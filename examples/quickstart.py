@@ -1,0 +1,50 @@
+"""Quickstart: recognise synthetic NYU-style objects against ShapeNet views.
+
+Builds a small NYUSet and the ShapeNetSet1 reference library, runs the
+paper's best exploratory configuration (hybrid L3-Hu + Hellinger matching,
+alpha=0.3 / beta=0.7), prints a classification report and grounds one
+prediction into the concept taxonomy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import ExperimentConfig
+from repro.datasets import build_nyu, build_sns1
+from repro.evaluation import classification_report, format_classwise_table
+from repro.knowledge import Grounder
+from repro.pipelines import HybridPipeline, HybridStrategy
+
+
+def main() -> None:
+    # 2% of the paper's 6,934 NYU instances keeps this demo under a minute.
+    config = ExperimentConfig(seed=7, nyu_scale=0.02)
+    print("Building datasets (synthetic ShapeNet + NYU substitutes)...")
+    references = build_sns1(config)
+    queries = build_nyu(config)
+    print(f"  references: {len(references)} ShapeNet views")
+    print(f"  queries:    {len(queries)} segmented NYU-style crops\n")
+
+    pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM)
+    pipeline.fit(references)
+
+    print(f"Recognising with {pipeline.name} "
+          f"(alpha={pipeline.alpha}, beta={pipeline.beta})...")
+    predictions = pipeline.predict_all(queries)
+    report = classification_report(queries.labels, [p.label for p in predictions])
+    print(f"cumulative accuracy: {report.cumulative_accuracy:.3f} "
+          f"(random baseline: {1 / len(queries.classes):.3f})\n")
+    print(format_classwise_table({pipeline.name: report}))
+
+    # Task-agnostic knowledge grounding: link a recognition to concepts.
+    grounder = Grounder()
+    sample = predictions[0]
+    grounded = grounder.ground(sample)
+    print(f"\nGrounding the first prediction ({sample.label!r}, "
+          f"matched model {sample.model_id!r}):")
+    print(f"  synset:    {grounded.synset.name} — {grounded.synset.gloss}")
+    print(f"  hypernyms: {' > '.join(grounded.hypernyms)}")
+    print(f"  related:   {', '.join(grounded.related)}")
+
+
+if __name__ == "__main__":
+    main()

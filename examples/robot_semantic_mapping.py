@@ -1,0 +1,70 @@
+"""Semantic mapping: the paper's motivating mobile-robot scenario, end to
+end.
+
+A simulated robot patrols a three-room flat populated with random objects
+of the ten paper classes.  At each waypoint it sweeps its camera, renders
+NYU-style segmented crops of the visible objects, recognises them against
+the ShapeNet reference library (hybrid pipeline), grounds the labels into
+the WordNet-style taxonomy and fuses everything into a semantic map.  The
+map is then queried the way the paper's applications would — including via
+natural-language instructions.
+
+Run:  python examples/robot_semantic_mapping.py
+"""
+
+from repro.config import ExperimentConfig
+from repro.datasets import build_sns1
+from repro.knowledge import ObjectRetriever
+from repro.pipelines import HybridPipeline, HybridStrategy
+from repro.robot import Robot, build_random_world, run_patrol
+
+
+def main() -> None:
+    config = ExperimentConfig(seed=11, nyu_scale=0.01)
+
+    print("Building the world (3 rooms, 6 objects each)...")
+    world = build_random_world(objects_per_room=6, rng=config.seed)
+    truth = {}
+    for room in world.rooms:
+        labels = sorted(obj.label for obj in world.objects_in(room.name))
+        truth[room.name] = labels
+        print(f"  {room.name:8s}: {labels}")
+
+    print("\nFitting the recogniser on ShapeNetSet1...")
+    recogniser = HybridPipeline(HybridStrategy.WEIGHTED_SUM)
+    recogniser.fit(build_sns1(config))
+
+    robot = Robot(sensing_range=2.8, field_of_view_degrees=120.0, seed=config.seed)
+    waypoints = [room.center for room in world.rooms]
+    print(f"Patrolling {len(waypoints)} waypoints with 4-heading sweeps...\n")
+    log = run_patrol(world, robot, recogniser, waypoints)
+
+    for step in log.steps:
+        marker = "+" if step.correct else " "
+        obs = step.observation
+        print(
+            f"  [{marker}] wp{step.waypoint_index} "
+            f"d={obs.distance:.1f}m b={obs.bearing_degrees:+6.1f}°  "
+            f"saw {step.true_label:7s} -> recognised {step.predicted_label}"
+        )
+
+    print(f"\npatrol recognition accuracy: {log.accuracy:.0%} "
+          f"over {log.observations} observations")
+    print(f"semantic map: {len(log.semantic_map)} fused entries "
+          f"across {log.per_room_counts()}")
+
+    print("\nNatural-language queries against the map:")
+    retriever = ObjectRetriever(log.semantic_map)
+    dock = (0.5, 0.5)
+    for instruction in (
+        "how many pieces of furniture are there?",
+        "find all seats in the lounge",
+        "bring me the nearest bottle",
+        "where is the closest lamp?",
+    ):
+        print(f"  Q: {instruction}")
+        print(f"  A: {retriever.answer(instruction, robot_position=dock)}")
+
+
+if __name__ == "__main__":
+    main()

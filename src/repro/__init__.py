@@ -1,0 +1,24 @@
+"""repro — reproduction of "Exploring Task-agnostic, ShapeNet-based Object
+Recognition for Mobile Robots" (Chiatti et al., EDBT/ICDT 2019 workshops).
+
+The package provides:
+
+* :mod:`repro.imaging` — a from-scratch imaging substrate (thresholding,
+  contours, Hu moments, histograms, filters) replacing OpenCV;
+* :mod:`repro.datasets` — synthetic ShapeNet-style and NYU-style datasets
+  with the paper's Table-1 cardinalities;
+* :mod:`repro.features` — SIFT/SURF/ORB keypoint descriptors and matchers;
+* :mod:`repro.neural` — a numpy neural-network framework and the
+  Normalized-X-Corr siamese architecture;
+* :mod:`repro.pipelines` — the paper's five recognition pipelines;
+* :mod:`repro.evaluation` — metrics, reports and the experiment runner
+  regenerating the paper's Tables 1–9;
+* :mod:`repro.knowledge` — the task-agnostic knowledge-grounding layer
+  (taxonomy, grounding, semantic map) the paper motivates.
+"""
+
+from repro.config import DEFAULT_SEED, ExperimentConfig, rng
+
+__version__ = "1.0.0"
+
+__all__ = ["DEFAULT_SEED", "ExperimentConfig", "rng", "__version__"]

@@ -1,0 +1,60 @@
+"""Synthetic data substrate standing in for the paper's two data sources.
+
+* :mod:`repro.datasets.shapenet` builds **ShapeNetSet1** (82 clean reference
+  views on white backgrounds) and **ShapeNetSet2** (100 views, 10 per class)
+  with the exact per-class cardinalities of the paper's Table 1.
+* :mod:`repro.datasets.nyu` builds the **NYUSet** (segmented object crops on
+  black backgrounds, 6,934 instances at full scale) with per-instance shape
+  and colour jitter, illumination variation, sensor noise and occlusion.
+* :mod:`repro.datasets.pairs` constructs the similar/dissimilar image pairs
+  for the Normalized-X-Corr experiments (Sec. 3.4).
+
+Both sources render the same ten object classes through the parametric
+models in :mod:`repro.datasets.models`; the NYU renderer simply samples far
+more heterogeneous instances and degrades them realistically, reproducing
+the domain gap the paper studies.
+"""
+
+from repro.datasets.classes import (
+    CLASS_NAMES,
+    NYU_COUNTS,
+    SNS1_MODELS_PER_CLASS,
+    SNS1_VIEW_COUNTS,
+    SNS2_VIEW_COUNTS,
+    class_index,
+)
+from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.datasets.models import ObjectModel, sample_model
+from repro.datasets.render import render_view, Viewpoint
+from repro.datasets.shapenet import build_sns1, build_sns2
+from repro.datasets.nyu import build_nyu
+from repro.datasets.pairs import (
+    ImagePair,
+    PairDataset,
+    build_nyu_sns1_test_pairs,
+    build_sns1_test_pairs,
+    build_training_pairs,
+)
+
+__all__ = [
+    "CLASS_NAMES",
+    "NYU_COUNTS",
+    "SNS1_MODELS_PER_CLASS",
+    "SNS1_VIEW_COUNTS",
+    "SNS2_VIEW_COUNTS",
+    "class_index",
+    "ImageDataset",
+    "LabelledImage",
+    "ObjectModel",
+    "sample_model",
+    "render_view",
+    "Viewpoint",
+    "build_sns1",
+    "build_sns2",
+    "build_nyu",
+    "ImagePair",
+    "PairDataset",
+    "build_nyu_sns1_test_pairs",
+    "build_sns1_test_pairs",
+    "build_training_pairs",
+]

@@ -1,0 +1,125 @@
+"""Training-set augmentation — the paper's stated next step.
+
+The conclusion proposes "increasing the heterogeneity of our datasets
+(e.g., … by augmenting the cardinality of each class)".  This module
+implements label-preserving augmentations for the siamese pair protocol:
+random rotation, scale, mirroring, brightness and noise jitter applied to
+pair members, plus a convenience builder producing an augmented copy of a
+pair dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import rng as make_rng
+from repro.datasets.dataset import LabelledImage
+from repro.datasets.pairs import ImagePair, PairDataset
+from repro.errors import DatasetError
+from repro.imaging.noise import add_gaussian_noise
+from repro.imaging.transform import flip_horizontal, rotate_image, scale_image
+
+
+@dataclass(frozen=True)
+class AugmentationPolicy:
+    """Ranges for the label-preserving jitters.
+
+    All ranges are symmetric around identity; ``probability`` gates whether
+    an image is augmented at all.
+    """
+
+    probability: float = 0.8
+    max_rotation_degrees: float = 15.0
+    scale_range: tuple[float, float] = (0.85, 1.1)
+    mirror_probability: float = 0.5
+    max_brightness_shift: float = 0.1
+    noise_sigma: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise DatasetError(f"probability must lie in [0, 1], got {self.probability}")
+        if self.scale_range[0] > self.scale_range[1] or self.scale_range[0] <= 0:
+            raise DatasetError(f"bad scale range {self.scale_range}")
+        if self.noise_sigma < 0 or self.max_brightness_shift < 0:
+            raise DatasetError("noise/brightness magnitudes must be non-negative")
+
+
+def augment_image(
+    image: np.ndarray,
+    policy: AugmentationPolicy,
+    rng: np.random.Generator,
+    background: float = 0.0,
+) -> np.ndarray:
+    """One random label-preserving transform of *image*.
+
+    *background* is the fill value for geometry-exposed regions (0 for NYU
+    black masks, 1 for ShapeNet white).
+    """
+    out = image
+    if rng.random() >= policy.probability:
+        return out.copy()
+    angle = float(rng.uniform(-policy.max_rotation_degrees, policy.max_rotation_degrees))
+    if abs(angle) > 1e-6:
+        out = rotate_image(out, angle, fill=background)
+    factor = float(rng.uniform(*policy.scale_range))
+    if abs(factor - 1.0) > 1e-6:
+        out = scale_image(out, factor, fill=background)
+    if rng.random() < policy.mirror_probability:
+        out = flip_horizontal(out)
+    shift = float(rng.uniform(-policy.max_brightness_shift, policy.max_brightness_shift))
+    if abs(shift) > 1e-9:
+        out = np.clip(out + shift, 0.0, 1.0)
+    if policy.noise_sigma > 0:
+        out = add_gaussian_noise(out, policy.noise_sigma, rng=rng)
+    return out
+
+
+def augment_pairs(
+    pairs: PairDataset,
+    policy: AugmentationPolicy | None = None,
+    rng: np.random.Generator | int | None = None,
+    copies: int = 1,
+) -> PairDataset:
+    """Return *pairs* plus *copies* augmented variants of every pair.
+
+    Labels are preserved (the jitters never change object identity), so a
+    52/48 split stays 52/48 while raw pixel diversity grows — directly
+    testing the paper's "insufficient variability" hypothesis.
+    """
+    if copies < 1:
+        raise DatasetError(f"copies must be >= 1, got {copies}")
+    policy = policy or AugmentationPolicy()
+    generator = make_rng(rng)
+
+    augmented: list[ImagePair] = list(pairs)
+    for copy_idx in range(copies):
+        for pair_idx, pair in enumerate(pairs):
+            augmented.append(
+                ImagePair(
+                    first=_augmented_item(pair.first, policy, generator, copy_idx, pair_idx, 0),
+                    second=_augmented_item(pair.second, policy, generator, copy_idx, pair_idx, 1),
+                    label=pair.label,
+                )
+            )
+    return PairDataset(name=f"{pairs.name}-aug{copies}", pairs=tuple(augmented))
+
+
+def _augmented_item(
+    item: LabelledImage,
+    policy: AugmentationPolicy,
+    rng: np.random.Generator,
+    copy_idx: int,
+    pair_idx: int,
+    slot: int,
+) -> LabelledImage:
+    background = 1.0 if item.source in ("sns1", "sns2") else 0.0
+    image = augment_image(item.image, policy, rng, background=background)
+    return LabelledImage(
+        image=image,
+        label=item.label,
+        source=item.source,
+        model_id=item.model_id,
+        view_id=item.view_id * 1000 + copy_idx * 10 + slot,
+    )

@@ -1,0 +1,106 @@
+"""The ten object classes and the dataset cardinalities of the paper's
+Table 1.
+
+The paper's Table 1::
+
+    Object   SNS1  SNS2  NYUSet
+    Chair      14    10    1000
+    Bottle     12    10     920
+    Paper       8    10     790
+    Book        8    10     760
+    Table       8    10     726
+    Box         8    10     637
+    Window      6    10     617
+    Door        4    10     511
+    Sofa        8    10     495
+    Lamp        6    10     478
+    Total      82   100   6,934
+
+SNS1 contains two models per class ("we first selected a subset of models,
+i.e., two for each of the ten object classes"), with 2–7 views per model so
+the per-class totals above hold.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatasetError
+
+#: Class names in the paper's Table-1 order.
+CLASS_NAMES: tuple[str, ...] = (
+    "chair",
+    "bottle",
+    "paper",
+    "book",
+    "table",
+    "box",
+    "window",
+    "door",
+    "sofa",
+    "lamp",
+)
+
+#: ShapeNetSet1 views per class (Table 1).
+SNS1_VIEW_COUNTS: dict[str, int] = {
+    "chair": 14,
+    "bottle": 12,
+    "paper": 8,
+    "book": 8,
+    "table": 8,
+    "box": 8,
+    "window": 6,
+    "door": 4,
+    "sofa": 8,
+    "lamp": 6,
+}
+
+#: ShapeNetSet2 views per class (Table 1): ten everywhere.
+SNS2_VIEW_COUNTS: dict[str, int] = {name: 10 for name in CLASS_NAMES}
+
+#: NYUSet instances per class (Table 1).
+NYU_COUNTS: dict[str, int] = {
+    "chair": 1000,
+    "bottle": 920,
+    "paper": 790,
+    "book": 760,
+    "table": 726,
+    "box": 637,
+    "window": 617,
+    "door": 511,
+    "sofa": 495,
+    "lamp": 478,
+}
+
+#: SNS1 has two selected models per class (Sec. 3.1).
+SNS1_MODELS_PER_CLASS = 2
+
+# Sanity: totals quoted in the paper.
+assert sum(SNS1_VIEW_COUNTS.values()) == 82
+assert sum(SNS2_VIEW_COUNTS.values()) == 100
+assert sum(NYU_COUNTS.values()) == 6934
+
+
+def class_index(name: str) -> int:
+    """Index of *name* in the canonical class ordering."""
+    try:
+        return CLASS_NAMES.index(name)
+    except ValueError:
+        raise DatasetError(f"unknown object class {name!r}") from None
+
+
+def validate_class(name: str) -> str:
+    """Return *name* if it is a known class, raising otherwise."""
+    if name not in CLASS_NAMES:
+        raise DatasetError(f"unknown object class {name!r}")
+    return name
+
+
+def sns1_views_per_model(name: str) -> tuple[int, int]:
+    """Split the SNS1 per-class view count across its two models.
+
+    The paper collected about four views per model, fewer for the
+    rotation-invariant window/door models and more for the oversampled
+    chair/bottle models; an uneven total gives the first model one extra view.
+    """
+    total = SNS1_VIEW_COUNTS[validate_class(name)]
+    first = (total + 1) // SNS1_MODELS_PER_CLASS
+    return first, total - first

@@ -1,0 +1,108 @@
+"""Dataset containers shared by all builders."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class LabelledImage:
+    """One labelled image instance.
+
+    ``image`` is a float RGB array in [0, 1]; ``label`` the object class;
+    ``source`` one of ``"nyu"``, ``"sns1"``, ``"sns2"``; ``model_id`` names
+    the parametric model the instance was rendered from; ``view_id`` indexes
+    the view within that model (or the instance within the NYU class).
+    """
+
+    image: np.ndarray = field(repr=False)
+    label: str
+    source: str
+    model_id: str
+    view_id: int
+
+    @property
+    def key(self) -> str:
+        """Globally unique identifier of this instance."""
+        return f"{self.source}/{self.model_id}/v{self.view_id}"
+
+
+@dataclass(frozen=True)
+class ImageDataset:
+    """An immutable, ordered collection of :class:`LabelledImage` items."""
+
+    name: str
+    items: tuple[LabelledImage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise DatasetError(f"dataset {self.name!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[LabelledImage]:
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> LabelledImage:
+        return self.items[index]
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Ground-truth labels, in item order."""
+        return tuple(item.label for item in self.items)
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """Sorted distinct class labels present in the dataset."""
+        return tuple(sorted(set(self.labels)))
+
+    def class_counts(self) -> dict[str, int]:
+        """Number of instances per class (Table-1 style statistics)."""
+        return dict(Counter(self.labels))
+
+    def by_class(self) -> dict[str, list[LabelledImage]]:
+        """Items grouped by class label, preserving order."""
+        groups: dict[str, list[LabelledImage]] = {}
+        for item in self.items:
+            groups.setdefault(item.label, []).append(item)
+        return groups
+
+    def by_model(self) -> dict[str, list[LabelledImage]]:
+        """Items grouped by model identifier, preserving order.
+
+        This is the grouping the hybrid micro-average (per-model) argmin
+        strategy needs.
+        """
+        groups: dict[str, list[LabelledImage]] = {}
+        for item in self.items:
+            groups.setdefault(item.model_id, []).append(item)
+        return groups
+
+    def subset(self, indices: list[int], name: str | None = None) -> "ImageDataset":
+        """A new dataset holding the items at *indices* (order preserved)."""
+        items = tuple(self.items[i] for i in indices)
+        return ImageDataset(name=name or f"{self.name}[{len(items)}]", items=items)
+
+    def sample_per_class(
+        self, per_class: int, rng: np.random.Generator, name: str | None = None
+    ) -> "ImageDataset":
+        """Draw *per_class* random items from every class (without
+        replacement), as the paper does for the 100-image NYU test subset."""
+        chosen: list[LabelledImage] = []
+        for label, group in sorted(self.by_class().items()):
+            if len(group) < per_class:
+                raise DatasetError(
+                    f"class {label!r} has only {len(group)} items, need {per_class}"
+                )
+            picks = rng.choice(len(group), size=per_class, replace=False)
+            chosen.extend(group[i] for i in sorted(picks))
+        return ImageDataset(
+            name=name or f"{self.name}-sample{per_class}", items=tuple(chosen)
+        )

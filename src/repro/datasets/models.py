@@ -1,0 +1,655 @@
+"""Parametric 2-D object models for the ten paper classes.
+
+Each class has a geometry function that paints a canonical front view of the
+object onto a normalised canvas, driven by a parameter dictionary.  A
+*model* (:class:`ObjectModel`) is one concrete parameterisation — analogous
+to one ShapeNet 3-D model — from which multiple 2-D views are rendered by
+:mod:`repro.datasets.render`.
+
+The per-class parameter ranges are chosen so that
+
+* silhouettes are class-distinctive but overlap in realistic ways (books vs
+  boxes, tables vs chairs), which the paper's shape-only results depend on;
+* palettes are class-typical with overlap (papers are white, windows pale,
+  doors/tables wooden), which drives the colour-only results;
+* NYU-style sampling with wide jitter produces the high intra-class
+  heterogeneity the paper attributes its negative results to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.classes import validate_class
+from repro.errors import DatasetError
+from repro.imaging import draw
+
+Color = tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class ObjectModel:
+    """A concrete parameterisation of one class geometry."""
+
+    class_name: str
+    model_id: str
+    params: dict[str, float]
+    color: Color
+    accent: Color
+
+    def paint(self, canvas: np.ndarray) -> None:
+        """Paint the canonical front view onto *canvas* (in place)."""
+        _GEOMETRY[self.class_name](canvas, self.params, self.color, self.accent)
+
+
+def _jitter_color(base: Color, amount: float, rng: np.random.Generator) -> Color:
+    values = np.clip(np.asarray(base) + rng.uniform(-amount, amount, size=3), 0.02, 0.98)
+    return (float(values[0]), float(values[1]), float(values[2]))
+
+
+def _pick_palette(name: str, rng: np.random.Generator, jitter: float) -> tuple[Color, Color]:
+    bases = _PALETTES[name]
+    body, accent = bases[rng.integers(0, len(bases))]
+    return _jitter_color(body, jitter, rng), _jitter_color(accent, jitter, rng)
+
+
+def sample_model(
+    class_name: str,
+    model_id: str,
+    rng: np.random.Generator,
+    heterogeneity: float = 0.3,
+) -> ObjectModel:
+    """Sample one model of *class_name*.
+
+    ``heterogeneity`` in [0, 1] scales how far proportions and colours may
+    stray from the class canon.  ShapeNet-style reference models use the
+    default 0.3; NYU-style instances sample with 1.0 to model the paper's
+    "high within-class heterogeneity".
+    """
+    validate_class(class_name)
+    if not 0.0 <= heterogeneity <= 1.0:
+        raise DatasetError(f"heterogeneity must lie in [0, 1], got {heterogeneity}")
+    spec = _PARAM_RANGES[class_name]
+    params = {}
+    for key, (low, high) in spec.items():
+        if key == "variant":
+            # Structural variants are a property of which model was picked,
+            # not of how far its proportions stray: ShapeNet's models of a
+            # class differ in topology at any heterogeneity level.
+            params[key] = float(rng.uniform(low, high))
+            continue
+        mid = (low + high) / 2.0
+        half = (high - low) / 2.0 * max(heterogeneity, 0.05)
+        params[key] = float(rng.uniform(mid - half, mid + half))
+    body, accent = _pick_palette(class_name, rng, jitter=0.05 + 0.11 * heterogeneity)
+    return ObjectModel(
+        class_name=class_name,
+        model_id=model_id,
+        params=params,
+        color=body,
+        accent=accent,
+    )
+
+
+# --------------------------------------------------------------------------
+# Per-class geometry.  All coordinates are normalised (row, col) in [0, 1];
+# the object occupies roughly [0.15, 0.88] so viewpoint rotation never clips.
+#
+# Every class has three structural *variants* — different topologies of the
+# same category, like ShapeNet's models of a class (an office chair and a
+# dining chair share a label, not a silhouette).  The variant is selected by
+# the ``variant`` parameter, which spans its full range at every
+# heterogeneity level.
+# --------------------------------------------------------------------------
+
+
+def _variant(p: dict) -> int:
+    """Map the continuous variant parameter onto {0, 1, 2}."""
+    return min(int(p.get("variant", 0.0) * 3.0), 2)
+
+
+def _draw_chair(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    seat_row = 0.52 + 0.06 * (p["seat_drop"] - 0.5)
+    seat_h = 0.05 + 0.04 * p["seat_thick"]
+    width = 0.28 + 0.34 * p["width"]
+    left = 0.5 - width / 2.0
+    back_h = 0.12 + 0.30 * p["back_height"]
+    variant = _variant(p)
+
+    if variant == 0:
+        # Dining chair: two visible legs, side backrest.
+        leg_w = 0.02 + 0.02 * p["leg_thick"]
+        for col in (left + leg_w, left + width - 2 * leg_w):
+            draw.fill_rect(canvas, seat_row, col, 0.86 - seat_row, leg_w, accent)
+        draw.fill_rect(canvas, seat_row, left, seat_h, width, body)
+        back_w = 0.05 + 0.04 * p["back_thick"]
+        draw.fill_rect(canvas, seat_row - back_h, left, back_h, back_w, body)
+        draw.fill_rect(
+            canvas, seat_row - back_h, left, 0.04, width * (0.55 + 0.3 * p["rail"]), body
+        )
+    elif variant == 1:
+        # Office chair: centred backrest on a pedestal with a round base.
+        draw.fill_rect(canvas, seat_row, left, seat_h + 0.03, width, body)
+        draw.fill_rect(
+            canvas, seat_row - back_h, 0.5 - width * 0.35, back_h, width * 0.7, body
+        )
+        draw.draw_line(canvas, seat_row + seat_h, 0.5, 0.80, 0.5, 0.02, accent)
+        draw.fill_ellipse(canvas, 0.82, 0.5, 0.025, width * 0.45, accent)
+    else:
+        # Solid cube armchair: bulky seat block with a thick back, no legs.
+        draw.fill_rect(canvas, seat_row - 0.02, left, 0.86 - seat_row, width, body)
+        draw.fill_rect(
+            canvas, seat_row - back_h, left, back_h, width * (0.8 + 0.2 * p["rail"]), body
+        )
+        draw.fill_rect(canvas, seat_row, left + 0.03, seat_h, width - 0.06, accent)
+
+
+def _draw_bottle(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    body_w = 0.12 + 0.20 * p["body_width"]
+    variant = _variant(p)
+
+    if variant == 0:
+        # Tall bottle with shoulders, neck and cap.
+        body_top = 0.46 - 0.18 * p["body_height"]
+        draw.fill_rect(canvas, body_top, 0.5 - body_w / 2, 0.85 - body_top, body_w, body)
+        draw.fill_ellipse(canvas, body_top, 0.5, 0.06 + 0.03 * p["shoulder"], body_w / 2, body)
+        draw.fill_ellipse(canvas, 0.85, 0.5, 0.03, body_w / 2, body)
+        neck_w = body_w * (0.30 + 0.15 * p["neck"])
+        neck_top = body_top - (0.12 + 0.06 * p["neck_len"])
+        draw.fill_rect(canvas, neck_top, 0.5 - neck_w / 2, body_top - neck_top, neck_w, body)
+        draw.fill_rect(
+            canvas, neck_top - 0.045, 0.5 - neck_w / 2 - 0.01, 0.05, neck_w + 0.02, accent
+        )
+        draw.fill_rect(canvas, 0.58, 0.5 - body_w / 2, 0.10 + 0.05 * p["label"], body_w, accent)
+    elif variant == 1:
+        # Round flask: spherical body, short thin neck.
+        radius = 0.14 + 0.10 * p["body_width"]
+        draw.fill_ellipse(canvas, 0.62, 0.5, radius, radius * (0.9 + 0.2 * p["shoulder"]), body)
+        neck_w = 0.04 + 0.03 * p["neck"]
+        draw.fill_rect(canvas, 0.62 - radius - 0.12, 0.5 - neck_w / 2, 0.14, neck_w, body)
+        draw.fill_rect(canvas, 0.62 - radius - 0.155, 0.5 - neck_w, 0.035, neck_w * 2, accent)
+        draw.fill_ellipse(canvas, 0.62, 0.5, radius * 0.45, radius * 0.45, accent)
+    else:
+        # Jug: tapered body with a side handle loop.
+        top_w = body_w * 0.8
+        draw.fill_polygon(
+            canvas,
+            np.array(
+                [
+                    [0.38 - 0.08 * p["body_height"], 0.5 - top_w],
+                    [0.38 - 0.08 * p["body_height"], 0.5 + top_w],
+                    [0.85, 0.5 + body_w],
+                    [0.85, 0.5 - body_w],
+                ]
+            ),
+            body,
+        )
+        handle_col = 0.5 + body_w + 0.045
+        draw.fill_ellipse(canvas, 0.58, handle_col, 0.085, 0.05, body)
+        draw.fill_ellipse(canvas, 0.58, handle_col, 0.05, 0.022, accent)
+        draw.fill_rect(canvas, 0.62, 0.5 - top_w, 0.10 + 0.05 * p["label"], top_w * 2, accent)
+
+
+def _draw_paper(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    height = 0.34 + 0.34 * p["height"]
+    width = height * (0.48 + 0.62 * p["aspect"])
+    top, left = 0.5 - height / 2, 0.5 - width / 2
+    variant = _variant(p)
+
+    if variant == 0:
+        # Flat sheet with faint text lines.
+        draw.fill_rect(canvas, top, left, height, width, body)
+        n_lines = int(5 + 4 * p["lines"])
+        for i in range(n_lines):
+            row = top + 0.08 + i * (height - 0.14) / max(n_lines - 1, 1)
+            line_w = width * (0.7 + 0.2 * ((i * 2654435761) % 97) / 97.0)
+            draw.fill_rect(canvas, row, left + 0.05 * width, 0.012, line_w, accent)
+    elif variant == 1:
+        # Crumpled sheet: irregular star-ish blob.
+        center = np.array([0.5, 0.5])
+        n_spikes = 9
+        radius = min(height, width) / 2.0
+        points = []
+        for i in range(n_spikes):
+            angle = 2 * np.pi * i / n_spikes
+            wobble = 0.55 + 0.45 * (((i * 2654435761) % 89) / 89.0)
+            points.append(center + radius * wobble * np.array([np.sin(angle), np.cos(angle)]))
+        draw.fill_polygon(canvas, np.array(points), body)
+        draw.fill_polygon(canvas, np.array(points[::2]), accent)
+    else:
+        # Stack of sheets: offset rectangles with an edge shadow.
+        for i in range(3):
+            offset = 0.015 * (2 - i)
+            shade = 0.9 - 0.08 * i
+            color = (body[0] * shade, body[1] * shade, body[2] * shade)
+            draw.fill_rect(canvas, top + offset, left + offset, height * 0.9, width, color)
+        draw.fill_rect(canvas, top + height * 0.9, left, 0.02, width, accent)
+
+
+def _draw_book(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    height = 0.32 + 0.34 * p["height"]
+    width = height * (0.42 + 0.72 * p["aspect"])
+    top, left = 0.5 - height / 2, 0.5 - width / 2
+    variant = _variant(p)
+
+    if variant == 0:
+        # Lying book seen from the cover.
+        draw.fill_rect(canvas, top + 0.01, left + 0.02, height - 0.02, width, (0.92, 0.90, 0.85))
+        draw.fill_rect(canvas, top, left, height, width * 0.96, body)
+        spine_w = width * (0.10 + 0.08 * p["spine"])
+        draw.fill_rect(canvas, top, left, height, spine_w, accent)
+        draw.fill_rect(
+            canvas,
+            top + height * 0.18,
+            left + spine_w + width * 0.08,
+            height * (0.08 + 0.06 * p["title"]),
+            width * 0.55,
+            accent,
+        )
+    elif variant == 1:
+        # Standing book: tall thin spine with title bands.
+        spine_w = width * (0.22 + 0.12 * p["spine"])
+        draw.fill_rect(canvas, top, 0.5 - spine_w / 2, height, spine_w, body)
+        draw.fill_rect(canvas, top + height * 0.1, 0.5 - spine_w / 2, height * 0.08, spine_w, accent)
+        draw.fill_rect(canvas, top + height * 0.75, 0.5 - spine_w / 2, height * 0.1, spine_w, accent)
+    else:
+        # Open book: two page trapezoids meeting at the gutter.
+        page_h = height * 0.6
+        mid = 0.5
+        for sign in (-1, 1):
+            draw.fill_polygon(
+                canvas,
+                np.array(
+                    [
+                        [0.5 - page_h / 2, mid],
+                        [0.5 - page_h / 2 + 0.03, mid + sign * width / 2],
+                        [0.5 + page_h / 2, mid + sign * width / 2],
+                        [0.5 + page_h / 2 - 0.03, mid],
+                    ]
+                ),
+                (0.93, 0.91, 0.86),
+            )
+        draw.fill_rect(canvas, 0.5 - page_h / 2, mid - 0.008, page_h, 0.016, body)
+        draw.fill_rect(canvas, 0.5 + page_h / 2 - 0.02, mid - width / 2, 0.03, width, accent)
+
+
+def _draw_table(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    top_row = 0.40 + 0.18 * (p["top_drop"] - 0.5)
+    top_h = 0.04 + 0.03 * p["top_thick"]
+    width = 0.44 + 0.36 * p["width"]
+    left = 0.5 - width / 2
+    variant = _variant(p)
+
+    if variant == 0:
+        # Side view: slab top with two legs and an apron.
+        draw.fill_rect(canvas, top_row, left, top_h, width, body)
+        draw.fill_rect(canvas, top_row + top_h, left + 0.04, 0.03, width - 0.08, accent)
+        leg_w = 0.025 + 0.02 * p["leg_thick"]
+        for col in (left + 0.02, left + width - 0.02 - leg_w):
+            draw.fill_rect(canvas, top_row + top_h, col, 0.85 - top_row - top_h, leg_w, body)
+    elif variant == 1:
+        # Pedestal table: elliptical top, centre stem, round foot.
+        draw.fill_ellipse(canvas, top_row + top_h, 0.5, top_h + 0.02, width / 2, body)
+        draw.draw_line(
+            canvas, top_row + top_h, 0.5, 0.82, 0.5, 0.02 + 0.015 * p["leg_thick"], accent
+        )
+        draw.fill_ellipse(canvas, 0.83, 0.5, 0.02, width * 0.3, body)
+    else:
+        # Desk: slab with solid side panels and drawer fronts.
+        draw.fill_rect(canvas, top_row, left, top_h, width, body)
+        panel_w = width * 0.22
+        for col in (left, left + width - panel_w):
+            draw.fill_rect(canvas, top_row + top_h, col, 0.85 - top_row - top_h, panel_w, body)
+        for i in range(2):
+            draw.fill_rect(
+                canvas,
+                top_row + top_h + 0.04 + i * 0.12,
+                left + 0.02,
+                0.07,
+                panel_w - 0.04,
+                accent,
+            )
+
+
+def _draw_box(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    height = 0.24 + 0.36 * p["height"]
+    width = 0.26 + 0.44 * p["width"]
+    top, left = 0.78 - height, 0.5 - width / 2
+    variant = _variant(p)
+
+    if variant == 0:
+        # Open carton with raised flaps and a tape seam.
+        draw.fill_rect(canvas, top, left, height, width, body)
+        flap = 0.08 + 0.06 * p["flap"]
+        draw.fill_polygon(
+            canvas,
+            np.array([[top, left], [top - flap, left - flap * 0.6], [top, left + width * 0.45]]),
+            accent,
+        )
+        draw.fill_polygon(
+            canvas,
+            np.array(
+                [
+                    [top, left + width],
+                    [top - flap, left + width + flap * 0.6],
+                    [top, left + width * 0.55],
+                ]
+            ),
+            accent,
+        )
+        draw.fill_rect(canvas, top, 0.5 - 0.015, height * (0.4 + 0.3 * p["tape"]), 0.03, accent)
+    elif variant == 1:
+        # Closed box with a lid band.
+        draw.fill_rect(canvas, top, left, height, width, body)
+        lid_h = height * (0.15 + 0.12 * p["flap"])
+        draw.fill_rect(canvas, top, left - 0.015, lid_h, width + 0.03, accent)
+    else:
+        # Three-quarter view: front face plus a skewed top parallelogram.
+        skew = width * (0.15 + 0.15 * p["flap"])
+        draw.fill_rect(canvas, top, left, height, width, body)
+        draw.fill_polygon(
+            canvas,
+            np.array(
+                [
+                    [top, left],
+                    [top - skew * 0.5, left + skew],
+                    [top - skew * 0.5, left + width + skew],
+                    [top, left + width],
+                ]
+            ),
+            accent,
+        )
+
+
+def _draw_window(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    height = 0.38 + 0.30 * p["height"]
+    width = height * (0.55 + 0.90 * p["aspect"])
+    top, left = 0.5 - height / 2, 0.5 - width / 2
+    frame = 0.03 + 0.02 * p["frame"]
+    variant = _variant(p)
+
+    # Frame (body colour) then glass (accent).
+    draw.fill_rect(canvas, top, left, height, width, body)
+    draw.fill_rect(
+        canvas, top + frame, left + frame, height - 2 * frame, width - 2 * frame, accent
+    )
+    if variant == 0:
+        # Four panes behind a cross mullion.
+        draw.fill_rect(canvas, top, 0.5 - frame / 2, height, frame, body)
+        draw.fill_rect(canvas, 0.5 - frame / 2, left, frame, width, body)
+    elif variant == 1:
+        # Single picture pane with a sill below.
+        draw.fill_rect(canvas, top + height, left - 0.02, frame, width + 0.04, body)
+    else:
+        # Arched top with one vertical mullion.
+        draw.fill_ellipse(canvas, top, 0.5, height * 0.28, width / 2, body)
+        draw.fill_ellipse(
+            canvas, top + frame, 0.5, height * 0.28 - frame, width / 2 - frame, accent
+        )
+        draw.fill_rect(canvas, top - height * 0.2, 0.5 - frame / 2, height * 1.2, frame, body)
+
+
+def _draw_door(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    height = 0.58 + 0.16 * p["height"]
+    width = height * (0.28 + 0.26 * p["aspect"])
+    top, left = 0.5 - height / 2, 0.5 - width / 2
+    inset = 0.05
+    variant = _variant(p)
+
+    if variant == 0:
+        # Panelled door with a knob.
+        draw.fill_rect(canvas, top, left, height, width, body)
+        panel_h = (height - 3.2 * inset) / 2
+        for i in range(2):
+            draw.fill_rect(
+                canvas,
+                top + inset + i * (panel_h + 1.1 * inset),
+                left + inset,
+                panel_h,
+                width - 2 * inset,
+                accent,
+            )
+        knob_row = top + height * (0.48 + 0.06 * p["knob"])
+        draw.fill_disc(canvas, knob_row, left + width - inset * 0.9, 0.016, (0.85, 0.78, 0.35))
+    elif variant == 1:
+        # Door ajar: a parallelogram leaf inside a visible frame.
+        draw.fill_rect(canvas, top - 0.02, left - 0.03, height + 0.04, width + 0.06, accent)
+        lean = width * (0.2 + 0.2 * p["knob"])
+        draw.fill_polygon(
+            canvas,
+            np.array(
+                [
+                    [top, left + lean],
+                    [top, left + width],
+                    [top + height, left + width - lean * 0.3],
+                    [top + height, left + lean * 0.7],
+                ]
+            ),
+            body,
+        )
+    else:
+        # Glass office door: thin frame, large glazing, push bar.
+        draw.fill_rect(canvas, top, left, height, width, body)
+        draw.fill_rect(
+            canvas, top + inset * 0.6, left + inset * 0.6,
+            height - 1.2 * inset, width - 1.2 * inset, accent,
+        )
+        bar_row = top + height * (0.45 + 0.08 * p["knob"])
+        draw.fill_rect(canvas, bar_row, left + inset * 0.6, 0.025, width - 1.2 * inset, body)
+
+
+def _draw_sofa(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    width = 0.48 + 0.32 * p["width"]
+    left = 0.5 - width / 2
+    seat_row = 0.55 + 0.04 * (p["seat_drop"] - 0.5)
+    back_h = 0.18 + 0.10 * p["back"]
+    arm_w = 0.07 + 0.03 * p["arm"]
+    variant = _variant(p)
+
+    if variant == 0:
+        # Classic two/three-seater with two arms.
+        draw.fill_rect(canvas, seat_row - back_h, left + 0.04, back_h, width - 0.08, body)
+        draw.fill_rect(canvas, seat_row, left + 0.02, 0.16, width - 0.04, body)
+        for col in (left + arm_w / 2, left + width - arm_w / 2):
+            draw.fill_ellipse(canvas, seat_row - 0.02, col, 0.045, arm_w / 2, body)
+            draw.fill_rect(canvas, seat_row - 0.02, col - arm_w / 2, 0.18, arm_w, body)
+        n_cushions = 2 if p["cushions"] < 0.5 else 3
+        cushion_w = (width - 2 * arm_w - 0.06) / n_cushions
+        for i in range(n_cushions):
+            draw.fill_rect(
+                canvas,
+                seat_row + 0.005,
+                left + arm_w + 0.03 + i * cushion_w,
+                0.05,
+                cushion_w * 0.92,
+                accent,
+            )
+        for col in (left + 0.05, left + width - 0.07):
+            draw.fill_rect(canvas, seat_row + 0.16, col, 0.05, 0.02, (0.2, 0.15, 0.1))
+    elif variant == 1:
+        # L-sectional: long seat plus a chaise block on one side.
+        draw.fill_rect(canvas, seat_row - back_h, left, back_h, width, body)
+        draw.fill_rect(canvas, seat_row, left, 0.15, width, body)
+        chaise_w = width * (0.3 + 0.1 * p["cushions"])
+        draw.fill_rect(canvas, seat_row - back_h * 0.4, left, back_h * 0.4 + 0.15, chaise_w, body)
+        draw.fill_rect(
+            canvas, seat_row + 0.01, left + chaise_w + 0.02, 0.05, width - chaise_w - 0.04, accent
+        )
+    else:
+        # Backless divan: low slab, bolster cushion, single arm.
+        draw.fill_rect(canvas, seat_row + 0.02, left, 0.12, width, body)
+        draw.fill_ellipse(canvas, seat_row + 0.02, left + arm_w, 0.05, arm_w, body)
+        draw.fill_ellipse(canvas, seat_row - 0.01, left + width * 0.6, 0.035, width * 0.16, accent)
+        for col in (left + 0.04, left + width - 0.06):
+            draw.fill_rect(canvas, seat_row + 0.14, col, 0.06, 0.02, (0.2, 0.15, 0.1))
+
+
+def _draw_lamp(canvas: np.ndarray, p: dict, body: Color, accent: Color) -> None:
+    base_r = 0.05 + 0.09 * p["base"]
+    variant = _variant(p)
+
+    if variant == 0:
+        # Floor lamp: base disc, tall stem, trapezoid shade.
+        draw.fill_ellipse(canvas, 0.84, 0.5, 0.025, base_r, accent)
+        stem_top = 0.36 - 0.06 * p["stem"]
+        draw.draw_line(canvas, 0.84, 0.5, stem_top, 0.5, 0.016, accent)
+        shade_h = 0.10 + 0.16 * p["shade_h"]
+        top_w = 0.10 + 0.05 * p["shade_top"]
+        bottom_w = top_w + 0.10 + 0.06 * p["shade_flare"]
+        draw.fill_polygon(
+            canvas,
+            np.array(
+                [
+                    [stem_top - shade_h, 0.5 - top_w],
+                    [stem_top - shade_h, 0.5 + top_w],
+                    [stem_top, 0.5 + bottom_w],
+                    [stem_top, 0.5 - bottom_w],
+                ]
+            ),
+            body,
+        )
+    elif variant == 1:
+        # Desk lamp: heavy base, angled arm, downward dome head.
+        draw.fill_ellipse(canvas, 0.80, 0.42, 0.03, base_r, accent)
+        draw.draw_line(canvas, 0.79, 0.42, 0.48, 0.52, 0.015, accent)
+        draw.draw_line(canvas, 0.48, 0.52, 0.42, 0.62, 0.015, accent)
+        dome_r = 0.07 + 0.05 * p["shade_h"]
+        draw.fill_ellipse(canvas, 0.42, 0.62, dome_r, dome_r, body)
+        draw.fill_ellipse(canvas, 0.45, 0.62, dome_r * 0.4, dome_r * 0.8, accent)
+    else:
+        # Globe table lamp: short stem, spherical shade on a plinth.
+        plinth_w = base_r * 1.6
+        draw.fill_rect(canvas, 0.78, 0.5 - plinth_w / 2, 0.06, plinth_w, accent)
+        draw.draw_line(canvas, 0.78, 0.5, 0.66, 0.5, 0.02, accent)
+        globe_r = 0.12 + 0.08 * p["shade_h"]
+        draw.fill_ellipse(
+            canvas,
+            0.66 - globe_r,
+            0.5,
+            globe_r,
+            globe_r * (0.85 + 0.15 * p["shade_top"]),
+            body,
+        )
+
+
+_GEOMETRY: dict[str, Callable[[np.ndarray, dict, Color, Color], None]] = {
+    "chair": _draw_chair,
+    "bottle": _draw_bottle,
+    "paper": _draw_paper,
+    "book": _draw_book,
+    "table": _draw_table,
+    "box": _draw_box,
+    "window": _draw_window,
+    "door": _draw_door,
+    "sofa": _draw_sofa,
+    "lamp": _draw_lamp,
+}
+
+#: Uniform parameter ranges per class; sample_model narrows them around the
+#: midpoint according to the heterogeneity knob.
+_PARAM_RANGES: dict[str, dict[str, tuple[float, float]]] = {
+    "chair": {"variant": (0.0, 1.0), 
+        "seat_drop": (0.0, 1.0),
+        "seat_thick": (0.0, 1.0),
+        "width": (0.0, 1.0),
+        "leg_thick": (0.0, 1.0),
+        "back_height": (0.0, 1.0),
+        "back_thick": (0.0, 1.0),
+        "rail": (0.0, 1.0),
+    },
+    "bottle": {"variant": (0.0, 1.0), 
+        "body_width": (0.0, 1.0),
+        "body_height": (0.0, 1.0),
+        "shoulder": (0.0, 1.0),
+        "neck": (0.0, 1.0),
+        "neck_len": (0.0, 1.0),
+        "label": (0.0, 1.0),
+    },
+    "paper": {"variant": (0.0, 1.0), "height": (0.0, 1.0), "aspect": (0.0, 1.0), "lines": (0.0, 1.0)},
+    "book": {"variant": (0.0, 1.0), 
+        "height": (0.0, 1.0),
+        "aspect": (0.0, 1.0),
+        "spine": (0.0, 1.0),
+        "title": (0.0, 1.0),
+    },
+    "table": {"variant": (0.0, 1.0), 
+        "top_drop": (0.0, 1.0),
+        "top_thick": (0.0, 1.0),
+        "width": (0.0, 1.0),
+        "leg_thick": (0.0, 1.0),
+    },
+    "box": {"variant": (0.0, 1.0), 
+        "height": (0.0, 1.0),
+        "width": (0.0, 1.0),
+        "flap": (0.0, 1.0),
+        "tape": (0.0, 1.0),
+    },
+    "window": {"variant": (0.0, 1.0), "height": (0.0, 1.0), "aspect": (0.0, 1.0), "frame": (0.0, 1.0)},
+    "door": {"variant": (0.0, 1.0), "height": (0.0, 1.0), "aspect": (0.0, 1.0), "knob": (0.0, 1.0)},
+    "sofa": {"variant": (0.0, 1.0), 
+        "width": (0.0, 1.0),
+        "seat_drop": (0.0, 1.0),
+        "back": (0.0, 1.0),
+        "arm": (0.0, 1.0),
+        "cushions": (0.0, 1.0),
+    },
+    "lamp": {"variant": (0.0, 1.0), 
+        "base": (0.0, 1.0),
+        "stem": (0.0, 1.0),
+        "shade_h": (0.0, 1.0),
+        "shade_top": (0.0, 1.0),
+        "shade_flare": (0.0, 1.0),
+    },
+}
+
+#: Class palettes: list of (body, accent) base colours.
+_PALETTES: dict[str, list[tuple[Color, Color]]] = {
+    "chair": [
+        ((0.55, 0.35, 0.18), (0.40, 0.25, 0.12)),  # wooden
+        ((0.72, 0.12, 0.15), (0.30, 0.30, 0.32)),  # red plastic, steel legs
+        ((0.25, 0.28, 0.55), (0.22, 0.22, 0.24)),  # blue office
+    ],
+    "bottle": [
+        ((0.15, 0.45, 0.20), (0.85, 0.82, 0.75)),  # green glass, pale label
+        ((0.25, 0.45, 0.70), (0.92, 0.92, 0.92)),  # blue plastic
+        ((0.55, 0.30, 0.12), (0.88, 0.80, 0.55)),  # amber glass
+    ],
+    "paper": [
+        ((0.93, 0.93, 0.90), (0.55, 0.55, 0.58)),
+        ((0.96, 0.95, 0.88), (0.45, 0.45, 0.50)),
+    ],
+    "book": [
+        ((0.60, 0.15, 0.15), (0.85, 0.75, 0.40)),
+        ((0.15, 0.30, 0.55), (0.90, 0.88, 0.80)),
+        ((0.20, 0.45, 0.25), (0.88, 0.85, 0.60)),
+    ],
+    "table": [
+        ((0.58, 0.40, 0.22), (0.42, 0.28, 0.15)),
+        ((0.35, 0.25, 0.15), (0.28, 0.20, 0.12)),
+        ((0.80, 0.80, 0.78), (0.55, 0.55, 0.55)),  # white laminate
+    ],
+    "box": [
+        ((0.70, 0.52, 0.30), (0.58, 0.42, 0.24)),  # cardboard
+        ((0.62, 0.45, 0.25), (0.78, 0.72, 0.60)),
+    ],
+    "window": [
+        ((0.90, 0.89, 0.85), (0.70, 0.82, 0.92)),  # white frame, sky glass
+        ((0.45, 0.30, 0.18), (0.75, 0.85, 0.90)),  # wooden frame
+    ],
+    "door": [
+        ((0.52, 0.34, 0.18), (0.44, 0.28, 0.14)),  # wooden
+        ((0.88, 0.87, 0.84), (0.78, 0.77, 0.74)),  # painted white
+    ],
+    "sofa": [
+        ((0.45, 0.42, 0.38), (0.55, 0.52, 0.48)),  # grey fabric
+        ((0.50, 0.20, 0.18), (0.62, 0.30, 0.26)),  # maroon
+        ((0.25, 0.32, 0.28), (0.35, 0.42, 0.38)),  # dark green
+    ],
+    "lamp": [
+        ((0.92, 0.86, 0.65), (0.35, 0.32, 0.30)),  # cream shade, dark stem
+        ((0.85, 0.55, 0.30), (0.55, 0.50, 0.48)),  # orange shade, steel stem
+    ],
+}

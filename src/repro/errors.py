@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ImageError(ReproError):
+    """An image has an invalid shape, dtype or value range."""
+
+
+class ContourError(ReproError):
+    """Contour extraction failed (e.g. no foreground region found)."""
+
+
+class DatasetError(ReproError):
+    """A dataset was requested with inconsistent or unknown parameters."""
+
+
+class FeatureError(ReproError):
+    """Keypoint detection or descriptor extraction failed."""
+
+
+class MatchingError(ReproError):
+    """Descriptor matching was invoked with incompatible inputs."""
+
+
+class NeuralError(ReproError):
+    """A neural-network layer or model was misconfigured."""
+
+
+class PipelineError(ReproError):
+    """A recognition pipeline was invoked with invalid inputs."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation routine received inconsistent predictions or labels."""
+
+
+class KnowledgeError(ReproError):
+    """A knowledge-grounding lookup failed (unknown concept or class)."""

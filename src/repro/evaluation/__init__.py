@@ -1,0 +1,61 @@
+"""Metrics, reports and the experiment harness for the paper's Tables 1–9."""
+
+from repro.evaluation.metrics import (
+    BinaryReport,
+    ClasswiseReport,
+    binary_report,
+    classification_report,
+    confusion_matrix,
+    cumulative_accuracy,
+)
+from repro.evaluation.runner import (
+    ExperimentResult,
+    run_matching_experiment,
+    run_pair_experiment,
+)
+from repro.evaluation.curves import (
+    CmcCurve,
+    PrecisionRecallCurve,
+    RocCurve,
+    cmc_curve,
+    precision_recall_curve,
+    roc_curve,
+)
+from repro.evaluation.significance import (
+    ConfidenceInterval,
+    PairedComparison,
+    bootstrap_accuracy_ci,
+    paired_bootstrap_test,
+)
+from repro.evaluation.tables import (
+    format_classwise_table,
+    format_cumulative_table,
+    format_dataset_table,
+    format_pair_table,
+)
+
+__all__ = [
+    "BinaryReport",
+    "ClasswiseReport",
+    "binary_report",
+    "classification_report",
+    "confusion_matrix",
+    "cumulative_accuracy",
+    "ExperimentResult",
+    "run_matching_experiment",
+    "run_pair_experiment",
+    "format_classwise_table",
+    "format_cumulative_table",
+    "format_dataset_table",
+    "format_pair_table",
+    "CmcCurve",
+    "PrecisionRecallCurve",
+    "RocCurve",
+    "cmc_curve",
+    "precision_recall_curve",
+    "roc_curve",
+    "ConfidenceInterval",
+    "PairedComparison",
+    "bootstrap_accuracy_ci",
+    "paired_bootstrap_test",
+]

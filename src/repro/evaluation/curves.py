@@ -1,0 +1,156 @@
+"""Ranking and threshold curves: recall@k, CMC, precision-recall and ROC.
+
+The Normalized-X-Corr architecture comes from person re-identification,
+where the standard evaluation is the **cumulative match characteristic**
+(CMC): the probability that the correct identity appears in the top-k of
+the ranked gallery.  The matching pipelines of this reproduction rank
+reference views the same way, so the same machinery applies — and the pair
+classifier's score threshold is naturally characterised by precision-recall
+and ROC curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import ImageDataset
+from repro.errors import EvaluationError
+from repro.pipelines.base import RecognitionPipeline
+
+
+@dataclass(frozen=True)
+class CmcCurve:
+    """Cumulative match characteristic: ``values[k-1]`` = recall@k."""
+
+    values: np.ndarray
+
+    def at(self, k: int) -> float:
+        """Recall@k (clamped to the deepest rank computed)."""
+        if k < 1:
+            raise EvaluationError(f"k must be >= 1, got {k}")
+        return float(self.values[min(k, len(self.values)) - 1])
+
+
+def cmc_curve(
+    pipeline: RecognitionPipeline,
+    queries: ImageDataset,
+    max_rank: int | None = None,
+) -> CmcCurve:
+    """CMC of a fitted pipeline over *queries*.
+
+    Rank r of a query is the position of its true class in the pipeline's
+    class ranking (classes ordered by their best view score).  The pipeline
+    must expose ``predict_topk`` (all matching and hybrid pipelines do).
+    """
+    classes = pipeline.references.classes
+    max_rank = max_rank or len(classes)
+    if max_rank < 1:
+        raise EvaluationError(f"max_rank must be >= 1, got {max_rank}")
+    hits = np.zeros(max_rank)
+    for query in queries:
+        top = pipeline.predict_topk(query, k=max_rank)
+        labels = [p.label for p in top]
+        if query.label in labels:
+            rank = labels.index(query.label)
+            hits[rank:] += 1
+    return CmcCurve(values=hits / len(queries))
+
+
+@dataclass(frozen=True)
+class PrecisionRecallCurve:
+    """Precision-recall pairs over descending score thresholds."""
+
+    precision: np.ndarray
+    recall: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def average_precision(self) -> float:
+        """Step-interpolated area under the PR curve (AP)."""
+        recall = np.concatenate([[0.0], self.recall])
+        precision = np.concatenate([[1.0], self.precision])
+        return float(np.sum((recall[1:] - recall[:-1]) * precision[1:]))
+
+
+def precision_recall_curve(
+    labels: Sequence[int], scores: Sequence[float]
+) -> PrecisionRecallCurve:
+    """PR curve of a binary scorer (1 = positive/similar).
+
+    One point per distinct score threshold, thresholds descending.
+    """
+    labels_arr = np.asarray(labels, dtype=np.int64)
+    scores_arr = np.asarray(scores, dtype=np.float64)
+    _validate_binary(labels_arr, scores_arr)
+
+    order = np.argsort(-scores_arr, kind="stable")
+    sorted_labels = labels_arr[order]
+    sorted_scores = scores_arr[order]
+
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(1 - sorted_labels)
+    total_pos = int(labels_arr.sum())
+    if total_pos == 0:
+        raise EvaluationError("precision-recall needs at least one positive")
+
+    # Keep the last index of each distinct threshold.
+    distinct = np.nonzero(np.diff(sorted_scores, append=-np.inf))[0]
+    precision = tp[distinct] / (tp[distinct] + fp[distinct])
+    recall = tp[distinct] / total_pos
+    return PrecisionRecallCurve(
+        precision=precision, recall=recall, thresholds=sorted_scores[distinct]
+    )
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """ROC points over descending thresholds, plus AUC."""
+
+    false_positive_rate: np.ndarray
+    true_positive_rate: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Trapezoidal area under the ROC curve."""
+        fpr = np.concatenate([[0.0], self.false_positive_rate, [1.0]])
+        tpr = np.concatenate([[0.0], self.true_positive_rate, [1.0]])
+        return float(np.trapezoid(tpr, fpr))
+
+
+def roc_curve(labels: Sequence[int], scores: Sequence[float]) -> RocCurve:
+    """ROC curve of a binary scorer (1 = positive/similar)."""
+    labels_arr = np.asarray(labels, dtype=np.int64)
+    scores_arr = np.asarray(scores, dtype=np.float64)
+    _validate_binary(labels_arr, scores_arr)
+
+    order = np.argsort(-scores_arr, kind="stable")
+    sorted_labels = labels_arr[order]
+    sorted_scores = scores_arr[order]
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(1 - sorted_labels)
+    total_pos = int(labels_arr.sum())
+    total_neg = len(labels_arr) - total_pos
+    if total_pos == 0 or total_neg == 0:
+        raise EvaluationError("ROC needs both positive and negative labels")
+
+    distinct = np.nonzero(np.diff(sorted_scores, append=-np.inf))[0]
+    return RocCurve(
+        false_positive_rate=fp[distinct] / total_neg,
+        true_positive_rate=tp[distinct] / total_pos,
+        thresholds=sorted_scores[distinct],
+    )
+
+
+def _validate_binary(labels: np.ndarray, scores: np.ndarray) -> None:
+    if labels.shape != scores.shape or labels.ndim != 1:
+        raise EvaluationError(
+            f"labels/scores must be matching 1-D arrays, got {labels.shape} vs {scores.shape}"
+        )
+    if labels.size == 0:
+        raise EvaluationError("cannot build a curve from empty inputs")
+    if not np.isin(labels, (0, 1)).all():
+        raise EvaluationError("labels must be binary 0/1")

@@ -1,0 +1,173 @@
+"""Evaluation metrics used throughout the paper.
+
+* **Cumulative (cross-class) accuracy** — Tables 2 and 3: the fraction of
+  all queries whose predicted class equals the ground truth.
+* **Class-wise accuracy / precision / recall / F1** — Tables 5–9: the paper
+  reports, per class c, "accuracy" = recall(c) (the fraction of class-c
+  queries labelled c), precision(c) = TP / predicted-c, and their harmonic
+  mean.
+* **Binary precision / recall / F1 / support** — Table 4, for the
+  similar/dissimilar pair classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def _check_lengths(y_true: Sequence, y_pred: Sequence) -> None:
+    if len(y_true) != len(y_pred):
+        raise EvaluationError(
+            f"label/prediction length mismatch: {len(y_true)} vs {len(y_pred)}"
+        )
+    if len(y_true) == 0:
+        raise EvaluationError("cannot evaluate an empty prediction set")
+
+
+def cumulative_accuracy(y_true: Sequence[str], y_pred: Sequence[str]) -> float:
+    """Fraction of predictions equal to the ground-truth label."""
+    _check_lengths(y_true, y_pred)
+    hits = sum(1 for truth, pred in zip(y_true, y_pred) if truth == pred)
+    return hits / len(y_true)
+
+
+def confusion_matrix(
+    y_true: Sequence[str],
+    y_pred: Sequence[str],
+    classes: Sequence[str] | None = None,
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Confusion matrix ``M[i, j]`` = count of true class i predicted as j.
+
+    Returns the matrix and the class ordering used for its axes.
+    """
+    _check_lengths(y_true, y_pred)
+    if classes is None:
+        classes = sorted(set(y_true) | set(y_pred))
+    index = {name: i for i, name in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for truth, pred in zip(y_true, y_pred):
+        if truth not in index or pred not in index:
+            raise EvaluationError(f"label outside class set: {truth!r}/{pred!r}")
+        matrix[index[truth], index[pred]] += 1
+    return matrix, tuple(classes)
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Per-class metrics in the paper's Table 5–9 layout."""
+
+    accuracy: float  # == recall, the paper's per-class "Accuracy" row
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass(frozen=True)
+class ClasswiseReport:
+    """Full class-wise report plus the cumulative accuracy."""
+
+    per_class: Mapping[str, ClassMetrics]
+    cumulative_accuracy: float
+    total: int
+
+    def __getitem__(self, class_name: str) -> ClassMetrics:
+        return self.per_class[class_name]
+
+
+def classification_report(
+    y_true: Sequence[str],
+    y_pred: Sequence[str],
+    classes: Sequence[str] | None = None,
+) -> ClasswiseReport:
+    """Class-wise accuracy/precision/recall/F1 plus cumulative accuracy."""
+    matrix, ordering = confusion_matrix(y_true, y_pred, classes)
+    per_class: dict[str, ClassMetrics] = {}
+    for i, name in enumerate(ordering):
+        true_pos = int(matrix[i, i])
+        support = int(matrix[i].sum())
+        predicted = int(matrix[:, i].sum())
+        recall = true_pos / support if support else 0.0
+        precision = true_pos / predicted if predicted else 0.0
+        f1 = (
+            2.0 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        per_class[name] = ClassMetrics(
+            accuracy=recall,
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            support=support,
+        )
+    return ClasswiseReport(
+        per_class=per_class,
+        cumulative_accuracy=float(np.trace(matrix) / matrix.sum()),
+        total=int(matrix.sum()),
+    )
+
+
+@dataclass(frozen=True)
+class BinaryReport:
+    """Table-4 layout: per-label P/R/F1/support for similar & dissimilar."""
+
+    precision_similar: float
+    recall_similar: float
+    f1_similar: float
+    support_similar: int
+    precision_dissimilar: float
+    recall_dissimilar: float
+    f1_dissimilar: float
+    support_dissimilar: int
+
+    @property
+    def accuracy(self) -> float:
+        """Overall fraction of correct binary decisions."""
+        correct = (
+            self.recall_similar * self.support_similar
+            + self.recall_dissimilar * self.support_dissimilar
+        )
+        total = self.support_similar + self.support_dissimilar
+        return correct / total if total else 0.0
+
+
+def binary_report(y_true: Sequence[int], y_pred: Sequence[int]) -> BinaryReport:
+    """Precision/recall/F1/support for the positive (similar, label 1) and
+    negative (dissimilar, label 0) classes."""
+    _check_lengths(y_true, y_pred)
+    truth = np.asarray(y_true, dtype=np.int64)
+    pred = np.asarray(y_pred, dtype=np.int64)
+    if not np.isin(truth, (0, 1)).all() or not np.isin(pred, (0, 1)).all():
+        raise EvaluationError("binary report requires 0/1 labels")
+
+    def prf(positive: int) -> tuple[float, float, float, int]:
+        tp = int(((truth == positive) & (pred == positive)).sum())
+        support = int((truth == positive).sum())
+        predicted = int((pred == positive).sum())
+        recall = tp / support if support else 0.0
+        precision = tp / predicted if predicted else 0.0
+        f1 = (
+            2.0 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        return precision, recall, f1, support
+
+    p1, r1, f1_pos, s1 = prf(1)
+    p0, r0, f1_neg, s0 = prf(0)
+    return BinaryReport(
+        precision_similar=p1,
+        recall_similar=r1,
+        f1_similar=f1_pos,
+        support_similar=s1,
+        precision_dissimilar=p0,
+        recall_dissimilar=r0,
+        f1_dissimilar=f1_neg,
+        support_dissimilar=s0,
+    )

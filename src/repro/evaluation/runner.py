@@ -1,0 +1,102 @@
+"""Experiment orchestration: fit a pipeline on a reference set, predict a
+query set, and collect the paper's metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.datasets.dataset import ImageDataset
+from repro.datasets.pairs import PairDataset
+from repro.evaluation.metrics import (
+    BinaryReport,
+    ClasswiseReport,
+    binary_report,
+    classification_report,
+)
+from repro.pipelines.base import Prediction, RecognitionPipeline
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One pipeline's outcome on one query/reference dataset pairing."""
+
+    pipeline_name: str
+    query_name: str
+    reference_name: str
+    predictions: tuple[Prediction, ...] = field(repr=False)
+    report: ClasswiseReport
+
+    @property
+    def cumulative_accuracy(self) -> float:
+        """The Table-2/3 headline number."""
+        return self.report.cumulative_accuracy
+
+
+def run_matching_experiment(
+    pipeline: RecognitionPipeline,
+    queries: ImageDataset,
+    references: ImageDataset,
+    classes: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """Fit *pipeline* on *references*, predict *queries*, report metrics."""
+    pipeline.fit(references)
+    predictions = pipeline.predict_all(queries)
+    report = classification_report(
+        queries.labels, [p.label for p in predictions], classes=classes
+    )
+    return ExperimentResult(
+        pipeline_name=pipeline.name,
+        query_name=queries.name,
+        reference_name=references.name,
+        predictions=tuple(predictions),
+        report=report,
+    )
+
+
+def run_matching_suite(
+    pipelines: Sequence[RecognitionPipeline],
+    queries: ImageDataset,
+    references: ImageDataset,
+    classes: Sequence[str] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run several pipelines over the same query/reference pairing.
+
+    Returns results keyed by pipeline name — the layout Table 2 is built
+    from (one row per configuration, one column per dataset pairing).
+    """
+    return {
+        pipeline.name: run_matching_experiment(pipeline, queries, references, classes)
+        for pipeline in pipelines
+    }
+
+
+@dataclass(frozen=True)
+class PairExperimentResult:
+    """Binary similar/dissimilar outcome on one pair dataset (Table 4)."""
+
+    classifier_name: str
+    dataset_name: str
+    predictions: tuple[int, ...] = field(repr=False)
+    report: BinaryReport
+
+
+def run_pair_experiment(
+    classifier: Callable[[PairDataset], Sequence[int]],
+    pairs: PairDataset,
+    name: str = "normalized-x-corr",
+) -> PairExperimentResult:
+    """Evaluate a binary pair classifier on *pairs*.
+
+    *classifier* maps the pair dataset to 0/1 predictions in order (the
+    siamese pipeline exposes :meth:`~repro.pipelines.neural.
+    NeuralMatchingPipeline.classify_pairs` with this signature).
+    """
+    predictions = tuple(int(p) for p in classifier(pairs))
+    report = binary_report(pairs.labels, predictions)
+    return PairExperimentResult(
+        classifier_name=name,
+        dataset_name=pairs.name,
+        predictions=predictions,
+        report=report,
+    )

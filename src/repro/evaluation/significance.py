@@ -1,0 +1,119 @@
+"""Bootstrap uncertainty for accuracy comparisons.
+
+The paper draws conclusions from single-run accuracy differences of a few
+points; this module quantifies how solid such differences are.  Given
+per-query correctness indicators, :func:`bootstrap_accuracy_ci` resamples
+queries to produce a confidence interval, and :func:`paired_bootstrap_test`
+estimates the probability that pipeline A genuinely beats pipeline B on the
+same query set (a paired comparison, which is the right test when both
+pipelines saw identical queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import rng as make_rng
+from repro.errors import EvaluationError
+
+
+def _as_indicator(values: Sequence) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1 or arr.size == 0:
+        raise EvaluationError(f"need a non-empty 1-D indicator vector, got {arr.shape}")
+    arr = arr.astype(np.float64)
+    if not np.isin(arr, (0.0, 1.0)).all():
+        raise EvaluationError("indicators must be 0/1 (correct/incorrect)")
+    return arr
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A bootstrap CI: point estimate plus (low, high) bounds."""
+
+    estimate: float
+    low: float
+    high: float
+    level: float
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_accuracy_ci(
+    correct: Sequence,
+    level: float = 0.95,
+    n_resamples: int = 2000,
+    rng: np.random.Generator | int | None = None,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of accuracy from per-query correctness."""
+    if not 0.0 < level < 1.0:
+        raise EvaluationError(f"level must lie in (0, 1), got {level}")
+    if n_resamples < 10:
+        raise EvaluationError(f"n_resamples must be >= 10, got {n_resamples}")
+    indicator = _as_indicator(correct)
+    generator = make_rng(rng)
+    n = indicator.size
+    samples = generator.integers(0, n, size=(n_resamples, n))
+    accuracies = indicator[samples].mean(axis=1)
+    alpha = (1.0 - level) / 2.0
+    return ConfidenceInterval(
+        estimate=float(indicator.mean()),
+        low=float(np.quantile(accuracies, alpha)),
+        high=float(np.quantile(accuracies, 1.0 - alpha)),
+        level=level,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired bootstrap comparison of two pipelines."""
+
+    accuracy_a: float
+    accuracy_b: float
+    mean_difference: float
+    p_better: float  # bootstrap probability that A's accuracy exceeds B's
+
+    @property
+    def significant_at_95(self) -> bool:
+        """Whether A beats B with >= 95% bootstrap confidence."""
+        return self.p_better >= 0.95
+
+
+def paired_bootstrap_test(
+    correct_a: Sequence,
+    correct_b: Sequence,
+    n_resamples: int = 2000,
+    rng: np.random.Generator | int | None = None,
+) -> PairedComparison:
+    """Paired bootstrap over queries: P(accuracy_A > accuracy_B).
+
+    Both vectors must refer to the *same queries in the same order* —
+    resampling picks query indices once per replicate and evaluates both
+    pipelines on that replicate.  Ties contribute half a win, so two
+    identical pipelines score p_better = 0.5.
+    """
+    a = _as_indicator(correct_a)
+    b = _as_indicator(correct_b)
+    if a.shape != b.shape:
+        raise EvaluationError(
+            f"paired test needs matching shapes, got {a.shape} vs {b.shape}"
+        )
+    if n_resamples < 10:
+        raise EvaluationError(f"n_resamples must be >= 10, got {n_resamples}")
+    generator = make_rng(rng)
+    n = a.size
+    samples = generator.integers(0, n, size=(n_resamples, n))
+    acc_a = a[samples].mean(axis=1)
+    acc_b = b[samples].mean(axis=1)
+    wins = (acc_a > acc_b).mean() + 0.5 * (acc_a == acc_b).mean()
+    return PairedComparison(
+        accuracy_a=float(a.mean()),
+        accuracy_b=float(b.mean()),
+        mean_difference=float(a.mean() - b.mean()),
+        p_better=float(wins),
+    )

@@ -1,0 +1,128 @@
+"""Plain-text renderers reproducing the layout of the paper's tables.
+
+These produce aligned text tables so the benchmark harness can print the
+same rows the paper reports (Tables 1–9); they make no attempt at LaTeX.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.datasets.classes import CLASS_NAMES
+from repro.datasets.dataset import ImageDataset
+from repro.evaluation.metrics import BinaryReport, ClasswiseReport
+
+
+def _rule(widths: Sequence[int]) -> str:
+    return "-+-".join("-" * w for w in widths)
+
+
+def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def format_dataset_table(datasets: Sequence[ImageDataset]) -> str:
+    """Table 1: per-class cardinalities of the given datasets."""
+    header = ["Object"] + [ds.name for ds in datasets]
+    widths = [max(8, len(h)) for h in header]
+    lines = [_row(header, widths), _rule(widths)]
+    counts = [ds.class_counts() for ds in datasets]
+    for name in CLASS_NAMES:
+        cells = [name.capitalize()] + [str(c.get(name, 0)) for c in counts]
+        lines.append(_row(cells, widths))
+    lines.append(_rule(widths))
+    totals = ["Total"] + [str(len(ds)) for ds in datasets]
+    lines.append(_row(totals, widths))
+    return "\n".join(lines)
+
+
+def format_cumulative_table(
+    results: Mapping[str, Mapping[str, float]],
+    dataset_columns: Sequence[str],
+) -> str:
+    """Table 2/3: cumulative accuracy per approach (rows) and dataset
+    pairing (columns).
+
+    *results* maps approach name -> {dataset column -> accuracy}.
+    """
+    header = ["Approach"] + list(dataset_columns)
+    widths = [max(28, *(len(name) for name in results))] + [
+        max(12, len(c)) for c in dataset_columns
+    ]
+    lines = [_row(header, widths), _rule(widths)]
+    for approach, row in results.items():
+        cells = [approach] + [
+            f"{row[col]:.5f}" if col in row else "-" for col in dataset_columns
+        ]
+        lines.append(_row(cells, widths))
+    return "\n".join(lines)
+
+
+def format_classwise_table(
+    reports: Mapping[str, ClasswiseReport],
+    classes: Sequence[str] = CLASS_NAMES,
+) -> str:
+    """Tables 5–9: Accuracy/Precision/Recall/F1 per class, one block per
+    approach."""
+    header = ["Approach", "Measure"] + [c.capitalize() for c in classes]
+    widths = [max(16, *(len(n) for n in reports)), 9] + [8] * len(classes)
+    lines = [_row(header, widths), _rule(widths)]
+    for approach, report in reports.items():
+        rows = {
+            "Accuracy": [report[c].accuracy for c in classes],
+            "Precision": [report[c].precision for c in classes],
+            "Recall": [report[c].recall for c in classes],
+            "F1": [report[c].f1 for c in classes],
+        }
+        for i, (measure, values) in enumerate(rows.items()):
+            cells = [approach if i == 0 else "", measure] + [
+                f"{v:.5f}" for v in values
+            ]
+            lines.append(_row(cells, widths))
+        lines.append(_rule(widths))
+    return "\n".join(lines)
+
+
+def format_pair_table(reports: Mapping[str, BinaryReport]) -> str:
+    """Table 4: class-wise P/R/F1/support of the pair classifier, one block
+    per test dataset."""
+    header = ["Dataset", "Measure", "Similar", "Dissimilar"]
+    widths = [max(22, *(len(n) for n in reports)), 9, 10, 10]
+    lines = [_row(header, widths), _rule(widths)]
+    for dataset, report in reports.items():
+        rows = [
+            ("Precision", f"{report.precision_similar:.2f}", f"{report.precision_dissimilar:.2f}"),
+            ("Recall", f"{report.recall_similar:.2f}", f"{report.recall_dissimilar:.2f}"),
+            ("F1-score", f"{report.f1_similar:.2f}", f"{report.f1_dissimilar:.2f}"),
+            ("Support", str(report.support_similar), str(report.support_dissimilar)),
+        ]
+        for i, (measure, similar, dissimilar) in enumerate(rows):
+            cells = [dataset if i == 0 else "", measure, similar, dissimilar]
+            lines.append(_row(cells, widths))
+        lines.append(_rule(widths))
+    return "\n".join(lines)
+
+
+def format_confusion_matrix(
+    matrix, classes: Sequence[str], normalise: bool = False
+) -> str:
+    """Render a confusion matrix (rows = true class, columns = predicted).
+
+    With ``normalise`` each row is divided by its support, showing recall
+    on the diagonal — the form that makes the paper's "chairs absorb
+    everything" style of confusion visible at a glance.
+    """
+    header = ["True \\ Pred"] + [c[:7].capitalize() for c in classes]
+    widths = [max(12, *(len(c) for c in header))] + [8] * len(classes)
+    lines = [_row(header, widths), _rule(widths)]
+    for i, name in enumerate(classes):
+        row = matrix[i]
+        if normalise:
+            total = row.sum()
+            cells = [
+                f"{(v / total if total else 0.0):.3f}" for v in row
+            ]
+        else:
+            cells = [str(int(v)) for v in row]
+        lines.append(_row([name.capitalize()] + cells, widths))
+    return "\n".join(lines)

@@ -1,0 +1,394 @@
+"""One function per paper table: the canonical experiment definitions.
+
+The CLI (:mod:`repro.cli`), the benchmark harness (``benchmarks/``) and the
+EXPERIMENTS.md generator all call these, so every consumer runs exactly the
+same configuration the paper describes.
+
+Scaling: the paper's NYU experiments sweep 6,934 queries and its siamese
+training runs 9,450 pairs for 41 epochs on a Tesla P100.  Every function
+here takes the full-scale defaults but accepts a scale knob
+(``ExperimentConfig.nyu_scale``, ``SiameseScale``) so CI-budget runs remain
+exact miniatures of the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.datasets.dataset import ImageDataset
+from repro.datasets.nyu import build_nyu
+from repro.datasets.pairs import (
+    PairDataset,
+    build_nyu_sns1_test_pairs,
+    build_sns1_test_pairs,
+    build_training_pairs,
+)
+from repro.datasets.shapenet import build_sns1, build_sns2
+from repro.evaluation.metrics import BinaryReport, ClasswiseReport, binary_report
+from repro.evaluation.runner import ExperimentResult, run_matching_experiment
+from repro.evaluation.tables import (
+    format_classwise_table,
+    format_cumulative_table,
+    format_dataset_table,
+    format_pair_table,
+)
+from repro.imaging.histogram import HistogramMetric
+from repro.imaging.match_shapes import ShapeDistance
+from repro.neural.siamese import NormalizedXCorrNet, SiameseTrainingConfig
+from repro.pipelines.baseline import RandomBaselinePipeline
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.descriptor import DescriptorPipeline
+from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+
+@dataclass(frozen=True)
+class Datasets:
+    """The three datasets of Table 1, built once and shared."""
+
+    sns1: ImageDataset
+    sns2: ImageDataset
+    nyu: ImageDataset
+
+
+def build_datasets(config: ExperimentConfig | None = None) -> Datasets:
+    """Build SNS1, SNS2 and the NYUSet for *config*."""
+    config = config or ExperimentConfig()
+    return Datasets(
+        sns1=build_sns1(config), sns2=build_sns2(config), nyu=build_nyu(config)
+    )
+
+
+def exploratory_pipelines(config: ExperimentConfig | None = None) -> list:
+    """The eleven Table-2 configurations, in the paper's row order."""
+    config = config or ExperimentConfig()
+    return [
+        RandomBaselinePipeline(rng=config.seed),
+        ShapeOnlyPipeline(ShapeDistance.L1),
+        ShapeOnlyPipeline(ShapeDistance.L2),
+        ShapeOnlyPipeline(ShapeDistance.L3),
+        ColorOnlyPipeline(HistogramMetric.CORRELATION, bins=config.histogram_bins),
+        ColorOnlyPipeline(HistogramMetric.CHI_SQUARE, bins=config.histogram_bins),
+        ColorOnlyPipeline(HistogramMetric.INTERSECTION, bins=config.histogram_bins),
+        ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=config.histogram_bins),
+        HybridPipeline(
+            HybridStrategy.WEIGHTED_SUM, alpha=config.alpha, beta=config.beta,
+            bins=config.histogram_bins,
+        ),
+        HybridPipeline(
+            HybridStrategy.MICRO_AVERAGE, alpha=config.alpha, beta=config.beta,
+            bins=config.histogram_bins,
+        ),
+        HybridPipeline(
+            HybridStrategy.MACRO_AVERAGE, alpha=config.alpha, beta=config.beta,
+            bins=config.histogram_bins,
+        ),
+    ]
+
+#: Row labels of Table 2, matching exploratory_pipelines() order.
+TABLE2_ROWS = (
+    "Baseline",
+    "Shape only L1",
+    "Shape only L2",
+    "Shape only L3",
+    "Color only Correlation",
+    "Color only Chi-square",
+    "Color only Intersection",
+    "Color only Hellinger",
+    "Shape+Color (weighted sum)",
+    "Shape+Color (micro-avg)",
+    "Shape+Color (macro-avg)",
+)
+
+
+# -- Table 1 -----------------------------------------------------------------
+
+
+def table1(config: ExperimentConfig | None = None) -> tuple[Datasets, str]:
+    """Dataset statistics (Table 1)."""
+    data = build_datasets(config)
+    return data, format_dataset_table([data.sns1, data.sns2, data.nyu])
+
+
+# -- Table 2 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """All Table-2 numbers plus the formatted table."""
+
+    nyu_vs_sns1: dict[str, ExperimentResult]
+    sns2_vs_sns1: dict[str, ExperimentResult]
+    text: str
+
+    def accuracy(self, row: str, column: str) -> float:
+        """Cumulative accuracy of *row* on ``"NYU v. SNS1"`` or
+        ``"SNS1 v. SNS2"``."""
+        source = self.nyu_vs_sns1 if column == "NYU v. SNS1" else self.sns2_vs_sns1
+        return source[row].cumulative_accuracy
+
+
+def table2(
+    config: ExperimentConfig | None = None, data: Datasets | None = None
+) -> Table2Result:
+    """Cumulative cross-class accuracy of all exploratory configurations on
+    both dataset pairings (Table 2).
+
+    Note on naming: the paper's second column is headed "SNS1 v. SNS2" and
+    described as "views in ShapeNetSet1 matched against ShapeNetSet2" in the
+    Table-2 caption, but Sec. 3.3 and Table 8 describe the controlled runs
+    as matching SNS2 *against* SNS1 (the reference set).  We follow the
+    latter: queries from SNS2, references SNS1.
+    """
+    config = config or ExperimentConfig()
+    data = data or build_datasets(config)
+    nyu_results: dict[str, ExperimentResult] = {}
+    sns_results: dict[str, ExperimentResult] = {}
+    for row, pipeline in zip(TABLE2_ROWS, exploratory_pipelines(config)):
+        nyu_results[row] = run_matching_experiment(pipeline, data.nyu, data.sns1)
+        sns_results[row] = run_matching_experiment(pipeline, data.sns2, data.sns1)
+    text = format_cumulative_table(
+        {
+            row: {
+                "NYU v. SNS1": nyu_results[row].cumulative_accuracy,
+                "SNS1 v. SNS2": sns_results[row].cumulative_accuracy,
+            }
+            for row in TABLE2_ROWS
+        },
+        dataset_columns=("NYU v. SNS1", "SNS1 v. SNS2"),
+    )
+    return Table2Result(nyu_vs_sns1=nyu_results, sns2_vs_sns1=sns_results, text=text)
+
+
+# -- Table 3 / Table 9 ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DescriptorResult:
+    """Descriptor-pipeline results (Tables 3 and 9) plus formatted text."""
+
+    results: dict[str, ExperimentResult]
+    cumulative_text: str
+    classwise_text: str
+
+
+def table3(
+    config: ExperimentConfig | None = None,
+    data: Datasets | None = None,
+    ratio: float = 0.5,
+) -> DescriptorResult:
+    """SIFT/SURF/ORB cumulative accuracies, SNS1 views matched against SNS2
+    (Tables 3 and 9; ratio 0.5 is the configuration Table 9 reports)."""
+    config = config or ExperimentConfig()
+    data = data or build_datasets(config)
+    results = {}
+    for method in ("sift", "surf", "orb"):
+        pipeline = DescriptorPipeline(method=method, ratio=ratio, tie_break_seed=config.seed)
+        results[method.upper()] = run_matching_experiment(pipeline, data.sns1, data.sns2)
+    baseline = RandomBaselinePipeline(rng=config.seed)
+    results["Baseline"] = run_matching_experiment(baseline, data.sns1, data.sns2)
+    cumulative_text = format_cumulative_table(
+        {
+            name: {"Accuracy": result.cumulative_accuracy}
+            for name, result in results.items()
+        },
+        dataset_columns=("Accuracy",),
+    )
+    classwise_text = format_classwise_table(
+        {name: result.report for name, result in results.items() if name != "Baseline"}
+    )
+    return DescriptorResult(
+        results=results, cumulative_text=cumulative_text, classwise_text=classwise_text
+    )
+
+
+table9 = table3  # Table 9 is the class-wise view of the same runs.
+
+
+# -- Table 4 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SiameseScale:
+    """Scale knobs for the Table-4 experiment.
+
+    The paper trains on 9,450 pairs at 60x160x3 for up to 100 epochs on a
+    Tesla P100; the defaults here are a CPU-budget miniature that preserves
+    the protocol (Adam lr 1e-4, decay 1e-7, batch 16, early stopping) and
+    the outcome (collapse to the majority "similar" class).  Pass
+    ``SiameseScale.paper()`` to run the full-size configuration.
+    """
+
+    train_pairs: int = 600
+    input_hw: tuple[int, int] = (28, 28)
+    trunk_filters: tuple[int, int] = (8, 12)
+    head_filters: int = 12
+    hidden_units: int = 32
+    epochs: int = 5
+    nyu_per_class: int = 10
+    rebalance: bool = True
+
+    @staticmethod
+    def paper() -> "SiameseScale":
+        """The full-scale protocol of Sec. 3.4."""
+        return SiameseScale(
+            train_pairs=9450,
+            input_hw=(60, 160),
+            trunk_filters=(20, 25),
+            head_filters=25,
+            hidden_units=100,
+            epochs=100,
+            nyu_per_class=10,
+            rebalance=True,
+        )
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Siamese pair-classification reports on both test sets."""
+
+    sns1_report: BinaryReport
+    nyu_report: BinaryReport
+    train_pairs: PairDataset = field(repr=False)
+    sns1_pairs: PairDataset = field(repr=False)
+    nyu_pairs: PairDataset = field(repr=False)
+    epochs_run: int = 0
+    text: str = ""
+
+
+def table4(
+    config: ExperimentConfig | None = None,
+    data: Datasets | None = None,
+    scale: SiameseScale | None = None,
+) -> Table4Result:
+    """Train Normalized-X-Corr on SNS2 pairs and evaluate on the two
+    labelled pair test sets (Table 4)."""
+    config = config or ExperimentConfig()
+    data = data or build_datasets(config)
+    scale = scale or SiameseScale()
+
+    train = build_training_pairs(data.sns2, total=scale.train_pairs, rng=config.seed)
+    net = NormalizedXCorrNet(
+        input_hw=scale.input_hw,
+        trunk_filters=scale.trunk_filters,
+        head_filters=scale.head_filters,
+        hidden_units=scale.hidden_units,
+        seed=config.seed,
+    )
+    history = net.fit(
+        train,
+        SiameseTrainingConfig(epochs=scale.epochs, seed=config.seed + 1),
+    )
+
+    sns1_pairs = build_sns1_test_pairs(data.sns1)
+    nyu_pairs = build_nyu_sns1_test_pairs(
+        data.nyu,
+        data.sns1,
+        per_class=scale.nyu_per_class,
+        rebalance_to=None if not scale.rebalance else _rebalance_target(data, scale),
+        rng=config.seed + 2,
+    )
+    sns1_report = binary_report(sns1_pairs.labels, net.predict(sns1_pairs))
+    nyu_report = binary_report(nyu_pairs.labels, net.predict(nyu_pairs))
+    text = format_pair_table(
+        {
+            "ShapeNetSet1 pairs": sns1_report,
+            "NYU+ShapeNetSet1 pairs": nyu_report,
+        }
+    )
+    return Table4Result(
+        sns1_report=sns1_report,
+        nyu_report=nyu_report,
+        train_pairs=train,
+        sns1_pairs=sns1_pairs,
+        nyu_pairs=nyu_pairs,
+        epochs_run=history.epochs_run,
+        text=text,
+    )
+
+
+def _rebalance_target(data: Datasets, scale: SiameseScale) -> int:
+    """The paper's 4,160/8,200 similar-pair share, scaled to the actual
+    cross-product size."""
+    total = scale.nyu_per_class * len(data.nyu.classes) * len(data.sns1)
+    return max(1, int(round(total * 4160 / 8200)))
+
+
+# -- Tables 5-8 ----------------------------------------------------------------
+
+
+def table5(
+    config: ExperimentConfig | None = None, data: Datasets | None = None
+) -> tuple[dict[str, ClasswiseReport], str]:
+    """Class-wise shape-only results, NYU v. SNS1 (Table 5)."""
+    config = config or ExperimentConfig()
+    data = data or build_datasets(config)
+    reports = {}
+    for name, pipeline in (
+        ("Baseline", RandomBaselinePipeline(rng=config.seed)),
+        ("L1", ShapeOnlyPipeline(ShapeDistance.L1)),
+        ("L2", ShapeOnlyPipeline(ShapeDistance.L2)),
+        ("L3", ShapeOnlyPipeline(ShapeDistance.L3)),
+    ):
+        reports[name] = run_matching_experiment(pipeline, data.nyu, data.sns1).report
+    return reports, format_classwise_table(reports)
+
+
+def table6(
+    config: ExperimentConfig | None = None, data: Datasets | None = None
+) -> tuple[dict[str, ClasswiseReport], str]:
+    """Class-wise colour-only results, NYU v. SNS1 (Table 6)."""
+    config = config or ExperimentConfig()
+    data = data or build_datasets(config)
+    reports = {}
+    for metric in HistogramMetric:
+        pipeline = ColorOnlyPipeline(metric, bins=config.histogram_bins)
+        reports[metric.value.capitalize()] = run_matching_experiment(
+            pipeline, data.nyu, data.sns1
+        ).report
+    return reports, format_classwise_table(reports)
+
+
+def _hybrid_reports(
+    config: ExperimentConfig, queries: ImageDataset, references: ImageDataset
+) -> dict[str, ClasswiseReport]:
+    reports = {}
+    for strategy, name in (
+        (HybridStrategy.WEIGHTED_SUM, "Weighted Sum"),
+        (HybridStrategy.MICRO_AVERAGE, "Micro-average"),
+        (HybridStrategy.MACRO_AVERAGE, "Macro-average"),
+    ):
+        pipeline = HybridPipeline(
+            strategy,
+            shape_distance=ShapeDistance.L3,
+            color_metric=HistogramMetric.HELLINGER,
+            alpha=config.alpha,
+            beta=config.beta,
+            bins=config.histogram_bins,
+        )
+        reports[name] = run_matching_experiment(pipeline, queries, references).report
+    return reports
+
+
+def table7(
+    config: ExperimentConfig | None = None, data: Datasets | None = None
+) -> tuple[dict[str, ClasswiseReport], str]:
+    """Class-wise hybrid (L3 + Hellinger, α=0.3/β=0.7), NYU v. SNS1
+    (Table 7)."""
+    config = config or ExperimentConfig()
+    data = data or build_datasets(config)
+    reports = _hybrid_reports(config, data.nyu, data.sns1)
+    return reports, format_classwise_table(reports)
+
+
+def table8(
+    config: ExperimentConfig | None = None, data: Datasets | None = None
+) -> tuple[dict[str, ClasswiseReport], str]:
+    """Same hybrid configurations, SNS2 matched against SNS1 (Table 8)."""
+    config = config or ExperimentConfig()
+    data = data or build_datasets(config)
+    reports = _hybrid_reports(config, data.sns2, data.sns1)
+    return reports, format_classwise_table(reports)

@@ -1,0 +1,42 @@
+"""Keypoint-descriptor substrate: from-scratch SIFT, SURF and ORB plus
+brute-force and KD-tree matchers with Lowe's ratio test (paper Sec. 3.3).
+
+The implementations follow the published algorithms at the scale the paper
+exercises them (64-pixel object views):
+
+* :mod:`repro.features.sift` — difference-of-Gaussians scale space, 3-D
+  extrema with contrast/edge rejection, orientation histograms, 4x4x8
+  gradient descriptors (Lowe 2004);
+* :mod:`repro.features.surf` — integral-image box-filter Hessian detector
+  and 64-d Haar-wavelet descriptors with a Hessian response threshold
+  (Bay et al. 2006);
+* :mod:`repro.features.orb` — FAST corners with Harris ranking, intensity-
+  centroid orientation and 256-bit rotated BRIEF descriptors matched under
+  Hamming distance (Rublee et al. 2011);
+* :mod:`repro.features.matching` — brute-force and KD-tree (FLANN-stand-in)
+  matchers, knn matching and the ratio test.
+"""
+
+from repro.features.keypoints import KeyPoint, fast_corners, harris_response
+from repro.features.sift import SiftExtractor
+from repro.features.surf import SurfExtractor
+from repro.features.orb import OrbExtractor
+from repro.features.matching import (
+    BruteForceMatcher,
+    KDTreeMatcher,
+    Match,
+    ratio_test,
+)
+
+__all__ = [
+    "KeyPoint",
+    "fast_corners",
+    "harris_response",
+    "SiftExtractor",
+    "SurfExtractor",
+    "OrbExtractor",
+    "BruteForceMatcher",
+    "KDTreeMatcher",
+    "Match",
+    "ratio_test",
+]

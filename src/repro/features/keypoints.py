@@ -1,0 +1,116 @@
+"""Keypoint primitives: the KeyPoint record, the FAST corner detector and
+the Harris corner response used by ORB to rank FAST corners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import FeatureError
+from repro.imaging.image import ensure_gray
+
+#: Offsets of the 16-pixel Bresenham circle of radius 3 used by FAST,
+#: clockwise from 12 o'clock.
+FAST_CIRCLE: tuple[tuple[int, int], ...] = (
+    (-3, 0), (-3, 1), (-2, 2), (-1, 3), (0, 3), (1, 3), (2, 2), (3, 1),
+    (3, 0), (3, -1), (2, -2), (1, -3), (0, -3), (-1, -3), (-2, -2), (-3, -1),
+)
+
+
+@dataclass(frozen=True)
+class KeyPoint:
+    """A detected interest point.
+
+    ``row``/``col`` are sub-pixel coordinates, ``size`` the diameter of the
+    region the descriptor summarises, ``angle`` the dominant orientation in
+    degrees (or ``-1.0`` when unoriented), ``response`` the detector score
+    and ``octave`` the pyramid level the point was found at.
+    """
+
+    row: float
+    col: float
+    size: float = 7.0
+    angle: float = -1.0
+    response: float = 0.0
+    octave: int = 0
+
+
+def fast_corners(
+    image: np.ndarray,
+    threshold: float = 0.08,
+    arc_length: int = 9,
+    nonmax: bool = True,
+) -> list[KeyPoint]:
+    """FAST corner detection (Rosten & Drummond 2006).
+
+    A pixel is a corner when *arc_length* contiguous pixels of its radius-3
+    circle are all brighter than centre + *threshold* or all darker than
+    centre - *threshold* (intensities in [0, 1]).  With ``nonmax`` the
+    corners are thinned by 3x3 non-maximum suppression on the FAST score
+    (sum of absolute differences over the contiguous arc).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise FeatureError(f"threshold must lie in (0, 1), got {threshold}")
+    if not 9 <= arc_length <= 16:
+        raise FeatureError(f"arc_length must lie in [9, 16], got {arc_length}")
+    gray = ensure_gray(image)
+    rows, cols = gray.shape
+    if rows < 7 or cols < 7:
+        return []
+
+    # Stack the 16 circle intensities for every interior pixel.
+    interior = gray[3 : rows - 3, 3 : cols - 3]
+    circle = np.stack(
+        [gray[3 + dr : rows - 3 + dr, 3 + dc : cols - 3 + dc] for dr, dc in FAST_CIRCLE],
+        axis=0,
+    )
+    brighter = circle > interior[None] + threshold
+    darker = circle < interior[None] - threshold
+
+    # Contiguous-arc test via wrap-around doubling.
+    def has_arc(mask: np.ndarray) -> np.ndarray:
+        doubled = np.concatenate([mask, mask[: arc_length - 1]], axis=0)
+        window = np.lib.stride_tricks.sliding_window_view(doubled, arc_length, axis=0)
+        return window.all(axis=-1).any(axis=0)
+
+    is_corner = has_arc(brighter) | has_arc(darker)
+    if not is_corner.any():
+        return []
+
+    score = np.where(
+        is_corner,
+        np.abs(circle - interior[None]).sum(axis=0),
+        0.0,
+    )
+    if nonmax:
+        local_max = ndimage.maximum_filter(score, size=3) == score
+        is_corner &= local_max
+
+    corner_rows, corner_cols = np.nonzero(is_corner)
+    return [
+        KeyPoint(
+            row=float(r + 3),
+            col=float(c + 3),
+            size=7.0,
+            response=float(score[r, c]),
+        )
+        for r, c in zip(corner_rows, corner_cols)
+    ]
+
+
+def harris_response(image: np.ndarray, sigma: float = 1.5, k: float = 0.04) -> np.ndarray:
+    """Harris corner response map ``det(M) - k * trace(M)^2``.
+
+    ORB scores FAST corners with this measure to pick the strongest N.
+    """
+    gray = ensure_gray(image)
+    gy, gx = np.gradient(gray)
+    gxx = ndimage.gaussian_filter(gx * gx, sigma)
+    gyy = ndimage.gaussian_filter(gy * gy, sigma)
+    gxy = ndimage.gaussian_filter(gx * gy, sigma)
+    det = gxx * gyy - gxy**2
+    trace = gxx + gyy
+    return det - k * trace**2

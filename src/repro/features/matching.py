@@ -1,0 +1,144 @@
+"""Descriptor matching: brute force (the paper's main configuration) and a
+KD-tree matcher standing in for FLANN.
+
+The paper: "we relied on OpenCV built-in methods and used brute-force
+matching.  Using FLANN-based matching for optimised nearest neighbour search
+did not lead to any performance gains, compared to the brute-force approach,
+most likely due to the fairly limited size of the input datasets."  The
+ablation bench reproduces that equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import MatchingError
+
+
+@dataclass(frozen=True)
+class Match:
+    """One descriptor correspondence (query index, train index, distance)."""
+
+    query_idx: int
+    train_idx: int
+    distance: float
+
+
+def _validate_pair(query: np.ndarray, train: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    query = np.asarray(query)
+    train = np.asarray(train)
+    if query.ndim != 2 or train.ndim != 2:
+        raise MatchingError(
+            f"descriptors must be 2-D, got {query.shape} and {train.shape}"
+        )
+    if query.shape[1] != train.shape[1]:
+        raise MatchingError(
+            f"descriptor widths differ: {query.shape[1]} vs {train.shape[1]}"
+        )
+    return query, train
+
+
+class BruteForceMatcher:
+    """Exhaustive nearest-neighbour matcher with L2 or Hamming distance."""
+
+    def __init__(self, metric: str = "l2") -> None:
+        if metric not in ("l2", "hamming"):
+            raise MatchingError(f"unknown metric {metric!r}")
+        self.metric = metric
+
+    def _distances(self, query: np.ndarray, train: np.ndarray) -> np.ndarray:
+        if self.metric == "hamming":
+            # uint8 bit arrays: mismatch count.
+            return (query[:, None, :] != train[None, :, :]).sum(axis=2).astype(np.float64)
+        diff = query[:, None, :].astype(np.float64) - train[None, :, :].astype(np.float64)
+        return np.sqrt((diff**2).sum(axis=2))
+
+    def knn_match(
+        self, query: np.ndarray, train: np.ndarray, k: int = 2
+    ) -> list[list[Match]]:
+        """For each query descriptor, the *k* nearest train descriptors.
+
+        Rows with fewer than *k* candidates return what exists; empty inputs
+        return empty lists.
+        """
+        if k < 1:
+            raise MatchingError(f"k must be >= 1, got {k}")
+        query, train = _validate_pair(query, train)
+        if len(query) == 0 or len(train) == 0:
+            return [[] for _ in range(len(query))]
+        distances = self._distances(query, train)
+        k_eff = min(k, len(train))
+        nearest = np.argsort(distances, axis=1)[:, :k_eff]
+        return [
+            [
+                Match(query_idx=qi, train_idx=int(ti), distance=float(distances[qi, ti]))
+                for ti in row
+            ]
+            for qi, row in enumerate(nearest)
+        ]
+
+    def match(self, query: np.ndarray, train: np.ndarray) -> list[Match]:
+        """Single nearest-neighbour match per query descriptor."""
+        return [pair[0] for pair in self.knn_match(query, train, k=1) if pair]
+
+
+class KDTreeMatcher:
+    """Approximate-NN stand-in for FLANN, backed by ``scipy.spatial.cKDTree``.
+
+    Only valid for float descriptors (SIFT/SURF); binary descriptors need
+    Hamming distance, which trees of this kind do not support — exactly why
+    OpenCV pairs ORB with LSH instead.
+    """
+
+    def knn_match(
+        self, query: np.ndarray, train: np.ndarray, k: int = 2
+    ) -> list[list[Match]]:
+        """For each query descriptor, the *k* nearest train descriptors."""
+        if k < 1:
+            raise MatchingError(f"k must be >= 1, got {k}")
+        query, train = _validate_pair(query, train)
+        if query.dtype == np.uint8 or train.dtype == np.uint8:
+            raise MatchingError("KDTreeMatcher requires float descriptors")
+        if len(query) == 0 or len(train) == 0:
+            return [[] for _ in range(len(query))]
+        tree = cKDTree(train)
+        k_eff = min(k, len(train))
+        distances, indices = tree.query(query, k=k_eff)
+        if k_eff == 1:
+            distances = distances[:, None]
+            indices = indices[:, None]
+        return [
+            [
+                Match(query_idx=qi, train_idx=int(ti), distance=float(di))
+                for ti, di in zip(idx_row, dist_row)
+            ]
+            for qi, (idx_row, dist_row) in enumerate(zip(indices, distances))
+        ]
+
+
+def ratio_test(
+    knn_matches: Sequence[Sequence[Match]], threshold: float = 0.75
+) -> list[Match]:
+    """Lowe's ratio test: keep a best match only when it is *threshold*
+    times closer than the second-nearest neighbour.
+
+    Queries with a single candidate are kept (no distractor to compare to),
+    matching OpenCV tutorial behaviour.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise MatchingError(f"ratio threshold must lie in (0, 1], got {threshold}")
+    kept = []
+    for candidates in knn_matches:
+        if not candidates:
+            continue
+        if len(candidates) == 1:
+            kept.append(candidates[0])
+            continue
+        best, second = candidates[0], candidates[1]
+        if best.distance < threshold * second.distance:
+            kept.append(best)
+    return kept

@@ -1,0 +1,92 @@
+"""From-scratch imaging substrate replacing the OpenCV primitives the paper
+relies on: colour conversion, thresholding, contour extraction, image moments
+(including Hu invariants), shape-distance functions, colour histograms and
+their comparison metrics, linear filters and geometric transforms.
+
+Everything operates on plain ``numpy.ndarray`` images:
+
+* RGB images are ``(H, W, 3)`` arrays of ``uint8`` (0..255) or ``float64``
+  (0..1 expected but not enforced beyond sanity checks);
+* grayscale images are ``(H, W)`` arrays of the same dtypes;
+* binary masks are ``(H, W)`` ``bool`` or ``uint8`` {0, 255} arrays.
+"""
+
+from repro.imaging.image import (
+    as_float,
+    as_uint8,
+    crop,
+    ensure_gray,
+    ensure_rgb,
+    resize,
+    to_grayscale,
+)
+from repro.imaging.threshold import otsu_threshold, threshold_binary
+from repro.imaging.contours import (
+    Contour,
+    bounding_rect,
+    contour_area,
+    contour_perimeter,
+    find_contours,
+    largest_contour,
+)
+from repro.imaging.moments import hu_moments, image_moments, Moments
+from repro.imaging.match_shapes import ShapeDistance, match_shapes
+from repro.imaging.histogram import (
+    HistogramMetric,
+    compare_histograms,
+    gray_histogram,
+    rgb_histogram,
+)
+from repro.imaging.filters import (
+    box_filter,
+    convolve2d,
+    gaussian_blur,
+    gaussian_kernel,
+    integral_image,
+    sobel_gradients,
+)
+from repro.imaging.transform import rotate_image, scale_image, translate_image
+from repro.imaging.noise import (
+    add_gaussian_noise,
+    add_salt_pepper_noise,
+    apply_illumination_gradient,
+)
+
+__all__ = [
+    "as_float",
+    "as_uint8",
+    "crop",
+    "ensure_gray",
+    "ensure_rgb",
+    "resize",
+    "to_grayscale",
+    "otsu_threshold",
+    "threshold_binary",
+    "Contour",
+    "bounding_rect",
+    "contour_area",
+    "contour_perimeter",
+    "find_contours",
+    "largest_contour",
+    "hu_moments",
+    "image_moments",
+    "Moments",
+    "ShapeDistance",
+    "match_shapes",
+    "HistogramMetric",
+    "compare_histograms",
+    "gray_histogram",
+    "rgb_histogram",
+    "box_filter",
+    "convolve2d",
+    "gaussian_blur",
+    "gaussian_kernel",
+    "integral_image",
+    "sobel_gradients",
+    "rotate_image",
+    "scale_image",
+    "translate_image",
+    "add_gaussian_noise",
+    "add_salt_pepper_noise",
+    "apply_illumination_gradient",
+]

@@ -1,0 +1,143 @@
+"""Core image container helpers: dtype conversion, colour conversion,
+cropping and resizing.
+
+These mirror the OpenCV calls the paper's pipelines depend on
+(``cv2.cvtColor(..., COLOR_RGB2GRAY)``, array slicing for cropping and
+``cv2.resize`` with bilinear interpolation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+#: ITU-R BT.601 luma weights, the same coefficients OpenCV uses for
+#: RGB -> grayscale conversion.
+_LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+
+def _validate(image: np.ndarray) -> np.ndarray:
+    if not isinstance(image, np.ndarray):
+        raise ImageError(f"expected numpy array, got {type(image).__name__}")
+    if image.ndim not in (2, 3):
+        raise ImageError(f"expected 2-D or 3-D image, got shape {image.shape}")
+    if image.ndim == 3 and image.shape[2] != 3:
+        raise ImageError(f"colour images must have 3 channels, got {image.shape[2]}")
+    if image.size == 0:
+        raise ImageError("image is empty")
+    return image
+
+
+def as_float(image: np.ndarray) -> np.ndarray:
+    """Return *image* as ``float64`` in [0, 1] (uint8 inputs are scaled)."""
+    _validate(image)
+    if image.dtype == np.uint8:
+        return image.astype(np.float64) / 255.0
+    if image.dtype == bool:
+        return image.astype(np.float64)
+    return image.astype(np.float64, copy=False)
+
+
+def as_uint8(image: np.ndarray) -> np.ndarray:
+    """Return *image* as ``uint8`` in [0, 255] (floats are clipped+scaled)."""
+    _validate(image)
+    if image.dtype == np.uint8:
+        return image
+    if image.dtype == bool:
+        return image.astype(np.uint8) * 255
+    return np.clip(np.rint(image * 255.0), 0, 255).astype(np.uint8)
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Convert an RGB image to grayscale with BT.601 luma weights.
+
+    Grayscale inputs pass through unchanged (a copy is not made).  The output
+    dtype matches the input dtype.
+    """
+    _validate(image)
+    if image.ndim == 2:
+        return image
+    gray = as_float(image) @ _LUMA_WEIGHTS
+    if image.dtype == np.uint8:
+        return np.clip(np.rint(gray * 255.0), 0, 255).astype(np.uint8)
+    return gray
+
+
+def ensure_gray(image: np.ndarray) -> np.ndarray:
+    """Return a float grayscale view of *image* regardless of input form."""
+    return as_float(to_grayscale(image))
+
+
+def ensure_rgb(image: np.ndarray) -> np.ndarray:
+    """Return a float RGB image; grayscale inputs are replicated per channel."""
+    data = as_float(image)
+    if data.ndim == 2:
+        return np.stack([data, data, data], axis=-1)
+    return data
+
+
+def crop(image: np.ndarray, top: int, left: int, height: int, width: int) -> np.ndarray:
+    """Crop a ``height x width`` window whose top-left corner is (top, left).
+
+    The window must lie fully inside the image; callers doing contour-based
+    cropping clamp beforehand via :func:`repro.imaging.contours.bounding_rect`.
+    """
+    _validate(image)
+    if height <= 0 or width <= 0:
+        raise ImageError(f"crop size must be positive, got {height}x{width}")
+    if top < 0 or left < 0 or top + height > image.shape[0] or left + width > image.shape[1]:
+        raise ImageError(
+            f"crop window ({top},{left},{height},{width}) exceeds image {image.shape[:2]}"
+        )
+    return image[top : top + height, left : left + width].copy()
+
+
+def resize(image: np.ndarray, height: int, width: int, interpolation: str = "bilinear") -> np.ndarray:
+    """Resize *image* to ``height x width``.
+
+    ``interpolation`` is ``"bilinear"`` (default, matching ``cv2.INTER_LINEAR``)
+    or ``"nearest"``.  Output dtype matches the input dtype.
+    """
+    _validate(image)
+    if height <= 0 or width <= 0:
+        raise ImageError(f"target size must be positive, got {height}x{width}")
+    if interpolation not in ("bilinear", "nearest"):
+        raise ImageError(f"unknown interpolation {interpolation!r}")
+    src = as_float(image)
+    src_h, src_w = src.shape[:2]
+
+    if interpolation == "nearest":
+        rows = np.minimum((np.arange(height) + 0.5) * src_h / height, src_h - 1).astype(int)
+        cols = np.minimum((np.arange(width) + 0.5) * src_w / width, src_w - 1).astype(int)
+        out = src[np.ix_(rows, cols)]
+    else:
+        out = _bilinear(src, height, width)
+
+    if image.dtype == np.uint8:
+        return np.clip(np.rint(out * 255.0), 0, 255).astype(np.uint8)
+    return out
+
+
+def _bilinear(src: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear resample with half-pixel centre alignment (OpenCV convention)."""
+    src_h, src_w = src.shape[:2]
+    ys = (np.arange(height) + 0.5) * src_h / height - 0.5
+    xs = (np.arange(width) + 0.5) * src_w / width - 0.5
+    ys = np.clip(ys, 0, src_h - 1)
+    xs = np.clip(xs, 0, src_w - 1)
+
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, src_h - 1)
+    x1 = np.minimum(x0 + 1, src_w - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+
+    if src.ndim == 3:
+        wy = wy[..., None]
+        wx = wx[..., None]
+
+    top = src[y0][:, x0] * (1 - wx) + src[y0][:, x1] * wx
+    bottom = src[y1][:, x0] * (1 - wx) + src[y1][:, x1] * wx
+    return top * (1 - wy) + bottom * wy

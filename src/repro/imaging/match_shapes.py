@@ -1,0 +1,81 @@
+"""Hu-moment shape distances, replacing ``cv2.matchShapes``.
+
+The paper evaluates three variants — "with distance metric between image
+moments set to be the L1, L2 or L3 norm respectively" — which are OpenCV's
+``CONTOURS_MATCH_I1``, ``I2`` and ``I3``.  All three operate on
+log-magnitude-signed Hu moments::
+
+    m_i = sign(h_i) * log10(|h_i|)
+
+    I1(A, B) = sum_i | 1/m_i^A - 1/m_i^B |
+    I2(A, B) = sum_i | m_i^A - m_i^B |
+    I3(A, B) = max_i | m_i^A - m_i^B | / | m_i^A |
+
+Terms where either transformed moment vanishes are skipped, following
+OpenCV's implementation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.moments import hu_moments
+
+#: Magnitudes below this are treated as zero, mirroring OpenCV's eps.
+_EPS = 1e-30
+
+
+class ShapeDistance(str, Enum):
+    """The three matchShapes distance variants evaluated in the paper."""
+
+    L1 = "L1"  # CONTOURS_MATCH_I1
+    L2 = "L2"  # CONTOURS_MATCH_I2
+    L3 = "L3"  # CONTOURS_MATCH_I3
+
+
+def log_hu(hu: np.ndarray) -> np.ndarray:
+    """Signed log-magnitude transform of a Hu vector.
+
+    Entries with magnitude below machine zero map to 0 and are ignored by the
+    distances.
+    """
+    hu = np.asarray(hu, dtype=np.float64)
+    out = np.zeros_like(hu)
+    nonzero = np.abs(hu) > _EPS
+    out[nonzero] = np.sign(hu[nonzero]) * np.log10(np.abs(hu[nonzero]))
+    return out
+
+
+def match_shapes(
+    a: np.ndarray,
+    b: np.ndarray,
+    method: ShapeDistance = ShapeDistance.L1,
+) -> float:
+    """Shape distance between two regions or Hu vectors (lower = more alike).
+
+    *a* and *b* may be 2-D region masks/images (moments are computed) or
+    length-7 Hu vectors (used directly).
+    """
+    hu_a = a if _is_hu_vector(a) else hu_moments(np.asarray(a))
+    hu_b = b if _is_hu_vector(b) else hu_moments(np.asarray(b))
+    ma, mb = log_hu(hu_a), log_hu(hu_b)
+    usable = (np.abs(ma) > _EPS) & (np.abs(mb) > _EPS)
+    if not usable.any():
+        return 0.0
+
+    ma, mb = ma[usable], mb[usable]
+    if method == ShapeDistance.L1:
+        return float(np.abs(1.0 / ma - 1.0 / mb).sum())
+    if method == ShapeDistance.L2:
+        return float(np.abs(ma - mb).sum())
+    if method == ShapeDistance.L3:
+        return float(np.max(np.abs(ma - mb) / np.abs(ma)))
+    raise ImageError(f"unknown shape distance {method!r}")
+
+
+def _is_hu_vector(value: np.ndarray) -> bool:
+    value = np.asarray(value)
+    return value.ndim == 1 and value.shape[0] == 7

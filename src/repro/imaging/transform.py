@@ -1,0 +1,85 @@
+"""Geometric image transforms: rotation, scaling and translation.
+
+Used by the dataset builders to derive additional 2-D views of a model —
+the paper manually derives some ShapeNetSet1 views "by rotating an existing
+view, when not available" — and by property tests asserting the invariances
+of Hu moments and descriptor pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import ImageError
+from repro.imaging.image import as_float
+
+
+def _per_channel(image: np.ndarray, fn) -> np.ndarray:
+    data = as_float(image)
+    if data.ndim == 2:
+        return fn(data)
+    return np.stack([fn(data[..., c]) for c in range(data.shape[2])], axis=-1)
+
+
+def rotate_image(
+    image: np.ndarray,
+    degrees: float,
+    fill: float = 0.0,
+    order: int = 1,
+) -> np.ndarray:
+    """Rotate around the image centre by *degrees* (counter-clockwise).
+
+    The output keeps the input shape; exposed corners are filled with *fill*.
+    ``order=1`` is bilinear, ``order=0`` nearest-neighbour (use for masks).
+    """
+    if order not in (0, 1, 3):
+        raise ImageError(f"unsupported interpolation order {order}")
+    return _per_channel(
+        image,
+        lambda ch: ndimage.rotate(
+            ch, degrees, reshape=False, order=order, mode="constant", cval=fill
+        ),
+    )
+
+
+def scale_image(image: np.ndarray, factor: float, fill: float = 0.0) -> np.ndarray:
+    """Scale about the image centre by *factor*, keeping the canvas size.
+
+    Factors above 1 zoom in (content is cropped); below 1 zoom out (borders
+    are filled with *fill*).
+    """
+    if factor <= 0:
+        raise ImageError(f"scale factor must be positive, got {factor}")
+
+    def scale_channel(ch: np.ndarray) -> np.ndarray:
+        height, width = ch.shape
+        center = np.array([(height - 1) / 2.0, (width - 1) / 2.0])
+        rows, cols = np.mgrid[0:height, 0:width].astype(np.float64)
+        src_rows = (rows - center[0]) / factor + center[0]
+        src_cols = (cols - center[1]) / factor + center[1]
+        return ndimage.map_coordinates(
+            ch, [src_rows, src_cols], order=1, mode="constant", cval=fill
+        )
+
+    return _per_channel(image, scale_channel)
+
+
+def translate_image(
+    image: np.ndarray,
+    shift_rows: float,
+    shift_cols: float,
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Shift content by (shift_rows, shift_cols) pixels, filling with *fill*."""
+    return _per_channel(
+        image,
+        lambda ch: ndimage.shift(
+            ch, (shift_rows, shift_cols), order=1, mode="constant", cval=fill
+        ),
+    )
+
+
+def flip_horizontal(image: np.ndarray) -> np.ndarray:
+    """Mirror the image left-right."""
+    return as_float(image)[:, ::-1].copy()

@@ -1,0 +1,34 @@
+"""Task-agnostic knowledge grounding — the layer the paper motivates.
+
+The paper's premise: ShapeNet's WordNet-synset annotations "link object
+entities with a set of related concepts, for future knowledge grounding",
+enabling "task-agnostic knowledge acquisition practices" on a mobile robot
+(semantic mapping, health-and-safety monitoring, natural-language object
+retrieval).  This subpackage makes that story executable:
+
+* :mod:`repro.knowledge.taxonomy` — an embedded WordNet-style hypernym
+  taxonomy over the ten classes (networkx digraph), with synsets, glosses
+  and Wu-Palmer similarity;
+* :mod:`repro.knowledge.grounding` — links pipeline predictions to concepts
+  and related terms;
+* :mod:`repro.knowledge.semantic_map` — a grid-world semantic map a robot
+  fills with grounded observations and queries by concept ("all furniture
+  in the kitchen").
+"""
+
+from repro.knowledge.taxonomy import Synset, Taxonomy, default_taxonomy
+from repro.knowledge.grounding import GroundedObject, Grounder
+from repro.knowledge.semantic_map import MapObservation, SemanticMap
+from repro.knowledge.retrieval import ObjectRetriever, RetrievalResult
+
+__all__ = [
+    "Synset",
+    "Taxonomy",
+    "default_taxonomy",
+    "GroundedObject",
+    "Grounder",
+    "MapObservation",
+    "SemanticMap",
+    "ObjectRetriever",
+    "RetrievalResult",
+]

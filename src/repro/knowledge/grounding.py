@@ -1,0 +1,65 @@
+"""Grounding pipeline predictions into taxonomy concepts.
+
+Turns a :class:`~repro.pipelines.base.Prediction` into a
+:class:`GroundedObject` carrying the synset, its hypernym chain and related
+concepts — the "task-agnostic knowledge acquisition" output the paper's
+introduction describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KnowledgeError
+from repro.knowledge.taxonomy import Synset, Taxonomy, default_taxonomy
+from repro.pipelines.base import Prediction
+
+
+@dataclass(frozen=True)
+class GroundedObject:
+    """A recognised object linked into the concept taxonomy."""
+
+    label: str
+    synset: Synset
+    hypernyms: tuple[str, ...]
+    related: tuple[str, ...]
+    confidence: float
+
+    def is_a(self, concept: str) -> bool:
+        """True when the object falls under *concept* in the taxonomy."""
+        return concept in self.hypernyms or concept == self.synset.name
+
+
+class Grounder:
+    """Links class labels (and predictions) to taxonomy concepts."""
+
+    def __init__(self, taxonomy: Taxonomy | None = None) -> None:
+        self.taxonomy = taxonomy or default_taxonomy()
+
+    def ground_label(self, label: str, confidence: float = 1.0) -> GroundedObject:
+        """Ground a bare class label."""
+        if label not in self.taxonomy:
+            raise KnowledgeError(f"label {label!r} has no synset in the taxonomy")
+        synset = self.taxonomy.resolve(label)
+        return GroundedObject(
+            label=label,
+            synset=synset,
+            hypernyms=self.taxonomy.hypernym_chain(label)[1:],
+            related=self.taxonomy.related_concepts(label),
+            confidence=confidence,
+        )
+
+    def ground(self, prediction: Prediction, confidence: float | None = None) -> GroundedObject:
+        """Ground a pipeline prediction.
+
+        *confidence* defaults to 1.0 because matching scores are not
+        probabilities; the neural pipeline passes its P(similar).
+        """
+        return self.ground_label(
+            prediction.label,
+            confidence=1.0 if confidence is None else confidence,
+        )
+
+    def semantic_distance(self, label_a: str, label_b: str) -> float:
+        """1 - Wu-Palmer similarity: 0 for identical concepts."""
+        return 1.0 - self.taxonomy.wup_similarity(label_a, label_b)

@@ -1,0 +1,80 @@
+"""Saving and loading semantic maps as JSON.
+
+A robot's acquired knowledge should outlive one process — the paper's
+knowledge-acquisition story presumes maps accumulate across missions.  The
+format is plain JSON: map geometry plus one record per observation
+(position, label, confidence, room, timestamp); grounding is re-derived
+from the taxonomy on load, so files stay small and human-readable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import KnowledgeError
+from repro.knowledge.semantic_map import SemanticMap
+
+#: Format marker stored in every file.
+_FORMAT = "repro-semantic-map-v1"
+
+
+def save_map(semantic_map: SemanticMap, path: str | Path) -> Path:
+    """Write *semantic_map* to *path* as JSON; returns the path."""
+    path = Path(path)
+    payload = {
+        "format": _FORMAT,
+        "width": semantic_map.width,
+        "height": semantic_map.height,
+        "merge_radius": semantic_map.merge_radius,
+        "observations": [
+            {
+                "x": obs.x,
+                "y": obs.y,
+                "label": obs.obj.label,
+                "confidence": obs.obj.confidence,
+                "room": obs.room,
+                "timestamp": obs.timestamp,
+            }
+            for obs in semantic_map.observations
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_map(path: str | Path) -> SemanticMap:
+    """Reconstruct a semantic map written by :func:`save_map`.
+
+    Observations are replayed through :meth:`SemanticMap.observe`, so
+    merge semantics stay consistent with live operation (a file saved from
+    a merged map replays to the same state).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise KnowledgeError(f"map file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise KnowledgeError(f"{path} is not valid JSON: {error}") from error
+    if payload.get("format") != _FORMAT:
+        raise KnowledgeError(f"unsupported map format {payload.get('format')!r}")
+
+    semantic_map = SemanticMap(
+        width=float(payload["width"]),
+        height=float(payload["height"]),
+        merge_radius=float(payload["merge_radius"]),
+    )
+    for record in payload["observations"]:
+        try:
+            semantic_map.observe(
+                float(record["x"]),
+                float(record["y"]),
+                str(record["label"]),
+                confidence=float(record.get("confidence", 1.0)),
+                room=str(record.get("room", "")),
+                timestamp=float(record.get("timestamp", 0.0)),
+            )
+        except KeyError as error:
+            raise KnowledgeError(f"observation record missing field {error}") from error
+    return semantic_map

@@ -1,0 +1,123 @@
+"""Natural-language object retrieval over the semantic map.
+
+One of the paper's motivating applications is "retrieving entities across
+space through human instructions provided in natural language".  This
+module implements the retrieval layer: a tiny rule-based parser that maps
+instructions like
+
+    "bring me the nearest bottle"
+    "find all furniture in the kitchen"
+    "how many chairs are there?"
+
+onto semantic-map queries via the taxonomy's lemma index.  It is keyword
+spotting, not NLU — the point is executing the paper's use case end to
+end, with the taxonomy supplying the concept generalisation ("furniture"
+matches chairs, sofas and tables).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import KnowledgeError
+from repro.knowledge.semantic_map import MapObservation, SemanticMap
+
+#: Instruction verbs that imply nearest-first ordering.
+_NEAREST_CUES = ("nearest", "closest", "bring", "fetch", "grab")
+
+#: Instruction cues that ask for a count rather than locations.
+_COUNT_CUES = ("how many", "count")
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """Outcome of one instruction: matching observations plus the parse."""
+
+    concept: str
+    room: str | None
+    observations: tuple[MapObservation, ...]
+    count_only: bool
+
+    @property
+    def count(self) -> int:
+        """Number of matching observations."""
+        return len(self.observations)
+
+
+class ObjectRetriever:
+    """Executes natural-language retrieval instructions against a map."""
+
+    def __init__(self, semantic_map: SemanticMap) -> None:
+        self.semantic_map = semantic_map
+
+    def _tokenise(self, instruction: str) -> list[str]:
+        return re.findall(r"[a-z_]+", instruction.lower().replace(" of ", "_of_"))
+
+    def _find_concept(self, instruction: str) -> str:
+        """The first taxonomy concept mentioned in the instruction.
+
+        Singular/plural is handled by also trying a trailing-``s`` strip;
+        multiword lemmas (``piece of furniture``) are matched on the raw
+        string first.
+        """
+        taxonomy = self.semantic_map.grounder.taxonomy
+        for token in self._tokenise(instruction):
+            # Try the token itself, a singularised form, and — for multiword
+            # lemmas like "pieces_of_furniture" — each underscore part.
+            candidates = [token, token.rstrip("s")]
+            for part in token.split("_"):
+                candidates.extend((part, part.rstrip("s")))
+            for candidate in candidates:
+                if candidate and candidate in taxonomy:
+                    return taxonomy.resolve(candidate).name
+        raise KnowledgeError(
+            f"no known object concept in instruction {instruction!r}"
+        )
+
+    def _find_room(self, instruction: str) -> str | None:
+        lowered = instruction.lower()
+        for room in self.semantic_map.rooms():
+            if room.lower() in lowered:
+                return room
+        return None
+
+    def query(
+        self,
+        instruction: str,
+        robot_position: tuple[float, float] = (0.0, 0.0),
+    ) -> RetrievalResult:
+        """Execute *instruction*; observations come nearest-first when the
+        instruction implies fetching."""
+        concept = self._find_concept(instruction)
+        room = self._find_room(instruction)
+        matches = self.semantic_map.find(concept, room=room)
+
+        lowered = instruction.lower()
+        if any(cue in lowered for cue in _NEAREST_CUES):
+            x, y = robot_position
+            matches.sort(key=lambda obs: (obs.x - x) ** 2 + (obs.y - y) ** 2)
+
+        count_only = any(cue in lowered for cue in _COUNT_CUES)
+        return RetrievalResult(
+            concept=concept,
+            room=room,
+            observations=tuple(matches),
+            count_only=count_only,
+        )
+
+    def answer(self, instruction: str, robot_position: tuple[float, float] = (0.0, 0.0)) -> str:
+        """A human-readable answer string for *instruction*."""
+        result = self.query(instruction, robot_position)
+        where = f" in the {result.room}" if result.room else ""
+        if result.count_only:
+            return f"I know of {result.count} {result.concept}(s){where}."
+        if not result.observations:
+            return f"I have not seen any {result.concept}{where}."
+        top = result.observations[0]
+        return (
+            f"The nearest {result.concept}{where} is a {top.obj.label} "
+            f"at ({top.x:.1f}, {top.y:.1f})"
+            + (f" in the {top.room}" if top.room else "")
+            + f"; I know of {result.count} in total."
+        )

@@ -1,0 +1,124 @@
+"""A robot semantic map: grounded object observations on a 2-D grid.
+
+The paper's motivating applications — semantic mapping, health-and-safety
+monitoring, retrieving entities through natural-language instructions — all
+reduce to the same substrate: a spatial index of grounded objects queryable
+by concept.  :class:`SemanticMap` provides it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KnowledgeError
+from repro.knowledge.grounding import GroundedObject, Grounder
+
+
+@dataclass(frozen=True)
+class MapObservation:
+    """One grounded observation at a map position (metres)."""
+
+    x: float
+    y: float
+    obj: GroundedObject
+    room: str = ""
+    timestamp: float = 0.0
+
+
+@dataclass
+class SemanticMap:
+    """A queryable store of grounded observations.
+
+    ``merge_radius`` controls re-observation fusion: a new observation of
+    the same class within that radius of an existing one updates it in
+    place (keeping the higher confidence) instead of adding a duplicate —
+    the usual semantic-mapping data-association heuristic.
+    """
+
+    width: float
+    height: float
+    merge_radius: float = 0.5
+    grounder: Grounder = field(default_factory=Grounder)
+    _observations: list[MapObservation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise KnowledgeError(
+                f"map size must be positive, got {self.width}x{self.height}"
+            )
+        if self.merge_radius < 0:
+            raise KnowledgeError(f"merge radius must be >= 0, got {self.merge_radius}")
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    @property
+    def observations(self) -> tuple[MapObservation, ...]:
+        """All stored observations, in insertion order."""
+        return tuple(self._observations)
+
+    def observe(
+        self,
+        x: float,
+        y: float,
+        label: str,
+        confidence: float = 1.0,
+        room: str = "",
+        timestamp: float = 0.0,
+    ) -> MapObservation:
+        """Record a recognition at (x, y); fuses with nearby same-class
+        observations within ``merge_radius``."""
+        if not (0.0 <= x <= self.width and 0.0 <= y <= self.height):
+            raise KnowledgeError(
+                f"position ({x}, {y}) outside map {self.width}x{self.height}"
+            )
+        grounded = self.grounder.ground_label(label, confidence)
+        for idx, existing in enumerate(self._observations):
+            same_class = existing.obj.label == label
+            close = (existing.x - x) ** 2 + (existing.y - y) ** 2 <= self.merge_radius**2
+            if same_class and close:
+                best = grounded if confidence >= existing.obj.confidence else existing.obj
+                merged = MapObservation(
+                    x=(existing.x + x) / 2.0,
+                    y=(existing.y + y) / 2.0,
+                    obj=best,
+                    room=room or existing.room,
+                    timestamp=max(timestamp, existing.timestamp),
+                )
+                self._observations[idx] = merged
+                return merged
+        observation = MapObservation(x=x, y=y, obj=grounded, room=room, timestamp=timestamp)
+        self._observations.append(observation)
+        return observation
+
+    # -- queries --------------------------------------------------------------
+
+    def find(self, concept: str, room: str | None = None) -> list[MapObservation]:
+        """All observations whose object is-a *concept* (optionally
+        restricted to *room*) — "find all furniture in the kitchen"."""
+        if concept not in self.grounder.taxonomy:
+            raise KnowledgeError(f"unknown concept {concept!r}")
+        return [
+            obs
+            for obs in self._observations
+            if obs.obj.is_a(self.grounder.taxonomy.resolve(concept).name)
+            and (room is None or obs.room == room)
+        ]
+
+    def nearest(self, x: float, y: float, concept: str) -> MapObservation | None:
+        """The closest is-a-*concept* observation to (x, y), or None."""
+        candidates = self.find(concept)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda o: (o.x - x) ** 2 + (o.y - y) ** 2)
+
+    def class_inventory(self) -> dict[str, int]:
+        """Count of observations per object class."""
+        counts: dict[str, int] = {}
+        for obs in self._observations:
+            counts[obs.obj.label] = counts.get(obs.obj.label, 0) + 1
+        return counts
+
+    def rooms(self) -> tuple[str, ...]:
+        """Distinct room labels seen so far (sorted, empty label omitted)."""
+        return tuple(sorted({obs.room for obs in self._observations if obs.room}))

@@ -1,0 +1,163 @@
+"""A WordNet-style hypernym taxonomy over the paper's ten object classes.
+
+ShapeNet annotates its models with WordNet synsets; the paper leans on that
+to link recognised objects "with a set of related concepts".  This module
+embeds the relevant fragment of the WordNet noun hierarchy — the hypernym
+chains of the ten classes up to ``entity`` plus the obvious siblings — in a
+:class:`networkx.DiGraph` (edges point from hyponym to hypernym).
+
+Similarity uses the Wu-Palmer measure::
+
+    wup(a, b) = 2 * depth(lcs) / (depth(a) + depth(b))
+
+with depth counted from ``entity`` (depth 1, WordNet convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import KnowledgeError
+
+
+@dataclass(frozen=True)
+class Synset:
+    """A concept node: name, gloss and lemma aliases."""
+
+    name: str
+    gloss: str
+    lemmas: tuple[str, ...] = field(default_factory=tuple)
+
+
+#: (synset, gloss, lemmas, hypernym) — the embedded WordNet fragment.
+_SYNSETS: tuple[tuple[str, str, tuple[str, ...], str | None], ...] = (
+    ("entity", "that which is perceived to have its own distinct existence", (), None),
+    ("physical_object", "a tangible and visible entity", ("object",), "entity"),
+    ("artifact", "a man-made object", ("artefact",), "physical_object"),
+    ("instrumentality", "an artifact designed to serve a purpose", (), "artifact"),
+    ("furnishing", "furnishings and equipment of a household", (), "instrumentality"),
+    ("furniture", "furnishings that make a room ready for occupancy", ("piece_of_furniture",), "furnishing"),
+    ("seat", "furniture designed for sitting on", (), "furniture"),
+    ("chair", "a seat for one person, with a support for the back", (), "seat"),
+    ("sofa", "an upholstered seat for more than one person", ("couch", "lounge"), "seat"),
+    ("table", "a piece of furniture with a flat top and legs", (), "furniture"),
+    ("lamp", "an artificial source of visible illumination", (), "furnishing"),
+    ("container", "an object used to hold things", (), "instrumentality"),
+    ("vessel", "an object used as a container for liquids", (), "container"),
+    ("bottle", "a glass or plastic vessel with a narrow neck", (), "vessel"),
+    ("box", "a rigid rectangular container", ("carton",), "container"),
+    ("sheet", "a flat artifact that is thin relative to length and width", (), "artifact"),
+    ("paper", "a material made of cellulose pulp, or a sheet of it", ("piece_of_paper",), "sheet"),
+    ("publication", "a copy of a printed work offered for distribution", (), "artifact"),
+    ("book", "a written work or composition that has been published", ("volume",), "publication"),
+    ("structure", "a thing constructed; a complex entity of parts", ("construction",), "artifact"),
+    ("opening", "a vacant or unobstructed space that is man-made", (), "structure"),
+    ("window", "a framework of wood or metal with glass, to admit light", (), "opening"),
+    ("barrier", "a structure or object that impedes free movement", (), "structure"),
+    ("door", "a swinging or sliding barrier that closes an entrance", (), "barrier"),
+)
+
+
+class Taxonomy:
+    """Hypernym taxonomy with lookup, ancestry and similarity queries."""
+
+    def __init__(
+        self, synsets: tuple[tuple[str, str, tuple[str, ...], str | None], ...] = _SYNSETS
+    ) -> None:
+        self._graph = nx.DiGraph()
+        self._synsets: dict[str, Synset] = {}
+        self._lemma_index: dict[str, str] = {}
+        for name, gloss, lemmas, hypernym in synsets:
+            record = Synset(name=name, gloss=gloss, lemmas=tuple(lemmas))
+            self._synsets[name] = record
+            self._graph.add_node(name)
+            if hypernym is not None:
+                if hypernym not in self._synsets:
+                    raise KnowledgeError(
+                        f"hypernym {hypernym!r} of {name!r} defined after use"
+                    )
+                self._graph.add_edge(name, hypernym)
+            self._lemma_index[name] = name
+            for lemma in lemmas:
+                self._lemma_index[lemma] = name
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise KnowledgeError("taxonomy contains a hypernym cycle")
+
+    # -- lookup --------------------------------------------------------------
+
+    def resolve(self, term: str) -> Synset:
+        """Find the synset for a class label or lemma (case-insensitive)."""
+        key = term.strip().lower().replace(" ", "_")
+        if key not in self._lemma_index:
+            raise KnowledgeError(f"unknown concept {term!r}")
+        return self._synsets[self._lemma_index[key]]
+
+    def __contains__(self, term: str) -> bool:
+        return term.strip().lower().replace(" ", "_") in self._lemma_index
+
+    @property
+    def concepts(self) -> tuple[str, ...]:
+        """All synset names, root first."""
+        return tuple(nx.topological_sort(self._graph.reverse()))
+
+    # -- structure -----------------------------------------------------------
+
+    def hypernym_chain(self, term: str) -> tuple[str, ...]:
+        """Path from *term* up to the root (inclusive both ends)."""
+        node = self.resolve(term).name
+        chain = [node]
+        while True:
+            parents = list(self._graph.successors(chain[-1]))
+            if not parents:
+                break
+            chain.append(parents[0])
+        return tuple(chain)
+
+    def depth(self, term: str) -> int:
+        """Depth of *term* counted from the root (root has depth 1)."""
+        return len(self.hypernym_chain(term))
+
+    def hyponyms(self, term: str) -> tuple[str, ...]:
+        """All concepts lying below *term* (transitively), sorted."""
+        node = self.resolve(term).name
+        below = nx.ancestors(self._graph, node)  # edges point upward
+        return tuple(sorted(below))
+
+    def is_a(self, term: str, ancestor: str) -> bool:
+        """True when *term* lies at or below *ancestor*."""
+        target = self.resolve(ancestor).name
+        return target in self.hypernym_chain(term)
+
+    def lowest_common_subsumer(self, a: str, b: str) -> str:
+        """Deepest concept subsuming both *a* and *b*."""
+        chain_a = self.hypernym_chain(a)
+        chain_b = set(self.hypernym_chain(b))
+        for node in chain_a:  # chain_a is ordered deepest-first
+            if node in chain_b:
+                return node
+        raise KnowledgeError(f"no common subsumer for {a!r} and {b!r}")
+
+    def wup_similarity(self, a: str, b: str) -> float:
+        """Wu-Palmer similarity in (0, 1]."""
+        lcs = self.lowest_common_subsumer(a, b)
+        return 2.0 * self.depth(lcs) / (self.depth(a) + self.depth(b))
+
+    def related_concepts(self, term: str, max_distance: int = 2) -> tuple[str, ...]:
+        """Concepts within *max_distance* undirected hops of *term*."""
+        node = self.resolve(term).name
+        undirected = self._graph.to_undirected(as_view=True)
+        near = nx.single_source_shortest_path_length(undirected, node, cutoff=max_distance)
+        return tuple(sorted(name for name in near if name != node))
+
+
+def default_taxonomy() -> Taxonomy:
+    """The embedded ten-class taxonomy (module-level singleton)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Taxonomy()
+    return _DEFAULT
+
+
+_DEFAULT: Taxonomy | None = None

@@ -1,0 +1,35 @@
+"""Numpy neural-network framework and the Normalized-X-Corr siamese
+architecture (paper Sec. 3.4, after Subramaniam et al., NIPS 2016).
+
+The framework is deliberately small — exactly the pieces the paper's Keras
+pipeline uses: 2-D convolution, max pooling, dense layers, ReLU, softmax
+with categorical cross-entropy, the Adam optimiser with learning-rate decay,
+mini-batch training and loss-based early stopping.  Layers keep their
+per-call caches external, so one set of weights can run two input branches
+(weight sharing "in a Siamese fashion") and accumulate gradients from both.
+"""
+
+from repro.neural.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, ReLU
+from repro.neural.losses import softmax, softmax_cross_entropy
+from repro.neural.optim import SGD, Adam
+from repro.neural.xcorr import NormalizedXCorr
+from repro.neural.model import Sequential, TrainingHistory
+from repro.neural.siamese import NormalizedXCorrNet, SiameseTrainingConfig
+
+__all__ = [
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "MaxPool2D",
+    "ReLU",
+    "softmax",
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+    "NormalizedXCorr",
+    "Sequential",
+    "TrainingHistory",
+    "NormalizedXCorrNet",
+    "SiameseTrainingConfig",
+]

@@ -1,0 +1,189 @@
+"""Neural-network layers with externalised per-call caches.
+
+All activations are NHWC float64 arrays.  A layer owns its parameters and
+accumulated gradients; the forward pass writes whatever the backward pass
+needs into a caller-supplied cache dict.  Running the same layer object on
+two inputs with two caches and calling backward for both accumulates
+gradients — which is precisely how the siamese branches share weights.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import NeuralError
+
+
+class Layer(abc.ABC):
+    """Base layer: parameters, gradients, forward/backward."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def init_params(self, rng: np.random.Generator) -> None:
+        """Initialise parameters (no-op for parameterless layers)."""
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, cache: dict) -> np.ndarray:
+        """Compute outputs, stashing backward state into *cache*."""
+
+    @abc.abstractmethod
+    def backward(self, grad: np.ndarray, cache: dict) -> np.ndarray:
+        """Accumulate parameter gradients; return the input gradient."""
+
+
+class Conv2D(Layer):
+    """Valid (no padding) stride-1 2-D convolution over NHWC tensors.
+
+    Weights have shape ``(kh, kw, in_channels, filters)``; initialisation is
+    Glorot uniform, as Keras defaults to.
+    """
+
+    def __init__(self, in_channels: int, filters: int, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size < 1 or filters < 1 or in_channels < 1:
+            raise NeuralError(
+                f"invalid Conv2D spec: in={in_channels}, f={filters}, k={kernel_size}"
+            )
+        self.in_channels = in_channels
+        self.filters = filters
+        self.kernel_size = kernel_size
+
+    def init_params(self, rng: np.random.Generator) -> None:
+        k = self.kernel_size
+        fan_in = k * k * self.in_channels
+        fan_out = k * k * self.filters
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        self.params["w"] = rng.uniform(-limit, limit, size=(k, k, self.in_channels, self.filters))
+        self.params["b"] = np.zeros(self.filters)
+        self.zero_grads()
+
+    def forward(self, x: np.ndarray, cache: dict) -> np.ndarray:
+        if x.ndim != 4 or x.shape[3] != self.in_channels:
+            raise NeuralError(
+                f"Conv2D expected NHWC with C={self.in_channels}, got {x.shape}"
+            )
+        k = self.kernel_size
+        if x.shape[1] < k or x.shape[2] < k:
+            raise NeuralError(f"input {x.shape} smaller than kernel {k}")
+        # windows: (N, H', W', C, kh, kw)
+        windows = np.lib.stride_tricks.sliding_window_view(x, (k, k), axis=(1, 2))
+        out = np.einsum("nhwcij,ijcf->nhwf", windows, self.params["w"], optimize=True)
+        out += self.params["b"]
+        cache["x"] = x
+        return out
+
+    def backward(self, grad: np.ndarray, cache: dict) -> np.ndarray:
+        x = cache["x"]
+        k = self.kernel_size
+        windows = np.lib.stride_tricks.sliding_window_view(x, (k, k), axis=(1, 2))
+        self.grads["w"] += np.einsum("nhwcij,nhwf->ijcf", windows, grad, optimize=True)
+        self.grads["b"] += grad.sum(axis=(0, 1, 2))
+
+        # Input gradient: full correlation of grad with the flipped kernel.
+        pad = k - 1
+        padded = np.pad(grad, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
+        gwin = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(1, 2))
+        w_flip = self.params["w"][::-1, ::-1]  # (kh, kw, C, F) flipped spatially
+        return np.einsum("nhwfij,ijcf->nhwc", gwin, w_flip, optimize=True)
+
+
+class MaxPool2D(Layer):
+    """2x2 stride-2 max pooling (trailing odd rows/cols are dropped, the
+    Keras ``valid`` behaviour)."""
+
+    def __init__(self, pool: int = 2) -> None:
+        super().__init__()
+        if pool < 1:
+            raise NeuralError(f"pool size must be >= 1, got {pool}")
+        self.pool = pool
+
+    def forward(self, x: np.ndarray, cache: dict) -> np.ndarray:
+        if x.ndim != 4:
+            raise NeuralError(f"MaxPool2D expects NHWC, got shape {x.shape}")
+        p = self.pool
+        n, h, w, c = x.shape
+        oh, ow = h // p, w // p
+        if oh == 0 or ow == 0:
+            raise NeuralError(f"input {x.shape} too small for pool {p}")
+        trimmed = x[:, : oh * p, : ow * p, :]
+        blocks = trimmed.reshape(n, oh, p, ow, p, c)
+        out = blocks.max(axis=(2, 4))
+        cache["x_shape"] = x.shape
+        cache["mask"] = blocks == out[:, :, None, :, None, :]
+        return out
+
+    def backward(self, grad: np.ndarray, cache: dict) -> np.ndarray:
+        p = self.pool
+        n, h, w, c = cache["x_shape"]
+        oh, ow = h // p, w // p
+        mask = cache["mask"]
+        # Distribute gradient to max positions (ties split the gradient, a
+        # benign deviation from argmax-first behaviour).
+        counts = mask.sum(axis=(2, 4), keepdims=True)
+        spread = mask * (grad[:, :, None, :, None, :] / np.maximum(counts, 1))
+        out = np.zeros((n, h, w, c))
+        out[:, : oh * p, : ow * p, :] = spread.reshape(n, oh * p, ow * p, c)
+        return out
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def forward(self, x: np.ndarray, cache: dict) -> np.ndarray:
+        cache["mask"] = x > 0
+        return np.where(cache["mask"], x, 0.0)
+
+    def backward(self, grad: np.ndarray, cache: dict) -> np.ndarray:
+        return grad * cache["mask"]
+
+
+class Flatten(Layer):
+    """Collapse all but the batch dimension."""
+
+    def forward(self, x: np.ndarray, cache: dict) -> np.ndarray:
+        cache["shape"] = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray, cache: dict) -> np.ndarray:
+        return grad.reshape(cache["shape"])
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ w + b`` (Glorot uniform init)."""
+
+    def __init__(self, in_features: int, out_features: int) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise NeuralError(f"invalid Dense spec: {in_features}->{out_features}")
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def init_params(self, rng: np.random.Generator) -> None:
+        limit = np.sqrt(6.0 / (self.in_features + self.out_features))
+        self.params["w"] = rng.uniform(
+            -limit, limit, size=(self.in_features, self.out_features)
+        )
+        self.params["b"] = np.zeros(self.out_features)
+        self.zero_grads()
+
+    def forward(self, x: np.ndarray, cache: dict) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise NeuralError(
+                f"Dense expected (N, {self.in_features}), got {x.shape}"
+            )
+        cache["x"] = x
+        return x @ self.params["w"] + self.params["b"]
+
+    def backward(self, grad: np.ndarray, cache: dict) -> np.ndarray:
+        self.grads["w"] += cache["x"].T @ grad
+        self.grads["b"] += grad.sum(axis=0)
+        return grad @ self.params["w"].T

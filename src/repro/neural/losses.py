@@ -1,0 +1,45 @@
+"""Softmax and categorical cross-entropy, fused for a stable gradient.
+
+The paper compiles its Keras model "using categorical crossentropy as loss
+function" over a final 2-way softmax (similar/dissimilar).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NeuralError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift for stability."""
+    if logits.ndim != 2:
+        raise NeuralError(f"softmax expects (N, classes), got {logits.shape}")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean categorical cross-entropy over integer labels.
+
+    Returns ``(loss, grad)`` where grad is the gradient w.r.t. the logits,
+    i.e. ``(softmax - onehot) / N`` — the fused softmax+CCE backward.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1 or len(labels) != len(logits):
+        raise NeuralError(
+            f"labels must be (N,) matching logits {logits.shape}, got {labels.shape}"
+        )
+    n_classes = logits.shape[1]
+    if labels.min() < 0 or labels.max() >= n_classes:
+        raise NeuralError(f"labels out of range for {n_classes} classes")
+    probs = softmax(logits)
+    n = len(labels)
+    log_likelihood = -np.log(np.maximum(probs[np.arange(n), labels], 1e-300))
+    loss = float(log_likelihood.mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

@@ -1,0 +1,92 @@
+"""Sequential layer stack and training bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NeuralError
+from repro.neural.layers import Layer
+
+
+class Sequential:
+    """A plain chain of layers sharing one parameter namespace.
+
+    Used both for the siamese shared trunk (run twice per example with two
+    caches) and for the post-correlation head.
+    """
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise NeuralError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def init_params(self, rng: np.random.Generator) -> None:
+        """Initialise every layer's parameters."""
+        for layer in self.layers:
+            layer.init_params(rng)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, list[dict]]:
+        """Run the stack, returning the output and per-layer caches."""
+        caches: list[dict] = []
+        out = x
+        for layer in self.layers:
+            cache: dict = {}
+            out = layer.forward(out, cache)
+            caches.append(cache)
+        return out, caches
+
+    def backward(self, grad: np.ndarray, caches: list[dict]) -> np.ndarray:
+        """Backpropagate through the stack, accumulating parameter grads."""
+        out = grad
+        for layer, cache in zip(reversed(self.layers), reversed(caches)):
+            out = layer.backward(out, cache)
+        return out
+
+    def zero_grads(self) -> None:
+        """Zero the accumulated gradients of every layer."""
+        for layer in self.layers:
+            layer.zero_grads()
+
+    @property
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for layer in self.layers for p in layer.params.values())
+
+
+@dataclass
+class TrainingHistory:
+    """Loss/accuracy trajectory of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        """Number of completed epochs."""
+        return len(self.losses)
+
+
+class EarlyStopping:
+    """The paper's stopping rule: stop "if the ε of loss decrease was lower
+    than 1e-6 for more than 10 subsequent epochs"."""
+
+    def __init__(self, min_delta: float = 1e-6, patience: int = 10) -> None:
+        if patience < 1:
+            raise NeuralError(f"patience must be >= 1, got {patience}")
+        self.min_delta = min_delta
+        self.patience = patience
+        self._best = np.inf
+        self._stale_epochs = 0
+
+    def update(self, loss: float) -> bool:
+        """Record an epoch loss; returns True when training should stop."""
+        if self._best - loss > self.min_delta:
+            self._best = loss
+            self._stale_epochs = 0
+        else:
+            self._stale_epochs += 1
+        return self._stale_epochs > self.patience

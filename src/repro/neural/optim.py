@@ -1,0 +1,92 @@
+"""Optimisers: SGD and Adam with Keras-style learning-rate decay.
+
+The paper: "the learning rate was initialised to 0.0001 and its decay set to
+1e-7" — the Keras v1 ``decay`` semantics, ``lr_t = lr / (1 + decay * t)``
+with ``t`` the update count, which both optimisers here implement.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NeuralError
+from repro.neural.layers import Layer
+
+
+class SGD:
+    """Plain mini-batch gradient descent (optionally with momentum)."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0, decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise NeuralError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise NeuralError(f"momentum must lie in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self.decay = decay
+        self._velocity: dict[int, dict[str, np.ndarray]] = {}
+        self._step = 0
+
+    def step(self, layers: Sequence[Layer]) -> None:
+        """Apply one update from the layers' accumulated gradients, then
+        zero them."""
+        self._step += 1
+        lr_t = self.lr / (1.0 + self.decay * self._step)
+        for layer in layers:
+            state = self._velocity.setdefault(id(layer), {})
+            for key, param in layer.params.items():
+                grad = layer.grads[key]
+                if self.momentum:
+                    vel = state.setdefault(key, np.zeros_like(param))
+                    vel *= self.momentum
+                    vel -= lr_t * grad
+                    param += vel
+                else:
+                    param -= lr_t * grad
+            layer.zero_grads()
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) with Keras-style decay, the paper's choice."""
+
+    def __init__(
+        self,
+        lr: float = 1e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        decay: float = 1e-7,
+    ) -> None:
+        if lr <= 0:
+            raise NeuralError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.decay = decay
+        self._m: dict[int, dict[str, np.ndarray]] = {}
+        self._v: dict[int, dict[str, np.ndarray]] = {}
+        self._step = 0
+
+    def step(self, layers: Sequence[Layer]) -> None:
+        """Apply one Adam update from accumulated gradients, then zero them."""
+        self._step += 1
+        lr_t = self.lr / (1.0 + self.decay * self._step)
+        correction = (
+            np.sqrt(1.0 - self.beta2**self._step) / (1.0 - self.beta1**self._step)
+        )
+        for layer in layers:
+            m_state = self._m.setdefault(id(layer), {})
+            v_state = self._v.setdefault(id(layer), {})
+            for key, param in layer.params.items():
+                grad = layer.grads[key]
+                m = m_state.setdefault(key, np.zeros_like(param))
+                v = v_state.setdefault(key, np.zeros_like(param))
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad**2
+                param -= lr_t * correction * m / (np.sqrt(v) + self.epsilon)
+            layer.zero_grads()

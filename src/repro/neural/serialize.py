@@ -1,0 +1,81 @@
+"""Saving and loading trained Normalized-X-Corr networks.
+
+The paper's repository advertises "pre-trained models"; this module provides
+the equivalent for the numpy implementation: one ``.npz`` file holding the
+architecture hyperparameters and every parameter tensor, reloadable into a
+bit-identical network.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import NeuralError
+from repro.neural.siamese import NormalizedXCorrNet
+
+#: Format marker stored in every checkpoint.
+_FORMAT = "repro-nxcorr-v1"
+
+
+def save_network(net: NormalizedXCorrNet, path: str | Path) -> Path:
+    """Write *net* (architecture + weights) to *path* as ``.npz``.
+
+    Returns the path written (with the ``.npz`` suffix numpy enforces).
+    """
+    path = Path(path)
+    meta = {
+        "format": _FORMAT,
+        "input_hw": list(net.input_hw),
+        "trunk_filters": [
+            net.trunk.layers[0].filters,
+            net.trunk.layers[3].filters,
+        ],
+        "head_filters": net.head.layers[0].filters,
+        "hidden_units": net.head.layers[4].out_features,
+        "search": list(net.xcorr.search),
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for scope, stack in (("trunk", net.trunk), ("head", net.head)):
+        for idx, layer in enumerate(stack.layers):
+            for key, value in layer.params.items():
+                arrays[f"{scope}.{idx}.{key}"] = value
+    np.savez(path, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_network(path: str | Path) -> NormalizedXCorrNet:
+    """Reconstruct a network saved by :func:`save_network`."""
+    path = Path(path)
+    if not path.exists():
+        raise NeuralError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        try:
+            meta = json.loads(bytes(archive["__meta__"]).decode())
+        except KeyError:
+            raise NeuralError(f"{path} is not a repro checkpoint") from None
+        if meta.get("format") != _FORMAT:
+            raise NeuralError(f"unsupported checkpoint format {meta.get('format')!r}")
+        net = NormalizedXCorrNet(
+            input_hw=tuple(meta["input_hw"]),
+            trunk_filters=tuple(meta["trunk_filters"]),
+            head_filters=meta["head_filters"],
+            hidden_units=meta["hidden_units"],
+            search=tuple(meta["search"]),
+        )
+        for scope, stack in (("trunk", net.trunk), ("head", net.head)):
+            for idx, layer in enumerate(stack.layers):
+                for key in layer.params:
+                    name = f"{scope}.{idx}.{key}"
+                    if name not in archive:
+                        raise NeuralError(f"checkpoint missing tensor {name}")
+                    stored = archive[name]
+                    if stored.shape != layer.params[key].shape:
+                        raise NeuralError(
+                            f"tensor {name} has shape {stored.shape}, "
+                            f"expected {layer.params[key].shape}"
+                        )
+                    layer.params[key][...] = stored
+    return net

@@ -1,0 +1,220 @@
+"""The Normalized-X-Corr siamese network of Sec. 3.4.
+
+Architecture, following Subramaniam et al. (2016) and the paper's Keras
+reimplementation:
+
+* a shared convolutional trunk applied to both RGB inputs ("combines
+  successive convolutions and pooling layers to both input images, sharing
+  weights across the two input pipelines"): Conv5x5 -> ReLU -> MaxPool ->
+  Conv5x5 -> ReLU -> MaxPool;
+* the Normalized-X-Corr cross-input layer;
+* a post-correlation head ("Normalized-X-Corr tensors are fed to two
+  successive convolutional layers followed by Maxpooling … then fed to a
+  fully-connected layer preceding the final softmax"): Conv3x3 -> ReLU ->
+  MaxPool -> Flatten -> Dense -> ReLU -> Dense(2) -> softmax;
+* categorical cross-entropy loss, Adam (lr 1e-4, decay 1e-7), batch 16,
+  up to 100 epochs with the ε=1e-6 / 10-epoch early-stopping rule.
+
+The default input is 30x80x3 (half the paper's 60x160x3 in each dimension,
+for CPU budgets); the constructor accepts any size the pooling arithmetic
+allows.  Filter counts default to the original 20/25.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SIAMESE_INPUT_HW, rng as make_rng
+from repro.datasets.pairs import PairDataset
+from repro.errors import NeuralError
+from repro.imaging.image import resize
+from repro.neural.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.neural.losses import softmax, softmax_cross_entropy
+from repro.neural.model import EarlyStopping, Sequential, TrainingHistory
+from repro.neural.optim import Adam
+
+
+@dataclass(frozen=True)
+class SiameseTrainingConfig:
+    """Training protocol knobs (paper defaults).
+
+    The ``epochs``/``batch_size`` defaults follow Sec. 3.4; benches shrink
+    ``epochs`` and the dataset for CPU budgets, which DESIGN.md documents.
+    """
+
+    learning_rate: float = 1e-4
+    decay: float = 1e-7
+    batch_size: int = 16
+    epochs: int = 100
+    early_stopping_delta: float = 1e-6
+    early_stopping_patience: int = 10
+    seed: int = 7
+
+
+class NormalizedXCorrNet:
+    """The full siamese similar/dissimilar classifier."""
+
+    def __init__(
+        self,
+        input_hw: tuple[int, int] = SIAMESE_INPUT_HW,
+        trunk_filters: tuple[int, int] = (20, 25),
+        head_filters: int = 25,
+        hidden_units: int = 100,
+        search: tuple[int, int] = (1, 3),
+        seed: int = 7,
+    ) -> None:
+        height, width = input_hw
+        if height < 20 or width < 20:
+            raise NeuralError(f"input size too small for the architecture: {input_hw}")
+        self.input_hw = (height, width)
+
+        from repro.neural.xcorr import NormalizedXCorr
+
+        f1, f2 = trunk_filters
+        self.trunk = Sequential(
+            [
+                Conv2D(3, f1, kernel_size=5),
+                ReLU(),
+                MaxPool2D(2),
+                Conv2D(f1, f2, kernel_size=5),
+                ReLU(),
+                MaxPool2D(2),
+            ]
+        )
+        self.xcorr = NormalizedXCorr(search=search)
+
+        trunk_h = ((height - 4) // 2 - 4) // 2
+        trunk_w = ((width - 4) // 2 - 4) // 2
+        if trunk_h < 3 or trunk_w < 3:
+            raise NeuralError(f"input {input_hw} collapses in the trunk")
+        head_h = (trunk_h - 2) // 2
+        head_w = (trunk_w - 2) // 2
+        if head_h < 1 or head_w < 1:
+            raise NeuralError(f"input {input_hw} collapses in the head")
+        flat = head_h * head_w * head_filters
+
+        self.head = Sequential(
+            [
+                Conv2D(self.xcorr.out_channels, head_filters, kernel_size=3),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(flat, hidden_units),
+                ReLU(),
+                Dense(hidden_units, 2),
+            ]
+        )
+
+        generator = make_rng(seed)
+        self.trunk.init_params(generator)
+        self.head.init_params(generator)
+
+    # -- data preparation ---------------------------------------------------
+
+    def prepare(self, image: np.ndarray) -> np.ndarray:
+        """Resize one RGB image to the network input size."""
+        height, width = self.input_hw
+        out = resize(image, height, width)
+        if out.ndim != 3 or out.shape[2] != 3:
+            raise NeuralError(f"expected an RGB image, got shape {image.shape}")
+        return out
+
+    def _batch_tensors(
+        self, pairs: PairDataset, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        firsts = np.stack([self.prepare(pairs[i].first.image) for i in indices])
+        seconds = np.stack([self.prepare(pairs[i].second.image) for i in indices])
+        labels = np.array([pairs[i].label for i in indices], dtype=np.int64)
+        return firsts, seconds, labels
+
+    # -- forward / backward -------------------------------------------------
+
+    def _forward(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, dict]:
+        fa, caches_a = self.trunk.forward(a)
+        fb, caches_b = self.trunk.forward(b)
+        xcache: dict = {}
+        correlated = self.xcorr.forward_pair(fa, fb, xcache)
+        logits, caches_head = self.head.forward(correlated)
+        state = {
+            "caches_a": caches_a,
+            "caches_b": caches_b,
+            "xcache": xcache,
+            "caches_head": caches_head,
+        }
+        return logits, state
+
+    def _backward(self, grad_logits: np.ndarray, state: dict) -> None:
+        grad_corr = self.head.backward(grad_logits, state["caches_head"])
+        grad_a, grad_b = self.xcorr.backward_pair(grad_corr, state["xcache"])
+        self.trunk.backward(grad_a, state["caches_a"])
+        self.trunk.backward(grad_b, state["caches_b"])
+
+    # -- public API ----------------------------------------------------------
+
+    def predict_proba(self, pairs: PairDataset, batch_size: int = 32) -> np.ndarray:
+        """P(similar) for every pair, in order."""
+        probs = np.empty(len(pairs))
+        for start in range(0, len(pairs), batch_size):
+            indices = np.arange(start, min(start + batch_size, len(pairs)))
+            a, b, _ = self._batch_tensors(pairs, indices)
+            logits, _ = self._forward(a, b)
+            probs[indices] = softmax(logits)[:, 1]
+        return probs
+
+    def predict(self, pairs: PairDataset, batch_size: int = 32) -> np.ndarray:
+        """Binary similar(1)/dissimilar(0) decisions for every pair."""
+        return (self.predict_proba(pairs, batch_size) >= 0.5).astype(np.int64)
+
+    def similarity(self, image_a: np.ndarray, image_b: np.ndarray) -> float:
+        """P(similar) for a single raw image pair."""
+        a = self.prepare(image_a)[None]
+        b = self.prepare(image_b)[None]
+        logits, _ = self._forward(a, b)
+        return float(softmax(logits)[0, 1])
+
+    def fit(
+        self,
+        pairs: PairDataset,
+        config: SiameseTrainingConfig | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train with the paper's protocol; returns the loss history."""
+        config = config or SiameseTrainingConfig()
+        optimizer = Adam(lr=config.learning_rate, decay=config.decay)
+        stopper = EarlyStopping(
+            min_delta=config.early_stopping_delta,
+            patience=config.early_stopping_patience,
+        )
+        generator = make_rng(config.seed)
+        history = TrainingHistory()
+        all_layers = self.trunk.layers + self.head.layers
+
+        for epoch in range(config.epochs):
+            order = generator.permutation(len(pairs))
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, len(pairs), config.batch_size):
+                indices = order[start : start + config.batch_size]
+                a, b, labels = self._batch_tensors(pairs, indices)
+                logits, state = self._forward(a, b)
+                loss, grad = softmax_cross_entropy(logits, labels)
+                self._backward(grad, state)
+                optimizer.step(all_layers)
+                epoch_loss += loss * len(indices)
+                correct += int((logits.argmax(axis=1) == labels).sum())
+            mean_loss = epoch_loss / len(pairs)
+            history.losses.append(mean_loss)
+            history.accuracies.append(correct / len(pairs))
+            if verbose:
+                print(
+                    f"epoch {epoch + 1:3d}  loss {mean_loss:.5f}  "
+                    f"acc {history.accuracies[-1]:.3f}"
+                )
+            if stopper.update(mean_loss):
+                history.stopped_early = True
+                break
+        return history

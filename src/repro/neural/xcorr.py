@@ -1,0 +1,144 @@
+"""The Normalized-X-Corr cross-input layer (Subramaniam et al. 2016).
+
+Given the two branches' feature maps A and B (NHWC), the layer emits, for
+every spatial location and every displacement ``(dy, dx)`` in a search
+window, the normalised cross-correlation between the feature vector of A at
+``(y, x)`` and the feature vector of B at ``(y+dy, x+dx)``::
+
+    out[n, y, x, d] = Â[n, y, x, :] · B̂[n, y+dy_d, x+dx_d, :]
+
+where ``V̂ = (v - mean(v)) / ||v - mean(v)||`` normalises each location's
+channel vector (mean subtraction + unit norm — exactly the "normalized"
+part of the original formulation).  Out-of-range displacements contribute
+zero, matching zero-padded correlation.
+
+The original layer correlates 5x5 *pixel patches*; here each location's
+channel vector already summarises a receptive field several pixels wide
+(it sits behind two 5x5 convolutions), so vector correlation over a
+displacement window preserves the operation's character — inexact, wider-
+area matching robust to misalignment — at a tractable numpy cost.  This is
+the one architectural simplification, and it is documented in DESIGN.md.
+
+The layer is symmetric in its two inputs up to displacement sign, which is
+the property the paper highlights ("results independent from the ordering
+of images within each couple").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NeuralError
+from repro.neural.layers import Layer
+
+_EPS = 1e-8
+
+
+class NormalizedXCorr(Layer):
+    """Cross-input normalised correlation over a displacement window.
+
+    ``search`` is ``(rows, cols)``: displacements span
+    ``dy in [-rows, rows]`` x ``dx in [-cols, cols]``, so the output has
+    ``(2*rows+1) * (2*cols+1)`` channels.
+    """
+
+    def __init__(self, search: tuple[int, int] = (1, 3)) -> None:
+        super().__init__()
+        if search[0] < 0 or search[1] < 0:
+            raise NeuralError(f"search window must be non-negative, got {search}")
+        self.search = search
+        self.displacements = [
+            (dy, dx)
+            for dy in range(-search[0], search[0] + 1)
+            for dx in range(-search[1], search[1] + 1)
+        ]
+
+    @property
+    def out_channels(self) -> int:
+        """Number of output channels (one per displacement)."""
+        return len(self.displacements)
+
+    @staticmethod
+    def _normalise(x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Channel-normalise: subtract mean, divide by norm.
+
+        Returns (normalised, centred, norm) for backward reuse.
+        """
+        centred = x - x.mean(axis=3, keepdims=True)
+        norm = np.sqrt((centred**2).sum(axis=3, keepdims=True))
+        normalised = centred / np.maximum(norm, _EPS)
+        return normalised, centred, norm
+
+    def forward_pair(
+        self, a: np.ndarray, b: np.ndarray, cache: dict
+    ) -> np.ndarray:
+        """Correlate branch maps *a* and *b* (both NHWC, same shape)."""
+        if a.shape != b.shape or a.ndim != 4:
+            raise NeuralError(f"branch shapes must match, got {a.shape} vs {b.shape}")
+        a_hat, a_centred, a_norm = self._normalise(a)
+        b_hat, b_centred, b_norm = self._normalise(b)
+        n, h, w, _ = a.shape
+        out = np.zeros((n, h, w, self.out_channels))
+        for d_idx, (dy, dx) in enumerate(self.displacements):
+            shifted = _shift(b_hat, dy, dx)
+            out[..., d_idx] = (a_hat * shifted).sum(axis=3)
+        cache.update(
+            a_hat=a_hat, a_norm=a_norm, b_hat=b_hat, b_norm=b_norm
+        )
+        return out
+
+    def backward_pair(
+        self, grad: np.ndarray, cache: dict
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gradients w.r.t. both branch inputs."""
+        a_hat, a_norm = cache["a_hat"], cache["a_norm"]
+        b_hat, b_norm = cache["b_hat"], cache["b_norm"]
+
+        grad_a_hat = np.zeros_like(a_hat)
+        grad_b_hat = np.zeros_like(b_hat)
+        for d_idx, (dy, dx) in enumerate(self.displacements):
+            g = grad[..., d_idx : d_idx + 1]
+            shifted_b = _shift(b_hat, dy, dx)
+            grad_a_hat += g * shifted_b
+            # The contribution to b̂ lands at the shifted location.
+            grad_b_hat += _shift(g * a_hat, -dy, -dx)
+
+        return (
+            _normalisation_backward(grad_a_hat, a_hat, a_norm),
+            _normalisation_backward(grad_b_hat, b_hat, b_norm),
+        )
+
+    # Layer interface: the generic single-input forms are not meaningful for
+    # a cross-input layer; Sequential never holds one directly.
+    def forward(self, x: np.ndarray, cache: dict) -> np.ndarray:
+        raise NeuralError("NormalizedXCorr requires forward_pair(a, b, cache)")
+
+    def backward(self, grad: np.ndarray, cache: dict) -> np.ndarray:
+        raise NeuralError("NormalizedXCorr requires backward_pair(grad, cache)")
+
+
+def _shift(x: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Shift the H/W axes of an NHWC tensor, zero-filling exposed borders."""
+    if dy == 0 and dx == 0:
+        return x
+    out = np.zeros_like(x)
+    h, w = x.shape[1], x.shape[2]
+    src_y = slice(max(dy, 0), min(h + dy, h))
+    dst_y = slice(max(-dy, 0), min(h - dy, h))
+    src_x = slice(max(dx, 0), min(w + dx, w))
+    dst_x = slice(max(-dx, 0), min(w - dx, w))
+    out[:, dst_y, dst_x, :] = x[:, src_y, src_x, :]
+    return out
+
+
+def _normalisation_backward(
+    grad_hat: np.ndarray, v_hat: np.ndarray, norm: np.ndarray
+) -> np.ndarray:
+    """Backprop through v̂ = centre(v) / ||centre(v)||.
+
+    d/dv = (P_mean ∘ P_unit)(grad) / ||u||, where P_unit removes the
+    component along v̂ and P_mean removes the per-location channel mean.
+    """
+    projected = grad_hat - (grad_hat * v_hat).sum(axis=3, keepdims=True) * v_hat
+    scaled = projected / np.maximum(norm, _EPS)
+    return scaled - scaled.mean(axis=3, keepdims=True)

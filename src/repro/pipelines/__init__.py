@@ -1,0 +1,54 @@
+"""The paper's five recognition pipelines (Sec. 3.2–3.4).
+
+Every pipeline implements the same contract (:class:`~repro.pipelines.base.
+RecognitionPipeline`): fit on a reference :class:`~repro.datasets.dataset.
+ImageDataset` of ShapeNet views, then predict a class label for each query
+image by similarity matching against the reference views.
+
+* :mod:`repro.pipelines.baseline` — randomised label assignment;
+* :mod:`repro.pipelines.shape_only` — Hu-moment matching (L1/L2/L3);
+* :mod:`repro.pipelines.color_only` — RGB-histogram comparison (Correlation,
+  Chi-square, Intersection, Hellinger);
+* :mod:`repro.pipelines.hybrid` — weighted shape+colour score with the
+  weighted-sum / micro-average / macro-average argmin strategies;
+* :mod:`repro.pipelines.descriptor` — SIFT / SURF / ORB keypoint matching
+  with Lowe's ratio test;
+* :mod:`repro.pipelines.neural` — Normalized-X-Corr siamese matching.
+
+Submodules are imported lazily (PEP 562) so that lightweight pipelines don't
+pay for the neural stack.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    "Prediction": "repro.pipelines.base",
+    "RecognitionPipeline": "repro.pipelines.base",
+    "MatchingPipeline": "repro.pipelines.base",
+    "ObjectCrop": "repro.pipelines.preprocess",
+    "extract_object_crop": "repro.pipelines.preprocess",
+    "RandomBaselinePipeline": "repro.pipelines.baseline",
+    "ShapeOnlyPipeline": "repro.pipelines.shape_only",
+    "ColorOnlyPipeline": "repro.pipelines.color_only",
+    "HybridPipeline": "repro.pipelines.hybrid",
+    "HybridStrategy": "repro.pipelines.hybrid",
+    "DescriptorPipeline": "repro.pipelines.descriptor",
+    "NeuralMatchingPipeline": "repro.pipelines.neural",
+    "VotingEnsemble": "repro.pipelines.ensemble",
+    "BordaEnsemble": "repro.pipelines.ensemble",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        module = importlib.import_module(_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,144 @@
+"""Shared pipeline contract and reference-library machinery.
+
+The paper's task framing (Sec. 3.2): a set of K ShapeNet models ``M_c`` is
+defined for each of N classes; each model ``m_i`` has a set of 2-D views
+``V_i``; a query is matched against *every view of every model of every
+class* and the model optimising the similarity/distance determines the
+predicted label.
+
+:class:`MatchingPipeline` implements that loop once; concrete pipelines
+supply per-view feature extraction and scoring.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.errors import PipelineError
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One recognition outcome.
+
+    ``label`` is the predicted class, ``model_id`` the reference model that
+    won the argmin/argmax (empty for pipelines without a model notion, e.g.
+    the random baseline), ``score`` the winning score, and ``view_scores``
+    an optional per-reference-view score vector in reference order.
+    """
+
+    label: str
+    model_id: str = ""
+    score: float = 0.0
+    view_scores: np.ndarray | None = field(default=None, repr=False)
+
+
+class RecognitionPipeline(abc.ABC):
+    """A fit-then-predict object recogniser over a reference view library."""
+
+    #: Human-readable pipeline name, used by reports and tables.
+    name: str = "pipeline"
+
+    def __init__(self) -> None:
+        self._references: ImageDataset | None = None
+
+    @property
+    def references(self) -> ImageDataset:
+        """The fitted reference dataset (raises before :meth:`fit`)."""
+        if self._references is None:
+            raise PipelineError(f"{self.name}: fit() must be called before use")
+        return self._references
+
+    @abc.abstractmethod
+    def fit(self, references: ImageDataset) -> "RecognitionPipeline":
+        """Index the reference views; returns self for chaining."""
+
+    @abc.abstractmethod
+    def predict(self, query: LabelledImage) -> Prediction:
+        """Predict the class of one query image."""
+
+    def predict_all(self, queries: ImageDataset | Sequence[LabelledImage]) -> list[Prediction]:
+        """Predict every query in order."""
+        return [self.predict(query) for query in queries]
+
+
+class MatchingPipeline(RecognitionPipeline):
+    """Base class for view-scoring pipelines (shape / colour / descriptor).
+
+    Subclasses implement :meth:`_extract` (per-image feature computation,
+    cached for reference views at fit time) and :meth:`_score` (feature-pair
+    scoring).  ``higher_is_better`` selects argmax instead of argmin.
+    """
+
+    higher_is_better: bool = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reference_features: list[Any] = []
+
+    @abc.abstractmethod
+    def _extract(self, item: LabelledImage) -> Any:
+        """Compute the matching features of one image."""
+
+    @abc.abstractmethod
+    def _score(self, query_features: Any, reference_features: Any) -> float:
+        """Score a query against one reference view."""
+
+    def fit(self, references: ImageDataset) -> "MatchingPipeline":
+        self._references = references
+        self._reference_features = [self._extract(item) for item in references]
+        return self
+
+    def score_views(self, query: LabelledImage) -> np.ndarray:
+        """Scores of *query* against every reference view, in order."""
+        self.references  # raises PipelineError when fit() was never called
+        features = self._extract(query)
+        return np.array(
+            [self._score(features, ref) for ref in self._reference_features],
+            dtype=np.float64,
+        )
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        scores = self.score_views(query)
+        best = int(np.argmax(scores) if self.higher_is_better else np.argmin(scores))
+        winner = self.references[best]
+        return Prediction(
+            label=winner.label,
+            model_id=winner.model_id,
+            score=float(scores[best]),
+            view_scores=scores,
+        )
+
+    def predict_topk(self, query: LabelledImage, k: int = 3) -> list[Prediction]:
+        """The *k* best-scoring *distinct classes* for one query.
+
+        Each class is represented by its best view; results are ordered
+        best-first.  Useful for recall@k evaluation and for downstream
+        consumers (a semantic map may keep runner-up hypotheses).
+        """
+        if k < 1:
+            raise PipelineError(f"k must be >= 1, got {k}")
+        scores = self.score_views(query)
+        order = np.argsort(-scores if self.higher_is_better else scores)
+        top: list[Prediction] = []
+        seen: set[str] = set()
+        for idx in order:
+            item = self.references[int(idx)]
+            if item.label in seen:
+                continue
+            seen.add(item.label)
+            top.append(
+                Prediction(
+                    label=item.label,
+                    model_id=item.model_id,
+                    score=float(scores[idx]),
+                )
+            )
+            if len(top) == k:
+                break
+        return top

@@ -1,0 +1,128 @@
+"""Ensemble recognition — the direction the paper's conclusion points at.
+
+The paper finds that "different approaches favoured different subsets of
+classes … with only partial overlap across different pipelines and without
+any method completely outperforming the others".  That is precisely the
+setting where combining pipelines helps; this module implements two
+combiners over any set of fitted :class:`~repro.pipelines.base.
+RecognitionPipeline` instances:
+
+* **majority voting** — each member votes its predicted label; ties break
+  by the order members were given (a fixed priority list);
+* **rank fusion (Borda)** — members that expose per-view scores contribute
+  a full class ranking; class ranks are summed and the best total wins.
+  Members without usable rankings fall back to a top-1 vote.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.errors import PipelineError
+from repro.pipelines.base import Prediction, RecognitionPipeline
+
+
+class VotingEnsemble(RecognitionPipeline):
+    """Majority vote over member pipelines.
+
+    Members are fitted on the same reference set by :meth:`fit`.  Ties are
+    broken by member order, so put the most trusted pipeline first.
+    """
+
+    name = "ensemble-vote"
+
+    def __init__(self, members: Sequence[RecognitionPipeline]) -> None:
+        super().__init__()
+        if not members:
+            raise PipelineError("ensemble needs at least one member")
+        self.members = list(members)
+
+    def fit(self, references: ImageDataset) -> "VotingEnsemble":
+        self._references = references
+        for member in self.members:
+            member.fit(references)
+        return self
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        votes = [member.predict(query) for member in self.members]
+        counts = Counter(vote.label for vote in votes)
+        top_count = max(counts.values())
+        # Ties resolve to the earliest member whose vote is in the tie set.
+        tied = {label for label, count in counts.items() if count == top_count}
+        for vote in votes:
+            if vote.label in tied:
+                return Prediction(
+                    label=vote.label,
+                    model_id=vote.model_id,
+                    score=top_count / len(votes),
+                )
+        raise PipelineError("unreachable: no vote matched the tie set")
+
+
+class BordaEnsemble(RecognitionPipeline):
+    """Borda-count rank fusion over member pipelines.
+
+    For each member exposing ``view_scores``, classes are ranked by their
+    best view score (respecting the member's score direction); rank points
+    are summed across members and the lowest total rank wins.
+    """
+
+    name = "ensemble-borda"
+
+    def __init__(self, members: Sequence[RecognitionPipeline]) -> None:
+        super().__init__()
+        if not members:
+            raise PipelineError("ensemble needs at least one member")
+        self.members = list(members)
+
+    def fit(self, references: ImageDataset) -> "BordaEnsemble":
+        self._references = references
+        for member in self.members:
+            member.fit(references)
+        return self
+
+    def _class_ranking(
+        self, member: RecognitionPipeline, prediction: Prediction
+    ) -> list[str] | None:
+        scores = prediction.view_scores
+        if scores is None:
+            return None
+        labels = self.references.labels
+        higher_better = getattr(member, "higher_is_better", False)
+        best_per_class: dict[str, float] = {}
+        for label, score in zip(labels, scores):
+            current = best_per_class.get(label)
+            better = (
+                current is None
+                or (higher_better and score > current)
+                or (not higher_better and score < current)
+            )
+            if better:
+                best_per_class[label] = float(score)
+        ordered = sorted(
+            best_per_class, key=best_per_class.get, reverse=higher_better
+        )
+        return ordered
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        classes = self.references.classes
+        totals = {label: 0.0 for label in classes}
+        for member in self.members:
+            prediction = member.predict(query)
+            ranking = self._class_ranking(member, prediction)
+            if ranking is None:
+                # Top-1-only member: its pick gets rank 0, everyone else
+                # shares the midfield.
+                mid = (len(classes) - 1) / 2.0
+                for label in classes:
+                    totals[label] += 0.0 if label == prediction.label else mid
+                continue
+            for rank, label in enumerate(ranking):
+                totals[label] += rank
+            unranked = set(classes) - set(ranking)
+            for label in unranked:
+                totals[label] += len(ranking)
+        best = min(totals, key=lambda label: (totals[label], classes.index(label)))
+        return Prediction(label=best, score=float(totals[best]))

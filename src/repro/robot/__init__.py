@@ -1,0 +1,26 @@
+"""Mobile-robot simulation substrate.
+
+The paper's end goal is "further application on RGB frames captured by a
+mobile robot in a real-life scenario".  This subpackage provides the
+scenario: a simulated indoor world with rooms and placed objects
+(:mod:`repro.robot.world`), a robot with a pose and a camera observation
+model producing NYU-style segmented crops (:mod:`repro.robot.robot`), and a
+patrol mission loop wiring recognition, grounding and semantic mapping
+together (:mod:`repro.robot.mission`).
+"""
+
+from repro.robot.world import PlacedObject, Room, SimulatedWorld, build_random_world
+from repro.robot.robot import Observation, Robot
+from repro.robot.mission import MissionLog, MissionStep, run_patrol
+
+__all__ = [
+    "PlacedObject",
+    "Room",
+    "SimulatedWorld",
+    "build_random_world",
+    "Observation",
+    "Robot",
+    "MissionLog",
+    "MissionStep",
+    "run_patrol",
+]

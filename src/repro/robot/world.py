@@ -1,0 +1,147 @@
+"""The simulated indoor world: rooms and placed objects.
+
+A world is a rectangle of rooms, each holding objects of the paper's ten
+classes.  Every placed object carries a sampled parametric model
+(:func:`repro.datasets.models.sample_model` at natural-scene heterogeneity),
+so two chairs in the world look like two *different* chairs when observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import rng as make_rng, spawn
+from repro.datasets.classes import CLASS_NAMES
+from repro.datasets.models import ObjectModel, sample_model
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Room:
+    """An axis-aligned room: name and (x0, y0, x1, y1) extent in metres."""
+
+    name: str
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise DatasetError(f"degenerate room extent for {self.name!r}")
+
+    def contains(self, x: float, y: float) -> bool:
+        """Point-in-room test (inclusive of the lower edges)."""
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def sample_point(self, rng: np.random.Generator) -> tuple[float, float]:
+        """A uniform random position inside the room."""
+        return (
+            float(rng.uniform(self.x0, self.x1)),
+            float(rng.uniform(self.y0, self.y1)),
+        )
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Geometric centre of the room."""
+        return (self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0
+
+
+@dataclass(frozen=True)
+class PlacedObject:
+    """One world object: class, position, facing and its concrete model."""
+
+    label: str
+    x: float
+    y: float
+    facing_degrees: float
+    model: ObjectModel = field(repr=False)
+
+
+@dataclass(frozen=True)
+class SimulatedWorld:
+    """Rooms plus placed objects, with simple spatial queries."""
+
+    rooms: tuple[Room, ...]
+    objects: tuple[PlacedObject, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rooms:
+            raise DatasetError("a world needs at least one room")
+        for obj in self.objects:
+            if self.room_of(obj.x, obj.y) is None:
+                raise DatasetError(
+                    f"object {obj.label!r} at ({obj.x}, {obj.y}) lies outside all rooms"
+                )
+
+    def room_of(self, x: float, y: float) -> Room | None:
+        """The room containing (x, y), or None."""
+        for room in self.rooms:
+            if room.contains(x, y):
+                return room
+        return None
+
+    def objects_in(self, room_name: str) -> tuple[PlacedObject, ...]:
+        """Objects lying inside the named room."""
+        room = next((r for r in self.rooms if r.name == room_name), None)
+        if room is None:
+            raise DatasetError(f"unknown room {room_name!r}")
+        return tuple(
+            obj for obj in self.objects if room.contains(obj.x, obj.y)
+        )
+
+    def objects_near(
+        self, x: float, y: float, radius: float
+    ) -> tuple[PlacedObject, ...]:
+        """Objects within *radius* metres of (x, y), nearest first."""
+        if radius <= 0:
+            raise DatasetError(f"radius must be positive, got {radius}")
+        nearby = [
+            obj
+            for obj in self.objects
+            if (obj.x - x) ** 2 + (obj.y - y) ** 2 <= radius**2
+        ]
+        nearby.sort(key=lambda obj: (obj.x - x) ** 2 + (obj.y - y) ** 2)
+        return tuple(nearby)
+
+
+#: The default three-room flat used by examples and tests.
+DEFAULT_ROOMS: tuple[Room, ...] = (
+    Room("kitchen", 0.0, 0.0, 4.5, 4.0),
+    Room("lounge", 4.5, 0.0, 9.0, 4.0),
+    Room("study", 0.0, 4.0, 9.0, 7.5),
+)
+
+
+def build_random_world(
+    objects_per_room: int = 6,
+    rooms: tuple[Room, ...] = DEFAULT_ROOMS,
+    rng: np.random.Generator | int | None = None,
+) -> SimulatedWorld:
+    """Populate *rooms* with random objects of the ten paper classes.
+
+    Object classes are drawn uniformly; each object gets an independently
+    sampled model (heterogeneity 1.0) and a random facing.
+    """
+    if objects_per_room < 1:
+        raise DatasetError(f"objects_per_room must be >= 1, got {objects_per_room}")
+    generator = make_rng(rng)
+    placed: list[PlacedObject] = []
+    for room in rooms:
+        for idx in range(objects_per_room):
+            label = CLASS_NAMES[int(generator.integers(0, len(CLASS_NAMES)))]
+            key = f"{room.name}_{label}_{idx}"
+            model = sample_model(label, key, spawn(generator, key), heterogeneity=1.0)
+            x, y = room.sample_point(generator)
+            placed.append(
+                PlacedObject(
+                    label=label,
+                    x=x,
+                    y=y,
+                    facing_degrees=float(generator.uniform(0.0, 360.0)),
+                    model=model,
+                )
+            )
+    return SimulatedWorld(rooms=rooms, objects=tuple(placed))

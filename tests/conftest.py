@@ -1,0 +1,41 @@
+"""Shared fixtures: a small experiment configuration and session-scoped
+datasets so the expensive synthesis runs once per test session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.datasets.nyu import build_nyu
+from repro.datasets.shapenet import build_sns1, build_sns2
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Small-but-real configuration: full SNS sets, 1% NYU scale."""
+    return ExperimentConfig(seed=7, nyu_scale=0.01)
+
+
+@pytest.fixture(scope="session")
+def sns1(config):
+    """ShapeNetSet1 (82 views)."""
+    return build_sns1(config)
+
+
+@pytest.fixture(scope="session")
+def sns2(config):
+    """ShapeNetSet2 (100 views)."""
+    return build_sns2(config)
+
+
+@pytest.fixture(scope="session")
+def nyu(config):
+    """NYUSet at 1% scale (74 instances, ratios preserved)."""
+    return build_nyu(config)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(123)

@@ -1,0 +1,81 @@
+"""Unit tests for pair-dataset augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.config import rng as make_rng
+from repro.datasets.augment import AugmentationPolicy, augment_image, augment_pairs
+from repro.datasets.pairs import build_training_pairs
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def small_pairs(sns2):
+    return build_training_pairs(sns2, total=20, rng=5)
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        AugmentationPolicy()
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            AugmentationPolicy(probability=1.5)
+        with pytest.raises(DatasetError):
+            AugmentationPolicy(scale_range=(1.2, 0.8))
+        with pytest.raises(DatasetError):
+            AugmentationPolicy(noise_sigma=-0.1)
+
+
+class TestAugmentImage:
+    def test_changes_pixels(self, sns2):
+        policy = AugmentationPolicy(probability=1.0)
+        image = sns2[0].image
+        out = augment_image(image, policy, make_rng(1), background=1.0)
+        assert out.shape == image.shape
+        assert not np.array_equal(out, image)
+
+    def test_zero_probability_is_copy(self, sns2):
+        policy = AugmentationPolicy(probability=0.0)
+        image = sns2[0].image
+        out = augment_image(image, policy, make_rng(1))
+        assert np.array_equal(out, image)
+        assert out is not image
+
+    def test_stays_in_unit_range(self, sns2):
+        policy = AugmentationPolicy(probability=1.0, max_brightness_shift=0.5)
+        out = augment_image(sns2[0].image, policy, make_rng(2), background=1.0)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_deterministic(self, sns2):
+        policy = AugmentationPolicy(probability=1.0)
+        a = augment_image(sns2[0].image, policy, make_rng(3))
+        b = augment_image(sns2[0].image, policy, make_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestAugmentPairs:
+    def test_size_grows(self, small_pairs):
+        out = augment_pairs(small_pairs, rng=1, copies=2)
+        assert len(out) == 3 * len(small_pairs)
+
+    def test_labels_preserved(self, small_pairs):
+        out = augment_pairs(small_pairs, rng=1, copies=1)
+        n = len(small_pairs)
+        assert out.labels[:n].tolist() == small_pairs.labels.tolist()
+        assert out.labels[n:].tolist() == small_pairs.labels.tolist()
+
+    def test_positive_share_unchanged(self, small_pairs):
+        out = augment_pairs(small_pairs, rng=2, copies=3)
+        assert out.positive_share == pytest.approx(small_pairs.positive_share)
+
+    def test_augmented_images_differ(self, small_pairs):
+        out = augment_pairs(
+            small_pairs, policy=AugmentationPolicy(probability=1.0), rng=1, copies=1
+        )
+        n = len(small_pairs)
+        assert not np.array_equal(out[n].first.image, small_pairs[0].first.image)
+
+    def test_copies_validation(self, small_pairs):
+        with pytest.raises(DatasetError):
+            augment_pairs(small_pairs, copies=0)

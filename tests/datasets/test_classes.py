@@ -1,0 +1,63 @@
+"""Unit tests for the class registry and Table-1 cardinalities."""
+
+import pytest
+
+from repro.datasets.classes import (
+    CLASS_NAMES,
+    NYU_COUNTS,
+    SNS1_VIEW_COUNTS,
+    SNS2_VIEW_COUNTS,
+    class_index,
+    sns1_views_per_model,
+    validate_class,
+)
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_ten_classes(self):
+        assert len(CLASS_NAMES) == 10
+
+    def test_table1_order(self):
+        assert CLASS_NAMES[0] == "chair"
+        assert CLASS_NAMES[-1] == "lamp"
+
+    def test_totals_match_paper(self):
+        assert sum(SNS1_VIEW_COUNTS.values()) == 82
+        assert sum(SNS2_VIEW_COUNTS.values()) == 100
+        assert sum(NYU_COUNTS.values()) == 6934
+
+    def test_specific_counts(self):
+        assert SNS1_VIEW_COUNTS["chair"] == 14
+        assert SNS1_VIEW_COUNTS["door"] == 4
+        assert NYU_COUNTS["chair"] == 1000
+        assert NYU_COUNTS["lamp"] == 478
+
+    def test_class_index(self):
+        assert class_index("chair") == 0
+        assert class_index("lamp") == 9
+
+    def test_class_index_unknown(self):
+        with pytest.raises(DatasetError):
+            class_index("spoon")
+
+    def test_validate_class(self):
+        assert validate_class("sofa") == "sofa"
+        with pytest.raises(DatasetError):
+            validate_class("Sofa ")
+
+
+class TestViewSplit:
+    def test_even_split(self):
+        assert sns1_views_per_model("bottle") == (6, 6)
+
+    def test_odd_split_gives_first_model_extra(self):
+        # No odd totals in Table 1, but the rule must hold for any input.
+        assert sns1_views_per_model("chair") == (7, 7)
+
+    def test_door_minimum(self):
+        assert sns1_views_per_model("door") == (2, 2)
+
+    def test_sums_match_table(self):
+        for name in CLASS_NAMES:
+            assert sum(sns1_views_per_model(name)) == SNS1_VIEW_COUNTS[name]

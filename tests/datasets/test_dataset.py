@@ -1,0 +1,91 @@
+"""Unit tests for the dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.config import rng as make_rng
+from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.errors import DatasetError
+
+
+def make_item(label, model="m0", view=0):
+    return LabelledImage(
+        image=np.zeros((4, 4, 3)),
+        label=label,
+        source="sns1",
+        model_id=model,
+        view_id=view,
+    )
+
+
+@pytest.fixture()
+def dataset():
+    items = tuple(
+        make_item(label, model=f"{label}_{m}", view=v)
+        for label in ("chair", "table")
+        for m in range(2)
+        for v in range(3)
+    )
+    return ImageDataset(name="toy", items=items)
+
+
+class TestContainer:
+    def test_len_and_iter(self, dataset):
+        assert len(dataset) == 12
+        assert sum(1 for _ in dataset) == 12
+
+    def test_indexing(self, dataset):
+        assert dataset[0].label == "chair"
+        assert dataset[-1].label == "table"
+
+    def test_labels_ordered(self, dataset):
+        assert dataset.labels[:6] == ("chair",) * 6
+
+    def test_classes_sorted(self, dataset):
+        assert dataset.classes == ("chair", "table")
+
+    def test_class_counts(self, dataset):
+        assert dataset.class_counts() == {"chair": 6, "table": 6}
+
+    def test_by_class_groups(self, dataset):
+        groups = dataset.by_class()
+        assert set(groups) == {"chair", "table"}
+        assert len(groups["chair"]) == 6
+
+    def test_by_model_groups(self, dataset):
+        groups = dataset.by_model()
+        assert len(groups) == 4
+        assert len(groups["chair_0"]) == 3
+
+    def test_key_unique(self, dataset):
+        keys = {item.key for item in dataset}
+        assert len(keys) == len(dataset)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            ImageDataset(name="empty", items=())
+
+
+class TestSubsetting:
+    def test_subset_preserves_order(self, dataset):
+        sub = dataset.subset([3, 1, 7])
+        assert len(sub) == 3
+        assert sub[0] is dataset[3]
+
+    def test_sample_per_class(self, dataset):
+        sample = dataset.sample_per_class(2, make_rng(0))
+        assert sample.class_counts() == {"chair": 2, "table": 2}
+
+    def test_sample_per_class_without_replacement(self, dataset):
+        sample = dataset.sample_per_class(3, make_rng(0))
+        keys = [item.key for item in sample]
+        assert len(set(keys)) == len(keys)
+
+    def test_sample_per_class_too_many(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.sample_per_class(7, make_rng(0))
+
+    def test_sample_deterministic(self, dataset):
+        a = dataset.sample_per_class(2, make_rng(5))
+        b = dataset.sample_per_class(2, make_rng(5))
+        assert [i.key for i in a] == [i.key for i in b]

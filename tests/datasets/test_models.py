@@ -1,0 +1,83 @@
+"""Unit tests for the parametric object models."""
+
+import numpy as np
+import pytest
+
+from repro.config import rng as make_rng
+from repro.datasets.classes import CLASS_NAMES
+from repro.datasets.models import ObjectModel, sample_model
+from repro.errors import DatasetError
+from repro.imaging import draw
+
+
+class TestSampleModel:
+    def test_deterministic_for_same_stream(self):
+        a = sample_model("chair", "m0", make_rng(3))
+        b = sample_model("chair", "m0", make_rng(3))
+        assert a.params == b.params
+        assert a.color == b.color
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(DatasetError):
+            sample_model("teapot", "m0", make_rng(0))
+
+    def test_heterogeneity_bounds(self):
+        with pytest.raises(DatasetError):
+            sample_model("chair", "m0", make_rng(0), heterogeneity=1.5)
+
+    def test_low_heterogeneity_narrows_params(self):
+        rng = make_rng(11)
+        spreads = {"low": [], "high": []}
+        for i in range(40):
+            low = sample_model("table", f"l{i}", make_rng(i), heterogeneity=0.05)
+            high = sample_model("table", f"h{i}", make_rng(1000 + i), heterogeneity=1.0)
+            spreads["low"].append(low.params["width"])
+            spreads["high"].append(high.params["width"])
+        assert np.std(spreads["low"]) < np.std(spreads["high"])
+
+    def test_variant_spans_range_at_low_heterogeneity(self):
+        variants = {
+            int(sample_model("chair", f"m{i}", make_rng(i), heterogeneity=0.05).params["variant"] * 3)
+            for i in range(60)
+        }
+        assert variants == {0, 1, 2}
+
+    def test_colors_in_valid_range(self):
+        for i in range(20):
+            model = sample_model("sofa", f"m{i}", make_rng(i), heterogeneity=1.0)
+            for channel in (*model.color, *model.accent):
+                assert 0.0 <= channel <= 1.0
+
+
+class TestPaint:
+    @pytest.mark.parametrize("class_name", CLASS_NAMES)
+    def test_every_class_paints_something(self, class_name):
+        for seed in range(3):  # hit all variants across seeds
+            model = sample_model(class_name, f"m{seed}", make_rng(seed))
+            canvas = draw.new_canvas(64, 64, (1.0, 1.0, 1.0))
+            model.paint(canvas)
+            foreground = ~np.all(np.isclose(canvas, 1.0), axis=-1)
+            assert foreground.mean() > 0.01, f"{class_name} seed {seed} painted nothing"
+
+    @pytest.mark.parametrize("class_name", CLASS_NAMES)
+    def test_variants_differ_in_silhouette(self, class_name):
+        masks = []
+        for variant_target in range(3):
+            # Find a seed whose model lands in each variant bucket.
+            for seed in range(200):
+                model = sample_model(class_name, f"v{seed}", make_rng(seed))
+                if int(min(model.params["variant"] * 3, 2.0)) == variant_target:
+                    canvas = draw.new_canvas(48, 48, (1.0, 1.0, 1.0))
+                    model.paint(canvas)
+                    masks.append(~np.all(np.isclose(canvas, 1.0), axis=-1))
+                    break
+        assert len(masks) == 3
+        disagreement01 = (masks[0] ^ masks[1]).mean()
+        disagreement12 = (masks[1] ^ masks[2]).mean()
+        assert disagreement01 > 0.01
+        assert disagreement12 > 0.01
+
+    def test_object_model_is_frozen(self):
+        model = sample_model("box", "m0", make_rng(0))
+        with pytest.raises(AttributeError):
+            model.color = (0, 0, 0)

@@ -1,0 +1,61 @@
+"""Unit tests for the NYUSet builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.datasets.classes import CLASS_NAMES, NYU_COUNTS
+from repro.datasets.nyu import build_nyu, scaled_counts
+
+
+class TestScaledCounts:
+    def test_full_scale_matches_table1(self):
+        assert scaled_counts(1.0) == NYU_COUNTS
+
+    def test_ratios_preserved(self):
+        counts = scaled_counts(0.1)
+        assert counts["chair"] == math.ceil(100.0)
+        assert counts["lamp"] == math.ceil(47.8)
+
+    def test_minimum_one_per_class(self):
+        counts = scaled_counts(0.0001)
+        assert all(v >= 1 for v in counts.values())
+
+
+class TestBuildNyu:
+    def test_counts(self, config, nyu):
+        assert nyu.class_counts() == scaled_counts(config.nyu_scale)
+
+    def test_black_background(self, nyu):
+        image = nyu[0].image
+        border = np.concatenate([image[0], image[-1], image[:, 0], image[:, -1]])
+        assert np.allclose(border, 0.0, atol=1e-6)
+
+    def test_every_instance_has_foreground(self, nyu):
+        for item in nyu:
+            assert (item.image.sum(axis=-1) > 1e-6).sum() > 10, item.key
+
+    def test_instances_are_heterogeneous(self, nyu):
+        chairs = nyu.by_class()["chair"]
+        assert not np.array_equal(chairs[0].image, chairs[1].image)
+
+    def test_deterministic(self, config, nyu):
+        again = build_nyu(config)
+        assert np.array_equal(again[0].image, nyu[0].image)
+        assert np.array_equal(again[-1].image, nyu[-1].image)
+
+    def test_all_classes_present(self, nyu):
+        assert set(nyu.classes) == set(CLASS_NAMES)
+
+    def test_source_and_unique_models(self, nyu):
+        assert {item.source for item in nyu} == {"nyu"}
+        ids = [item.model_id for item in nyu]
+        assert len(set(ids)) == len(ids)  # one sampled model per instance
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(nyu_scale=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(nyu_scale=1.5)

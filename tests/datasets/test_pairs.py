@@ -1,0 +1,96 @@
+"""Unit tests for pair-dataset construction (Sec. 3.4 protocols)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pairs import (
+    ImagePair,
+    PairDataset,
+    build_nyu_sns1_test_pairs,
+    build_sns1_test_pairs,
+    build_training_pairs,
+)
+from repro.errors import DatasetError
+
+
+class TestTrainingPairs:
+    def test_total_and_share(self, sns2):
+        pairs = build_training_pairs(sns2, total=500, rng=1)
+        assert len(pairs) == 500
+        assert pairs.positive_share == pytest.approx(0.52, abs=0.01)
+
+    def test_paper_defaults(self, sns2):
+        pairs = build_training_pairs(sns2, rng=1)
+        assert len(pairs) == 9450
+        assert pairs.positive_count == round(9450 * 0.52)
+
+    def test_labels_match_classes(self, sns2):
+        pairs = build_training_pairs(sns2, total=300, rng=2)
+        for pair in pairs:
+            expected = 1 if pair.first.label == pair.second.label else 0
+            assert pair.label == expected
+
+    def test_deterministic(self, sns2):
+        a = build_training_pairs(sns2, total=200, rng=3)
+        b = build_training_pairs(sns2, total=200, rng=3)
+        assert a.labels.tolist() == b.labels.tolist()
+
+    def test_share_validation(self, sns2):
+        with pytest.raises(DatasetError):
+            build_training_pairs(sns2, total=100, positive_share=0.0)
+        with pytest.raises(DatasetError):
+            build_training_pairs(sns2, total=1)
+
+
+class TestSns1TestPairs:
+    def test_exactly_3321_pairs(self, sns1):
+        pairs = build_sns1_test_pairs(sns1)
+        assert len(pairs) == 3321  # C(82, 2)
+
+    def test_no_self_pairs(self, sns1):
+        pairs = build_sns1_test_pairs(sns1)
+        for pair in pairs:
+            assert pair.first.key != pair.second.key
+
+    def test_positive_count_is_same_class_combinations(self, sns1):
+        pairs = build_sns1_test_pairs(sns1)
+        counts = sns1.class_counts()
+        expected = sum(n * (n - 1) // 2 for n in counts.values())
+        assert pairs.positive_count == expected
+
+
+class TestNyuSns1Pairs:
+    def test_raw_cross_product(self, nyu, sns1):
+        pairs = build_nyu_sns1_test_pairs(nyu, sns1, per_class=1, rebalance_to=None, rng=1)
+        assert len(pairs) == 10 * 82
+
+    def test_rebalanced_support(self, nyu, sns1):
+        pairs = build_nyu_sns1_test_pairs(nyu, sns1, per_class=2, rebalance_to=700, rng=1)
+        assert len(pairs) == 2 * 10 * 82
+        assert pairs.positive_count == 700
+
+    def test_rebalance_bounds(self, nyu, sns1):
+        with pytest.raises(DatasetError):
+            build_nyu_sns1_test_pairs(nyu, sns1, per_class=1, rebalance_to=10_000, rng=1)
+
+    def test_positive_pairs_same_class(self, nyu, sns1):
+        pairs = build_nyu_sns1_test_pairs(nyu, sns1, per_class=1, rebalance_to=400, rng=2)
+        for pair in pairs:
+            if pair.label == 1:
+                assert pair.first.label == pair.second.label
+
+
+class TestContainers:
+    def test_pair_label_validation(self, sns1):
+        with pytest.raises(DatasetError):
+            ImagePair(first=sns1[0], second=sns1[1], label=2)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            PairDataset(name="empty", pairs=())
+
+    def test_labels_array(self, sns1):
+        pairs = build_sns1_test_pairs(sns1)
+        labels = pairs.labels
+        assert labels.dtype == np.int64
+        assert set(np.unique(labels)) == {0, 1}

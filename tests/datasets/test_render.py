@@ -1,0 +1,100 @@
+"""Unit tests for view rendering."""
+
+import numpy as np
+import pytest
+
+from repro.config import rng as make_rng
+from repro.datasets.models import sample_model
+from repro.datasets.render import (
+    BLACK,
+    CANONICAL_VIEWS,
+    WHITE,
+    Viewpoint,
+    canonical_view,
+    random_viewpoint,
+    render_view,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def model():
+    return sample_model("chair", "m0", make_rng(1))
+
+
+class TestViewpoint:
+    def test_defaults_valid(self):
+        vp = Viewpoint()
+        assert vp.scale == 1.0 and vp.squeeze == 1.0
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(DatasetError):
+            Viewpoint(scale=0.1)
+
+    def test_rejects_bad_squeeze(self):
+        with pytest.raises(DatasetError):
+            Viewpoint(squeeze=0.1)
+        with pytest.raises(DatasetError):
+            Viewpoint(v_squeeze=1.2)
+
+    def test_canonical_ring_cycles(self):
+        assert canonical_view(0) == CANONICAL_VIEWS[0]
+        assert canonical_view(len(CANONICAL_VIEWS)) == CANONICAL_VIEWS[0]
+
+    def test_random_viewpoint_valid(self):
+        rng = make_rng(0)
+        for _ in range(50):
+            random_viewpoint(rng)  # __post_init__ validates
+
+    def test_random_viewpoint_deterministic(self):
+        assert random_viewpoint(make_rng(9)) == random_viewpoint(make_rng(9))
+
+
+class TestRenderView:
+    def test_white_background_border(self, model):
+        image = render_view(model, Viewpoint(rotation_degrees=30.0, scale=0.8), 48, WHITE)
+        border = np.concatenate([image[0], image[-1], image[:, 0], image[:, -1]])
+        assert np.allclose(border, 1.0, atol=1e-6)
+
+    def test_black_background_border(self, model):
+        image = render_view(model, Viewpoint(rotation_degrees=30.0, scale=0.8), 48, BLACK)
+        border = np.concatenate([image[0], image[-1], image[:, 0], image[:, -1]])
+        assert np.allclose(border, 0.0, atol=1e-6)
+
+    def test_output_shape_and_range(self, model):
+        image = render_view(model, Viewpoint(), 32)
+        assert image.shape == (32, 32, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_deterministic(self, model):
+        a = render_view(model, Viewpoint(rotation_degrees=15), 48)
+        b = render_view(model, Viewpoint(rotation_degrees=15), 48)
+        assert np.array_equal(a, b)
+
+    def test_mirror_flips(self, model):
+        plain = render_view(model, Viewpoint(), 48)
+        mirrored = render_view(model, Viewpoint(mirror=True), 48)
+        assert np.allclose(mirrored, plain[:, ::-1])
+
+    def test_squeeze_narrows_object(self, model):
+        wide = render_view(model, Viewpoint(), 48, WHITE)
+        narrow = render_view(model, Viewpoint(squeeze=0.5), 48, WHITE)
+        fg_wide = (~np.all(np.isclose(wide, 1.0), axis=-1)).any(axis=0).sum()
+        fg_narrow = (~np.all(np.isclose(narrow, 1.0), axis=-1)).any(axis=0).sum()
+        assert fg_narrow < fg_wide
+
+    def test_rotation_moves_content(self, model):
+        plain = render_view(model, Viewpoint(), 48)
+        rotated = render_view(model, Viewpoint(rotation_degrees=45), 48)
+        assert not np.allclose(plain, rotated)
+
+    def test_shading_changes_object_not_background(self, model):
+        plain = render_view(model, Viewpoint(), 48, WHITE)
+        shaded = render_view(model, Viewpoint(), 48, WHITE, shading_rng=make_rng(2))
+        assert not np.allclose(plain, shaded)
+        border = np.concatenate([shaded[0], shaded[-1]])
+        assert np.allclose(border, 1.0, atol=1e-6)
+
+    def test_rejects_small_canvas(self, model):
+        with pytest.raises(DatasetError):
+            render_view(model, Viewpoint(), 8)

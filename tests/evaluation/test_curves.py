@@ -1,0 +1,95 @@
+"""Unit and property tests for ranking/threshold curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.evaluation.curves import (
+    cmc_curve,
+    precision_recall_curve,
+    roc_curve,
+)
+from repro.pipelines.color_only import ColorOnlyPipeline
+
+
+class TestCmc:
+    def test_monotone_nondecreasing(self, sns1, sns2):
+        pipeline = ColorOnlyPipeline().fit(sns1)
+        curve = cmc_curve(pipeline, sns2.subset(list(range(20))))
+        assert (np.diff(curve.values) >= -1e-12).all()
+
+    def test_reaches_one_at_full_rank(self, sns1, sns2):
+        pipeline = ColorOnlyPipeline().fit(sns1)
+        curve = cmc_curve(pipeline, sns2.subset(list(range(10))))
+        assert curve.values[-1] == pytest.approx(1.0)
+
+    def test_at_accessor(self, sns1, sns2):
+        pipeline = ColorOnlyPipeline().fit(sns1)
+        curve = cmc_curve(pipeline, sns2.subset(list(range(10))), max_rank=5)
+        assert curve.at(1) == pytest.approx(curve.values[0])
+        assert curve.at(99) == pytest.approx(curve.values[-1])
+        with pytest.raises(EvaluationError):
+            curve.at(0)
+
+    def test_self_queries_rank_one(self, sns1):
+        pipeline = ColorOnlyPipeline().fit(sns1)
+        curve = cmc_curve(pipeline, sns1.subset(list(range(8))), max_rank=3)
+        assert curve.at(1) == pytest.approx(1.0)
+
+
+class TestPrecisionRecall:
+    def test_perfect_scorer(self):
+        curve = precision_recall_curve([1, 1, 0, 0], [0.9, 0.8, 0.2, 0.1])
+        assert curve.average_precision == pytest.approx(1.0)
+
+    def test_random_scorer_ap_near_prevalence(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        curve = precision_recall_curve(labels, scores)
+        assert curve.average_precision == pytest.approx(labels.mean(), abs=0.05)
+
+    def test_recall_monotone(self):
+        curve = precision_recall_curve([1, 0, 1, 0, 1], [0.9, 0.7, 0.6, 0.4, 0.2])
+        assert (np.diff(curve.recall) >= 0).all()
+
+    def test_requires_positives(self):
+        with pytest.raises(EvaluationError):
+            precision_recall_curve([0, 0], [0.1, 0.2])
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            precision_recall_curve([0, 2], [0.1, 0.2])
+        with pytest.raises(EvaluationError):
+            precision_recall_curve([], [])
+
+
+class TestRoc:
+    def test_perfect_scorer_auc_one(self):
+        curve = roc_curve([1, 1, 0, 0], [0.9, 0.8, 0.2, 0.1])
+        assert curve.auc == pytest.approx(1.0)
+
+    def test_inverted_scorer_auc_zero(self):
+        curve = roc_curve([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1])
+        assert curve.auc == pytest.approx(0.0, abs=1e-9)
+
+    def test_needs_both_classes(self):
+        with pytest.raises(EvaluationError):
+            roc_curve([1, 1], [0.5, 0.6])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_auc_bounds_property(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = np.concatenate([[0, 1], rng.integers(0, 2, 30)])
+        scores = rng.random(32)
+        curve = roc_curve(labels, scores)
+        assert -1e-9 <= curve.auc <= 1.0 + 1e-9
+
+    def test_random_scorer_auc_near_half(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert roc_curve(labels, scores).auc == pytest.approx(0.5, abs=0.05)

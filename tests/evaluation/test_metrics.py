@@ -1,0 +1,135 @@
+"""Unit and property tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import (
+    binary_report,
+    classification_report,
+    confusion_matrix,
+    cumulative_accuracy,
+)
+
+
+class TestCumulativeAccuracy:
+    def test_all_correct(self):
+        assert cumulative_accuracy(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_all_wrong(self):
+        assert cumulative_accuracy(["a", "b"], ["b", "a"]) == 0.0
+
+    def test_fraction(self):
+        assert cumulative_accuracy(["a", "a", "b", "b"], ["a", "b", "b", "b"]) == 0.75
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            cumulative_accuracy(["a"], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            cumulative_accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix, classes = confusion_matrix(
+            ["a", "a", "b"], ["a", "b", "b"], classes=["a", "b"]
+        )
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+        assert classes == ("a", "b")
+
+    def test_classes_inferred_sorted(self):
+        _, classes = confusion_matrix(["b", "a"], ["a", "b"])
+        assert classes == ("a", "b")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(EvaluationError):
+            confusion_matrix(["a"], ["c"], classes=["a", "b"])
+
+    def test_trace_is_correct_count(self):
+        matrix, _ = confusion_matrix(["a", "b", "b"], ["a", "b", "a"])
+        assert np.trace(matrix) == 2
+
+
+class TestClassificationReport:
+    def test_perfect_prediction(self):
+        report = classification_report(["a", "b"], ["a", "b"])
+        assert report.cumulative_accuracy == 1.0
+        assert report["a"].precision == 1.0
+        assert report["a"].recall == 1.0
+        assert report["a"].f1 == 1.0
+        assert report["a"].support == 1
+
+    def test_accuracy_equals_recall(self):
+        report = classification_report(
+            ["a", "a", "a", "b"], ["a", "a", "b", "b"]
+        )
+        assert report["a"].accuracy == report["a"].recall == pytest.approx(2 / 3)
+
+    def test_absent_class_zero_metrics(self):
+        report = classification_report(["a", "a"], ["a", "a"], classes=["a", "b"])
+        assert report["b"].precision == 0.0
+        assert report["b"].recall == 0.0
+        assert report["b"].f1 == 0.0
+        assert report["b"].support == 0
+
+    def test_f1_harmonic_mean(self):
+        report = classification_report(
+            ["a", "a", "b", "b"], ["a", "b", "a", "b"]
+        )
+        m = report["a"]
+        expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+        assert m.f1 == pytest.approx(expected)
+
+    def test_total(self):
+        report = classification_report(["a"] * 5 + ["b"] * 3, ["a"] * 8)
+        assert report.total == 8
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 60))
+    def test_cumulative_consistency_property(self, seed, n):
+        rng = np.random.default_rng(seed)
+        classes = ["a", "b", "c"]
+        truth = [classes[i] for i in rng.integers(0, 3, n)]
+        pred = [classes[i] for i in rng.integers(0, 3, n)]
+        report = classification_report(truth, pred, classes=classes)
+        # cumulative accuracy == support-weighted mean recall
+        weighted = sum(report[c].recall * report[c].support for c in classes) / n
+        assert report.cumulative_accuracy == pytest.approx(weighted)
+        assert report.cumulative_accuracy == pytest.approx(
+            cumulative_accuracy(truth, pred)
+        )
+
+
+class TestBinaryReport:
+    def test_perfect(self):
+        report = binary_report([1, 0, 1], [1, 0, 1])
+        assert report.precision_similar == 1.0
+        assert report.recall_dissimilar == 1.0
+        assert report.accuracy == 1.0
+
+    def test_all_predicted_similar_collapse(self):
+        # The paper's observed failure mode: P(similar) equals prevalence.
+        truth = [1] * 9 + [0] * 91
+        pred = [1] * 100
+        report = binary_report(truth, pred)
+        assert report.recall_similar == 1.0
+        assert report.recall_dissimilar == 0.0
+        assert report.precision_similar == pytest.approx(0.09)
+        assert report.f1_dissimilar == 0.0
+
+    def test_supports(self):
+        report = binary_report([1, 1, 0], [0, 1, 0])
+        assert report.support_similar == 2
+        assert report.support_dissimilar == 1
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(EvaluationError):
+            binary_report([0, 2], [0, 1])
+
+    def test_accuracy_weighted(self):
+        report = binary_report([1, 1, 0, 0], [1, 0, 0, 0])
+        assert report.accuracy == pytest.approx(0.75)

@@ -1,0 +1,119 @@
+"""Unit tests for the experiment runner and table formatters."""
+
+import pytest
+
+from repro.datasets.pairs import build_sns1_test_pairs
+from repro.evaluation.metrics import binary_report
+from repro.evaluation.runner import (
+    run_matching_experiment,
+    run_matching_suite,
+    run_pair_experiment,
+)
+from repro.evaluation.tables import (
+    format_classwise_table,
+    format_cumulative_table,
+    format_dataset_table,
+    format_pair_table,
+)
+from repro.pipelines.baseline import RandomBaselinePipeline
+from repro.pipelines.color_only import ColorOnlyPipeline
+
+
+class TestRunner:
+    def test_matching_experiment_wiring(self, sns1, sns2):
+        result = run_matching_experiment(RandomBaselinePipeline(rng=0), sns2, sns1)
+        assert result.pipeline_name == "baseline"
+        assert result.query_name == "ShapeNetSet2"
+        assert result.reference_name == "ShapeNetSet1"
+        assert len(result.predictions) == len(sns2)
+        assert 0.0 <= result.cumulative_accuracy <= 1.0
+
+    def test_suite_keys_by_pipeline_name(self, sns1, sns2):
+        results = run_matching_suite(
+            [RandomBaselinePipeline(rng=0), ColorOnlyPipeline()], sns2, sns1
+        )
+        assert set(results) == {"baseline", "color-only-hellinger"}
+
+    def test_pair_experiment(self, sns1):
+        small = sns1.subset(list(range(8)))
+        pairs = build_sns1_test_pairs(small)
+        result = run_pair_experiment(lambda p: [1] * len(p), pairs, name="always-sim")
+        assert result.classifier_name == "always-sim"
+        assert result.report.recall_similar == 1.0
+        assert result.report.recall_dissimilar == 0.0
+
+
+class TestTableFormatters:
+    def test_dataset_table_contains_rows(self, sns1, sns2):
+        text = format_dataset_table([sns1, sns2])
+        assert "Chair" in text and "Total" in text
+        assert "82" in text and "100" in text
+
+    def test_cumulative_table(self):
+        text = format_cumulative_table(
+            {"Baseline": {"A": 0.1}, "Hybrid": {"A": 0.32109}},
+            dataset_columns=("A",),
+        )
+        assert "0.32109" in text
+        assert "Baseline" in text
+
+    def test_cumulative_table_missing_cell(self):
+        text = format_cumulative_table({"X": {}}, dataset_columns=("A",))
+        assert "-" in text
+
+    def test_classwise_table(self, sns1, sns2):
+        result = run_matching_experiment(RandomBaselinePipeline(rng=0), sns2, sns1)
+        text = format_classwise_table({"Baseline": result.report})
+        for row in ("Accuracy", "Precision", "Recall", "F1"):
+            assert row in text
+        assert "Chair" in text and "Lamp" in text
+
+    def test_pair_table(self):
+        report = binary_report([1, 0, 1, 0], [1, 1, 1, 0])
+        text = format_pair_table({"toy pairs": report})
+        assert "Similar" in text and "Dissimilar" in text
+        assert "Support" in text
+
+
+class TestConfusionMatrixFormatter:
+    def test_raw_counts(self):
+        import numpy as np
+
+        from repro.evaluation.tables import format_confusion_matrix
+
+        matrix = np.array([[3, 1], [0, 2]])
+        text = format_confusion_matrix(matrix, ["chair", "table"])
+        assert "Chair" in text and "Table" in text
+        assert "3" in text and "2" in text
+
+    def test_normalised_rows(self):
+        import numpy as np
+
+        from repro.evaluation.tables import format_confusion_matrix
+
+        matrix = np.array([[3, 1], [0, 2]])
+        text = format_confusion_matrix(matrix, ["chair", "table"], normalise=True)
+        assert "0.750" in text
+        assert "1.000" in text
+
+    def test_zero_support_row(self):
+        import numpy as np
+
+        from repro.evaluation.tables import format_confusion_matrix
+
+        matrix = np.zeros((2, 2), dtype=int)
+        text = format_confusion_matrix(matrix, ["a", "b"], normalise=True)
+        assert "0.000" in text
+
+    def test_round_trip_with_report(self, sns1, sns2):
+        from repro.evaluation.metrics import confusion_matrix
+        from repro.evaluation.tables import format_confusion_matrix
+        from repro.evaluation.runner import run_matching_experiment
+        from repro.pipelines.color_only import ColorOnlyPipeline
+
+        result = run_matching_experiment(ColorOnlyPipeline(), sns2, sns1)
+        truth = sns2.labels
+        predicted = [p.label for p in result.predictions]
+        matrix, classes = confusion_matrix(truth, predicted)
+        text = format_confusion_matrix(matrix, classes)
+        assert "True \\ Pred" in text

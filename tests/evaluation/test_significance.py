@@ -1,0 +1,89 @@
+"""Unit tests for bootstrap significance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.significance import (
+    bootstrap_accuracy_ci,
+    paired_bootstrap_test,
+)
+
+
+class TestBootstrapCi:
+    def test_estimate_is_mean(self):
+        ci = bootstrap_accuracy_ci([1, 1, 0, 0], rng=0)
+        assert ci.estimate == 0.5
+
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(1)
+        correct = rng.integers(0, 2, 200)
+        ci = bootstrap_accuracy_ci(correct, rng=2)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.contains(ci.estimate)
+
+    def test_more_data_narrows_interval(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_accuracy_ci(rng.integers(0, 2, 30), rng=4)
+        big = bootstrap_accuracy_ci(rng.integers(0, 2, 3000), rng=5)
+        assert (big.high - big.low) < (small.high - small.low)
+
+    def test_degenerate_all_correct(self):
+        ci = bootstrap_accuracy_ci([1] * 50, rng=6)
+        assert ci.low == ci.high == ci.estimate == 1.0
+
+    def test_deterministic_with_seed(self):
+        correct = [1, 0, 1, 1, 0, 1]
+        a = bootstrap_accuracy_ci(correct, rng=7)
+        b = bootstrap_accuracy_ci(correct, rng=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_accuracy_ci([])
+        with pytest.raises(EvaluationError):
+            bootstrap_accuracy_ci([0, 2])
+        with pytest.raises(EvaluationError):
+            bootstrap_accuracy_ci([0, 1], level=1.5)
+        with pytest.raises(EvaluationError):
+            bootstrap_accuracy_ci([0, 1], n_resamples=2)
+
+
+class TestPairedTest:
+    def test_identical_pipelines_near_half(self):
+        rng = np.random.default_rng(0)
+        correct = rng.integers(0, 2, 100)
+        result = paired_bootstrap_test(correct, correct, rng=1)
+        assert result.p_better == pytest.approx(0.5)
+        assert result.mean_difference == 0.0
+
+    def test_clearly_better_pipeline(self):
+        rng = np.random.default_rng(2)
+        strong = (rng.random(400) < 0.8).astype(int)
+        weak = (rng.random(400) < 0.3).astype(int)
+        result = paired_bootstrap_test(strong, weak, rng=3)
+        assert result.p_better > 0.99
+        assert result.significant_at_95
+        assert result.mean_difference > 0.3
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        a = (rng.random(200) < 0.6).astype(int)
+        b = (rng.random(200) < 0.5).astype(int)
+        forward = paired_bootstrap_test(a, b, rng=5)
+        backward = paired_bootstrap_test(b, a, rng=5)
+        assert forward.p_better == pytest.approx(1.0 - backward.p_better, abs=0.02)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap_test([1, 0], [1, 0, 1])
+
+    def test_small_real_difference_not_significant(self):
+        # A 2-point gap on 50 queries should not be called significant.
+        rng = np.random.default_rng(6)
+        base = rng.integers(0, 2, 50)
+        tweaked = base.copy()
+        flip = rng.integers(0, 50)
+        tweaked[flip] = 1 - tweaked[flip]
+        result = paired_bootstrap_test(tweaked, base, rng=7)
+        assert not result.significant_at_95 or result.p_better < 0.99

@@ -1,0 +1,75 @@
+"""Unit tests for FAST corners and the Harris response."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.keypoints import KeyPoint, fast_corners, harris_response
+
+
+def corner_image(size=32):
+    """A bright square on dark background: four strong corners."""
+    image = np.zeros((size, size))
+    image[8:24, 8:24] = 1.0
+    return image
+
+
+class TestFast:
+    def test_detects_square_corners(self):
+        corners = fast_corners(corner_image(), threshold=0.2)
+        assert corners, "no corners found on a high-contrast square"
+        positions = {(round(kp.row), round(kp.col)) for kp in corners}
+        # At least one detection near each of two opposite square corners.
+        assert any(abs(r - 8) <= 2 and abs(c - 8) <= 2 for r, c in positions)
+        assert any(abs(r - 23) <= 2 and abs(c - 23) <= 2 for r, c in positions)
+
+    def test_uniform_image_has_no_corners(self):
+        assert fast_corners(np.full((32, 32), 0.5), threshold=0.1) == []
+
+    def test_straight_edge_is_not_a_corner(self):
+        image = np.zeros((32, 32))
+        image[:, 16:] = 1.0  # vertical edge only
+        corners = fast_corners(image, threshold=0.2)
+        # An ideal straight edge has no 9-contiguous arc; tolerate nothing.
+        assert corners == []
+
+    def test_nonmax_thins_detections(self):
+        dense = fast_corners(corner_image(), threshold=0.2, nonmax=False)
+        thin = fast_corners(corner_image(), threshold=0.2, nonmax=True)
+        assert len(thin) <= len(dense)
+
+    def test_response_positive(self):
+        for kp in fast_corners(corner_image(), threshold=0.2):
+            assert kp.response > 0
+
+    def test_tiny_image_empty(self):
+        assert fast_corners(np.zeros((5, 5))) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(FeatureError):
+            fast_corners(corner_image(), threshold=0.0)
+        with pytest.raises(FeatureError):
+            fast_corners(corner_image(), arc_length=5)
+
+    def test_dark_corners_also_detected(self):
+        image = 1.0 - corner_image()
+        assert fast_corners(image, threshold=0.2)
+
+
+class TestHarris:
+    def test_corner_scores_higher_than_edge(self):
+        image = corner_image()
+        response = harris_response(image)
+        corner_score = response[8, 8]
+        edge_score = response[16, 8]  # middle of the left edge
+        flat_score = response[2, 2]
+        assert corner_score > edge_score
+        assert corner_score > flat_score
+
+    def test_shape_matches_input(self):
+        response = harris_response(np.zeros((20, 24)))
+        assert response.shape == (20, 24)
+
+    def test_keypoint_record_defaults(self):
+        kp = KeyPoint(row=1.0, col=2.0)
+        assert kp.angle == -1.0 and kp.octave == 0

@@ -1,0 +1,132 @@
+"""Unit and property tests for descriptor matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MatchingError
+from repro.features.matching import (
+    BruteForceMatcher,
+    KDTreeMatcher,
+    Match,
+    ratio_test,
+)
+
+
+@pytest.fixture()
+def float_descriptors():
+    rng = np.random.default_rng(0)
+    train = rng.random((10, 8))
+    query = train[[2, 5]] + 1e-4  # near-copies of rows 2 and 5
+    return query, train
+
+
+class TestBruteForce:
+    def test_nearest_neighbour_found(self, float_descriptors):
+        query, train = float_descriptors
+        matches = BruteForceMatcher("l2").match(query, train)
+        assert [m.train_idx for m in matches] == [2, 5]
+
+    def test_knn_returns_sorted(self, float_descriptors):
+        query, train = float_descriptors
+        knn = BruteForceMatcher("l2").knn_match(query, train, k=3)
+        for row in knn:
+            distances = [m.distance for m in row]
+            assert distances == sorted(distances)
+            assert len(row) == 3
+
+    def test_k_clamped_to_train_size(self):
+        query = np.zeros((1, 4))
+        train = np.ones((2, 4))
+        knn = BruteForceMatcher("l2").knn_match(query, train, k=5)
+        assert len(knn[0]) == 2
+
+    def test_hamming_distance(self):
+        query = np.array([[1, 1, 0, 0]], dtype=np.uint8)
+        train = np.array([[1, 1, 0, 0], [0, 0, 1, 1]], dtype=np.uint8)
+        knn = BruteForceMatcher("hamming").knn_match(query, train, k=2)
+        assert knn[0][0].distance == 0.0
+        assert knn[0][1].distance == 4.0
+
+    def test_empty_inputs(self):
+        matcher = BruteForceMatcher("l2")
+        assert matcher.knn_match(np.zeros((0, 4)), np.ones((3, 4))) == []
+        result = matcher.knn_match(np.ones((2, 4)), np.zeros((0, 4)))
+        assert result == [[], []]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(MatchingError):
+            BruteForceMatcher("l2").match(np.zeros((1, 4)), np.zeros((1, 5)))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(MatchingError):
+            BruteForceMatcher("cosine")
+
+    def test_query_indices_preserved(self, float_descriptors):
+        query, train = float_descriptors
+        matches = BruteForceMatcher("l2").match(query, train)
+        assert [m.query_idx for m in matches] == [0, 1]
+
+
+class TestKDTree:
+    def test_agrees_with_brute_force(self):
+        rng = np.random.default_rng(1)
+        train = rng.random((50, 16))
+        query = rng.random((20, 16))
+        bf = BruteForceMatcher("l2").knn_match(query, train, k=2)
+        kd = KDTreeMatcher().knn_match(query, train, k=2)
+        for bf_row, kd_row in zip(bf, kd):
+            assert bf_row[0].train_idx == kd_row[0].train_idx
+            assert bf_row[0].distance == pytest.approx(kd_row[0].distance)
+
+    def test_rejects_binary_descriptors(self):
+        with pytest.raises(MatchingError):
+            KDTreeMatcher().knn_match(
+                np.zeros((2, 8), dtype=np.uint8), np.zeros((3, 8), dtype=np.uint8)
+            )
+
+    def test_k1_shape(self):
+        rng = np.random.default_rng(2)
+        knn = KDTreeMatcher().knn_match(rng.random((3, 4)), rng.random((5, 4)), k=1)
+        assert all(len(row) == 1 for row in knn)
+
+
+class TestRatioTest:
+    def _pair(self, d1, d2):
+        return [
+            Match(query_idx=0, train_idx=0, distance=d1),
+            Match(query_idx=0, train_idx=1, distance=d2),
+        ]
+
+    def test_keeps_distinctive_match(self):
+        kept = ratio_test([self._pair(0.1, 1.0)], threshold=0.75)
+        assert len(kept) == 1 and kept[0].distance == 0.1
+
+    def test_drops_ambiguous_match(self):
+        assert ratio_test([self._pair(0.9, 1.0)], threshold=0.75) == []
+
+    def test_boundary_is_strict(self):
+        assert ratio_test([self._pair(0.75, 1.0)], threshold=0.75) == []
+
+    def test_single_candidate_kept(self):
+        single = [[Match(query_idx=0, train_idx=0, distance=0.5)]]
+        assert len(ratio_test(single)) == 1
+
+    def test_empty_rows_skipped(self):
+        assert ratio_test([[], []]) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(MatchingError):
+            ratio_test([], threshold=0.0)
+        with pytest.raises(MatchingError):
+            ratio_test([], threshold=1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(threshold=st.floats(0.1, 1.0), d1=st.floats(0.01, 10.0), d2=st.floats(0.01, 10.0))
+    def test_monotone_in_threshold_property(self, threshold, d1, d2):
+        lo, hi = sorted((d1, d2))
+        pair = [self._pair(lo, hi)]
+        kept_loose = ratio_test(pair, threshold=1.0)
+        kept_strict = ratio_test(pair, threshold=threshold)
+        assert len(kept_strict) <= len(kept_loose)

@@ -1,0 +1,60 @@
+"""Unit tests for the ORB extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.orb import N_BITS, OrbExtractor
+
+
+def corner_rich_image(size=64, seed=0):
+    """Random axis-aligned rectangles: many FAST corners."""
+    rng = np.random.default_rng(seed)
+    image = np.zeros((size, size))
+    for _ in range(6):
+        r, c = rng.integers(8, size - 20, size=2)
+        h, w = rng.integers(6, 14, size=2)
+        image[r : r + h, c : c + w] = rng.uniform(0.4, 1.0)
+    return image
+
+
+class TestOrb:
+    def test_detects_and_describes(self):
+        keypoints, descriptors = OrbExtractor().detect_and_compute(corner_rich_image())
+        assert len(keypoints) > 0
+        assert descriptors.shape == (len(keypoints), N_BITS)
+        assert descriptors.dtype == np.uint8
+
+    def test_descriptors_are_binary(self):
+        _, descriptors = OrbExtractor().detect_and_compute(corner_rich_image())
+        assert set(np.unique(descriptors)) <= {0, 1}
+
+    def test_uniform_image_yields_nothing(self):
+        keypoints, descriptors = OrbExtractor().detect_and_compute(np.full((64, 64), 0.5))
+        assert keypoints == []
+        assert descriptors.shape == (0, N_BITS)
+
+    def test_keypoints_have_orientation(self):
+        keypoints, _ = OrbExtractor().detect_and_compute(corner_rich_image())
+        assert all(0.0 <= kp.angle < 360.0 for kp in keypoints)
+
+    def test_n_keypoints_limit(self):
+        keypoints, _ = OrbExtractor(n_keypoints=3).detect_and_compute(corner_rich_image())
+        assert len(keypoints) <= 3
+
+    def test_small_image_rejected(self):
+        with pytest.raises(FeatureError):
+            OrbExtractor().detect_and_compute(np.zeros((10, 10)))
+
+    def test_deterministic(self):
+        image = corner_rich_image(seed=2)
+        a_kp, a_desc = OrbExtractor().detect_and_compute(image)
+        b_kp, b_desc = OrbExtractor().detect_and_compute(image)
+        assert np.array_equal(a_desc, b_desc)
+
+    def test_self_hamming_distance_zero(self):
+        from repro.features.matching import BruteForceMatcher
+
+        _, descriptors = OrbExtractor().detect_and_compute(corner_rich_image(seed=1))
+        matches = BruteForceMatcher("hamming").match(descriptors, descriptors)
+        assert all(m.distance == 0.0 for m in matches)

@@ -1,0 +1,79 @@
+"""Unit tests for the SIFT extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.sift import SiftExtractor
+from repro.imaging.transform import rotate_image
+
+
+def textured_image(size=64, seed=0):
+    """Blurred random blobs: plenty of DoG extrema."""
+    rng = np.random.default_rng(seed)
+    coarse = rng.random((8, 8))
+    from repro.imaging.image import resize
+
+    return resize(coarse, size, size)
+
+
+class TestDetection:
+    def test_finds_keypoints_on_texture(self):
+        keypoints, descriptors = SiftExtractor().detect_and_compute(textured_image())
+        assert len(keypoints) > 0
+        assert descriptors.shape == (len(keypoints), 128)
+
+    def test_uniform_image_yields_nothing(self):
+        keypoints, descriptors = SiftExtractor().detect_and_compute(np.full((64, 64), 0.5))
+        assert keypoints == []
+        assert descriptors.shape == (0, 128)
+
+    def test_descriptor_normalised_and_clipped(self):
+        _, descriptors = SiftExtractor().detect_and_compute(textured_image())
+        norms = np.linalg.norm(descriptors, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+        assert descriptors.max() <= 0.2 / 0.2  # renormalised after clipping
+
+    def test_keypoints_within_image(self):
+        keypoints, _ = SiftExtractor().detect_and_compute(textured_image())
+        for kp in keypoints:
+            assert 0 <= kp.row < 64 and 0 <= kp.col < 64
+
+    def test_max_keypoints_respected(self):
+        extractor = SiftExtractor(max_keypoints=5)
+        keypoints, descriptors = extractor.detect_and_compute(textured_image())
+        assert len(keypoints) <= 5
+        assert len(descriptors) == len(keypoints)
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(FeatureError):
+            SiftExtractor().detect_and_compute(np.zeros((8, 8)))
+
+    def test_deterministic(self):
+        image = textured_image()
+        a_kp, a_desc = SiftExtractor().detect_and_compute(image)
+        b_kp, b_desc = SiftExtractor().detect_and_compute(image)
+        assert len(a_kp) == len(b_kp)
+        assert np.array_equal(a_desc, b_desc)
+
+
+class TestMatchingBehaviour:
+    def test_self_match_distance_near_zero(self):
+        from repro.features.matching import BruteForceMatcher
+
+        image = textured_image(seed=3)
+        _, descriptors = SiftExtractor().detect_and_compute(image)
+        matches = BruteForceMatcher("l2").match(descriptors, descriptors)
+        assert all(m.distance < 1e-9 for m in matches)
+
+    def test_rotated_image_still_matches(self):
+        from repro.features.matching import BruteForceMatcher, ratio_test
+
+        image = textured_image(seed=5)
+        rotated = rotate_image(image, 30.0, fill=0.5)
+        _, d1 = SiftExtractor().detect_and_compute(image)
+        _, d2 = SiftExtractor().detect_and_compute(rotated)
+        if len(d1) and len(d2):
+            knn = BruteForceMatcher("l2").knn_match(d1, d2, k=2)
+            good = ratio_test(knn, 0.8)
+            assert len(good) >= 1

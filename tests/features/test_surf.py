@@ -1,0 +1,65 @@
+"""Unit tests for the SURF extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.surf import SurfExtractor
+from repro.imaging.filters import gaussian_blur
+
+
+def blob_image(size=64):
+    """Dark background with bright Gaussian blobs (Hessian maxima)."""
+    image = np.zeros((size, size))
+    for row, col in ((20, 20), (44, 40), (30, 52)):
+        image[row, col] = 60.0
+    return gaussian_blur(image, 2.5)
+
+
+class TestDetection:
+    def test_detects_blobs(self):
+        keypoints, descriptors = SurfExtractor().detect_and_compute(blob_image())
+        assert len(keypoints) > 0
+        assert descriptors.shape[1] == 64
+
+    def test_keypoints_near_blob_centres(self):
+        keypoints, _ = SurfExtractor().detect_and_compute(blob_image())
+        centres = [(20, 20), (44, 40), (30, 52)]
+        hit = sum(
+            1
+            for kp in keypoints
+            if any(abs(kp.row - r) <= 4 and abs(kp.col - c) <= 4 for r, c in centres)
+        )
+        assert hit >= 1
+
+    def test_uniform_image_yields_nothing(self):
+        keypoints, descriptors = SurfExtractor().detect_and_compute(np.full((64, 64), 0.4))
+        assert keypoints == []
+        assert descriptors.shape == (0, 64)
+
+    def test_hessian_threshold_filters(self):
+        lenient = SurfExtractor(hessian_threshold=1.0)
+        strict = SurfExtractor(hessian_threshold=1e7)
+        many, _ = lenient.detect_and_compute(blob_image())
+        few, _ = strict.detect_and_compute(blob_image())
+        assert len(few) <= len(many)
+
+    def test_descriptors_normalised(self):
+        _, descriptors = SurfExtractor().detect_and_compute(blob_image())
+        if len(descriptors):
+            assert np.allclose(np.linalg.norm(descriptors, axis=1), 1.0, atol=1e-6)
+
+    def test_small_image_rejected(self):
+        with pytest.raises(FeatureError):
+            SurfExtractor().detect_and_compute(np.zeros((16, 16)))
+
+    def test_deterministic(self):
+        image = blob_image()
+        a_kp, a_desc = SurfExtractor().detect_and_compute(image)
+        b_kp, b_desc = SurfExtractor().detect_and_compute(image)
+        assert len(a_kp) == len(b_kp)
+        assert np.array_equal(a_desc, b_desc)
+
+    def test_max_keypoints(self):
+        keypoints, _ = SurfExtractor(max_keypoints=2).detect_and_compute(blob_image())
+        assert len(keypoints) <= 2

@@ -1,0 +1,98 @@
+"""Unit tests for the rasteriser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging import draw
+
+
+class TestCanvas:
+    def test_fill_color(self):
+        canvas = draw.new_canvas(4, 6, (0.2, 0.4, 0.6))
+        assert canvas.shape == (4, 6, 3)
+        assert np.allclose(canvas[2, 3], (0.2, 0.4, 0.6))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ImageError):
+            draw.new_canvas(0, 5, (1, 1, 1))
+
+
+class TestRect:
+    def test_area_and_color(self):
+        canvas = draw.new_canvas(20, 20, (0, 0, 0))
+        draw.fill_rect(canvas, 0.25, 0.25, 0.5, 0.5, (1.0, 0.0, 0.0))
+        red = (canvas[..., 0] == 1.0)
+        assert red.sum() == 100  # 10x10 pixels
+        assert not red[0, 0]
+
+    def test_clips_to_canvas(self):
+        canvas = draw.new_canvas(10, 10, (0, 0, 0))
+        draw.fill_rect(canvas, -0.5, -0.5, 2.0, 2.0, (1, 1, 1))
+        assert np.allclose(canvas, 1.0)
+
+
+class TestEllipse:
+    def test_center_painted(self):
+        canvas = draw.new_canvas(20, 20, (0, 0, 0))
+        draw.fill_ellipse(canvas, 0.5, 0.5, 0.2, 0.3, (0, 1, 0))
+        assert canvas[10, 10, 1] == 1.0
+        assert canvas[0, 0, 1] == 0.0
+
+    def test_area_roughly_pi_ab(self):
+        canvas = draw.new_canvas(100, 100, (0, 0, 0))
+        draw.fill_ellipse(canvas, 0.5, 0.5, 0.2, 0.3, (1, 1, 1))
+        painted = (canvas[..., 0] == 1.0).sum()
+        expected = np.pi * 20 * 30
+        assert painted == pytest.approx(expected, rel=0.05)
+
+
+class TestPolygon:
+    def test_triangle(self):
+        canvas = draw.new_canvas(40, 40, (0, 0, 0))
+        vertices = np.array([[0.1, 0.1], [0.1, 0.9], [0.9, 0.5]])
+        draw.fill_polygon(canvas, vertices, (0, 0, 1))
+        painted = (canvas[..., 2] == 1.0).sum()
+        # Triangle area = 0.5 * base * height = 0.5 * 0.8 * 0.8 canvas units.
+        assert painted == pytest.approx(0.5 * 32 * 32, rel=0.1)
+
+    def test_square_polygon_matches_rect(self):
+        poly_canvas = draw.new_canvas(30, 30, (0, 0, 0))
+        rect_canvas = draw.new_canvas(30, 30, (0, 0, 0))
+        draw.fill_polygon(
+            poly_canvas,
+            np.array([[0.2, 0.2], [0.2, 0.8], [0.8, 0.8], [0.8, 0.2]]),
+            (1, 1, 1),
+        )
+        draw.fill_rect(rect_canvas, 0.2, 0.2, 0.6, 0.6, (1, 1, 1))
+        painted_poly = (poly_canvas[..., 0] == 1.0).sum()
+        painted_rect = (rect_canvas[..., 0] == 1.0).sum()
+        assert painted_poly == pytest.approx(painted_rect, rel=0.1)
+
+    def test_rejects_degenerate(self):
+        canvas = draw.new_canvas(10, 10, (0, 0, 0))
+        with pytest.raises(ImageError):
+            draw.fill_polygon(canvas, np.array([[0.1, 0.1], [0.2, 0.2]]), (1, 1, 1))
+
+
+class TestLineAndDisc:
+    def test_line_connects_endpoints(self):
+        canvas = draw.new_canvas(20, 20, (0, 0, 0))
+        draw.draw_line(canvas, 0.1, 0.1, 0.9, 0.9, 0.05, (1, 1, 1))
+        assert canvas[2, 2, 0] == 1.0
+        assert canvas[17, 17, 0] == 1.0
+        assert canvas[10, 10, 0] == 1.0
+        assert canvas[2, 17, 0] == 0.0
+
+    def test_thicker_line_paints_more(self):
+        thin = draw.new_canvas(30, 30, (0, 0, 0))
+        thick = draw.new_canvas(30, 30, (0, 0, 0))
+        draw.draw_line(thin, 0.1, 0.5, 0.9, 0.5, 0.02, (1, 1, 1))
+        draw.draw_line(thick, 0.1, 0.5, 0.9, 0.5, 0.2, (1, 1, 1))
+        assert (thick[..., 0] == 1).sum() > (thin[..., 0] == 1).sum()
+
+    def test_disc_is_round(self):
+        canvas = draw.new_canvas(40, 40, (0, 0, 0))
+        draw.fill_disc(canvas, 0.5, 0.5, 0.2, (1, 1, 1))
+        painted = (canvas[..., 0] == 1).sum()
+        assert painted == pytest.approx(np.pi * 8 * 8, rel=0.1)

@@ -1,0 +1,131 @@
+"""Unit tests for linear filters and integral images."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.filters import (
+    box_filter,
+    box_sum,
+    convolve2d,
+    gaussian_blur,
+    gaussian_kernel,
+    integral_image,
+    sobel_gradients,
+)
+
+
+class TestGaussianKernel:
+    def test_normalised(self):
+        assert gaussian_kernel(1.5).sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        kernel = gaussian_kernel(2.0)
+        assert np.allclose(kernel, kernel[::-1])
+
+    def test_default_radius_three_sigma(self):
+        assert len(gaussian_kernel(1.0)) == 7  # radius 3
+
+    def test_explicit_radius(self):
+        assert len(gaussian_kernel(1.0, radius=5)) == 11
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ImageError):
+            gaussian_kernel(0.0)
+
+
+class TestGaussianBlur:
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        image = rng.random((16, 16))
+        blurred = gaussian_blur(image, 1.0)
+        assert blurred.mean() == pytest.approx(image.mean(), abs=0.01)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        image = rng.random((16, 16))
+        assert gaussian_blur(image, 2.0).var() < image.var()
+
+    def test_constant_invariant(self):
+        image = np.full((8, 8), 0.3)
+        assert np.allclose(gaussian_blur(image, 1.0), 0.3)
+
+    def test_rgb_channels_independent(self):
+        image = np.zeros((8, 8, 3))
+        image[..., 1] = 1.0
+        blurred = gaussian_blur(image, 1.0)
+        assert np.allclose(blurred[..., 0], 0.0)
+        assert np.allclose(blurred[..., 1], 1.0)
+
+
+class TestConvolve2d:
+    def test_identity_kernel(self):
+        image = np.random.default_rng(1).random((6, 6))
+        kernel = np.zeros((3, 3)); kernel[1, 1] = 1.0
+        assert np.allclose(convolve2d(image, kernel), image)
+
+    def test_averaging_kernel(self):
+        image = np.ones((5, 5))
+        out = convolve2d(image, np.full((3, 3), 1 / 9))
+        assert np.allclose(out, 1.0)
+
+    def test_rejects_color_image(self):
+        with pytest.raises(ImageError):
+            convolve2d(np.zeros((4, 4, 3)), np.ones((3, 3)))
+
+    def test_rejects_1d_kernel(self):
+        with pytest.raises(ImageError):
+            convolve2d(np.zeros((4, 4)), np.ones(3))
+
+
+class TestSobel:
+    def test_horizontal_ramp_has_x_gradient(self):
+        image = np.tile(np.linspace(0, 1, 8), (8, 1))
+        gx, gy = sobel_gradients(image)
+        assert gx[4, 4] > 0.1
+        assert abs(gy[4, 4]) < 1e-9
+
+    def test_vertical_ramp_has_y_gradient(self):
+        image = np.tile(np.linspace(0, 1, 8)[:, None], (1, 8))
+        gx, gy = sobel_gradients(image)
+        assert gy[4, 4] > 0.1
+        assert abs(gx[4, 4]) < 1e-9
+
+    def test_rejects_rgb(self):
+        with pytest.raises(ImageError):
+            sobel_gradients(np.zeros((4, 4, 3)))
+
+
+class TestIntegralImage:
+    def test_total_sum(self):
+        image = np.random.default_rng(2).random((5, 7))
+        ii = integral_image(image)
+        assert ii[-1, -1] == pytest.approx(image.sum())
+
+    def test_box_sum_matches_slice(self):
+        image = np.random.default_rng(3).random((8, 9))
+        ii = integral_image(image)
+        assert box_sum(ii, 2, 3, 4, 5) == pytest.approx(image[2:6, 3:8].sum())
+
+    def test_box_sum_clips_to_image(self):
+        image = np.ones((4, 4))
+        ii = integral_image(image)
+        assert box_sum(ii, -2, -2, 10, 10) == pytest.approx(16.0)
+
+    def test_degenerate_box_is_zero(self):
+        ii = integral_image(np.ones((4, 4)))
+        assert box_sum(ii, 2, 2, 0, 3) == 0.0
+
+
+class TestBoxFilter:
+    def test_mean_of_constant(self):
+        assert np.allclose(box_filter(np.full((6, 6), 0.7), 3), 0.7)
+
+    def test_smooths_impulse(self):
+        image = np.zeros((7, 7)); image[3, 3] = 1.0
+        out = box_filter(image, 3)
+        assert out[3, 3] == pytest.approx(1 / 9)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ImageError):
+            box_filter(np.zeros((4, 4)), 0)

@@ -1,0 +1,137 @@
+"""Unit and property tests for histograms and their comparison metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ImageError
+from repro.imaging.histogram import (
+    HistogramMetric,
+    compare_histograms,
+    gray_histogram,
+    rgb_histogram,
+)
+
+
+def flat_color_image(color, size=8):
+    out = np.empty((size, size, 3))
+    out[:] = color
+    return out
+
+
+class TestRgbHistogram:
+    def test_shape_and_normalisation(self):
+        hist = rgb_histogram(flat_color_image((0.2, 0.5, 0.9)), bins=16)
+        assert hist.shape == (48,)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_flat_image_single_bins(self):
+        hist = rgb_histogram(flat_color_image((0.0, 0.5, 1.0)), bins=4)
+        assert np.count_nonzero(hist) == 3
+
+    def test_mask_restricts_pixels(self):
+        image = flat_color_image((0.1, 0.1, 0.1))
+        image[0, 0] = (0.9, 0.9, 0.9)
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0, 0] = True
+        hist = rgb_histogram(image, bins=4, mask=mask)
+        # Only the bright pixel counted: mass in the last bin of each channel.
+        per_channel = hist.reshape(3, 4)
+        assert np.allclose(per_channel[:, 3], 1 / 3)
+
+    def test_unnormalised_counts(self):
+        hist = rgb_histogram(flat_color_image((0.5, 0.5, 0.5), size=4), bins=4, normalise=False)
+        assert hist.sum() == 48  # 16 pixels x 3 channels
+
+    def test_rejects_gray_input(self):
+        with pytest.raises(ImageError):
+            rgb_histogram(np.zeros((4, 4)))
+
+    def test_rejects_empty_mask(self):
+        with pytest.raises(ImageError):
+            rgb_histogram(flat_color_image((0.5,) * 3), mask=np.zeros((8, 8), dtype=bool))
+
+    def test_rejects_wrong_mask_shape(self):
+        with pytest.raises(ImageError):
+            rgb_histogram(flat_color_image((0.5,) * 3), mask=np.zeros((3, 3), dtype=bool))
+
+
+class TestGrayHistogram:
+    def test_shape(self):
+        hist = gray_histogram(np.full((4, 4), 0.5), bins=10)
+        assert hist.shape == (10,)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_rgb_converted(self):
+        hist = gray_histogram(flat_color_image((1.0, 1.0, 1.0)), bins=4)
+        assert hist[3] == pytest.approx(1.0)
+
+
+class TestCompareHistograms:
+    def setup_method(self):
+        rng = np.random.default_rng(5)
+        self.h = rng.random(48)
+        self.h /= self.h.sum()
+
+    def test_correlation_self_is_one(self):
+        assert compare_histograms(self.h, self.h, HistogramMetric.CORRELATION) == pytest.approx(1.0)
+
+    def test_chi_square_self_is_zero(self):
+        assert compare_histograms(self.h, self.h, HistogramMetric.CHI_SQUARE) == pytest.approx(0.0)
+
+    def test_intersection_self_is_total_mass(self):
+        assert compare_histograms(self.h, self.h, HistogramMetric.INTERSECTION) == pytest.approx(1.0)
+
+    def test_hellinger_self_is_zero(self):
+        assert compare_histograms(self.h, self.h, HistogramMetric.HELLINGER) == pytest.approx(0.0, abs=1e-7)
+
+    def test_hellinger_disjoint_is_one(self):
+        a = np.zeros(8); a[:4] = 0.25
+        b = np.zeros(8); b[4:] = 0.25
+        assert compare_histograms(a, b, HistogramMetric.HELLINGER) == pytest.approx(1.0)
+
+    def test_intersection_disjoint_is_zero(self):
+        a = np.zeros(8); a[:4] = 0.25
+        b = np.zeros(8); b[4:] = 0.25
+        assert compare_histograms(a, b, HistogramMetric.INTERSECTION) == pytest.approx(0.0)
+
+    def test_correlation_of_anticorrelated(self):
+        a = np.array([1.0, 0.0, 1.0, 0.0])
+        b = np.array([0.0, 1.0, 0.0, 1.0])
+        assert compare_histograms(a, b, HistogramMetric.CORRELATION) == pytest.approx(-1.0)
+
+    def test_metric_direction_flags(self):
+        assert HistogramMetric.CORRELATION.higher_is_better
+        assert HistogramMetric.INTERSECTION.higher_is_better
+        assert not HistogramMetric.CHI_SQUARE.higher_is_better
+        assert not HistogramMetric.HELLINGER.higher_is_better
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ImageError):
+            compare_histograms(np.ones(4), np.ones(5), HistogramMetric.HELLINGER)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ImageError):
+            compare_histograms(np.array([]), np.array([]), HistogramMetric.HELLINGER)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_hellinger_bounds_property(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random(16), rng.random(16)
+        a, b = a / a.sum(), b / b.sum()
+        value = compare_histograms(a, b, HistogramMetric.HELLINGER)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_symmetry_property(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random(16), rng.random(16)
+        a, b = a / a.sum(), b / b.sum()
+        for metric in (HistogramMetric.CORRELATION, HistogramMetric.INTERSECTION, HistogramMetric.HELLINGER):
+            assert compare_histograms(a, b, metric) == pytest.approx(
+                compare_histograms(b, a, metric)
+            )
+        # Chi-square is deliberately asymmetric (OpenCV's definition).

@@ -1,0 +1,154 @@
+"""Unit tests for image container helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ImageError
+from repro.imaging.image import (
+    as_float,
+    as_uint8,
+    crop,
+    ensure_gray,
+    ensure_rgb,
+    resize,
+    to_grayscale,
+)
+
+
+class TestConversions:
+    def test_as_float_scales_uint8(self):
+        image = np.array([[0, 255], [128, 64]], dtype=np.uint8)
+        out = as_float(image)
+        assert out.dtype == np.float64
+        assert out[0, 0] == 0.0
+        assert out[0, 1] == 1.0
+        assert abs(out[1, 0] - 128 / 255) < 1e-12
+
+    def test_as_uint8_round_trip(self):
+        image = np.linspace(0, 1, 16).reshape(4, 4)
+        assert np.allclose(as_float(as_uint8(image)), image, atol=1 / 255)
+
+    def test_as_uint8_clips_out_of_range(self):
+        image = np.array([[-0.5, 1.5]])
+        out = as_uint8(image)
+        assert out[0, 0] == 0 and out[0, 1] == 255
+
+    def test_bool_images_convert(self):
+        mask = np.array([[True, False]])
+        assert as_float(mask).tolist() == [[1.0, 0.0]]
+        assert as_uint8(mask).tolist() == [[255, 0]]
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ImageError):
+            as_float(np.zeros((2, 2, 4)))
+        with pytest.raises(ImageError):
+            as_float(np.zeros(5))
+        with pytest.raises(ImageError):
+            as_float(np.zeros((0, 3)))
+        with pytest.raises(ImageError):
+            as_float([[1, 2], [3, 4]])
+
+
+class TestGrayscale:
+    def test_luma_weights(self):
+        red = np.zeros((2, 2, 3))
+        red[..., 0] = 1.0
+        assert np.allclose(to_grayscale(red), 0.299)
+
+    def test_white_is_one(self):
+        white = np.ones((3, 3, 3))
+        assert np.allclose(to_grayscale(white), 1.0)
+
+    def test_gray_passthrough(self):
+        gray = np.random.default_rng(0).random((4, 4))
+        assert to_grayscale(gray) is gray
+
+    def test_uint8_output_dtype(self):
+        image = np.full((2, 2, 3), 200, dtype=np.uint8)
+        out = to_grayscale(image)
+        assert out.dtype == np.uint8
+        assert out[0, 0] == 200
+
+    def test_ensure_gray_always_float(self):
+        image = np.full((2, 2, 3), 127, dtype=np.uint8)
+        out = ensure_gray(image)
+        assert out.dtype == np.float64 and out.ndim == 2
+
+    def test_ensure_rgb_replicates(self):
+        gray = np.array([[0.25, 0.5]])
+        rgb = ensure_rgb(gray)
+        assert rgb.shape == (1, 2, 3)
+        assert np.allclose(rgb[..., 0], gray)
+        assert np.allclose(rgb[..., 2], gray)
+
+
+class TestCrop:
+    def test_extracts_window(self):
+        image = np.arange(36, dtype=np.float64).reshape(6, 6)
+        window = crop(image, 1, 2, 3, 2)
+        assert window.shape == (3, 2)
+        assert window[0, 0] == image[1, 2]
+
+    def test_returns_copy(self):
+        image = np.zeros((4, 4))
+        window = crop(image, 0, 0, 2, 2)
+        window[0, 0] = 9.0
+        assert image[0, 0] == 0.0
+
+    def test_rejects_out_of_bounds(self):
+        image = np.zeros((4, 4))
+        with pytest.raises(ImageError):
+            crop(image, 2, 2, 3, 3)
+        with pytest.raises(ImageError):
+            crop(image, -1, 0, 2, 2)
+        with pytest.raises(ImageError):
+            crop(image, 0, 0, 0, 2)
+
+
+class TestResize:
+    def test_identity(self):
+        image = np.random.default_rng(1).random((8, 8))
+        assert np.allclose(resize(image, 8, 8), image, atol=1e-9)
+
+    def test_constant_image_stays_constant(self):
+        image = np.full((5, 7), 0.4)
+        out = resize(image, 11, 3)
+        assert np.allclose(out, 0.4)
+
+    def test_shapes(self):
+        rgb = np.zeros((10, 12, 3))
+        assert resize(rgb, 5, 6).shape == (5, 6, 3)
+        gray = np.zeros((10, 12))
+        assert resize(gray, 20, 24).shape == (20, 24)
+
+    def test_nearest_preserves_values(self):
+        image = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = resize(image, 4, 4, interpolation="nearest")
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_uint8_dtype_preserved(self):
+        image = np.full((4, 4), 100, dtype=np.uint8)
+        out = resize(image, 8, 8)
+        assert out.dtype == np.uint8
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ImageError):
+            resize(np.zeros((4, 4)), 0, 4)
+        with pytest.raises(ImageError):
+            resize(np.zeros((4, 4)), 4, 4, interpolation="cubic")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        height=st.integers(2, 12),
+        width=st.integers(2, 12),
+        out_h=st.integers(1, 16),
+        out_w=st.integers(1, 16),
+    )
+    def test_output_within_input_range(self, height, width, out_h, out_w):
+        rng = np.random.default_rng(height * 100 + width)
+        image = rng.random((height, width))
+        out = resize(image, out_h, out_w)
+        assert out.min() >= image.min() - 1e-9
+        assert out.max() <= image.max() + 1e-9

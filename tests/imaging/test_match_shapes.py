@@ -1,0 +1,69 @@
+"""Unit tests for the matchShapes distances."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.match_shapes import ShapeDistance, log_hu, match_shapes
+from repro.imaging.moments import hu_moments
+
+
+def region(height, width, size=48):
+    out = np.zeros((size, size))
+    top, left = (size - height) // 2, (size - width) // 2
+    out[top : top + height, left : left + width] = 1.0
+    return out
+
+
+class TestLogHu:
+    def test_signs_preserved(self):
+        hu = np.array([1e-3, -1e-3, 0.0, 1.0, -1.0, 1e-8, -1e-8])
+        out = log_hu(hu)
+        assert out[0] == pytest.approx(-3.0)
+        assert out[1] == pytest.approx(3.0)
+        assert out[2] == 0.0
+
+    def test_zero_maps_to_zero(self):
+        assert log_hu(np.zeros(7)).tolist() == [0.0] * 7
+
+
+class TestMatchShapes:
+    @pytest.mark.parametrize("method", list(ShapeDistance))
+    def test_identity_is_zero(self, method):
+        shape = region(12, 7)
+        assert match_shapes(shape, shape, method) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("method", list(ShapeDistance))
+    def test_symmetry_l1_l2(self, method):
+        a, b = region(12, 7), region(8, 8)
+        d_ab = match_shapes(a, b, method)
+        d_ba = match_shapes(b, a, method)
+        if method in (ShapeDistance.L1, ShapeDistance.L2):
+            assert d_ab == pytest.approx(d_ba)
+        # L3 normalises by the first argument, so asymmetric by design.
+
+    def test_different_shapes_positive_distance(self):
+        assert match_shapes(region(20, 4), region(10, 10), ShapeDistance.L2) > 0.01
+
+    def test_accepts_hu_vectors(self):
+        hu_a = hu_moments(region(12, 7))
+        hu_b = hu_moments(region(8, 8))
+        from_img = match_shapes(region(12, 7), region(8, 8), ShapeDistance.L2)
+        from_hu = match_shapes(hu_a, hu_b, ShapeDistance.L2)
+        assert from_img == pytest.approx(from_hu)
+
+    def test_scale_invariance(self):
+        small, big = region(8, 4), region(16, 8)
+        assert match_shapes(small, big, ShapeDistance.L2) == pytest.approx(0.0, abs=0.05)
+
+    def test_more_similar_shapes_closer(self):
+        base = region(12, 6)
+        near = region(12, 7)
+        far = region(4, 20)
+        assert match_shapes(base, near, ShapeDistance.L2) < match_shapes(
+            base, far, ShapeDistance.L2
+        )
+
+    def test_methods_disagree_in_general(self):
+        a, b = region(20, 4), region(9, 9)
+        values = {m: match_shapes(a, b, m) for m in ShapeDistance}
+        assert len({round(v, 8) for v in values.values()}) > 1

@@ -1,0 +1,97 @@
+"""Unit and property tests for image moments and Hu invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ImageError
+from repro.imaging.moments import hu_moments, image_moments
+from repro.imaging.transform import rotate_image, scale_image, translate_image
+
+
+def rect_region(size=32, top=8, left=10, height=10, width=6):
+    region = np.zeros((size, size))
+    region[top : top + height, left : left + width] = 1.0
+    return region
+
+
+class TestRawMoments:
+    def test_m00_is_area(self):
+        moments = image_moments(rect_region(height=10, width=6))
+        assert moments.m00 == 60.0
+
+    def test_centroid_of_rectangle(self):
+        moments = image_moments(rect_region(top=8, left=10, height=10, width=6))
+        cy, cx = moments.centroid
+        assert cy == pytest.approx(8 + 4.5)
+        assert cx == pytest.approx(10 + 2.5)
+
+    def test_central_moments_translation_invariant(self):
+        a = image_moments(rect_region(top=4, left=4))
+        b = image_moments(rect_region(top=14, left=20))
+        assert a.mu20 == pytest.approx(b.mu20)
+        assert a.mu02 == pytest.approx(b.mu02)
+        assert a.mu11 == pytest.approx(b.mu11)
+
+    def test_symmetric_region_has_zero_odd_moments(self):
+        moments = image_moments(rect_region())
+        assert moments.mu30 == pytest.approx(0.0, abs=1e-9)
+        assert moments.mu03 == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(ImageError):
+            image_moments(np.zeros((5, 5)))
+        with pytest.raises(ImageError):
+            image_moments(np.zeros((2, 2, 3)))
+
+    def test_known_nu20_of_uniform_square(self):
+        # For a w x w square: mu20 ~ w^4/12, m00 = w^2 -> nu20 ~ 1/12.
+        moments = image_moments(rect_region(height=12, width=12))
+        assert moments.nu20 == pytest.approx(1 / 12, rel=0.02)
+
+
+class TestHuMoments:
+    def test_accepts_image_directly(self):
+        hu = hu_moments(rect_region())
+        assert hu.shape == (7,)
+
+    def test_h1_positive_for_real_regions(self):
+        assert hu_moments(rect_region())[0] > 0
+
+    def test_translation_invariance(self):
+        a = hu_moments(rect_region(top=4, left=4))
+        b = hu_moments(rect_region(top=16, left=18))
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_scale_invariance(self):
+        small = rect_region(size=64, top=24, left=26, height=8, width=12)
+        big = rect_region(size=64, top=16, left=20, height=16, width=24)
+        assert np.allclose(hu_moments(small), hu_moments(big), rtol=0.05, atol=1e-6)
+
+    def test_rotation_invariance_90_degrees(self):
+        region = rect_region(size=40, top=10, left=14, height=14, width=8)
+        rotated = np.rot90(region)
+        assert np.allclose(hu_moments(region), hu_moments(rotated), rtol=1e-6, atol=1e-12)
+
+    def test_rotation_invariance_arbitrary_angle(self):
+        region = rect_region(size=64, top=20, left=24, height=20, width=12)
+        rotated = rotate_image(region, 37.0) > 0.5
+        # Raster rotation is lossy; the leading invariants must survive.
+        a, b = hu_moments(region), hu_moments(rotated.astype(float))
+        assert np.allclose(a[:2], b[:2], rtol=0.08)
+
+    def test_distinguishes_aspect_ratios(self):
+        thin = hu_moments(rect_region(size=64, height=30, width=4))
+        square = hu_moments(rect_region(size=64, height=16, width=16))
+        assert abs(thin[0] - square[0]) > 0.05
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        dr=st.integers(-6, 6),
+        dc=st.integers(-6, 6),
+    )
+    def test_translation_invariance_property(self, dr, dc):
+        base = rect_region(size=40, top=14, left=16, height=9, width=7)
+        moved = rect_region(size=40, top=14 + dr, left=16 + dc, height=9, width=7)
+        assert np.allclose(hu_moments(base), hu_moments(moved), atol=1e-10)

@@ -1,0 +1,98 @@
+"""Unit tests for the noise and illumination models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.noise import (
+    add_gaussian_noise,
+    add_salt_pepper_noise,
+    apply_illumination_gradient,
+)
+
+
+def base_image():
+    return np.full((16, 16, 3), 0.5)
+
+
+class TestGaussianNoise:
+    def test_zero_sigma_is_identity(self):
+        image = base_image()
+        assert np.allclose(add_gaussian_noise(image, 0.0), image)
+
+    def test_perturbs_pixels(self):
+        out = add_gaussian_noise(base_image(), 0.1, rng=0)
+        assert not np.allclose(out, 0.5)
+        assert out.std() > 0.01
+
+    def test_clipped_to_unit_range(self):
+        out = add_gaussian_noise(np.ones((8, 8)), 0.5, rng=0)
+        assert out.max() <= 1.0 and out.min() >= 0.0
+
+    def test_mask_limits_noise(self):
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[:8] = True
+        out = add_gaussian_noise(base_image(), 0.2, rng=0, mask=mask)
+        assert np.allclose(out[8:], 0.5)
+        assert not np.allclose(out[:8], 0.5)
+
+    def test_deterministic_with_seed(self):
+        a = add_gaussian_noise(base_image(), 0.1, rng=42)
+        b = add_gaussian_noise(base_image(), 0.1, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ImageError):
+            add_gaussian_noise(base_image(), -0.1)
+
+
+class TestSaltPepper:
+    def test_zero_amount_identity(self):
+        image = base_image()
+        assert np.allclose(add_salt_pepper_noise(image, 0.0), image)
+
+    def test_hits_are_extreme(self):
+        out = add_salt_pepper_noise(base_image(), 0.3, rng=1)
+        changed = ~np.all(np.isclose(out, 0.5), axis=-1)
+        assert changed.any()
+        assert np.isin(out[changed], (0.0, 1.0)).all()
+
+    def test_amount_controls_fraction(self):
+        out = add_salt_pepper_noise(base_image(), 0.25, rng=2)
+        changed = (~np.all(np.isclose(out, 0.5), axis=-1)).mean()
+        assert 0.1 < changed < 0.4
+
+    def test_mask_respected(self):
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[0, 0] = True
+        out = add_salt_pepper_noise(base_image(), 1.0, rng=3, mask=mask)
+        assert np.all(np.isclose(out[1:], 0.5))
+
+    def test_rejects_bad_amount(self):
+        with pytest.raises(ImageError):
+            add_salt_pepper_noise(base_image(), 1.5)
+
+
+class TestIllumination:
+    def test_zero_strength_identity(self):
+        image = base_image()
+        assert np.allclose(apply_illumination_gradient(image, 0.0, 45.0), image)
+
+    def test_creates_gradient(self):
+        out = apply_illumination_gradient(base_image(), 0.8, 90.0)
+        assert out[0, 0, 0] != pytest.approx(out[0, -1, 0])
+
+    def test_angle_controls_direction(self):
+        vertical = apply_illumination_gradient(base_image(), 0.8, 0.0)
+        assert vertical[0, 0, 0] != pytest.approx(vertical[-1, 0, 0])
+        assert vertical[0, 0, 0] == pytest.approx(vertical[0, -1, 0])
+
+    def test_mask_keeps_background(self):
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[4:8, 4:8] = True
+        out = apply_illumination_gradient(base_image(), 0.9, 30.0, mask=mask)
+        assert np.allclose(out[0, 0], 0.5)
+
+    def test_rejects_bad_strength(self):
+        with pytest.raises(ImageError):
+            apply_illumination_gradient(base_image(), 1.2, 0.0)

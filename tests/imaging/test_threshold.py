@@ -1,0 +1,71 @@
+"""Unit tests for global binary thresholding and Otsu."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.threshold import otsu_threshold, threshold_binary
+
+
+class TestThresholdBinary:
+    def test_bright_object_on_black(self):
+        image = np.zeros((6, 6))
+        image[2:4, 2:4] = 0.8
+        mask = threshold_binary(image, 0.1)
+        assert mask.sum() == 4
+        assert mask[2, 2] and not mask[0, 0]
+
+    def test_inverse_for_white_background(self):
+        image = np.ones((6, 6))
+        image[1:3, 1:3] = 0.2
+        mask = threshold_binary(image, 0.9, inverse=True)
+        assert mask.sum() == 4
+        assert mask[1, 1] and not mask[5, 5]
+
+    def test_threshold_is_strict_or_inclusive_consistently(self):
+        image = np.array([[0.5]])
+        assert not threshold_binary(image, 0.5)[0, 0]  # > comparison
+        assert threshold_binary(image, 0.5, inverse=True)[0, 0]  # <= comparison
+
+    def test_rgb_input_uses_luma(self):
+        image = np.zeros((2, 2, 3))
+        image[0, 0] = (1.0, 1.0, 1.0)
+        mask = threshold_binary(image, 0.5)
+        assert mask[0, 0] and not mask[1, 1]
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ImageError):
+            threshold_binary(np.zeros((2, 2)), 1.5)
+        with pytest.raises(ImageError):
+            threshold_binary(np.zeros((2, 2)), -0.1)
+
+
+class TestOtsu:
+    def test_separates_bimodal(self):
+        rng = np.random.default_rng(0)
+        low = rng.normal(0.2, 0.02, 500)
+        high = rng.normal(0.8, 0.02, 500)
+        image = np.concatenate([low, high]).clip(0, 1).reshape(25, 40)
+        threshold = otsu_threshold(image)
+        # The between-class variance is near-flat anywhere between the two
+        # modes (and the optimum may clip a mode's extreme tail sample), so
+        # assert approximate separation, not a midpoint value.
+        assert 0.15 < threshold < 0.85
+        mask = threshold_binary(image, threshold)
+        assert abs(int(mask.sum()) - 500) <= 5
+
+    def test_constant_image(self):
+        image = np.full((4, 4), 0.5)
+        threshold = otsu_threshold(image)
+        assert 0.0 <= threshold <= 1.0
+
+    def test_mask_from_otsu_matches_modes(self):
+        image = np.zeros((10, 10))
+        image[:5] = 0.9
+        threshold = otsu_threshold(image)
+        mask = threshold_binary(image, threshold)
+        assert mask[:5].all() and not mask[5:].any()
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ImageError):
+            otsu_threshold(np.zeros((2, 2)), bins=1)

@@ -1,0 +1,88 @@
+"""Unit tests for geometric transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.transform import (
+    flip_horizontal,
+    rotate_image,
+    scale_image,
+    translate_image,
+)
+
+
+def blob(size=16):
+    image = np.zeros((size, size))
+    image[5:9, 6:11] = 1.0
+    return image
+
+
+class TestRotate:
+    def test_zero_rotation_identity(self):
+        image = blob()
+        assert np.allclose(rotate_image(image, 0.0), image)
+
+    def test_full_turn_recovers_mass(self):
+        image = blob()
+        out = rotate_image(image, 360.0)
+        assert out.sum() == pytest.approx(image.sum(), rel=0.02)
+
+    def test_90_degrees_moves_content(self):
+        image = np.zeros((9, 9)); image[1, 4] = 1.0
+        out = rotate_image(image, 90.0)
+        assert out[1, 4] < 0.5
+        assert out.sum() == pytest.approx(1.0, abs=0.1)
+
+    def test_fill_value_used(self):
+        image = np.ones((8, 8))
+        out = rotate_image(image, 45.0, fill=0.0)
+        assert out.min() < 0.5  # corners exposed
+
+    def test_rgb_supported(self):
+        image = np.zeros((8, 8, 3)); image[2:5, 2:5, 1] = 1.0
+        out = rotate_image(image, 30.0)
+        assert out.shape == (8, 8, 3)
+        assert out[..., 0].max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ImageError):
+            rotate_image(blob(), 10.0, order=2)
+
+
+class TestScale:
+    def test_identity(self):
+        image = blob()
+        assert np.allclose(scale_image(image, 1.0), image, atol=1e-9)
+
+    def test_zoom_out_preserves_centre(self):
+        image = np.ones((10, 10))
+        out = scale_image(image, 0.5, fill=0.0)
+        assert out[5, 5] == pytest.approx(1.0)
+        assert out[0, 0] == pytest.approx(0.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ImageError):
+            scale_image(blob(), 0.0)
+
+
+class TestTranslate:
+    def test_shift_moves_pixel(self):
+        image = np.zeros((6, 6)); image[2, 2] = 1.0
+        out = translate_image(image, 1.0, 2.0)
+        assert out[3, 4] == pytest.approx(1.0)
+
+    def test_exposed_region_filled(self):
+        image = np.ones((5, 5))
+        out = translate_image(image, 2.0, 0.0, fill=0.0)
+        assert np.allclose(out[:2], 0.0)
+
+
+class TestFlip:
+    def test_involution(self):
+        image = np.random.default_rng(0).random((6, 7))
+        assert np.allclose(flip_horizontal(flip_horizontal(image)), image)
+
+    def test_mirrors_columns(self):
+        image = np.zeros((3, 4)); image[1, 0] = 1.0
+        assert flip_horizontal(image)[1, 3] == 1.0

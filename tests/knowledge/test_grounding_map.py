@@ -1,0 +1,124 @@
+"""Unit tests for grounding and the semantic map."""
+
+import pytest
+
+from repro.errors import KnowledgeError
+from repro.knowledge.grounding import Grounder
+from repro.knowledge.semantic_map import SemanticMap
+from repro.pipelines.base import Prediction
+
+
+@pytest.fixture()
+def grounder():
+    return Grounder()
+
+
+class TestGrounder:
+    def test_ground_label(self, grounder):
+        obj = grounder.ground_label("chair", confidence=0.8)
+        assert obj.synset.name == "chair"
+        assert "furniture" in obj.hypernyms
+        assert obj.confidence == 0.8
+
+    def test_ground_prediction(self, grounder):
+        prediction = Prediction(label="lamp", model_id="lamp_m0", score=0.2)
+        obj = grounder.ground(prediction)
+        assert obj.label == "lamp"
+        assert obj.confidence == 1.0
+
+    def test_is_a(self, grounder):
+        obj = grounder.ground_label("sofa")
+        assert obj.is_a("seat")
+        assert obj.is_a("sofa")
+        assert not obj.is_a("container")
+
+    def test_related_concepts_populated(self, grounder):
+        obj = grounder.ground_label("bottle")
+        assert "vessel" in obj.related
+
+    def test_unknown_label(self, grounder):
+        with pytest.raises(KnowledgeError):
+            grounder.ground_label("drone")
+
+    def test_semantic_distance(self, grounder):
+        assert grounder.semantic_distance("chair", "chair") == 0.0
+        assert grounder.semantic_distance("chair", "sofa") < grounder.semantic_distance(
+            "chair", "bottle"
+        )
+
+
+class TestSemanticMap:
+    def make_map(self):
+        return SemanticMap(width=10.0, height=8.0, merge_radius=0.5)
+
+    def test_observe_and_count(self):
+        semantic_map = self.make_map()
+        semantic_map.observe(1.0, 1.0, "chair", room="kitchen")
+        semantic_map.observe(5.0, 5.0, "bottle", room="kitchen")
+        assert len(semantic_map) == 2
+        assert semantic_map.class_inventory() == {"chair": 1, "bottle": 1}
+
+    def test_merge_nearby_same_class(self):
+        semantic_map = self.make_map()
+        semantic_map.observe(1.0, 1.0, "chair", confidence=0.5)
+        merged = semantic_map.observe(1.2, 1.2, "chair", confidence=0.9)
+        assert len(semantic_map) == 1
+        assert merged.obj.confidence == 0.9
+        assert merged.x == pytest.approx(1.1)
+
+    def test_no_merge_across_classes(self):
+        semantic_map = self.make_map()
+        semantic_map.observe(1.0, 1.0, "chair")
+        semantic_map.observe(1.1, 1.1, "table")
+        assert len(semantic_map) == 2
+
+    def test_no_merge_far_apart(self):
+        semantic_map = self.make_map()
+        semantic_map.observe(1.0, 1.0, "chair")
+        semantic_map.observe(4.0, 4.0, "chair")
+        assert len(semantic_map) == 2
+
+    def test_find_by_concept(self):
+        semantic_map = self.make_map()
+        semantic_map.observe(1.0, 1.0, "chair", room="kitchen")
+        semantic_map.observe(2.0, 2.0, "sofa", room="lounge")
+        semantic_map.observe(3.0, 3.0, "bottle", room="kitchen")
+        furniture = semantic_map.find("furniture")
+        assert {obs.obj.label for obs in furniture} == {"chair", "sofa"}
+
+    def test_find_restricted_to_room(self):
+        semantic_map = self.make_map()
+        semantic_map.observe(1.0, 1.0, "chair", room="kitchen")
+        semantic_map.observe(2.0, 2.0, "chair", room="lounge")
+        assert len(semantic_map.find("chair", room="kitchen")) == 1
+
+    def test_nearest(self):
+        semantic_map = self.make_map()
+        semantic_map.observe(1.0, 1.0, "bottle")
+        semantic_map.observe(9.0, 7.0, "bottle")
+        nearest = semantic_map.nearest(8.0, 7.0, "container")
+        assert nearest.x == 9.0
+
+    def test_nearest_none_when_absent(self):
+        semantic_map = self.make_map()
+        assert semantic_map.nearest(0.0, 0.0, "lamp") is None
+
+    def test_out_of_bounds_rejected(self):
+        semantic_map = self.make_map()
+        with pytest.raises(KnowledgeError):
+            semantic_map.observe(20.0, 1.0, "chair")
+
+    def test_unknown_concept_rejected(self):
+        semantic_map = self.make_map()
+        with pytest.raises(KnowledgeError):
+            semantic_map.find("hologram")
+
+    def test_rooms_listing(self):
+        semantic_map = self.make_map()
+        semantic_map.observe(1.0, 1.0, "chair", room="kitchen")
+        semantic_map.observe(2.0, 2.0, "lamp", room="lounge")
+        assert semantic_map.rooms() == ("kitchen", "lounge")
+
+    def test_size_validation(self):
+        with pytest.raises(KnowledgeError):
+            SemanticMap(width=0.0, height=5.0)

@@ -1,0 +1,83 @@
+"""Unit tests for semantic-map persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import KnowledgeError
+from repro.knowledge.persistence import load_map, save_map
+from repro.knowledge.semantic_map import SemanticMap
+
+
+@pytest.fixture()
+def populated_map():
+    semantic_map = SemanticMap(width=10.0, height=8.0, merge_radius=0.5)
+    semantic_map.observe(1.0, 1.0, "chair", confidence=0.7, room="kitchen", timestamp=1.0)
+    semantic_map.observe(8.0, 6.0, "bottle", room="study", timestamp=2.0)
+    semantic_map.observe(4.0, 4.0, "sofa", room="lounge", timestamp=3.0)
+    return semantic_map
+
+
+class TestRoundTrip:
+    def test_observations_preserved(self, populated_map, tmp_path):
+        path = save_map(populated_map, tmp_path / "map.json")
+        loaded = load_map(path)
+        assert len(loaded) == len(populated_map)
+        original = [(o.x, o.y, o.obj.label, o.room) for o in populated_map.observations]
+        restored = [(o.x, o.y, o.obj.label, o.room) for o in loaded.observations]
+        assert original == restored
+
+    def test_geometry_preserved(self, populated_map, tmp_path):
+        loaded = load_map(save_map(populated_map, tmp_path / "map.json"))
+        assert loaded.width == populated_map.width
+        assert loaded.merge_radius == populated_map.merge_radius
+
+    def test_confidence_and_grounding_rebuilt(self, populated_map, tmp_path):
+        loaded = load_map(save_map(populated_map, tmp_path / "map.json"))
+        chair = loaded.find("chair")[0]
+        assert chair.obj.confidence == 0.7
+        assert chair.obj.is_a("furniture")
+
+    def test_queries_survive(self, populated_map, tmp_path):
+        loaded = load_map(save_map(populated_map, tmp_path / "map.json"))
+        assert len(loaded.find("furniture")) == 2
+
+    def test_file_is_readable_json(self, populated_map, tmp_path):
+        path = save_map(populated_map, tmp_path / "map.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-semantic-map-v1"
+        assert len(payload["observations"]) == 3
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(KnowledgeError):
+            load_map(tmp_path / "missing.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(KnowledgeError):
+            load_map(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(KnowledgeError):
+            load_map(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-semantic-map-v1",
+                    "width": 5.0,
+                    "height": 5.0,
+                    "merge_radius": 0.5,
+                    "observations": [{"x": 1.0, "y": 1.0}],
+                }
+            )
+        )
+        with pytest.raises(KnowledgeError):
+            load_map(path)

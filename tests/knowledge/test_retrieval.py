@@ -1,0 +1,71 @@
+"""Unit tests for natural-language object retrieval."""
+
+import pytest
+
+from repro.errors import KnowledgeError
+from repro.knowledge.retrieval import ObjectRetriever
+from repro.knowledge.semantic_map import SemanticMap
+
+
+@pytest.fixture()
+def retriever():
+    semantic_map = SemanticMap(width=10.0, height=8.0)
+    semantic_map.observe(1.0, 1.0, "chair", room="kitchen")
+    semantic_map.observe(8.0, 7.0, "chair", room="study")
+    semantic_map.observe(3.0, 2.0, "bottle", room="kitchen")
+    semantic_map.observe(6.0, 3.0, "sofa", room="lounge")
+    return ObjectRetriever(semantic_map)
+
+
+class TestConceptParsing:
+    def test_direct_label(self, retriever):
+        result = retriever.query("find the chair")
+        assert result.concept == "chair"
+        assert result.count == 2
+
+    def test_plural_form(self, retriever):
+        result = retriever.query("find all chairs")
+        assert result.concept == "chair"
+
+    def test_lemma_alias(self, retriever):
+        result = retriever.query("where is the couch?")
+        assert result.concept == "sofa"
+
+    def test_hypernym_generalises(self, retriever):
+        result = retriever.query("find all furniture")
+        assert result.count == 3  # two chairs + one sofa
+
+    def test_unknown_concept(self, retriever):
+        with pytest.raises(KnowledgeError):
+            retriever.query("find the quadcopter")
+
+
+class TestRoomAndOrdering:
+    def test_room_filter(self, retriever):
+        result = retriever.query("find the chair in the kitchen")
+        assert result.room == "kitchen"
+        assert result.count == 1
+
+    def test_nearest_ordering(self, retriever):
+        result = retriever.query("bring me the nearest chair", robot_position=(9.0, 7.0))
+        assert result.observations[0].room == "study"
+
+    def test_count_cue(self, retriever):
+        result = retriever.query("how many bottles are there?")
+        assert result.count_only
+        assert result.count == 1
+
+
+class TestAnswers:
+    def test_answer_mentions_location(self, retriever):
+        answer = retriever.answer("fetch the nearest bottle", robot_position=(0, 0))
+        assert "bottle" in answer
+        assert "(3.0, 2.0)" in answer
+
+    def test_answer_count(self, retriever):
+        answer = retriever.answer("how many chairs?")
+        assert "2" in answer
+
+    def test_answer_empty(self, retriever):
+        answer = retriever.answer("find the lamp")
+        assert "not seen" in answer

@@ -1,0 +1,106 @@
+"""Unit and property tests for the concept taxonomy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.classes import CLASS_NAMES
+from repro.errors import KnowledgeError
+from repro.knowledge.taxonomy import Taxonomy, default_taxonomy
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return default_taxonomy()
+
+
+class TestResolve:
+    def test_all_paper_classes_resolve(self, taxonomy):
+        for name in CLASS_NAMES:
+            assert taxonomy.resolve(name).name == name
+
+    def test_lemma_aliases(self, taxonomy):
+        assert taxonomy.resolve("couch").name == "sofa"
+        assert taxonomy.resolve("carton").name == "box"
+
+    def test_case_and_spacing_tolerant(self, taxonomy):
+        assert taxonomy.resolve(" Piece of furniture ").name == "furniture"
+
+    def test_unknown_rejected(self, taxonomy):
+        with pytest.raises(KnowledgeError):
+            taxonomy.resolve("spaceship")
+
+    def test_contains(self, taxonomy):
+        assert "chair" in taxonomy
+        assert "warp_drive" not in taxonomy
+
+    def test_glosses_present(self, taxonomy):
+        assert taxonomy.resolve("bottle").gloss
+
+
+class TestStructure:
+    def test_chain_reaches_entity(self, taxonomy):
+        for name in CLASS_NAMES:
+            chain = taxonomy.hypernym_chain(name)
+            assert chain[0] == name
+            assert chain[-1] == "entity"
+
+    def test_chair_is_furniture(self, taxonomy):
+        assert taxonomy.is_a("chair", "furniture")
+        assert taxonomy.is_a("sofa", "seat")
+        assert not taxonomy.is_a("bottle", "furniture")
+
+    def test_depth_of_root(self, taxonomy):
+        assert taxonomy.depth("entity") == 1
+        assert taxonomy.depth("chair") > 3
+
+    def test_hyponyms_of_furniture(self, taxonomy):
+        below = taxonomy.hyponyms("furniture")
+        assert {"chair", "sofa", "table", "seat"} <= set(below)
+        assert "bottle" not in below
+
+    def test_lcs(self, taxonomy):
+        assert taxonomy.lowest_common_subsumer("chair", "sofa") == "seat"
+        assert taxonomy.lowest_common_subsumer("chair", "table") == "furniture"
+        assert taxonomy.lowest_common_subsumer("bottle", "box") == "container"
+
+    def test_related_concepts_near(self, taxonomy):
+        related = taxonomy.related_concepts("chair", max_distance=2)
+        assert "seat" in related and "sofa" in related
+        assert "entity" not in related
+
+    def test_concepts_topological(self, taxonomy):
+        concepts = taxonomy.concepts
+        assert concepts[0] == "entity"
+        assert set(CLASS_NAMES) <= set(concepts)
+
+
+class TestWuPalmer:
+    def test_self_similarity_is_one(self, taxonomy):
+        assert taxonomy.wup_similarity("chair", "chair") == 1.0
+
+    def test_siblings_more_similar_than_distant(self, taxonomy):
+        assert taxonomy.wup_similarity("chair", "sofa") > taxonomy.wup_similarity(
+            "chair", "bottle"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.sampled_from(CLASS_NAMES),
+        b=st.sampled_from(CLASS_NAMES),
+    )
+    def test_bounds_and_symmetry_property(self, taxonomy, a, b):
+        value = taxonomy.wup_similarity(a, b)
+        assert 0.0 < value <= 1.0
+        assert value == pytest.approx(taxonomy.wup_similarity(b, a))
+
+
+class TestValidation:
+    def test_cycle_detection(self):
+        with pytest.raises(KnowledgeError):
+            Taxonomy(
+                synsets=(
+                    ("a", "g", (), None),
+                    ("b", "g", (), "c"),  # c not defined yet
+                )
+            )

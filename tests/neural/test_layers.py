@@ -1,0 +1,168 @@
+"""Unit tests (with numerical gradient checks) for the NN layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NeuralError
+from repro.neural.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+
+
+def numeric_input_grad(layer, x, g_out, eps=1e-6):
+    """Two-sided numeric gradient of sum(forward(x) * g_out) w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat, gflat = x.ravel(), grad.ravel()
+    for idx in range(0, flat.size, max(1, flat.size // 17)):
+        orig = flat[idx]
+        flat[idx] = orig + eps
+        plus = (layer.forward(x, {}) * g_out).sum()
+        flat[idx] = orig - eps
+        minus = (layer.forward(x, {}) * g_out).sum()
+        flat[idx] = orig
+        gflat[idx] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        conv = Conv2D(3, 8, kernel_size=5)
+        conv.init_params(np.random.default_rng(0))
+        out = conv.forward(np.zeros((2, 12, 14, 3)), {})
+        assert out.shape == (2, 8, 10, 8)
+
+    def test_manual_1x1_convolution(self):
+        conv = Conv2D(2, 1, kernel_size=1)
+        conv.init_params(np.random.default_rng(0))
+        conv.params["w"][:] = np.array([[[[2.0], [3.0]]]])
+        conv.params["b"][:] = 0.5
+        x = np.ones((1, 2, 2, 2))
+        out = conv.forward(x, {})
+        assert np.allclose(out, 2.0 + 3.0 + 0.5)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        conv = Conv2D(2, 3, kernel_size=3)
+        conv.init_params(rng)
+        x = rng.random((2, 7, 8, 2))
+        cache = {}
+        out = conv.forward(x, cache)
+        g_out = rng.random(out.shape)
+        conv.zero_grads()
+        g_in = conv.backward(g_out, cache)
+        numeric = numeric_input_grad(conv, x.copy(), g_out)
+        sampled = numeric != 0
+        assert np.allclose(g_in[sampled], numeric[sampled], rtol=1e-5, atol=1e-8)
+
+    def test_param_gradient_accumulates(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2D(1, 2, kernel_size=3)
+        conv.init_params(rng)
+        x = rng.random((1, 6, 6, 1))
+        cache = {}
+        out = conv.forward(x, cache)
+        conv.zero_grads()
+        conv.backward(np.ones_like(out), cache)
+        first = conv.grads["w"].copy()
+        conv.backward(np.ones_like(out), cache)
+        assert np.allclose(conv.grads["w"], 2 * first)
+
+    def test_rejects_wrong_channels(self):
+        conv = Conv2D(3, 2, kernel_size=3)
+        conv.init_params(np.random.default_rng(0))
+        with pytest.raises(NeuralError):
+            conv.forward(np.zeros((1, 8, 8, 4)), {})
+
+    def test_rejects_small_input(self):
+        conv = Conv2D(1, 1, kernel_size=5)
+        conv.init_params(np.random.default_rng(0))
+        with pytest.raises(NeuralError):
+            conv.forward(np.zeros((1, 3, 3, 1)), {})
+
+    def test_spec_validation(self):
+        with pytest.raises(NeuralError):
+            Conv2D(0, 1, 3)
+
+
+class TestMaxPool:
+    def test_downsamples(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = pool.forward(x, {})
+        assert out.shape == (1, 2, 2, 1)
+        assert out[0, 0, 0, 0] == 5.0  # max of the top-left 2x2 block
+
+    def test_odd_trailing_dropped(self):
+        out = MaxPool2D(2).forward(np.zeros((1, 5, 7, 2)), {})
+        assert out.shape == (1, 2, 3, 2)
+
+    def test_backward_routes_to_max(self):
+        pool = MaxPool2D(2)
+        x = np.array([[[[1.0], [3.0]], [[2.0], [0.0]]]])  # (1,2,2,1)
+        cache = {}
+        pool.forward(x, cache)
+        g_in = pool.backward(np.array([[[[10.0]]]]), cache)
+        assert g_in[0, 0, 1, 0] == 10.0
+        assert g_in[0, 0, 0, 0] == 0.0
+
+    def test_backward_splits_ties(self):
+        pool = MaxPool2D(2)
+        x = np.full((1, 2, 2, 1), 4.0)
+        cache = {}
+        pool.forward(x, cache)
+        g_in = pool.backward(np.array([[[[8.0]]]]), cache)
+        assert np.allclose(g_in, 2.0)  # 8 split across four tied positions
+
+    def test_too_small_input(self):
+        with pytest.raises(NeuralError):
+            MaxPool2D(4).forward(np.zeros((1, 2, 2, 1)), {})
+
+
+class TestReLU:
+    def test_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]), {})
+        assert out.tolist() == [[0.0, 0.0, 2.0]]
+
+    def test_backward_masks(self):
+        relu = ReLU()
+        cache = {}
+        relu.forward(np.array([[-1.0, 3.0]]), cache)
+        g_in = relu.backward(np.array([[5.0, 5.0]]), cache)
+        assert g_in.tolist() == [[0.0, 5.0]]
+
+
+class TestFlattenDense:
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        cache = {}
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        out = flat.forward(x, cache)
+        assert out.shape == (2, 12)
+        back = flat.backward(out, cache)
+        assert np.array_equal(back, x)
+
+    def test_dense_forward(self):
+        dense = Dense(3, 2)
+        dense.init_params(np.random.default_rng(0))
+        dense.params["w"][:] = np.eye(3, 2)
+        dense.params["b"][:] = 1.0
+        out = dense.forward(np.array([[1.0, 2.0, 3.0]]), {})
+        assert np.allclose(out, [[2.0, 3.0]])
+
+    def test_dense_gradients_numeric(self):
+        rng = np.random.default_rng(4)
+        dense = Dense(5, 3)
+        dense.init_params(rng)
+        x = rng.random((4, 5))
+        cache = {}
+        out = dense.forward(x, cache)
+        g_out = rng.random(out.shape)
+        dense.zero_grads()
+        g_in = dense.backward(g_out, cache)
+        numeric = numeric_input_grad(dense, x.copy(), g_out)
+        sampled = numeric != 0
+        assert np.allclose(g_in[sampled], numeric[sampled], rtol=1e-5)
+
+    def test_dense_shape_validation(self):
+        dense = Dense(4, 2)
+        dense.init_params(np.random.default_rng(0))
+        with pytest.raises(NeuralError):
+            dense.forward(np.zeros((2, 5)), {})

@@ -1,0 +1,121 @@
+"""Unit tests for softmax/cross-entropy and the optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NeuralError
+from repro.neural.layers import Dense
+from repro.neural.losses import softmax, softmax_cross_entropy
+from repro.neural.optim import SGD, Adam
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_stability_with_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+
+    def test_monotone(self):
+        probs = softmax(np.array([[1.0, 2.0]]))
+        assert probs[0, 1] > probs[0, 0]
+
+    def test_rejects_1d(self):
+        with pytest.raises(NeuralError):
+            softmax(np.array([1.0, 2.0]))
+
+
+class TestCrossEntropy:
+    def test_known_value(self):
+        logits = np.log(np.array([[0.25, 0.75]]))
+        loss, _ = softmax_cross_entropy(logits, np.array([1]))
+        assert loss == pytest.approx(-np.log(0.75))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.random((3, 4))
+        labels = np.array([0, 2, 3])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                plus = logits.copy(); plus[i, j] += eps
+                minus = logits.copy(); minus[i, j] -= eps
+                numeric = (
+                    softmax_cross_entropy(plus, labels)[0]
+                    - softmax_cross_entropy(minus, labels)[0]
+                ) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(1)
+        _, grad = softmax_cross_entropy(rng.random((5, 3)), np.array([0, 1, 2, 0, 1]))
+        assert np.allclose(grad.sum(axis=1), 0.0)
+
+    def test_label_validation(self):
+        with pytest.raises(NeuralError):
+            softmax_cross_entropy(np.zeros((2, 2)), np.array([0, 2]))
+        with pytest.raises(NeuralError):
+            softmax_cross_entropy(np.zeros((2, 2)), np.array([0]))
+
+
+def quadratic_layer():
+    """A Dense layer set up so loss = ||w - target||^2 is easy to drive."""
+    dense = Dense(1, 1)
+    dense.init_params(np.random.default_rng(0))
+    dense.params["w"][:] = 5.0
+    dense.params["b"][:] = 0.0
+    return dense
+
+
+class TestOptimisers:
+    @pytest.mark.parametrize("optimizer", [SGD(lr=0.1), Adam(lr=0.1)])
+    def test_minimises_quadratic(self, optimizer):
+        dense = quadratic_layer()
+        for _ in range(200):
+            dense.zero_grads()
+            # d/dw of (w - 2)^2
+            dense.grads["w"][:] = 2.0 * (dense.params["w"] - 2.0)
+            dense.grads["b"][:] = 0.0
+            optimizer.step([dense])
+        assert dense.params["w"][0, 0] == pytest.approx(2.0, abs=0.05)
+
+    def test_step_zeroes_gradients(self):
+        dense = quadratic_layer()
+        dense.zero_grads()
+        dense.grads["w"][:] = 1.0
+        SGD(lr=0.1).step([dense])
+        assert np.allclose(dense.grads["w"], 0.0)
+
+    def test_decay_shrinks_updates(self):
+        no_decay = SGD(lr=0.1)
+        with_decay = SGD(lr=0.1, decay=1.0)
+        a, b = quadratic_layer(), quadratic_layer()
+        for _ in range(5):
+            for layer, opt in ((a, no_decay), (b, with_decay)):
+                layer.zero_grads()
+                layer.grads["w"][:] = 1.0
+                opt.step([layer])
+        # decayed optimiser moved less far from the 5.0 start
+        assert b.params["w"][0, 0] > a.params["w"][0, 0]
+
+    def test_momentum_accelerates(self):
+        plain = SGD(lr=0.01)
+        momentum = SGD(lr=0.01, momentum=0.9)
+        a, b = quadratic_layer(), quadratic_layer()
+        for _ in range(20):
+            for layer, opt in ((a, plain), (b, momentum)):
+                layer.zero_grads()
+                layer.grads["w"][:] = 2.0 * (layer.params["w"] - 2.0)
+                opt.step([layer])
+        assert abs(b.params["w"][0, 0] - 2.0) < abs(a.params["w"][0, 0] - 2.0)
+
+    def test_lr_validation(self):
+        with pytest.raises(NeuralError):
+            SGD(lr=0.0)
+        with pytest.raises(NeuralError):
+            Adam(lr=-1.0)
+        with pytest.raises(NeuralError):
+            SGD(lr=0.1, momentum=1.0)

@@ -1,0 +1,58 @@
+"""Unit tests for network checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NeuralError
+from repro.neural.serialize import load_network, save_network
+from repro.neural.siamese import NormalizedXCorrNet
+
+
+def make_net(seed=3):
+    return NormalizedXCorrNet(
+        input_hw=(28, 28), trunk_filters=(4, 5), head_filters=6,
+        hidden_units=12, search=(1, 2), seed=seed,
+    )
+
+
+class TestRoundTrip:
+    def test_weights_identical(self, tmp_path):
+        net = make_net()
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        loaded = load_network(path)
+        for original, restored in zip(
+            net.trunk.layers + net.head.layers,
+            loaded.trunk.layers + loaded.head.layers,
+        ):
+            for key in original.params:
+                assert np.array_equal(original.params[key], restored.params[key])
+
+    def test_predictions_identical(self, tmp_path):
+        net = make_net(seed=9)
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        loaded = load_network(path)
+        rng = np.random.default_rng(0)
+        a, b = rng.random((2, 28, 28, 3)), rng.random((2, 28, 28, 3))
+        assert np.array_equal(net._forward(a, b)[0], loaded._forward(a, b)[0])
+
+    def test_architecture_restored(self, tmp_path):
+        net = make_net()
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert loaded.input_hw == net.input_hw
+        assert loaded.xcorr.search == net.xcorr.search
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(NeuralError):
+            load_network(tmp_path / "nothing.npz")
+
+    def test_non_checkpoint_npz(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(NeuralError):
+            load_network(path)

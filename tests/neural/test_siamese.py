@@ -1,0 +1,157 @@
+"""Unit and integration tests for the Normalized-X-Corr network."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pairs import build_training_pairs
+from repro.errors import NeuralError
+from repro.neural.losses import softmax_cross_entropy
+from repro.neural.model import EarlyStopping, Sequential, TrainingHistory
+from repro.neural.siamese import NormalizedXCorrNet, SiameseTrainingConfig
+
+
+def small_net(seed=3, search=(1, 1)):
+    return NormalizedXCorrNet(
+        input_hw=(28, 28),
+        trunk_filters=(4, 5),
+        head_filters=6,
+        hidden_units=12,
+        search=search,
+        seed=seed,
+    )
+
+
+class TestArchitecture:
+    def test_logits_shape(self):
+        net = small_net()
+        rng = np.random.default_rng(0)
+        logits, _ = net._forward(rng.random((3, 28, 28, 3)), rng.random((3, 28, 28, 3)))
+        assert logits.shape == (3, 2)
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(NeuralError):
+            NormalizedXCorrNet(input_hw=(10, 10))
+        with pytest.raises(NeuralError):
+            NormalizedXCorrNet(input_hw=(24, 24))  # collapses in the head
+
+    def test_prepare_resizes(self):
+        net = small_net()
+        out = net.prepare(np.zeros((64, 64, 3)))
+        assert out.shape == (28, 28, 3)
+
+    def test_weight_sharing(self):
+        net = small_net()
+        rng = np.random.default_rng(1)
+        x = rng.random((2, 28, 28, 3))
+        fa, _ = net.trunk.forward(x)
+        fb, _ = net.trunk.forward(x)
+        assert np.array_equal(fa, fb)
+
+    def test_symmetric_inputs_give_similar_logits(self):
+        # Identical images in both slots: the xcorr output is symmetric, so
+        # the decision should not depend on branch order.
+        net = small_net()
+        rng = np.random.default_rng(2)
+        a = rng.random((1, 28, 28, 3))
+        b = rng.random((1, 28, 28, 3))
+        logits_ab, _ = net._forward(a, b)
+        logits_ba, _ = net._forward(b, a)
+        # Displacement channels permute under swap, so allow tolerance.
+        assert logits_ab == pytest.approx(logits_ba, abs=0.5)
+
+    def test_full_gradient_check(self):
+        net = small_net(search=(1, 1))
+        # Nudge biases so no pre-activation sits exactly on a ReLU kink
+        # (zero-feature regions otherwise create nondifferentiable points).
+        for layer in net.trunk.layers + net.head.layers:
+            if "b" in layer.params:
+                layer.params["b"] += 0.01
+        rng = np.random.default_rng(0)
+        a = rng.random((2, 28, 28, 3))
+        b = rng.random((2, 28, 28, 3))
+        y = np.array([0, 1])
+
+        logits, state = net._forward(a, b)
+        _, grad = softmax_cross_entropy(logits, y)
+        for layer in net.trunk.layers + net.head.layers:
+            layer.zero_grads()
+        net._backward(grad, state)
+
+        for layer in (net.trunk.layers[0], net.head.layers[0], net.head.layers[4]):
+            for key in layer.params:
+                flat = layer.params[key].ravel()
+                gflat = layer.grads[key].ravel()
+                for idx in np.linspace(0, flat.size - 1, 3).astype(int):
+                    eps = 1e-5
+                    orig = flat[idx]
+                    flat[idx] = orig + eps
+                    lp = softmax_cross_entropy(net._forward(a, b)[0], y)[0]
+                    flat[idx] = orig - eps
+                    lm = softmax_cross_entropy(net._forward(a, b)[0], y)[0]
+                    flat[idx] = orig
+                    numeric = (lp - lm) / (2 * eps)
+                    assert gflat[idx] == pytest.approx(numeric, rel=1e-3, abs=1e-7)
+
+
+class TestTraining:
+    def test_loss_decreases(self, sns2):
+        pairs = build_training_pairs(sns2, total=48, rng=1)
+        net = small_net(seed=5)
+        history = net.fit(pairs, SiameseTrainingConfig(epochs=4, seed=2))
+        assert history.epochs_run == 4
+        assert history.losses[-1] < history.losses[0]
+
+    def test_predictions_binary(self, sns2):
+        pairs = build_training_pairs(sns2, total=32, rng=2)
+        net = small_net(seed=6)
+        net.fit(pairs, SiameseTrainingConfig(epochs=1, seed=3))
+        predictions = net.predict(pairs)
+        assert set(np.unique(predictions)) <= {0, 1}
+        assert len(predictions) == 32
+
+    def test_predict_proba_in_unit_interval(self, sns2):
+        pairs = build_training_pairs(sns2, total=16, rng=3)
+        net = small_net(seed=7)
+        probs = net.predict_proba(pairs)
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+
+    def test_similarity_single_pair(self, sns2):
+        net = small_net(seed=8)
+        value = net.similarity(sns2[0].image, sns2[1].image)
+        assert 0.0 <= value <= 1.0
+
+    def test_training_deterministic(self, sns2):
+        pairs = build_training_pairs(sns2, total=32, rng=4)
+        h1 = small_net(seed=9).fit(pairs, SiameseTrainingConfig(epochs=2, seed=5))
+        h2 = small_net(seed=9).fit(pairs, SiameseTrainingConfig(epochs=2, seed=5))
+        assert h1.losses == h2.losses
+
+
+class TestModelUtilities:
+    def test_sequential_rejects_empty(self):
+        with pytest.raises(NeuralError):
+            Sequential([])
+
+    def test_parameter_count(self):
+        net = small_net()
+        assert net.trunk.parameter_count > 0
+        assert net.head.parameter_count > 0
+
+    def test_early_stopping_triggers_after_patience(self):
+        stopper = EarlyStopping(min_delta=1e-6, patience=3)
+        assert not stopper.update(1.0)
+        for _ in range(3):
+            assert not stopper.update(1.0)
+        assert stopper.update(1.0)  # 4th stale epoch > patience of 3
+
+    def test_early_stopping_resets_on_improvement(self):
+        stopper = EarlyStopping(min_delta=1e-6, patience=2)
+        stopper.update(1.0)
+        stopper.update(1.0)
+        stopper.update(0.5)  # improvement resets staleness
+        assert not stopper.update(0.5)
+        assert not stopper.update(0.5)
+
+    def test_history_epochs(self):
+        history = TrainingHistory(losses=[1.0, 0.5])
+        assert history.epochs_run == 2

@@ -1,0 +1,106 @@
+"""Unit tests for the Normalized-X-Corr cross-input layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NeuralError
+from repro.neural.xcorr import NormalizedXCorr
+
+
+@pytest.fixture()
+def maps():
+    rng = np.random.default_rng(0)
+    return rng.random((2, 5, 6, 4)), rng.random((2, 5, 6, 4))
+
+
+class TestForward:
+    def test_output_channels(self, maps):
+        a, b = maps
+        layer = NormalizedXCorr(search=(1, 2))
+        out = layer.forward_pair(a, b, {})
+        assert out.shape == (2, 5, 6, 15)  # (2*1+1) * (2*2+1)
+        assert layer.out_channels == 15
+
+    def test_identical_inputs_zero_displacement_is_one(self, maps):
+        a, _ = maps
+        layer = NormalizedXCorr(search=(1, 1))
+        out = layer.forward_pair(a, a, {})
+        zero_idx = layer.displacements.index((0, 0))
+        assert np.allclose(out[..., zero_idx], 1.0)
+
+    def test_values_bounded(self, maps):
+        a, b = maps
+        out = NormalizedXCorr(search=(2, 2)).forward_pair(a, b, {})
+        assert out.min() >= -1.0 - 1e-9
+        assert out.max() <= 1.0 + 1e-9
+
+    def test_symmetry_under_swap(self, maps):
+        a, b = maps
+        layer = NormalizedXCorr(search=(1, 1))
+        out_ab = layer.forward_pair(a, b, {})
+        out_ba = layer.forward_pair(b, a, {})
+        # corr(a, b) at displacement d equals corr(b, a) at zero displacement
+        # when d = 0; the (0,0) channel must be identical under swapping.
+        zero_idx = layer.displacements.index((0, 0))
+        assert np.allclose(out_ab[..., zero_idx], out_ba[..., zero_idx])
+
+    def test_border_displacements_zero_filled(self, maps):
+        a, b = maps
+        layer = NormalizedXCorr(search=(1, 0))
+        out = layer.forward_pair(a, b, {})
+        down_idx = layer.displacements.index((1, 0))
+        # Correlating with b shifted up leaves the bottom row unmatched.
+        assert np.allclose(out[:, -1, :, down_idx], 0.0)
+
+    def test_shape_mismatch_rejected(self, maps):
+        a, _ = maps
+        with pytest.raises(NeuralError):
+            NormalizedXCorr().forward_pair(a, a[:, :4], {})
+
+    def test_single_input_interface_disabled(self, maps):
+        a, _ = maps
+        layer = NormalizedXCorr()
+        with pytest.raises(NeuralError):
+            layer.forward(a, {})
+        with pytest.raises(NeuralError):
+            layer.backward(a, {})
+
+    def test_negative_search_rejected(self):
+        with pytest.raises(NeuralError):
+            NormalizedXCorr(search=(-1, 0))
+
+
+class TestBackward:
+    def test_gradients_match_numeric(self, maps):
+        a, b = maps
+        layer = NormalizedXCorr(search=(1, 1))
+        cache = {}
+        out = layer.forward_pair(a, b, cache)
+        rng = np.random.default_rng(1)
+        g_out = rng.random(out.shape)
+        grad_a, grad_b = layer.backward_pair(g_out, cache)
+
+        def objective():
+            return (layer.forward_pair(a, b, {}) * g_out).sum()
+
+        for tensor, grad in ((a, grad_a), (b, grad_b)):
+            flat = tensor.ravel()
+            for idx in np.linspace(0, flat.size - 1, 9).astype(int):
+                eps = 1e-6
+                orig = flat[idx]
+                flat[idx] = orig + eps
+                plus = objective()
+                flat[idx] = orig - eps
+                minus = objective()
+                flat[idx] = orig
+                numeric = (plus - minus) / (2 * eps)
+                assert grad.ravel()[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_zero_grad_out_gives_zero_grads(self, maps):
+        a, b = maps
+        layer = NormalizedXCorr(search=(1, 1))
+        cache = {}
+        out = layer.forward_pair(a, b, cache)
+        grad_a, grad_b = layer.backward_pair(np.zeros_like(out), cache)
+        assert np.allclose(grad_a, 0.0)
+        assert np.allclose(grad_b, 0.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the SIFT/SURF/ORB recognition pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipelines.descriptor import DescriptorPipeline
+
+
+@pytest.fixture(scope="module")
+def small_refs(sns1):
+    """First two views of every model: 20-ish references, fast to index."""
+    by_model = sns1.by_model()
+    indices = []
+    keys = {item.key: i for i, item in enumerate(sns1)}
+    for group in by_model.values():
+        indices.append(keys[group[0].key])
+    return sns1.subset(sorted(indices), name="sns1-one-per-model")
+
+
+class TestConstruction:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(PipelineError):
+            DescriptorPipeline(method="brisk")
+
+    def test_unknown_matcher_rejected(self):
+        with pytest.raises(PipelineError):
+            DescriptorPipeline(method="sift", matcher="lsh")
+
+    def test_orb_kdtree_rejected(self):
+        with pytest.raises(PipelineError):
+            DescriptorPipeline(method="orb", matcher="kdtree")
+
+    def test_name(self):
+        assert DescriptorPipeline(method="surf").name == "descriptor-surf"
+
+
+class TestPrediction:
+    @pytest.mark.parametrize("method", ["sift", "surf", "orb"])
+    def test_predicts_valid_labels(self, method, small_refs, sns2):
+        pipeline = DescriptorPipeline(method=method, ratio=0.75, tie_break_seed=0)
+        pipeline.fit(small_refs)
+        prediction = pipeline.predict(sns2[0])
+        assert prediction.label in small_refs.classes
+        assert prediction.view_scores.shape == (len(small_refs),)
+
+    def test_good_match_counts_nonnegative(self, small_refs, sns2):
+        pipeline = DescriptorPipeline(method="sift", tie_break_seed=0).fit(small_refs)
+        counts = pipeline.good_match_counts(sns2[1])
+        assert (counts >= 0).all()
+
+    def test_self_query_scores_high(self, small_refs):
+        pipeline = DescriptorPipeline(method="sift", ratio=0.75, tie_break_seed=0)
+        pipeline.fit(small_refs)
+        query = small_refs[0]
+        counts = pipeline.good_match_counts(query)
+        if counts.max() > 0:
+            assert counts[0] == counts.max()
+
+    def test_kdtree_matches_brute_force_ranking(self, small_refs, sns2):
+        bf = DescriptorPipeline(method="sift", matcher="brute_force", tie_break_seed=0)
+        kd = DescriptorPipeline(method="sift", matcher="kdtree", tie_break_seed=0)
+        bf.fit(small_refs)
+        kd.fit(small_refs)
+        query = sns2[2]
+        assert np.allclose(bf.good_match_counts(query), kd.good_match_counts(query))
+
+    def test_deterministic_tie_breaking(self, small_refs, sns2):
+        a = DescriptorPipeline(method="orb", tie_break_seed=5).fit(small_refs)
+        b = DescriptorPipeline(method="orb", tie_break_seed=5).fit(small_refs)
+        assert a.predict(sns2[3]).label == b.predict(sns2[3]).label

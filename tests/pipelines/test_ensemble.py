@@ -1,0 +1,77 @@
+"""Unit tests for the ensemble pipelines."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.imaging.histogram import HistogramMetric
+from repro.imaging.match_shapes import ShapeDistance
+from repro.pipelines.baseline import RandomBaselinePipeline
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.ensemble import BordaEnsemble, VotingEnsemble
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+
+def members():
+    return [
+        ShapeOnlyPipeline(ShapeDistance.L3),
+        ColorOnlyPipeline(HistogramMetric.HELLINGER),
+        ColorOnlyPipeline(HistogramMetric.INTERSECTION),
+    ]
+
+
+class TestVotingEnsemble:
+    def test_requires_members(self):
+        with pytest.raises(PipelineError):
+            VotingEnsemble([])
+
+    def test_fit_fits_members(self, sns1):
+        ensemble = VotingEnsemble(members()).fit(sns1)
+        for member in ensemble.members:
+            assert member.references is sns1
+
+    def test_unanimous_vote_wins(self, sns1):
+        ensemble = VotingEnsemble(members()).fit(sns1)
+        # A reference view queried against its own library: every member
+        # finds the exact match.
+        prediction = ensemble.predict(sns1[0])
+        assert prediction.label == sns1[0].label
+        assert prediction.score == 1.0
+
+    def test_tie_breaks_by_member_order(self, sns1, sns2):
+        ensemble = VotingEnsemble(members()).fit(sns1)
+        query = sns2[0]
+        votes = [member.predict(query).label for member in ensemble.members]
+        prediction = ensemble.predict(query)
+        # The winner is always one of the votes, and under a full tie the
+        # first member's vote prevails.
+        assert prediction.label in votes
+        if len(set(votes)) == len(votes):
+            assert prediction.label == votes[0]
+
+    def test_predictions_valid(self, sns1, sns2):
+        ensemble = VotingEnsemble(members()).fit(sns1)
+        for query in list(sns2)[:5]:
+            assert ensemble.predict(query).label in sns1.classes
+
+
+class TestBordaEnsemble:
+    def test_requires_members(self):
+        with pytest.raises(PipelineError):
+            BordaEnsemble([])
+
+    def test_predictions_valid(self, sns1, sns2):
+        ensemble = BordaEnsemble(members()).fit(sns1)
+        for query in list(sns2)[:5]:
+            prediction = ensemble.predict(query)
+            assert prediction.label in sns1.classes
+            assert prediction.score >= 0.0
+
+    def test_self_query_tops_ranking(self, sns1):
+        ensemble = BordaEnsemble(members()).fit(sns1)
+        prediction = ensemble.predict(sns1[0])
+        assert prediction.label == sns1[0].label
+
+    def test_handles_top1_only_members(self, sns1, sns2):
+        ensemble = BordaEnsemble([RandomBaselinePipeline(rng=0)]).fit(sns1)
+        prediction = ensemble.predict(sns2[0])
+        assert prediction.label in sns1.classes

@@ -1,0 +1,141 @@
+"""Unit tests shared across the matching pipelines (shape / colour /
+hybrid / baseline): contract behaviour and per-pipeline sanity."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.imaging.histogram import HistogramMetric
+from repro.imaging.match_shapes import ShapeDistance
+from repro.pipelines.base import Prediction
+from repro.pipelines.baseline import RandomBaselinePipeline
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.hybrid import HybridPipeline, HybridStrategy, as_distance
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+
+class TestContract:
+    def test_not_fitted_raises(self, sns1):
+        pipeline = ShapeOnlyPipeline()
+        with pytest.raises(PipelineError):
+            pipeline.predict(sns1[0])
+
+    def test_fit_returns_self(self, sns1):
+        pipeline = ColorOnlyPipeline()
+        assert pipeline.fit(sns1) is pipeline
+
+    def test_prediction_structure(self, sns1, sns2):
+        pipeline = ShapeOnlyPipeline().fit(sns1)
+        prediction = pipeline.predict(sns2[0])
+        assert isinstance(prediction, Prediction)
+        assert prediction.label in sns1.classes
+        assert prediction.model_id
+        assert prediction.view_scores.shape == (len(sns1),)
+
+    def test_predict_all_order(self, sns1, sns2):
+        pipeline = ColorOnlyPipeline().fit(sns1)
+        some = sns2.subset([0, 1, 2])
+        predictions = pipeline.predict_all(some)
+        assert len(predictions) == 3
+
+
+class TestBaseline:
+    def test_uniform_over_classes(self, sns1, sns2):
+        pipeline = RandomBaselinePipeline(rng=0).fit(sns1)
+        labels = [pipeline.predict(sns2[0]).label for _ in range(500)]
+        counts = Counter(labels)
+        assert set(counts) == set(sns1.classes)
+        assert max(counts.values()) < 2.5 * min(counts.values())
+
+    def test_deterministic_with_seed(self, sns1, sns2):
+        a = RandomBaselinePipeline(rng=1).fit(sns1)
+        b = RandomBaselinePipeline(rng=1).fit(sns1)
+        assert [a.predict(sns2[0]).label for _ in range(20)] == [
+            b.predict(sns2[0]).label for _ in range(20)
+        ]
+
+    def test_unfitted_raises(self, sns2):
+        with pytest.raises(PipelineError):
+            RandomBaselinePipeline(rng=0).predict(sns2[0])
+
+
+class TestShapeOnly:
+    def test_self_query_matches_itself(self, sns1):
+        pipeline = ShapeOnlyPipeline(ShapeDistance.L2).fit(sns1)
+        prediction = pipeline.predict(sns1[0])
+        assert prediction.score == pytest.approx(0.0, abs=1e-9)
+        assert prediction.label == sns1[0].label
+
+    def test_name_encodes_distance(self):
+        assert ShapeOnlyPipeline(ShapeDistance.L3).name == "shape-only-L3"
+
+    def test_distances_nonnegative(self, sns1, sns2):
+        pipeline = ShapeOnlyPipeline(ShapeDistance.L1).fit(sns1)
+        scores = pipeline.score_views(sns2[0])
+        assert (scores >= 0).all()
+
+
+class TestColorOnly:
+    def test_self_query_matches_itself(self, sns1):
+        pipeline = ColorOnlyPipeline(HistogramMetric.HELLINGER).fit(sns1)
+        prediction = pipeline.predict(sns1[5])
+        assert prediction.label == sns1[5].label
+        assert prediction.score == pytest.approx(0.0, abs=1e-6)
+
+    def test_similarity_metric_uses_argmax(self, sns1):
+        pipeline = ColorOnlyPipeline(HistogramMetric.INTERSECTION).fit(sns1)
+        assert pipeline.higher_is_better
+        prediction = pipeline.predict(sns1[5])
+        assert prediction.score == pytest.approx(1.0, abs=1e-6)
+
+    def test_bins_configurable(self, sns1, sns2):
+        coarse = ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=4).fit(sns1)
+        fine = ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=64).fit(sns1)
+        assert coarse.predict(sns2[0]).view_scores.shape == (82,)
+        assert fine.predict(sns2[0]).view_scores.shape == (82,)
+
+
+class TestHybrid:
+    def test_as_distance_conversion(self):
+        assert as_distance(0.9, HistogramMetric.CORRELATION) == pytest.approx(0.1)
+        assert as_distance(0.3, HistogramMetric.HELLINGER) == 0.3
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(PipelineError):
+            HybridPipeline(alpha=-1.0)
+        with pytest.raises(PipelineError):
+            HybridPipeline(alpha=0.0, beta=0.0)
+
+    def test_weighted_sum_self_match(self, sns1):
+        pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM).fit(sns1)
+        prediction = pipeline.predict(sns1[3])
+        assert prediction.label == sns1[3].label
+
+    def test_micro_average_returns_model(self, sns1, sns2):
+        pipeline = HybridPipeline(HybridStrategy.MICRO_AVERAGE).fit(sns1)
+        prediction = pipeline.predict(sns2[0])
+        assert prediction.model_id in {item.model_id for item in sns1}
+
+    def test_macro_average_returns_class_only(self, sns1, sns2):
+        pipeline = HybridPipeline(HybridStrategy.MACRO_AVERAGE).fit(sns1)
+        prediction = pipeline.predict(sns2[0])
+        assert prediction.model_id == ""
+        assert prediction.label in sns1.classes
+
+    def test_strategies_can_disagree(self, sns1, sns2):
+        predictions = {}
+        for strategy in HybridStrategy:
+            pipeline = HybridPipeline(strategy).fit(sns1)
+            predictions[strategy] = [pipeline.predict(q).label for q in sns2.subset(list(range(20)))]
+        # Not a strict requirement per-query, but across 20 queries the three
+        # argmin candidate sets should not be globally identical.
+        assert len({tuple(v) for v in predictions.values()}) > 1
+
+    def test_theta_combines_shape_and_color(self, sns1, sns2):
+        hybrid = HybridPipeline(HybridStrategy.WEIGHTED_SUM, alpha=1.0, beta=0.0).fit(sns1)
+        shape = ShapeOnlyPipeline(hybrid.shape_distance).fit(sns1)
+        query = sns2[0]
+        # With beta = 0 the hybrid ranking must equal the shape-only ranking.
+        assert np.argmin(hybrid.theta_scores(query)) == np.argmin(shape.score_views(query))

@@ -1,0 +1,48 @@
+"""Unit tests for the neural matching pipeline wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pairs import build_sns1_test_pairs, build_training_pairs
+from repro.errors import PipelineError
+from repro.neural.siamese import NormalizedXCorrNet, SiameseTrainingConfig
+from repro.pipelines.neural import NeuralMatchingPipeline
+
+
+@pytest.fixture(scope="module")
+def trained_net(sns2):
+    net = NormalizedXCorrNet(
+        input_hw=(28, 28), trunk_filters=(4, 6), head_filters=6, hidden_units=16, seed=4
+    )
+    pairs = build_training_pairs(sns2, total=48, rng=9)
+    net.fit(pairs, SiameseTrainingConfig(epochs=1, seed=10))
+    return net
+
+
+class TestNeuralPipeline:
+    def test_unfitted_raises(self, trained_net, sns2):
+        pipeline = NeuralMatchingPipeline(trained_net)
+        with pytest.raises(PipelineError):
+            pipeline.similarity_scores(sns2[0])
+
+    def test_predict_returns_reference_label(self, trained_net, sns1, sns2):
+        refs = sns1.subset(list(range(0, 82, 8)))
+        pipeline = NeuralMatchingPipeline(trained_net).fit(refs)
+        prediction = pipeline.predict(sns2[0])
+        assert prediction.label in refs.classes
+        assert 0.0 <= prediction.score <= 1.0
+
+    def test_similarity_scores_shape(self, trained_net, sns1, sns2):
+        refs = sns1.subset(list(range(0, 82, 8)))
+        pipeline = NeuralMatchingPipeline(trained_net).fit(refs)
+        scores = pipeline.similarity_scores(sns2[1])
+        assert scores.shape == (len(refs),)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_classify_pairs_binary(self, trained_net, sns1):
+        small = sns1.subset(list(range(10)))
+        pairs = build_sns1_test_pairs(small)
+        pipeline = NeuralMatchingPipeline(trained_net)
+        decisions = pipeline.classify_pairs(pairs)
+        assert len(decisions) == len(pairs)
+        assert set(np.unique(decisions)) <= {0, 1}

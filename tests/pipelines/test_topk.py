@@ -1,0 +1,84 @@
+"""Unit tests for top-k class prediction on matching pipelines."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.imaging.histogram import HistogramMetric
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+
+class TestPredictTopk:
+    def test_topk_distinct_classes(self, sns1, sns2):
+        pipeline = ShapeOnlyPipeline().fit(sns1)
+        top = pipeline.predict_topk(sns2[0], k=3)
+        labels = [p.label for p in top]
+        assert len(labels) == 3
+        assert len(set(labels)) == 3
+
+    def test_top1_matches_predict(self, sns1, sns2):
+        pipeline = ColorOnlyPipeline(HistogramMetric.HELLINGER).fit(sns1)
+        assert pipeline.predict_topk(sns2[1], k=1)[0].label == pipeline.predict(sns2[1]).label
+
+    def test_scores_ordered(self, sns1, sns2):
+        pipeline = ShapeOnlyPipeline().fit(sns1)
+        top = pipeline.predict_topk(sns2[2], k=5)
+        scores = [p.score for p in top]
+        assert scores == sorted(scores)  # distances ascending
+
+    def test_similarity_scores_ordered_descending(self, sns1, sns2):
+        pipeline = ColorOnlyPipeline(HistogramMetric.INTERSECTION).fit(sns1)
+        top = pipeline.predict_topk(sns2[2], k=5)
+        scores = [p.score for p in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_capped_by_class_count(self, sns1, sns2):
+        pipeline = ShapeOnlyPipeline().fit(sns1)
+        top = pipeline.predict_topk(sns2[0], k=50)
+        assert len(top) == len(sns1.classes)
+
+    def test_k_validation(self, sns1, sns2):
+        pipeline = ShapeOnlyPipeline().fit(sns1)
+        with pytest.raises(PipelineError):
+            pipeline.predict_topk(sns2[0], k=0)
+
+    def test_recall_at_k_monotone(self, sns1, sns2):
+        pipeline = ColorOnlyPipeline(HistogramMetric.HELLINGER).fit(sns1)
+        queries = list(sns2)[:20]
+        hits = {k: 0 for k in (1, 3, 5)}
+        for query in queries:
+            top = pipeline.predict_topk(query, k=5)
+            labels = [p.label for p in top]
+            for k in hits:
+                if query.label in labels[:k]:
+                    hits[k] += 1
+        assert hits[1] <= hits[3] <= hits[5]
+
+
+class TestHybridTopk:
+    def test_hybrid_topk_distinct(self, sns1, sns2):
+        from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+
+        pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM).fit(sns1)
+        top = pipeline.predict_topk(sns2[0], k=4)
+        labels = [p.label for p in top]
+        assert len(set(labels)) == 4
+
+    def test_hybrid_top1_matches_weighted_sum_predict(self, sns1, sns2):
+        from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+
+        pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM).fit(sns1)
+        assert (
+            pipeline.predict_topk(sns2[1], k=1)[0].label
+            == pipeline.predict(sns2[1]).label
+        )
+
+    def test_hybrid_topk_validation(self, sns1, sns2):
+        from repro.errors import PipelineError
+        from repro.pipelines.hybrid import HybridPipeline
+
+        pipeline = HybridPipeline().fit(sns1)
+        import pytest
+
+        with pytest.raises(PipelineError):
+            pipeline.predict_topk(sns2[0], k=0)

@@ -1,0 +1,109 @@
+"""Unit tests for the robot observation model and patrol missions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+from repro.robot.mission import run_patrol
+from repro.robot.robot import Robot
+from repro.robot.world import build_random_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_random_world(objects_per_room=5, rng=11)
+
+
+class TestRobotMotion:
+    def test_move_updates_pose_and_heading(self):
+        robot = Robot()
+        robot.move_to(3.0, 4.0)
+        assert (robot.x, robot.y) == (3.0, 4.0)
+        assert robot.heading_degrees == pytest.approx(53.1301, abs=0.01)
+
+    def test_move_in_place_keeps_heading(self):
+        robot = Robot(heading_degrees=45.0)
+        robot.move_to(0.0, 0.0)
+        assert robot.heading_degrees == 45.0
+
+    def test_turn_to_wraps(self):
+        robot = Robot()
+        robot.turn_to(450.0)
+        assert robot.heading_degrees == 90.0
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            Robot(sensing_range=0.0)
+        with pytest.raises(DatasetError):
+            Robot(field_of_view_degrees=0.0)
+
+
+class TestSensing:
+    def test_visible_objects_respect_range(self, world):
+        robot = Robot(x=2.0, y=2.0, sensing_range=1.5, field_of_view_degrees=360.0)
+        for obj in robot.visible_objects(world):
+            assert (obj.x - 2.0) ** 2 + (obj.y - 2.0) ** 2 <= 1.5**2
+
+    def test_field_of_view_filters(self, world):
+        wide = Robot(x=2.0, y=2.0, sensing_range=3.0, field_of_view_degrees=360.0)
+        narrow = Robot(x=2.0, y=2.0, sensing_range=3.0, field_of_view_degrees=30.0)
+        assert len(narrow.visible_objects(world)) <= len(wide.visible_objects(world))
+
+    def test_observation_images_valid(self, world):
+        robot = Robot(x=2.0, y=2.0, sensing_range=3.0, field_of_view_degrees=360.0)
+        observations = robot.observe(world)
+        assert observations, "nothing visible from the room centre"
+        for obs in observations:
+            image = obs.item.image
+            assert image.shape == (64, 64, 3)
+            assert image.min() >= 0.0 and image.max() <= 1.0
+            # black-masked crop, like the NYUSet
+            border = np.concatenate([image[0], image[-1]])
+            assert np.allclose(border, 0.0, atol=1e-6)
+            assert obs.item.label == obs.obj.label
+
+    def test_bearing_sign(self, world):
+        robot = Robot(x=0.0, y=0.0, heading_degrees=0.0)
+        from repro.robot.world import PlacedObject
+        from repro.datasets.models import sample_model
+        from repro.config import rng as make_rng
+
+        left = PlacedObject("chair", 1.0, 1.0, 0.0, sample_model("chair", "l", make_rng(0)))
+        assert robot.bearing_to(left) == pytest.approx(45.0)
+
+
+class TestPatrol:
+    def test_patrol_builds_map(self, world):
+        pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM)
+        from repro.config import ExperimentConfig
+        from repro.datasets.shapenet import build_sns1
+
+        pipeline.fit(build_sns1(ExperimentConfig(seed=7, nyu_scale=0.01)))
+        robot = Robot(sensing_range=2.5, seed=3)
+        waypoints = [room.center for room in world.rooms]
+        log = run_patrol(world, robot, pipeline, waypoints)
+        assert log.observations > 0
+        assert len(log.semantic_map) > 0
+        assert 0.0 <= log.accuracy <= 1.0
+        rooms_seen = set(log.per_room_counts())
+        assert rooms_seen <= {room.name for room in world.rooms}
+
+    def test_patrol_validates_waypoints(self, world):
+        pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM)
+        robot = Robot()
+        with pytest.raises(DatasetError):
+            run_patrol(world, robot, pipeline, [])
+        with pytest.raises(DatasetError):
+            run_patrol(world, robot, pipeline, [(99.0, 99.0)])
+
+    def test_no_duplicate_object_per_waypoint(self, world):
+        from repro.config import ExperimentConfig
+        from repro.datasets.shapenet import build_sns1
+
+        pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM)
+        pipeline.fit(build_sns1(ExperimentConfig(seed=7, nyu_scale=0.01)))
+        robot = Robot(sensing_range=3.0, field_of_view_degrees=360.0, seed=4)
+        log = run_patrol(world, robot, pipeline, [world.rooms[0].center])
+        observed = [id(step.observation.obj) for step in log.steps]
+        assert len(observed) == len(set(observed))

@@ -1,0 +1,107 @@
+"""Unit tests for the simulated world."""
+
+import numpy as np
+import pytest
+
+from repro.config import rng as make_rng
+from repro.datasets.classes import CLASS_NAMES
+from repro.errors import DatasetError
+from repro.robot.world import (
+    DEFAULT_ROOMS,
+    PlacedObject,
+    Room,
+    SimulatedWorld,
+    build_random_world,
+)
+
+
+class TestRoom:
+    def test_contains(self):
+        room = Room("kitchen", 0.0, 0.0, 4.0, 3.0)
+        assert room.contains(2.0, 1.5)
+        assert not room.contains(4.5, 1.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(DatasetError):
+            Room("bad", 1.0, 0.0, 1.0, 2.0)
+
+    def test_sample_point_inside(self):
+        room = Room("study", 2.0, 3.0, 5.0, 6.0)
+        rng = make_rng(0)
+        for _ in range(20):
+            x, y = room.sample_point(rng)
+            assert room.contains(x, y)
+
+    def test_center(self):
+        assert Room("r", 0.0, 0.0, 4.0, 2.0).center == (2.0, 1.0)
+
+
+class TestBuildRandomWorld:
+    def test_object_count(self):
+        world = build_random_world(objects_per_room=4, rng=1)
+        assert len(world.objects) == 4 * len(DEFAULT_ROOMS)
+
+    def test_labels_valid(self):
+        world = build_random_world(objects_per_room=5, rng=2)
+        assert {obj.label for obj in world.objects} <= set(CLASS_NAMES)
+
+    def test_objects_within_rooms(self):
+        world = build_random_world(objects_per_room=3, rng=3)
+        for obj in world.objects:
+            assert world.room_of(obj.x, obj.y) is not None
+
+    def test_models_are_heterogeneous(self):
+        world = build_random_world(objects_per_room=8, rng=4)
+        chairs = [obj for obj in world.objects if obj.label == "chair"]
+        if len(chairs) >= 2:
+            assert chairs[0].model.params != chairs[1].model.params
+
+    def test_deterministic(self):
+        a = build_random_world(objects_per_room=3, rng=5)
+        b = build_random_world(objects_per_room=3, rng=5)
+        assert [(o.label, o.x, o.y) for o in a.objects] == [
+            (o.label, o.x, o.y) for o in b.objects
+        ]
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            build_random_world(objects_per_room=0)
+
+
+class TestWorldQueries:
+    @pytest.fixture()
+    def world(self):
+        return build_random_world(objects_per_room=6, rng=6)
+
+    def test_objects_in_room(self, world):
+        for room in world.rooms:
+            for obj in world.objects_in(room.name):
+                assert room.contains(obj.x, obj.y)
+
+    def test_unknown_room(self, world):
+        with pytest.raises(DatasetError):
+            world.objects_in("garage")
+
+    def test_objects_near_sorted(self, world):
+        x, y = world.rooms[0].center
+        nearby = world.objects_near(x, y, radius=5.0)
+        distances = [(o.x - x) ** 2 + (o.y - y) ** 2 for o in nearby]
+        assert distances == sorted(distances)
+
+    def test_objects_near_radius(self, world):
+        x, y = world.rooms[0].center
+        for obj in world.objects_near(x, y, radius=2.0):
+            assert (obj.x - x) ** 2 + (obj.y - y) ** 2 <= 4.0
+
+    def test_object_outside_rooms_rejected(self):
+        room = Room("only", 0.0, 0.0, 2.0, 2.0)
+        from repro.datasets.models import sample_model
+
+        model = sample_model("chair", "c0", make_rng(0))
+        with pytest.raises(DatasetError):
+            SimulatedWorld(
+                rooms=(room,),
+                objects=(
+                    PlacedObject(label="chair", x=5.0, y=5.0, facing_degrees=0.0, model=model),
+                ),
+            )

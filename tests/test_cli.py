@@ -1,0 +1,49 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "table9", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.seed == 7
+        assert args.nyu_scale == 0.05
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table42"])
+
+    def test_options_parsed(self):
+        args = build_parser().parse_args(
+            ["table4", "--epochs", "3", "--train-pairs", "99", "--nyu-scale", "0.02"]
+        )
+        assert args.epochs == 3
+        assert args.train_pairs == 99
+        assert args.nyu_scale == pytest.approx(0.02)
+
+
+class TestMain:
+    def test_table1_prints(self, capsys):
+        code = main(["table1", "--nyu-scale", "0.005"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Chair" in out and "Total" in out
+        assert "82" in out and "100" in out
+
+
+class TestPatrol:
+    def test_patrol_prints_summary(self, capsys):
+        code = main(["patrol", "--nyu-scale", "0.005", "--objects-per-room", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "patrol:" in out
+        assert "semantic map:" in out
+        assert "Q:" in out and "A:" in out

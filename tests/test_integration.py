@@ -1,0 +1,94 @@
+"""End-to-end integration tests: the full robot stack from pixels to
+natural-language answers, exercising every subsystem together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import rng as make_rng
+from repro.knowledge import ObjectRetriever, SemanticMap
+from repro.pipelines import HybridPipeline, HybridStrategy, VotingEnsemble
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+
+class TestPixelsToAnswer:
+    @pytest.fixture(scope="class")
+    def stack(self, sns1, nyu):
+        """Recognise every NYU crop, ground it into a semantic map."""
+        recogniser = HybridPipeline(HybridStrategy.WEIGHTED_SUM).fit(sns1)
+        semantic_map = SemanticMap(width=20.0, height=20.0, merge_radius=0.0)
+        rng = make_rng(0)
+        hits = 0
+        for item in nyu:
+            prediction = recogniser.predict(item)
+            semantic_map.observe(
+                float(rng.uniform(0, 20)),
+                float(rng.uniform(0, 20)),
+                prediction.label,
+                room="flat",
+            )
+            hits += prediction.label == item.label
+        return semantic_map, hits, len(nyu)
+
+    def test_recognition_above_chance(self, stack):
+        _, hits, total = stack
+        assert hits / total > 0.10  # better than the 10-class baseline
+
+    def test_map_holds_all_observations(self, stack):
+        semantic_map, _, total = stack
+        assert len(semantic_map) == total
+
+    def test_concept_queries_consistent(self, stack):
+        semantic_map, _, _ = stack
+        furniture = len(semantic_map.find("furniture"))
+        chairs = len(semantic_map.find("chair"))
+        sofas = len(semantic_map.find("sofa"))
+        tables = len(semantic_map.find("table"))
+        seats = len(semantic_map.find("seat"))
+        assert seats == chairs + sofas
+        assert furniture >= seats + tables
+
+    def test_natural_language_round_trip(self, stack):
+        semantic_map, _, _ = stack
+        retriever = ObjectRetriever(semantic_map)
+        result = retriever.query("how many pieces of furniture are there?")
+        assert result.count == len(semantic_map.find("furniture"))
+        answer = retriever.answer("find the nearest container", (0.0, 0.0))
+        assert isinstance(answer, str) and answer
+
+
+class TestEnsembleIntegration:
+    def test_ensemble_runs_end_to_end(self, sns1, sns2):
+        ensemble = VotingEnsemble(
+            [
+                ShapeOnlyPipeline(),
+                ColorOnlyPipeline(),
+                HybridPipeline(HybridStrategy.WEIGHTED_SUM),
+            ]
+        ).fit(sns1)
+        predictions = ensemble.predict_all(sns2.subset(list(range(10))))
+        assert len(predictions) == 10
+        assert all(p.label in sns1.classes for p in predictions)
+
+
+class TestDeterminismEndToEnd:
+    def test_same_seed_same_table2_cell(self):
+        from repro.config import ExperimentConfig
+        from repro import experiments
+
+        config = ExperimentConfig(seed=13, nyu_scale=0.005)
+        first = experiments.table2(config)
+        second = experiments.table2(config)
+        for row in ("Baseline", "Shape only L1", "Shape+Color (weighted sum)"):
+            assert first.accuracy(row, "NYU v. SNS1") == second.accuracy(
+                row, "NYU v. SNS1"
+            )
+
+    def test_different_seed_changes_nyu(self):
+        from repro.config import ExperimentConfig
+        from repro.datasets.nyu import build_nyu
+
+        a = build_nyu(ExperimentConfig(seed=1, nyu_scale=0.005))
+        b = build_nyu(ExperimentConfig(seed=2, nyu_scale=0.005))
+        assert not np.array_equal(a[0].image, b[0].image)
