@@ -9,6 +9,14 @@ Regenerates any of the paper's tables from the synthetic substrate::
 
 ``--nyu-scale 1.0`` reproduces the full 6,934-instance NYUSet sweep; smaller
 values run exact miniatures with class ratios preserved.
+
+Engine flags (see README "Performance"): ``--workers N`` fans the matching
+loop out over a worker pool (result-identical to sequential), ``--no-cache``
+disables reference-feature memoisation, ``--timings`` appends a per-stage
+timings block, and ``repro engine`` runs a small dedicated engine demo::
+
+    repro table2 --workers 4 --timings
+    repro engine --refs 20 --queries 8 --workers 2 --no-cache
 """
 
 from __future__ import annotations
@@ -18,11 +26,38 @@ import sys
 import time
 
 from repro import experiments
-from repro.config import ExperimentConfig
+from repro.config import EngineSettings, ExperimentConfig
+
+
+def _positive_int(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
 
 
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(seed=args.seed, nyu_scale=args.nyu_scale)
+    base = EngineSettings.from_env()
+    engine = EngineSettings(
+        workers=args.workers if args.workers is not None else base.workers,
+        backend=args.backend if args.backend is not None else base.backend,
+        cache=False if args.no_cache else base.cache,
+        cache_capacity=base.cache_capacity,
+        cache_dir=args.cache_dir if args.cache_dir is not None else base.cache_dir,
+        timings=args.timings,
+    )
+    return ExperimentConfig(seed=args.seed, nyu_scale=args.nyu_scale, engine=engine)
+
+
+def _timings_block(stats: dict) -> str:
+    """The ``--timings`` appendix: a header plus the formatted stats table."""
+    from repro.evaluation.tables import format_timings_table
+
+    populated = {name: s for name, s in stats.items() if s is not None}
+    return "== TIMINGS ==\n" + format_timings_table(populated)
 
 
 def _cmd_table1(args: argparse.Namespace) -> str:
@@ -31,12 +66,23 @@ def _cmd_table1(args: argparse.Namespace) -> str:
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
-    return experiments.table2(_make_config(args)).text
+    result = experiments.table2(_make_config(args))
+    if not args.timings:
+        return result.text
+    stats = {}
+    for row, res in result.nyu_vs_sns1.items():
+        stats[f"{row} (NYU v. SNS1)"] = res.stats
+    for row, res in result.sns2_vs_sns1.items():
+        stats[f"{row} (SNS1 v. SNS2)"] = res.stats
+    return result.text + "\n\n" + _timings_block(stats)
 
 
 def _cmd_table3(args: argparse.Namespace) -> str:
     result = experiments.table3(_make_config(args), ratio=args.ratio)
-    return result.cumulative_text
+    if not args.timings:
+        return result.cumulative_text
+    stats = {name: res.stats for name, res in result.results.items()}
+    return result.cumulative_text + "\n\n" + _timings_block(stats)
 
 
 def _cmd_table4(args: argparse.Namespace) -> str:
@@ -58,7 +104,68 @@ def _cmd_classwise(table_fn):
 
 def _cmd_table9(args: argparse.Namespace) -> str:
     result = experiments.table9(_make_config(args), ratio=args.ratio)
-    return result.classwise_text
+    if not args.timings:
+        return result.classwise_text
+    stats = {name: res.stats for name, res in result.results.items()}
+    return result.classwise_text + "\n\n" + _timings_block(stats)
+
+
+def _cmd_engine(args: argparse.Namespace) -> str:
+    """Run the engine demo: a small matching sweep with timings.
+
+    Matches a subset of SNS2 queries against a subset of SNS1 references
+    with the shape-only, colour-only and hybrid pipelines under the
+    configured engine settings, and always prints the timings block.
+    """
+    from repro.datasets.shapenet import build_sns1, build_sns2
+    from repro.engine import build_executor, configure_pipeline
+    from repro.evaluation.runner import run_matching_experiment
+    from repro.imaging.histogram import HistogramMetric
+    from repro.imaging.match_shapes import ShapeDistance
+    from repro.pipelines.color_only import ColorOnlyPipeline
+    from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+    from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+    config = _make_config(args)
+    references = build_sns1(config)
+    queries = build_sns2(config)
+    if args.refs:
+        references = references.subset(
+            list(range(min(args.refs, len(references)))), name="sns1-subset"
+        )
+    if args.queries:
+        queries = queries.subset(
+            list(range(min(args.queries, len(queries)))), name="sns2-subset"
+        )
+    pipelines = [
+        ShapeOnlyPipeline(ShapeDistance.L3),
+        ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=config.histogram_bins),
+        HybridPipeline(
+            HybridStrategy.WEIGHTED_SUM,
+            alpha=config.alpha,
+            beta=config.beta,
+            bins=config.histogram_bins,
+        ),
+    ]
+    executor = build_executor(config.engine)
+    lines = [
+        f"engine: workers={config.engine.workers} backend={config.engine.backend} "
+        f"cache={'on' if config.engine.cache else 'off'} "
+        f"({len(queries)} queries v. {len(references)} references)"
+    ]
+    stats = {}
+    for pipeline in pipelines:
+        configure_pipeline(pipeline, config.engine)
+        result = run_matching_experiment(
+            pipeline, queries, references, executor=executor
+        )
+        stats[pipeline.name] = result.stats
+        lines.append(
+            f"{pipeline.name}: accuracy {result.cumulative_accuracy:.5f} "
+            f"({result.stats.summary()})"
+        )
+    lines += ["", _timings_block(stats)]
+    return "\n".join(lines)
 
 
 def _cmd_patrol(args: argparse.Namespace) -> str:
@@ -113,6 +220,7 @@ _COMMANDS = {
     "table8": _cmd_classwise(experiments.table8),
     "table9": _cmd_table9,
     "patrol": _cmd_patrol,
+    "engine": _cmd_engine,
     "all": _cmd_all,
 }
 
@@ -151,6 +259,47 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="NYU images per class in the table-4 pair test set",
+    )
+    engine = parser.add_argument_group("engine", "batch execution engine")
+    engine.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="parallel prediction workers (default: $REPRO_WORKERS or 1)",
+    )
+    engine.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default=None,
+        help="worker pool backend (default: $REPRO_BACKEND or thread)",
+    )
+    engine.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable reference-feature caching",
+    )
+    engine.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist cached features to this directory "
+        "(default: $REPRO_CACHE_DIR or memory-only)",
+    )
+    engine.add_argument(
+        "--timings",
+        action="store_true",
+        help="append the per-stage timings block to the output",
+    )
+    engine.add_argument(
+        "--refs",
+        type=int,
+        default=0,
+        help="engine command: cap the reference set size (0 = all)",
+    )
+    engine.add_argument(
+        "--queries",
+        type=int,
+        default=0,
+        help="engine command: cap the query set size (0 = all)",
     )
     return parser
 

@@ -13,7 +13,8 @@ that the paper's parameters live in one place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -80,6 +81,49 @@ def spawn(base: np.random.Generator, key: str) -> np.random.Generator:
 
 
 @dataclass(frozen=True)
+class EngineSettings:
+    """Batch-execution-engine knobs: parallelism, caching, instrumentation.
+
+    ``workers > 1`` fans ``predict_all`` out over *backend* (``"thread"`` or
+    ``"process"``); results are bit-identical to the sequential loop for any
+    worker count.  ``cache`` toggles reference-feature memoisation;
+    ``cache_dir`` adds the persistent on-disk tier.  ``timings`` asks the
+    CLI to print the per-stage timings block after a table.
+    """
+
+    workers: int = 1
+    backend: str = "thread"
+    cache: bool = True
+    cache_capacity: int = 65536
+    cache_dir: str | None = None
+    timings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {self.backend!r}")
+        if self.cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+
+    @staticmethod
+    def from_env() -> "EngineSettings":
+        """Engine defaults, overridable via ``REPRO_WORKERS``,
+        ``REPRO_BACKEND``, ``REPRO_NO_CACHE`` and ``REPRO_CACHE_DIR``.
+
+        CI uses ``REPRO_WORKERS=2`` to exercise the parallel path across the
+        whole test suite without touching any call site.
+        """
+        return EngineSettings(
+            workers=int(os.environ.get("REPRO_WORKERS", "1")),
+            backend=os.environ.get("REPRO_BACKEND", "thread"),
+            cache=os.environ.get("REPRO_NO_CACHE", "").lower()
+            not in ("1", "true", "yes"),
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        )
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Knobs shared by the experiment runner and the benchmark harness.
 
@@ -94,6 +138,7 @@ class ExperimentConfig:
     histogram_bins: int = HISTOGRAM_BINS
     alpha: float = HYBRID_ALPHA
     beta: float = HYBRID_BETA
+    engine: EngineSettings = field(default_factory=EngineSettings.from_env)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.nyu_scale <= 1.0:

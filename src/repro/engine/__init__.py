@@ -1,0 +1,77 @@
+"""Batch execution engine: parallel matching, feature caching, timings.
+
+The engine is the repo's hot-path layer.  It provides:
+
+* :class:`~repro.engine.executor.ParallelExecutor` — fans a pipeline's
+  ``predict_all`` out over a thread/process pool with deterministic
+  chunking, bit-identical to the sequential loop;
+* :class:`~repro.engine.cache.FeatureCache` — two-tier (LRU memory +
+  optional disk) memoisation of per-image extracted features keyed by
+  ``(namespace, version, content hash)``;
+* :class:`~repro.engine.instrument.Stopwatch` / :class:`~repro.engine.
+  instrument.RunStats` — per-stage wall time (fit, extract, score, argmin)
+  and cache hit rates, surfaced through ``ExperimentResult`` and the
+  ``--timings`` CLI flag.
+
+:func:`build_executor` and :func:`configure_pipeline` translate the
+:class:`~repro.config.EngineSettings` knob block into engine objects.
+"""
+
+from __future__ import annotations
+
+from repro.config import EngineSettings
+from repro.engine.cache import (
+    CacheStats,
+    FeatureCache,
+    content_hash,
+    default_cache,
+    set_default_cache,
+)
+from repro.engine.executor import ParallelExecutor
+from repro.engine.instrument import RunStats, Stopwatch, maybe_stage
+
+__all__ = [
+    "CacheStats",
+    "EngineSettings",
+    "FeatureCache",
+    "ParallelExecutor",
+    "RunStats",
+    "Stopwatch",
+    "build_executor",
+    "configure_pipeline",
+    "content_hash",
+    "default_cache",
+    "maybe_stage",
+    "set_default_cache",
+]
+
+#: Disk-backed caches memoised per (dir, capacity) so every pipeline of a
+#: run shares one instance (and one stats counter) per location.
+_DISK_CACHES: dict[tuple[str, int], FeatureCache] = {}
+
+
+def build_executor(settings: EngineSettings) -> ParallelExecutor | None:
+    """A :class:`ParallelExecutor` for *settings*, or ``None`` when
+    ``workers == 1`` (the sequential path needs no executor at all)."""
+    if settings.workers <= 1:
+        return None
+    return ParallelExecutor(workers=settings.workers, backend=settings.backend)
+
+
+def configure_pipeline(pipeline, settings: EngineSettings):
+    """Apply *settings*' cache policy to *pipeline*; returns the pipeline.
+
+    ``cache=False`` detaches the pipeline from any cache; ``cache_dir``
+    attaches a shared disk-backed cache; otherwise the pipeline keeps its
+    default (the process-wide in-memory cache).
+    """
+    if not settings.cache:
+        pipeline.cache = None
+    elif settings.cache_dir is not None:
+        key = (settings.cache_dir, settings.cache_capacity)
+        if key not in _DISK_CACHES:
+            _DISK_CACHES[key] = FeatureCache(
+                capacity=settings.cache_capacity, disk_dir=settings.cache_dir
+            )
+        pipeline.cache = _DISK_CACHES[key]
+    return pipeline

@@ -1,0 +1,216 @@
+"""Reference-feature memoisation keyed by image content.
+
+Every matching pipeline re-derives per-image features (Hu moments, RGB
+histograms, keypoint descriptors) from the raw pixels, and ``fit()`` used to
+recompute them on every call.  :class:`FeatureCache` memoises extraction
+behind a key of
+
+    ``(namespace, version, content_hash(image))``
+
+where *namespace* identifies the extractor family (e.g. ``shape-hu``,
+``color-hist16``, ``desc-sift``), *version* is bumped whenever the extraction
+algorithm changes (the invalidation rule — stale entries simply stop being
+addressed), and the content hash covers the pixel bytes, shape and dtype.
+Pipelines that share an extractor (shape-only L1/L2/L3, the hybrid's shape
+term) therefore share cache entries.
+
+Two tiers are provided: an in-memory LRU (always on) and an optional
+on-disk tier (one pickle per entry under ``disk_dir``) that survives across
+processes, so repeated ``fit()``/ablation runs skip re-extraction entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import EngineError
+
+#: Default in-memory LRU capacity (entries).  Features are small — seven Hu
+#: floats, a few-KB histogram — so even the full 6,934-image NYU sweep with
+#: several namespaces fits comfortably.
+DEFAULT_CAPACITY = 65536
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def content_hash(image: np.ndarray) -> str:
+    """Stable digest of an image's dtype, shape and pixel bytes."""
+    array = np.ascontiguousarray(image)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(array.dtype).encode("ascii"))
+    digest.update(str(array.shape).encode("ascii"))
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters; ``disk_hits`` is the subset of hits served from disk."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> tuple[int, int]:
+        """(hits, misses) — used to diff counters across a run."""
+        return self.hits, self.misses
+
+
+class FeatureCache:
+    """Two-tier (memory LRU + optional disk) memoiser for extracted features.
+
+    Thread-safe: executor threads may probe concurrently.  ``compute`` runs
+    outside the lock, so two threads missing on the same key may both
+    compute; extraction is deterministic, so the duplicated work is benign
+    and the last writer wins.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        disk_dir: str | Path | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise EngineError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple[str, str, str], Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def key(self, namespace: str, version: str, image: np.ndarray) -> tuple[str, str, str]:
+        """The full cache key of *image* under *namespace*/*version*."""
+        return (namespace, version, content_hash(image))
+
+    def get_or_compute(
+        self,
+        namespace: str,
+        version: str,
+        image: np.ndarray,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """The memoised value of ``compute()`` for *image*."""
+        key = self.key(namespace, version, image)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+        value, from_disk = self._load_from_disk(key)
+        if from_disk:
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._store(key, value)
+            return value
+        with self._lock:
+            self.stats.misses += 1
+        value = compute()
+        with self._lock:
+            self._store(key, value)
+        self._write_to_disk(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop the in-memory tier and reset counters (disk files remain)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    # -- internals ----------------------------------------------------------
+
+    def _store(self, key: tuple[str, str, str], value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, key: tuple[str, str, str]) -> Path:
+        namespace, version, digest = key
+        safe = _SAFE_NAME.sub("_", f"{namespace}-{version}")
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{safe}-{digest}.pkl"
+
+    def _load_from_disk(self, key: tuple[str, str, str]) -> tuple[Any, bool]:
+        if self.disk_dir is None:
+            return None, False
+        path = self._disk_path(key)
+        if not path.is_file():
+            return None, False
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle), True
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None, False  # corrupt/partial entry: recompute and rewrite
+
+    def _write_to_disk(self, key: tuple[str, str, str], value: Any) -> None:
+        if self.disk_dir is None:
+            return
+        path = self._disk_path(key)
+        tmp = path.with_suffix(".tmp")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)  # atomic publish: readers never see partial files
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    # Locks don't pickle; the process backend ships pipelines (holding their
+    # cache) to workers.  Workers get a functional copy whose counters and
+    # entries diverge from the parent — acceptable, since parent-side results
+    # are what the run reports.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "disk_dir": self.disk_dir,
+                "entries": dict(self._entries),
+                "stats": self.stats,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self.disk_dir = state["disk_dir"]
+        self.stats = state["stats"]
+        self._entries = OrderedDict(state["entries"])
+        self._lock = threading.Lock()
+
+
+#: Process-wide default cache shared by every pipeline that doesn't get an
+#: explicit one — this is what makes repeated fits across table sweeps warm.
+_DEFAULT_CACHE = FeatureCache()
+
+
+def default_cache() -> FeatureCache:
+    """The process-wide shared feature cache."""
+    return _DEFAULT_CACHE
+
+
+def set_default_cache(cache: FeatureCache) -> FeatureCache:
+    """Replace the process-wide cache; returns the previous one (for tests)."""
+    global _DEFAULT_CACHE
+    previous = _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache
+    return previous

@@ -1,0 +1,124 @@
+"""Lightweight wall-time instrumentation for the execution engine.
+
+:class:`Stopwatch` accumulates per-stage wall time (``fit``, ``extract``,
+``score``, ``argmin``, ``predict``) and is safe to share across executor
+threads; :class:`RunStats` is the immutable summary attached to
+:class:`~repro.evaluation.runner.ExperimentResult` and rendered by
+:func:`~repro.evaluation.tables.format_timings_table`.
+
+When several workers run a stage concurrently the per-stage seconds are
+summed across workers, so stage totals can exceed the elapsed wall time of
+the enclosing run — they measure *work*, not latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import ContextManager, Iterator, Mapping
+
+
+class Stopwatch:
+    """Accumulates wall-clock seconds per named stage (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and add it to stage *name*."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record *seconds* of work under stage *name*."""
+        with self._lock:
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of stage *name* (0.0 when never entered)."""
+        with self._lock:
+            return self._seconds.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of times stage *name* was entered."""
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all stage totals."""
+        with self._lock:
+            return dict(self._seconds)
+
+    # Locks don't pickle; process-backend executors ship pipelines (which may
+    # hold a stopwatch) to workers, so drop the lock on the way out.
+    def __getstate__(self) -> dict:
+        return {"seconds": self.as_dict(), "counts": dict(self._counts)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._lock = threading.Lock()
+        self._seconds = dict(state["seconds"])
+        self._counts = dict(state["counts"])
+
+
+def maybe_stage(stopwatch: Stopwatch | None, name: str) -> ContextManager[None]:
+    """``stopwatch.stage(name)`` when instrumented, a no-op otherwise.
+
+    Pipelines call this on their hot paths so uninstrumented runs pay only a
+    ``None`` check.
+    """
+    return stopwatch.stage(name) if stopwatch is not None else nullcontext()
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Per-run engine statistics: stage timings plus cache behaviour.
+
+    ``stage_seconds`` holds accumulated work per stage; ``cache_hits`` and
+    ``cache_misses`` count feature-cache lookups made during the run (both
+    zero when the pipeline runs uncached).
+    """
+
+    stage_seconds: Mapping[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    queries: int = 0
+    references: int = 0
+    workers: int = 1
+
+    @property
+    def fit_seconds(self) -> float:
+        return float(self.stage_seconds.get("fit", 0.0))
+
+    @property
+    def predict_seconds(self) -> float:
+        return float(self.stage_seconds.get("predict", 0.0))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of feature lookups served from cache (0.0 when uncached)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Prediction throughput (0.0 before any query ran)."""
+        seconds = self.predict_seconds
+        return self.queries / seconds if seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"fit {self.fit_seconds:.3f}s, predict {self.predict_seconds:.3f}s "
+            f"({self.queries} queries, {self.queries_per_second:.1f}/s, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}), "
+            f"cache hit rate {self.cache_hit_rate:.0%}"
+        )

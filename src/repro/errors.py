@@ -39,6 +39,10 @@ class PipelineError(ReproError):
     """A recognition pipeline was invoked with invalid inputs."""
 
 
+class EngineError(ReproError):
+    """The batch execution engine was misconfigured (workers, cache, …)."""
+
+
 class EvaluationError(ReproError):
     """An evaluation routine received inconsistent predictions or labels."""
 

@@ -8,6 +8,8 @@ from typing import Callable, Sequence
 
 from repro.datasets.dataset import ImageDataset
 from repro.datasets.pairs import PairDataset
+from repro.engine.executor import ParallelExecutor
+from repro.engine.instrument import RunStats, Stopwatch
 from repro.evaluation.metrics import (
     BinaryReport,
     ClasswiseReport,
@@ -19,13 +21,19 @@ from repro.pipelines.base import Prediction, RecognitionPipeline
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """One pipeline's outcome on one query/reference dataset pairing."""
+    """One pipeline's outcome on one query/reference dataset pairing.
+
+    ``stats`` carries the engine instrumentation of the run: per-stage wall
+    time (fit / extract / score / argmin / predict) and feature-cache hit
+    counts.
+    """
 
     pipeline_name: str
     query_name: str
     reference_name: str
     predictions: tuple[Prediction, ...] = field(repr=False)
     report: ClasswiseReport
+    stats: RunStats | None = field(default=None, repr=False, compare=False)
 
     @property
     def cumulative_accuracy(self) -> float:
@@ -38,12 +46,35 @@ def run_matching_experiment(
     queries: ImageDataset,
     references: ImageDataset,
     classes: Sequence[str] | None = None,
+    executor: ParallelExecutor | None = None,
 ) -> ExperimentResult:
-    """Fit *pipeline* on *references*, predict *queries*, report metrics."""
-    pipeline.fit(references)
-    predictions = pipeline.predict_all(queries)
+    """Fit *pipeline* on *references*, predict *queries*, report metrics.
+
+    With *executor* the prediction loop fans out over its worker pool
+    (order-stable, result-identical to the sequential path).
+    """
+    watch = Stopwatch()
+    pipeline.stopwatch = watch
+    cache = getattr(pipeline, "cache", None)
+    hits_before, misses_before = cache.stats.snapshot() if cache else (0, 0)
+    try:
+        with watch.stage("fit"):
+            pipeline.fit(references)
+        with watch.stage("predict"):
+            predictions = pipeline.predict_all(queries, executor=executor)
+    finally:
+        pipeline.stopwatch = None
+    hits_after, misses_after = cache.stats.snapshot() if cache else (0, 0)
     report = classification_report(
         queries.labels, [p.label for p in predictions], classes=classes
+    )
+    stats = RunStats(
+        stage_seconds=watch.as_dict(),
+        cache_hits=hits_after - hits_before,
+        cache_misses=misses_after - misses_before,
+        queries=len(predictions),
+        references=len(references),
+        workers=executor.workers if executor is not None else 1,
     )
     return ExperimentResult(
         pipeline_name=pipeline.name,
@@ -51,6 +82,7 @@ def run_matching_experiment(
         reference_name=references.name,
         predictions=tuple(predictions),
         report=report,
+        stats=stats,
     )
 
 
@@ -59,6 +91,7 @@ def run_matching_suite(
     queries: ImageDataset,
     references: ImageDataset,
     classes: Sequence[str] | None = None,
+    executor: ParallelExecutor | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run several pipelines over the same query/reference pairing.
 
@@ -66,7 +99,9 @@ def run_matching_suite(
     from (one row per configuration, one column per dataset pairing).
     """
     return {
-        pipeline.name: run_matching_experiment(pipeline, queries, references, classes)
+        pipeline.name: run_matching_experiment(
+            pipeline, queries, references, classes, executor=executor
+        )
         for pipeline in pipelines
     }
 

@@ -10,6 +10,7 @@ from typing import Mapping, Sequence
 
 from repro.datasets.classes import CLASS_NAMES
 from repro.datasets.dataset import ImageDataset
+from repro.engine.instrument import RunStats
 from repro.evaluation.metrics import BinaryReport, ClasswiseReport
 
 
@@ -100,6 +101,36 @@ def format_pair_table(reports: Mapping[str, BinaryReport]) -> str:
             cells = [dataset if i == 0 else "", measure, similar, dissimilar]
             lines.append(_row(cells, widths))
         lines.append(_rule(widths))
+    return "\n".join(lines)
+
+
+def format_timings_table(stats: Mapping[str, RunStats]) -> str:
+    """Engine timings block: per-run stage wall time and cache behaviour.
+
+    *stats* maps a run label (usually the pipeline name, optionally suffixed
+    with the dataset pairing) to its :class:`~repro.engine.instrument.
+    RunStats`.  Stage seconds measure accumulated work, so with several
+    workers the extract/score columns can exceed the fit/predict wall time.
+    """
+    if not stats:
+        return "(no timed runs)"
+    header = ["Run", "Fit (s)", "Predict (s)", "Extract (s)",
+              "Score (s)", "Queries/s", "Cache hit"]
+    widths = [max(16, *(len(name) for name in stats))] + [
+        max(9, len(column)) for column in header[1:]
+    ]
+    lines = [_row(header, widths), _rule(widths)]
+    for name, run in stats.items():
+        cells = [
+            name,
+            f"{run.fit_seconds:.3f}",
+            f"{run.predict_seconds:.3f}",
+            f"{run.stage_seconds.get('extract', 0.0):.3f}",
+            f"{run.stage_seconds.get('score', 0.0):.3f}",
+            f"{run.queries_per_second:.1f}",
+            f"{run.cache_hit_rate:.0%}",
+        ]
+        lines.append(_row(cells, widths))
     return "\n".join(lines)
 
 

@@ -20,6 +20,7 @@ import numpy as np
 from repro.config import ExperimentConfig
 from repro.datasets.dataset import ImageDataset
 from repro.datasets.nyu import build_nyu
+from repro.engine import build_executor, configure_pipeline
 from repro.datasets.pairs import (
     PairDataset,
     build_nyu_sns1_test_pairs,
@@ -59,6 +60,14 @@ def build_datasets(config: ExperimentConfig | None = None) -> Datasets:
     config = config or ExperimentConfig()
     return Datasets(
         sns1=build_sns1(config), sns2=build_sns2(config), nyu=build_nyu(config)
+    )
+
+
+def _run(config, pipeline, queries, references) -> ExperimentResult:
+    """One matching experiment under *config*'s engine settings."""
+    configure_pipeline(pipeline, config.engine)
+    return run_matching_experiment(
+        pipeline, queries, references, executor=build_executor(config.engine)
     )
 
 
@@ -148,8 +157,8 @@ def table2(
     nyu_results: dict[str, ExperimentResult] = {}
     sns_results: dict[str, ExperimentResult] = {}
     for row, pipeline in zip(TABLE2_ROWS, exploratory_pipelines(config)):
-        nyu_results[row] = run_matching_experiment(pipeline, data.nyu, data.sns1)
-        sns_results[row] = run_matching_experiment(pipeline, data.sns2, data.sns1)
+        nyu_results[row] = _run(config, pipeline, data.nyu, data.sns1)
+        sns_results[row] = _run(config, pipeline, data.sns2, data.sns1)
     text = format_cumulative_table(
         {
             row: {
@@ -187,9 +196,9 @@ def table3(
     results = {}
     for method in ("sift", "surf", "orb"):
         pipeline = DescriptorPipeline(method=method, ratio=ratio, tie_break_seed=config.seed)
-        results[method.upper()] = run_matching_experiment(pipeline, data.sns1, data.sns2)
+        results[method.upper()] = _run(config, pipeline, data.sns1, data.sns2)
     baseline = RandomBaselinePipeline(rng=config.seed)
-    results["Baseline"] = run_matching_experiment(baseline, data.sns1, data.sns2)
+    results["Baseline"] = _run(config, baseline, data.sns1, data.sns2)
     cumulative_text = format_cumulative_table(
         {
             name: {"Accuracy": result.cumulative_accuracy}
@@ -333,7 +342,7 @@ def table5(
         ("L2", ShapeOnlyPipeline(ShapeDistance.L2)),
         ("L3", ShapeOnlyPipeline(ShapeDistance.L3)),
     ):
-        reports[name] = run_matching_experiment(pipeline, data.nyu, data.sns1).report
+        reports[name] = _run(config, pipeline, data.nyu, data.sns1).report
     return reports, format_classwise_table(reports)
 
 
@@ -346,8 +355,8 @@ def table6(
     reports = {}
     for metric in HistogramMetric:
         pipeline = ColorOnlyPipeline(metric, bins=config.histogram_bins)
-        reports[metric.value.capitalize()] = run_matching_experiment(
-            pipeline, data.nyu, data.sns1
+        reports[metric.value.capitalize()] = _run(
+            config, pipeline, data.nyu, data.sns1
         ).report
     return reports, format_classwise_table(reports)
 
@@ -369,7 +378,7 @@ def _hybrid_reports(
             beta=config.beta,
             bins=config.histogram_bins,
         )
-        reports[name] = run_matching_experiment(pipeline, queries, references).report
+        reports[name] = _run(config, pipeline, queries, references).report
     return reports
 
 

@@ -14,12 +14,17 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
 from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.engine.cache import FeatureCache, default_cache
+from repro.engine.instrument import Stopwatch, maybe_stage
 from repro.errors import PipelineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.executor import ParallelExecutor
 
 
 @dataclass(frozen=True)
@@ -44,8 +49,19 @@ class RecognitionPipeline(abc.ABC):
     #: Human-readable pipeline name, used by reports and tables.
     name: str = "pipeline"
 
+    #: Whether :meth:`predict` is independent across queries.  Pipelines that
+    #: consume a shared random stream per query (the random baseline, the
+    #: descriptor tie-break RNG) must set this False; the engine's
+    #: ParallelExecutor then runs them inline so the stream — and therefore
+    #: the results — match the sequential loop exactly.
+    parallel_safe: bool = True
+
     def __init__(self) -> None:
         self._references: ImageDataset | None = None
+        #: Feature cache consulted by extraction hot paths (None = uncached).
+        self.cache: FeatureCache | None = None
+        #: Optional per-stage timing sink, attached by the experiment runner.
+        self.stopwatch: Stopwatch | None = None
 
     @property
     def references(self) -> ImageDataset:
@@ -62,8 +78,18 @@ class RecognitionPipeline(abc.ABC):
     def predict(self, query: LabelledImage) -> Prediction:
         """Predict the class of one query image."""
 
-    def predict_all(self, queries: ImageDataset | Sequence[LabelledImage]) -> list[Prediction]:
-        """Predict every query in order."""
+    def predict_all(
+        self,
+        queries: ImageDataset | Sequence[LabelledImage],
+        executor: "ParallelExecutor | None" = None,
+    ) -> list[Prediction]:
+        """Predict every query in order.
+
+        With *executor* the queries fan out over its worker pool; results are
+        order-stable and bit-identical to the sequential loop.
+        """
+        if executor is not None:
+            return executor.predict_all(self, queries)
         return [self.predict(query) for query in queries]
 
 
@@ -77,9 +103,14 @@ class MatchingPipeline(RecognitionPipeline):
 
     higher_is_better: bool = False
 
+    #: Cache-key version of :meth:`_extract`'s output; bump whenever the
+    #: extraction algorithm changes so stale disk entries stop being read.
+    feature_version: str = "v1"
+
     def __init__(self) -> None:
         super().__init__()
         self._reference_features: list[Any] = []
+        self.cache = default_cache()
 
     @abc.abstractmethod
     def _extract(self, item: LabelledImage) -> Any:
@@ -89,23 +120,46 @@ class MatchingPipeline(RecognitionPipeline):
     def _score(self, query_features: Any, reference_features: Any) -> float:
         """Score a query against one reference view."""
 
+    def feature_namespace(self) -> str:
+        """Cache namespace of :meth:`_extract`'s output.
+
+        Defaults to the pipeline name; pipelines whose extraction is shared
+        across configurations (shape L1/L2/L3) override this so they share
+        cache entries.
+        """
+        return self.name
+
+    def extract_features(self, item: LabelledImage) -> Any:
+        """:meth:`_extract` through the feature cache (and the stopwatch)."""
+        with maybe_stage(self.stopwatch, "extract"):
+            if self.cache is None:
+                return self._extract(item)
+            return self.cache.get_or_compute(
+                self.feature_namespace(),
+                self.feature_version,
+                item.image,
+                lambda: self._extract(item),
+            )
+
     def fit(self, references: ImageDataset) -> "MatchingPipeline":
         self._references = references
-        self._reference_features = [self._extract(item) for item in references]
+        self._reference_features = [self.extract_features(item) for item in references]
         return self
 
     def score_views(self, query: LabelledImage) -> np.ndarray:
         """Scores of *query* against every reference view, in order."""
         self.references  # raises PipelineError when fit() was never called
-        features = self._extract(query)
-        return np.array(
-            [self._score(features, ref) for ref in self._reference_features],
-            dtype=np.float64,
-        )
+        features = self.extract_features(query)
+        with maybe_stage(self.stopwatch, "score"):
+            return np.array(
+                [self._score(features, ref) for ref in self._reference_features],
+                dtype=np.float64,
+            )
 
     def predict(self, query: LabelledImage) -> Prediction:
         scores = self.score_views(query)
-        best = int(np.argmax(scores) if self.higher_is_better else np.argmin(scores))
+        with maybe_stage(self.stopwatch, "argmin"):
+            best = int(np.argmax(scores) if self.higher_is_better else np.argmin(scores))
         winner = self.references[best]
         return Prediction(
             label=winner.label,

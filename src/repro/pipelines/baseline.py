@@ -20,6 +20,10 @@ class RandomBaselinePipeline(RecognitionPipeline):
 
     name = "baseline"
 
+    #: Each predict() consumes one draw from a shared stream; parallel
+    #: chunking would reorder the draws, so the executor runs this inline.
+    parallel_safe = False
+
     def __init__(self, rng: np.random.Generator | int | None = None) -> None:
         super().__init__()
         self._rng = make_rng(rng)

@@ -23,6 +23,20 @@ from repro.pipelines.base import MatchingPipeline
 from repro.pipelines.preprocess import extract_object_crop
 
 
+#: Cache version of :func:`color_features`; the namespace additionally
+#: encodes the bin count (see :func:`color_feature_namespace`).
+COLOR_FEATURE_VERSION = "v1"
+
+
+def color_feature_namespace(bins: int) -> str:
+    """Cache namespace of :func:`color_features` at *bins* bins per channel.
+
+    Shared by every consumer of the histogram extraction (the four
+    ColorOnly metrics and the hybrid's colour term).
+    """
+    return f"color-hist{bins}"
+
+
 def color_features(item: LabelledImage, bins: int = HISTOGRAM_BINS) -> np.ndarray:
     """Masked RGB histogram of *item*'s object crop.
 
@@ -38,6 +52,13 @@ def color_features(item: LabelledImage, bins: int = HISTOGRAM_BINS) -> np.ndarra
 
 class ColorOnlyPipeline(MatchingPipeline):
     """RGB-histogram matching with a selectable comparison metric."""
+
+    feature_version = COLOR_FEATURE_VERSION
+
+    def feature_namespace(self) -> str:
+        # The histogram extraction depends only on the bin count, so all
+        # four comparison metrics share one namespace per bin setting.
+        return color_feature_namespace(self.bins)
 
     def __init__(
         self,

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.config import rng as make_rng
 from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.engine.cache import default_cache
+from repro.engine.instrument import maybe_stage
 from repro.errors import FeatureError, PipelineError
 from repro.features.matching import BruteForceMatcher, KDTreeMatcher, ratio_test
 from repro.features.orb import OrbExtractor
@@ -49,6 +51,15 @@ class DescriptorPipeline(RecognitionPipeline):
     float descriptors only).
     """
 
+    #: The tie-break RNG is consumed in query order, so parallel chunking
+    #: would change which draws land on which query; the executor therefore
+    #: runs this pipeline inline.
+    parallel_safe = False
+
+    #: Cache version of the raw descriptor extraction (ratio/matcher only
+    #: affect scoring, so they stay out of the cache key).
+    feature_version = "v1"
+
     def __init__(
         self,
         method: str = "sift",
@@ -74,8 +85,23 @@ class DescriptorPipeline(RecognitionPipeline):
         self.name = f"descriptor-{method}"
         self._views: list[_ViewDescriptors] = []
         self._rng = make_rng(tie_break_seed)
+        self.cache = default_cache()
+
+    def feature_namespace(self) -> str:
+        return f"desc-{self.method}"
 
     def _descriptors_of(self, item: LabelledImage) -> np.ndarray:
+        with maybe_stage(self.stopwatch, "extract"):
+            if self.cache is None:
+                return self._compute_descriptors(item)
+            return self.cache.get_or_compute(
+                self.feature_namespace(),
+                self.feature_version,
+                item.image,
+                lambda: self._compute_descriptors(item),
+            )
+
+    def _compute_descriptors(self, item: LabelledImage) -> np.ndarray:
         try:
             _, descriptors = self.extractor.detect_and_compute(item.image)
         except FeatureError:
@@ -101,11 +127,12 @@ class DescriptorPipeline(RecognitionPipeline):
         counts = np.zeros(len(self._views), dtype=np.float64)
         if len(query_desc) == 0:
             return counts
-        for idx, view in enumerate(self._views):
-            if len(view.descriptors) == 0:
-                continue
-            knn = self._matcher.knn_match(query_desc, view.descriptors, k=2)
-            counts[idx] = len(ratio_test(knn, threshold=self.ratio))
+        with maybe_stage(self.stopwatch, "score"):
+            for idx, view in enumerate(self._views):
+                if len(view.descriptors) == 0:
+                    continue
+                knn = self._matcher.knn_match(query_desc, view.descriptors, k=2)
+                counts[idx] = len(ratio_test(knn, threshold=self.ratio))
         return counts
 
     def predict(self, query: LabelledImage) -> Prediction:

@@ -38,6 +38,10 @@ class VotingEnsemble(RecognitionPipeline):
         if not members:
             raise PipelineError("ensemble needs at least one member")
         self.members = list(members)
+        # An ensemble is only parallel-safe when every member is.
+        self.parallel_safe = all(
+            getattr(member, "parallel_safe", True) for member in self.members
+        )
 
     def fit(self, references: ImageDataset) -> "VotingEnsemble":
         self._references = references
@@ -76,6 +80,10 @@ class BordaEnsemble(RecognitionPipeline):
         if not members:
             raise PipelineError("ensemble needs at least one member")
         self.members = list(members)
+        # An ensemble is only parallel-safe when every member is.
+        self.parallel_safe = all(
+            getattr(member, "parallel_safe", True) for member in self.members
+        )
 
     def fit(self, references: ImageDataset) -> "BordaEnsemble":
         self._references = references

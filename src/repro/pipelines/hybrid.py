@@ -32,12 +32,22 @@ import numpy as np
 
 from repro.config import HISTOGRAM_BINS, HYBRID_ALPHA, HYBRID_BETA
 from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.engine.cache import default_cache
+from repro.engine.instrument import maybe_stage
 from repro.errors import PipelineError
 from repro.imaging.histogram import HistogramMetric, compare_histograms
 from repro.imaging.match_shapes import ShapeDistance, match_shapes
 from repro.pipelines.base import Prediction, RecognitionPipeline
-from repro.pipelines.color_only import color_features
-from repro.pipelines.shape_only import shape_features
+from repro.pipelines.color_only import (
+    COLOR_FEATURE_VERSION,
+    color_feature_namespace,
+    color_features,
+)
+from repro.pipelines.shape_only import (
+    SHAPE_FEATURE_NAMESPACE,
+    SHAPE_FEATURE_VERSION,
+    shape_features,
+)
 
 
 class HybridStrategy(str, Enum):
@@ -79,30 +89,58 @@ class HybridPipeline(RecognitionPipeline):
         self.name = f"hybrid-{self.strategy.value}"
         self._shape_refs: list[np.ndarray] = []
         self._color_refs: list[np.ndarray] = []
+        self.cache = default_cache()
+
+    def _shape_of(self, item: LabelledImage) -> np.ndarray:
+        # Shares the shape-only pipelines' cache namespace, so a hybrid fit
+        # after a shape-only fit (or vice versa) is all hits.
+        if self.cache is None:
+            return shape_features(item)
+        return self.cache.get_or_compute(
+            SHAPE_FEATURE_NAMESPACE,
+            SHAPE_FEATURE_VERSION,
+            item.image,
+            lambda: shape_features(item),
+        )
+
+    def _color_of(self, item: LabelledImage) -> np.ndarray:
+        if self.cache is None:
+            return color_features(item, bins=self.bins)
+        return self.cache.get_or_compute(
+            color_feature_namespace(self.bins),
+            COLOR_FEATURE_VERSION,
+            item.image,
+            lambda: color_features(item, bins=self.bins),
+        )
 
     def fit(self, references: ImageDataset) -> "HybridPipeline":
         self._references = references
-        self._shape_refs = [shape_features(item) for item in references]
-        self._color_refs = [color_features(item, bins=self.bins) for item in references]
+        with maybe_stage(self.stopwatch, "extract"):
+            self._shape_refs = [self._shape_of(item) for item in references]
+            self._color_refs = [self._color_of(item) for item in references]
         return self
 
     def theta_scores(self, query: LabelledImage) -> np.ndarray:
         """Per-view theta = alpha*S + beta*C' for *query* (eq. 2)."""
-        query_shape = shape_features(query)
-        query_color = color_features(query, bins=self.bins)
-        thetas = np.empty(len(self.references), dtype=np.float64)
-        for idx, (shape_ref, color_ref) in enumerate(
-            zip(self._shape_refs, self._color_refs)
-        ):
-            if np.isnan(query_shape).any() or np.isnan(shape_ref).any():
-                shape_score = np.inf
-            else:
-                shape_score = match_shapes(query_shape, shape_ref, self.shape_distance)
-            color_score = as_distance(
-                compare_histograms(query_color, color_ref, self.color_metric),
-                self.color_metric,
-            )
-            thetas[idx] = self.alpha * shape_score + self.beta * color_score
+        with maybe_stage(self.stopwatch, "extract"):
+            query_shape = self._shape_of(query)
+            query_color = self._color_of(query)
+        with maybe_stage(self.stopwatch, "score"):
+            thetas = np.empty(len(self.references), dtype=np.float64)
+            for idx, (shape_ref, color_ref) in enumerate(
+                zip(self._shape_refs, self._color_refs)
+            ):
+                if np.isnan(query_shape).any() or np.isnan(shape_ref).any():
+                    shape_score = np.inf
+                else:
+                    shape_score = match_shapes(
+                        query_shape, shape_ref, self.shape_distance
+                    )
+                color_score = as_distance(
+                    compare_histograms(query_color, color_ref, self.color_metric),
+                    self.color_metric,
+                )
+                thetas[idx] = self.alpha * shape_score + self.beta * color_score
         return thetas
 
     def predict_topk(self, query: LabelledImage, k: int = 3) -> list[Prediction]:
@@ -137,7 +175,8 @@ class HybridPipeline(RecognitionPipeline):
         references = self.references
 
         if self.strategy == HybridStrategy.WEIGHTED_SUM:
-            best = int(np.argmin(thetas))
+            with maybe_stage(self.stopwatch, "argmin"):
+                best = int(np.argmin(thetas))
             winner = references[best]
             return Prediction(
                 label=winner.label,

@@ -25,6 +25,12 @@ from repro.pipelines.preprocess import extract_object_crop
 #: query); it is maximally distant from any real shape under all metrics.
 _DEGENERATE_HU = np.full(7, np.nan)
 
+#: Cache namespace/version of :func:`shape_features` — shared by every
+#: consumer of the Hu extraction (the three ShapeOnly distances and the
+#: hybrid's shape term), so they all hit the same cache entries.
+SHAPE_FEATURE_NAMESPACE = "shape-hu"
+SHAPE_FEATURE_VERSION = "v1"
+
 
 def shape_features(item: LabelledImage) -> np.ndarray:
     """Hu-moment vector of the largest foreground contour of *item*.
@@ -47,11 +53,17 @@ class ShapeOnlyPipeline(MatchingPipeline):
     """Hu-moment shape matching with a selectable matchShapes distance."""
 
     higher_is_better = False
+    feature_version = SHAPE_FEATURE_VERSION
 
     def __init__(self, distance: ShapeDistance = ShapeDistance.L1) -> None:
         super().__init__()
         self.distance = ShapeDistance(distance)
         self.name = f"shape-only-{self.distance.value}"
+
+    def feature_namespace(self) -> str:
+        # The Hu extraction is identical for L1/L2/L3 (only scoring differs),
+        # so all three variants share one cache namespace.
+        return SHAPE_FEATURE_NAMESPACE
 
     def _extract(self, item: LabelledImage) -> np.ndarray:
         return shape_features(item)

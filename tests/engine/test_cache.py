@@ -1,0 +1,123 @@
+"""Unit tests for the two-tier feature cache."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import FeatureCache, content_hash, default_cache, set_default_cache
+from repro.errors import EngineError
+
+
+def image(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(size=(8, 8, 3))
+
+
+class TestContentHash:
+    def test_deterministic(self):
+        assert content_hash(image(1)) == content_hash(image(1))
+
+    def test_sensitive_to_pixels(self):
+        assert content_hash(image(1)) != content_hash(image(2))
+
+    def test_sensitive_to_shape_and_dtype(self):
+        flat = np.zeros(12)
+        assert content_hash(flat) != content_hash(flat.reshape(3, 4))
+        assert content_hash(flat) != content_hash(flat.astype(np.float32))
+
+    def test_ignores_memory_layout(self):
+        data = image(3)
+        transposed_back = np.asfortranarray(data)
+        assert content_hash(data) == content_hash(transposed_back)
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = FeatureCache()
+        calls = []
+        value = cache.get_or_compute("ns", "v1", image(1), lambda: calls.append(1) or 7)
+        again = cache.get_or_compute("ns", "v1", image(1), lambda: calls.append(1) or 8)
+        assert value == 7 and again == 7
+        assert len(calls) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_namespace_and_version_separate_entries(self):
+        cache = FeatureCache()
+        a = cache.get_or_compute("ns-a", "v1", image(1), lambda: "a")
+        b = cache.get_or_compute("ns-b", "v1", image(1), lambda: "b")
+        c = cache.get_or_compute("ns-a", "v2", image(1), lambda: "c")
+        assert (a, b, c) == ("a", "b", "c")
+        assert cache.stats.misses == 3 and cache.stats.hits == 0
+
+    def test_lru_eviction_drops_oldest(self):
+        cache = FeatureCache(capacity=2)
+        cache.get_or_compute("ns", "v1", image(1), lambda: 1)
+        cache.get_or_compute("ns", "v1", image(2), lambda: 2)
+        # Touch image(1) so image(2) becomes the LRU entry.
+        cache.get_or_compute("ns", "v1", image(1), lambda: -1)
+        cache.get_or_compute("ns", "v1", image(3), lambda: 3)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # image(2) was evicted: recompute happens.
+        assert cache.get_or_compute("ns", "v1", image(2), lambda: 22) == 22
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(EngineError):
+            FeatureCache(capacity=0)
+
+    def test_clear_resets_entries_and_stats(self):
+        cache = FeatureCache()
+        cache.get_or_compute("ns", "v1", image(1), lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+
+class TestDiskTier:
+    def test_survives_new_instance(self, tmp_path):
+        first = FeatureCache(disk_dir=tmp_path)
+        value = first.get_or_compute("ns", "v1", image(1), lambda: np.arange(7.0))
+        second = FeatureCache(disk_dir=tmp_path)
+        loaded = second.get_or_compute(
+            "ns", "v1", image(1), lambda: pytest.fail("should load from disk")
+        )
+        np.testing.assert_array_equal(value, loaded)
+        assert second.stats.disk_hits == 1 and second.stats.hits == 1
+
+    def test_version_bump_invalidates(self, tmp_path):
+        first = FeatureCache(disk_dir=tmp_path)
+        first.get_or_compute("ns", "v1", image(1), lambda: "old")
+        second = FeatureCache(disk_dir=tmp_path)
+        fresh = second.get_or_compute("ns", "v2", image(1), lambda: "new")
+        assert fresh == "new"
+        assert second.stats.misses == 1
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cache = FeatureCache(disk_dir=tmp_path)
+        cache.get_or_compute("ns", "v1", image(1), lambda: "good")
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        fresh = FeatureCache(disk_dir=tmp_path)
+        assert fresh.get_or_compute("ns", "v1", image(1), lambda: "recomputed") == "recomputed"
+
+
+class TestPickling:
+    def test_cache_roundtrips_and_stays_functional(self):
+        cache = FeatureCache()
+        cache.get_or_compute("ns", "v1", image(1), lambda: 42)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.get_or_compute(
+            "ns", "v1", image(1), lambda: pytest.fail("entry lost")
+        ) == 42
+
+
+class TestDefaultCache:
+    def test_set_default_swaps_and_returns_previous(self):
+        replacement = FeatureCache(capacity=4)
+        previous = set_default_cache(replacement)
+        try:
+            assert default_cache() is replacement
+        finally:
+            set_default_cache(previous)
+        assert default_cache() is previous

@@ -1,0 +1,114 @@
+"""Unit tests for the parallel executor: chunking, ordering, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import LabelledImage
+from repro.engine.executor import ParallelExecutor
+from repro.errors import EngineError
+from repro.pipelines.base import Prediction, RecognitionPipeline
+from repro.pipelines.baseline import RandomBaselinePipeline
+
+from tests.engine.synthetic import make_image_set
+
+
+class EchoPipeline(RecognitionPipeline):
+    """Deterministic stub: predicts each query's own model_id/label."""
+
+    name = "echo"
+
+    def fit(self, references):
+        self._references = references
+        return self
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        return Prediction(
+            label=query.label, model_id=query.model_id, score=float(query.view_id)
+        )
+
+
+class TestConstruction:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(EngineError):
+            ParallelExecutor(workers=0)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(EngineError):
+            ParallelExecutor(workers=2, backend="fibers")
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(EngineError):
+            ParallelExecutor(workers=2, chunk_size=0)
+
+
+class TestChunking:
+    def test_chunks_cover_all_items_in_order(self):
+        executor = ParallelExecutor(workers=3)
+        items = list(range(23))
+        chunks = executor.chunks(items)
+        flattened = [value for chunk in chunks for value in chunk]
+        assert flattened == items
+
+    def test_chunking_is_deterministic(self):
+        executor = ParallelExecutor(workers=4)
+        items = list(range(100))
+        assert executor.chunks(items) == executor.chunks(items)
+
+    def test_explicit_chunk_size_respected(self):
+        executor = ParallelExecutor(workers=2, chunk_size=5)
+        chunks = executor.chunks(list(range(12)))
+        assert [len(chunk) for chunk in chunks] == [5, 5, 2]
+
+
+class TestOrderStability:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_results_in_query_order(self, workers):
+        queries = make_image_set(seed=11, count=13, name="queries")
+        pipeline = EchoPipeline().fit(queries)
+        results = ParallelExecutor(workers=workers).predict_all(pipeline, queries)
+        assert [p.model_id for p in results] == [q.model_id for q in queries]
+        assert [p.score for p in results] == [float(q.view_id) for q in queries]
+
+    def test_matches_plain_predict_all(self):
+        queries = make_image_set(seed=5, count=9, name="queries")
+        pipeline = EchoPipeline().fit(queries)
+        sequential = pipeline.predict_all(queries)
+        parallel = pipeline.predict_all(queries, executor=ParallelExecutor(workers=4))
+        assert [p.label for p in parallel] == [p.label for p in sequential]
+
+
+class TestParallelSafety:
+    def test_rng_pipeline_falls_back_to_sequential(self):
+        # The random baseline consumes one RNG draw per query; the executor
+        # must run it inline so the draw order matches the sequential loop.
+        references = make_image_set(seed=3, count=6, name="refs")
+        queries = make_image_set(seed=4, count=10, name="queries")
+
+        sequential = RandomBaselinePipeline(rng=99).fit(references).predict_all(queries)
+        parallel_pipeline = RandomBaselinePipeline(rng=99).fit(references)
+        parallel = ParallelExecutor(workers=4).predict_all(parallel_pipeline, queries)
+        assert [p.label for p in parallel] == [p.label for p in sequential]
+
+    def test_baseline_declares_itself_unsafe(self):
+        assert RandomBaselinePipeline.parallel_safe is False
+        assert RecognitionPipeline.parallel_safe is True
+
+
+class TestProcessBackend:
+    def test_process_backend_matches_sequential(self):
+        from repro.imaging.match_shapes import ShapeDistance
+        from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+        references = make_image_set(seed=21, count=6, name="refs")
+        queries = make_image_set(seed=22, count=4, name="queries", source="sns2")
+        pipeline = ShapeOnlyPipeline(ShapeDistance.L2).fit(references)
+        sequential = pipeline.predict_all(queries)
+        executor = ParallelExecutor(workers=2, backend="process")
+        parallel = executor.predict_all(pipeline, queries)
+        for seq, par in zip(sequential, parallel):
+            assert (seq.label, seq.model_id, seq.score) == (
+                par.label,
+                par.model_id,
+                par.score,
+            )
+            assert np.array_equal(seq.view_scores, par.view_scores)

@@ -1,0 +1,140 @@
+"""Golden-value tests for the report metrics.
+
+Every expected number here is hand-computed from a small confusion matrix
+written out in the comments, so a regression in the precision/recall/F1
+arithmetic (off-by-one in support, swapped axes, wrong divisor) fails with
+an exact fraction rather than a tolerance miss.
+"""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import (
+    binary_report,
+    classification_report,
+    confusion_matrix,
+    cumulative_accuracy,
+)
+
+# Fixture: 10 queries over classes a/b/c.
+#
+#            predicted
+#             a  b  c
+#   true a  [ 2  1  1 ]   support 4
+#        b  [ 1  2  0 ]   support 3
+#        c  [ 0  0  3 ]   support 3
+Y_TRUE = ["a", "a", "a", "a", "b", "b", "b", "c", "c", "c"]
+Y_PRED = ["a", "a", "b", "c", "b", "b", "a", "c", "c", "c"]
+
+
+class TestClassificationReportGolden:
+    def test_confusion_matrix_layout(self):
+        matrix, ordering = confusion_matrix(Y_TRUE, Y_PRED)
+        assert ordering == ("a", "b", "c")
+        assert matrix.tolist() == [[2, 1, 1], [1, 2, 0], [0, 0, 3]]
+
+    def test_hand_computed_values(self):
+        report = classification_report(Y_TRUE, Y_PRED)
+        assert report.total == 10
+        assert report.cumulative_accuracy == pytest.approx(7 / 10)
+
+        a = report["a"]
+        assert a.support == 4
+        assert a.recall == pytest.approx(2 / 4)
+        assert a.precision == pytest.approx(2 / 3)  # predicted-a column sums to 3
+        assert a.f1 == pytest.approx(4 / 7)
+        assert a.accuracy == a.recall  # the paper's per-class "Accuracy" row
+
+        b = report["b"]
+        assert b.support == 3
+        assert b.recall == pytest.approx(2 / 3)
+        assert b.precision == pytest.approx(2 / 3)
+        assert b.f1 == pytest.approx(2 / 3)
+
+        c = report["c"]
+        assert c.support == 3
+        assert c.recall == pytest.approx(1.0)
+        assert c.precision == pytest.approx(3 / 4)
+        assert c.f1 == pytest.approx(6 / 7)
+
+    def test_cumulative_accuracy_matches_report(self):
+        assert cumulative_accuracy(Y_TRUE, Y_PRED) == pytest.approx(
+            classification_report(Y_TRUE, Y_PRED).cumulative_accuracy
+        )
+
+    def test_empty_class_in_superset_reports_zeros(self):
+        # "d" appears in the class list but never in the data: support 0,
+        # and every rate degrades to 0.0 rather than dividing by zero.
+        report = classification_report(Y_TRUE, Y_PRED, classes=["a", "b", "c", "d"])
+        d = report["d"]
+        assert (d.support, d.precision, d.recall, d.f1) == (0, 0.0, 0.0, 0.0)
+        # The padding class must not perturb the real classes.
+        assert report["a"].f1 == pytest.approx(4 / 7)
+        assert report.total == 10
+
+    def test_single_class_all_correct(self):
+        report = classification_report(["x", "x", "x"], ["x", "x", "x"])
+        assert report.cumulative_accuracy == 1.0
+        x = report["x"]
+        assert (x.precision, x.recall, x.f1, x.support) == (1.0, 1.0, 1.0, 3)
+
+    def test_class_never_predicted_has_zero_precision(self):
+        report = classification_report(["a", "b"], ["b", "b"])
+        assert report["a"].precision == 0.0
+        assert report["a"].recall == 0.0
+        assert report["b"].precision == pytest.approx(1 / 2)
+        assert report["b"].recall == 1.0
+
+    def test_rejects_label_outside_explicit_class_set(self):
+        with pytest.raises(EvaluationError):
+            classification_report(["a", "z"], ["a", "a"], classes=["a", "b"])
+
+    def test_rejects_length_mismatch_and_empty(self):
+        with pytest.raises(EvaluationError):
+            classification_report(["a"], ["a", "b"])
+        with pytest.raises(EvaluationError):
+            classification_report([], [])
+
+
+class TestBinaryReportGolden:
+    # Fixture: 4 similar (1), 6 dissimilar (0).
+    #   similar:    tp=3, fn=1; predicted-similar = 5  -> P=3/5, R=3/4
+    #   dissimilar: tn=4, fp... as positive: tp=4, support 6, predicted 5
+    B_TRUE = [1, 1, 1, 1, 0, 0, 0, 0, 0, 0]
+    B_PRED = [1, 1, 1, 0, 0, 0, 0, 0, 1, 1]
+
+    def test_hand_computed_values(self):
+        report = binary_report(self.B_TRUE, self.B_PRED)
+        assert report.support_similar == 4
+        assert report.precision_similar == pytest.approx(3 / 5)
+        assert report.recall_similar == pytest.approx(3 / 4)
+        assert report.f1_similar == pytest.approx(2 / 3)
+
+        assert report.support_dissimilar == 6
+        assert report.precision_dissimilar == pytest.approx(4 / 5)
+        assert report.recall_dissimilar == pytest.approx(2 / 3)
+        assert report.f1_dissimilar == pytest.approx(8 / 11)
+
+        assert report.accuracy == pytest.approx(7 / 10)
+
+    def test_single_class_only_positives(self):
+        report = binary_report([1, 1, 1], [1, 1, 0])
+        assert report.support_dissimilar == 0
+        assert report.recall_dissimilar == 0.0
+        # One prediction said "dissimilar" with no dissimilar truth present.
+        assert report.precision_dissimilar == 0.0
+        assert report.recall_similar == pytest.approx(2 / 3)
+        assert report.precision_similar == 1.0
+        assert report.accuracy == pytest.approx(2 / 3)
+
+    def test_perfect_prediction(self):
+        report = binary_report([1, 0, 1, 0], [1, 0, 1, 0])
+        assert report.f1_similar == 1.0
+        assert report.f1_dissimilar == 1.0
+        assert report.accuracy == 1.0
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(EvaluationError):
+            binary_report([0, 1, 2], [0, 1, 1])
+        with pytest.raises(EvaluationError):
+            binary_report([0, 1], [0, -1])

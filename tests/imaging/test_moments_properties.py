@@ -1,0 +1,133 @@
+"""Property-based invariance tests for Hu moments and matchShapes distances.
+
+The paper's shape-only pipeline rests entirely on Hu's invariants being
+stable under translation, scale and rotation; these tests pin that contract
+on synthetic contours so a regression in :mod:`repro.imaging.moments` or
+:mod:`repro.imaging.match_shapes` cannot slip through.
+
+Discrete caveats drive the tolerances: integer translation and 90° rotation
+are exact pixel permutations (float-noise tolerances), while integer
+upscaling (each pixel becomes a k×k block) carries genuine rasterisation
+error (loose tolerance).  Shapes whose Hu invariants sit at float-noise
+level are skipped via ``assume`` — the signed-log transform amplifies noise
+around zero, which is an instability of the metric (shared with OpenCV),
+not a bug.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.match_shapes import ShapeDistance, log_hu, match_shapes
+from repro.imaging.moments import hu_moments, image_moments
+
+SIZE = 48
+
+
+@st.composite
+def notched_rectangles(draw):
+    """An asymmetric (notched) rectangle mask well inside a 48px canvas."""
+    height = draw(st.integers(min_value=10, max_value=19))
+    width = draw(st.integers(min_value=10, max_value=19))
+    top = draw(st.integers(min_value=4, max_value=23))
+    left = draw(st.integers(min_value=4, max_value=23))
+    notch_h = draw(st.integers(min_value=2, max_value=max(2, height // 2 - 1)))
+    notch_w = draw(st.integers(min_value=2, max_value=max(2, width // 2 - 1)))
+    mask = np.zeros((SIZE, SIZE), dtype=np.float64)
+    mask[top : top + height, left : left + width] = 1.0
+    mask[top : top + notch_h, left : left + notch_w] = 0.0
+    return mask
+
+
+def well_conditioned(hu: np.ndarray) -> bool:
+    """All seven invariants comfortably away from 0 (log-noise blowup) and
+    from magnitude 1 (the L1 distance divides by log10|h|)."""
+    magnitudes = np.abs(hu)
+    return bool(
+        magnitudes.min() > 1e-12 and np.abs(np.log10(magnitudes)).min() > 1e-2
+    )
+
+
+def translate(mask: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """In-canvas shift (shapes are drawn with a >=4px margin)."""
+    out = np.zeros_like(mask)
+    out[dy or None :, dx or None :] = mask[: -dy or None, : -dx or None]
+    return out
+
+
+class TestHuInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(mask=notched_rectangles(), dy=st.integers(0, 3), dx=st.integers(0, 3))
+    def test_translation_preserves_hu(self, mask, dy, dx):
+        moved = translate(mask, dy, dx)
+        np.testing.assert_allclose(
+            hu_moments(moved), hu_moments(mask), rtol=1e-7, atol=1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(mask=notched_rectangles(), dy=st.integers(0, 3), dx=st.integers(0, 3))
+    def test_translation_shifts_centroid_exactly(self, mask, dy, dx):
+        row, col = image_moments(mask).centroid
+        moved_row, moved_col = image_moments(translate(mask, dy, dx)).centroid
+        # approx, not ==: the shifted coordinate sums differ in the last ulp.
+        assert moved_row == pytest.approx(row + dy, abs=1e-9)
+        assert moved_col == pytest.approx(col + dx, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(mask=notched_rectangles(), quarter_turns=st.integers(1, 3))
+    def test_rotation_preserves_hu(self, mask, quarter_turns):
+        rotated = np.rot90(mask, k=quarter_turns)
+        np.testing.assert_allclose(
+            hu_moments(rotated), hu_moments(mask), rtol=1e-7, atol=1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(mask=notched_rectangles(), factor=st.integers(2, 3))
+    def test_scale_preserves_log_hu(self, mask, factor):
+        scaled = np.kron(mask, np.ones((factor, factor)))
+        assume(well_conditioned(hu_moments(mask)))
+        np.testing.assert_allclose(
+            log_hu(hu_moments(scaled)), log_hu(hu_moments(mask)), atol=0.1
+        )
+
+
+class TestMatchShapesStability:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        mask=notched_rectangles(),
+        dy=st.integers(0, 3),
+        dx=st.integers(0, 3),
+        quarter_turns=st.integers(1, 3),
+    )
+    def test_distances_stable_under_exact_transforms(
+        self, mask, dy, dx, quarter_turns
+    ):
+        assume(well_conditioned(hu_moments(mask)))
+        moved = translate(mask, dy, dx)
+        rotated = np.rot90(mask, k=quarter_turns)
+        for distance in ShapeDistance:
+            assert match_shapes(mask, moved, distance) < 1e-9
+            assert match_shapes(mask, rotated, distance) < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(mask=notched_rectangles(), factor=st.integers(2, 3))
+    def test_distances_small_under_scaling(self, mask, factor):
+        assume(well_conditioned(hu_moments(mask)))
+        scaled = np.kron(mask, np.ones((factor, factor)))
+        for distance in ShapeDistance:
+            assert match_shapes(mask, scaled, distance) < 0.1
+
+    @settings(max_examples=20, deadline=None)
+    @given(mask=notched_rectangles())
+    def test_self_distance_is_zero(self, mask):
+        for distance in ShapeDistance:
+            assert match_shapes(mask, mask, distance) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=notched_rectangles(), b=notched_rectangles())
+    def test_l1_l2_symmetric(self, a, b):
+        # I1 and I2 are symmetric in their arguments; I3 normalises by the
+        # first argument's moments and is deliberately not.
+        for distance in (ShapeDistance.L1, ShapeDistance.L2):
+            assert match_shapes(a, b, distance) == match_shapes(b, a, distance)

@@ -29,6 +29,25 @@ class TestParser:
         assert args.train_pairs == 99
         assert args.nyu_scale == pytest.approx(0.02)
 
+    def test_engine_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["engine", "--workers", "4", "--backend", "process", "--no-cache", "--timings"]
+        )
+        assert args.workers == 4
+        assert args.backend == "process"
+        assert args.no_cache is True
+        assert args.timings is True
+
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.workers is None  # falls back to REPRO_WORKERS / sequential
+        assert args.no_cache is False
+        assert args.timings is False
+
+    def test_engine_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine", "--backend", "fibers"])
+
 
 class TestMain:
     def test_table1_prints(self, capsys):
@@ -37,6 +56,27 @@ class TestMain:
         assert code == 0
         assert "Chair" in out and "Total" in out
         assert "82" in out and "100" in out
+
+
+class TestEngineCommand:
+    def test_engine_smoke_with_workers_and_timings(self, capsys):
+        # A 4-query synthetic run exercising the parallel path end to end.
+        code = main(
+            ["engine", "--refs", "12", "--queries", "4", "--workers", "2", "--timings"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TIMINGS" in out
+        assert "accuracy" in out
+        assert "workers=2" in out
+
+    def test_engine_smoke_without_cache(self, capsys):
+        code = main(["engine", "--refs", "8", "--queries", "4", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # With caching disabled every run reports a 0% hit rate.
+        assert "cache=off" in out
+        assert "cache hit rate 0%" in out
 
 
 class TestPatrol:

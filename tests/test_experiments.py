@@ -11,6 +11,8 @@ from repro.config import ExperimentConfig
 from repro import experiments
 from repro.experiments import SiameseScale, TABLE2_ROWS
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def data():

@@ -11,6 +11,8 @@ from repro.pipelines import HybridPipeline, HybridStrategy, VotingEnsemble
 from repro.pipelines.color_only import ColorOnlyPipeline
 from repro.pipelines.shape_only import ShapeOnlyPipeline
 
+pytestmark = pytest.mark.slow
+
 
 class TestPixelsToAnswer:
     @pytest.fixture(scope="class")
