@@ -1,0 +1,151 @@
+"""Batch-scoring bench: the vectorized path against the scalar loop.
+
+A synthetic 100-view reference library is scored by the shape-only,
+colour-only and hybrid pipelines twice — once through the stacked-matrix
+batch kernels, once with ``batch_scoring`` forced off (the per-view Python
+loop).  Both paths share one feature cache, so the comparison isolates the
+scoring stage.  Hard assertions: identical winners on every query, and the
+batch path at least 5x the scalar throughput.  Per-pipeline queries/sec
+land in ``BENCH_scoring.json`` for trend tracking.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.engine.cache import FeatureCache, ReferenceMatrixCache
+from repro.imaging.histogram import HistogramMetric
+from repro.imaging.match_shapes import ShapeDistance
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+from conftest import run_once
+
+LIBRARY_VIEWS = 100
+QUERY_COUNT = 60
+MIN_SPEEDUP = 5.0
+RESULT_FILE = Path("BENCH_scoring.json")
+
+
+def make_library(seed: int, count: int, name: str, source: str = "sns1") -> ImageDataset:
+    """Synthetic labelled images: white canvas, one filled colour block."""
+    rng = np.random.default_rng(seed)
+    labels = ("box", "disc", "bar", "slab")
+    items = []
+    for index in range(count):
+        image = np.ones((32, 32, 3), dtype=np.float64)
+        height = int(rng.integers(8, 16))
+        width = int(rng.integers(8, 16))
+        top = int(rng.integers(1, 31 - height))
+        left = int(rng.integers(1, 31 - width))
+        image[top : top + height, left : left + width] = rng.uniform(0.1, 0.7, size=3)
+        label = labels[index % len(labels)]
+        items.append(
+            LabelledImage(
+                image=image,
+                label=label,
+                source=source,
+                model_id=f"{label}-m{index}",
+                view_id=index,
+            )
+        )
+    return ImageDataset(name=name, items=tuple(items))
+
+
+def pipeline_pairs():
+    """(name, batch pipeline, scalar twin) per batch-capable family."""
+    return [
+        (
+            "shape-only-L3",
+            ShapeOnlyPipeline(ShapeDistance.L3),
+            ShapeOnlyPipeline(ShapeDistance.L3),
+        ),
+        (
+            "color-only-hellinger",
+            ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=16),
+            ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=16),
+        ),
+        (
+            "hybrid-weighted_sum",
+            HybridPipeline(HybridStrategy.WEIGHTED_SUM, bins=16),
+            HybridPipeline(HybridStrategy.WEIGHTED_SUM, bins=16),
+        ),
+    ]
+
+
+def best_of(repeats: int, fn):
+    """Minimum wall time of *repeats* runs (scheduler-noise resistant)."""
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_batch_scoring_speedup(benchmark):
+    references = make_library(seed=101, count=LIBRARY_VIEWS, name="bench-refs")
+    queries = list(
+        make_library(seed=202, count=QUERY_COUNT, name="bench-queries", source="sns2")
+    )
+
+    def sweep():
+        results = {}
+        for name, batched, scalar in pipeline_pairs():
+            # One shared feature cache: extraction is a warm hit on both
+            # paths, so the timings compare scoring, not hashing.
+            cache = FeatureCache()
+            for pipeline in (batched, scalar):
+                pipeline.cache = cache
+                pipeline.matrix_cache = ReferenceMatrixCache()
+            scalar.batch_scoring = False
+            batched.fit(references)
+            scalar.fit(references)
+            assert batched.scoring_mode == "batch"
+            assert scalar.scoring_mode == "scalar"
+
+            # Warm-up (fills the feature cache with the query features too).
+            fast = batched.predict_batch(queries)
+            slow = [scalar.predict(query) for query in queries]
+            for f, s in zip(fast, slow):
+                assert (f.label, f.model_id) == (s.label, s.model_id)
+
+            batch_seconds = best_of(3, lambda: batched.predict_batch(queries))
+            scalar_seconds = best_of(
+                3, lambda: [scalar.predict(query) for query in queries]
+            )
+            results[name] = {
+                "batch_qps": len(queries) / batch_seconds,
+                "scalar_qps": len(queries) / scalar_seconds,
+                "speedup": scalar_seconds / batch_seconds,
+            }
+        return results
+
+    results = run_once(benchmark, sweep)
+    RESULT_FILE.write_text(
+        json.dumps(
+            {
+                "library_views": LIBRARY_VIEWS,
+                "queries": QUERY_COUNT,
+                "pipelines": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"\nBatch scoring — {QUERY_COUNT} queries v. {LIBRARY_VIEWS} views")
+    for name, row in results.items():
+        print(
+            f"  {name:24s} batch {row['batch_qps']:9.1f} q/s   "
+            f"scalar {row['scalar_qps']:8.1f} q/s   {row['speedup']:5.1f}x"
+        )
+    for name, row in results.items():
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"{name}: batch path only {row['speedup']:.1f}x the scalar loop "
+            f"(need >= {MIN_SPEEDUP}x) — vectorized scoring has regressed"
+        )

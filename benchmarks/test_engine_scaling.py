@@ -64,6 +64,7 @@ def test_parallel_predict_throughput(benchmark, data):
     def sweep():
         pipeline = ShapeOnlyPipeline(ShapeDistance.L2)
         pipeline.cache = FeatureCache()
+        pipeline.keep_view_scores = True  # so identity covers the vectors
         pipeline.fit(data.sns1)
         queries = data.sns2
 

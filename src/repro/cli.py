@@ -156,8 +156,14 @@ def _cmd_engine(args: argparse.Namespace) -> str:
     stats = {}
     for pipeline in pipelines:
         configure_pipeline(pipeline, config.engine)
+        if args.scalar_scoring:
+            pipeline.batch_scoring = False
         result = run_matching_experiment(
-            pipeline, queries, references, executor=executor
+            pipeline,
+            queries,
+            references,
+            executor=executor,
+            keep_view_scores=args.keep_view_scores,
         )
         stats[pipeline.name] = result.stats
         lines.append(
@@ -288,6 +294,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings",
         action="store_true",
         help="append the per-stage timings block to the output",
+    )
+    engine.add_argument(
+        "--scalar-scoring",
+        action="store_true",
+        help="engine command: force the scalar per-view scoring loop "
+        "(disables the vectorized batch path, for comparison)",
+    )
+    engine.add_argument(
+        "--keep-view-scores",
+        action="store_true",
+        help="engine command: retain the per-view score vector on every "
+        "prediction (off by default — costs (queries x views) float64)",
     )
     engine.add_argument(
         "--refs",

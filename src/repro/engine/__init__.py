@@ -23,9 +23,13 @@ from repro.config import EngineSettings
 from repro.engine.cache import (
     CacheStats,
     FeatureCache,
+    ReferenceMatrixCache,
     content_hash,
+    dataset_fingerprint,
     default_cache,
+    default_matrix_cache,
     set_default_cache,
+    set_default_matrix_cache,
 )
 from repro.engine.executor import ParallelExecutor
 from repro.engine.instrument import RunStats, Stopwatch, maybe_stage
@@ -35,14 +39,18 @@ __all__ = [
     "EngineSettings",
     "FeatureCache",
     "ParallelExecutor",
+    "ReferenceMatrixCache",
     "RunStats",
     "Stopwatch",
     "build_executor",
     "configure_pipeline",
     "content_hash",
+    "dataset_fingerprint",
     "default_cache",
+    "default_matrix_cache",
     "maybe_stage",
     "set_default_cache",
+    "set_default_matrix_cache",
 ]
 
 #: Disk-backed caches memoised per (dir, capacity) so every pipeline of a
@@ -61,12 +69,15 @@ def build_executor(settings: EngineSettings) -> ParallelExecutor | None:
 def configure_pipeline(pipeline, settings: EngineSettings):
     """Apply *settings*' cache policy to *pipeline*; returns the pipeline.
 
-    ``cache=False`` detaches the pipeline from any cache; ``cache_dir``
+    ``cache=False`` detaches the pipeline from any cache (including the
+    reference-matrix cache, so stacks rebuild per fit); ``cache_dir``
     attaches a shared disk-backed cache; otherwise the pipeline keeps its
     default (the process-wide in-memory cache).
     """
     if not settings.cache:
         pipeline.cache = None
+        if hasattr(pipeline, "matrix_cache"):
+            pipeline.matrix_cache = None
     elif settings.cache_dir is not None:
         key = (settings.cache_dir, settings.cache_capacity)
         if key not in _DISK_CACHES:

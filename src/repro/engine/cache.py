@@ -25,6 +25,7 @@ import hashlib
 import pickle
 import re
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -198,6 +199,112 @@ class FeatureCache:
         self._lock = threading.Lock()
 
 
+#: Fingerprint memo keyed by dataset object id.  A ``weakref.finalize``
+#: evicts each entry when its dataset is collected, so a recycled id can
+#: never serve a stale digest.
+_FINGERPRINT_MEMO: dict[int, str] = {}
+
+
+def dataset_fingerprint(dataset) -> str:
+    """Stable digest of an ordered image collection's pixel content.
+
+    Keyed on every item's :func:`content_hash`, so two datasets holding the
+    same images in the same order share a fingerprint regardless of how they
+    were built — the identity the reference-matrix cache needs.  Memoised
+    per dataset *object*: refitting pipeline variants against the same
+    reference set hashes the pixels once, not once per fit.  (The memo
+    assumes images are not mutated in place after the first fingerprint,
+    the same immutability every cache in this module relies on.)
+    """
+    key = id(dataset)
+    memoised = _FINGERPRINT_MEMO.get(key)
+    if memoised is not None:
+        return memoised
+    digest = hashlib.blake2b(digest_size=16)
+    for item in dataset:
+        digest.update(content_hash(item.image).encode("ascii"))
+    fingerprint = digest.hexdigest()
+    try:
+        weakref.finalize(dataset, _FINGERPRINT_MEMO.pop, key, None)
+    except TypeError:
+        return fingerprint  # not weakref-able: skip the memo
+    _FINGERPRINT_MEMO[key] = fingerprint
+    return fingerprint
+
+
+class ReferenceMatrixCache:
+    """LRU memoiser for *stacked* reference-feature matrices.
+
+    Batch scoring needs the whole reference library as one contiguous matrix
+    (Hu log-signatures as ``(V, 7)``, histograms as ``(V, 3*bins)``).  The
+    stack depends only on the extraction namespace/version and the reference
+    images — not on the scoring metric — so the three shape distances share
+    one matrix, the four colour metrics share another, and the hybrid reuses
+    both.  Keys are ``(namespace, version, dataset_fingerprint)``.
+
+    Thread-safe with the same relaxed semantics as :class:`FeatureCache`:
+    ``build`` runs outside the lock and the last writer wins.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise EngineError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple[str, str, str], Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_build(
+        self,
+        namespace: str,
+        version: str,
+        references,
+        build: Callable[[], Any],
+    ) -> Any:
+        """The memoised value of ``build()`` for *references*."""
+        key = (namespace, version, dataset_fingerprint(references))
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+        value = build()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset counters."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    # Locks don't pickle; the process backend ships pipelines (holding their
+    # matrix cache) to workers — same copy semantics as FeatureCache.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": dict(self._entries),
+                "stats": self.stats,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self.stats = state["stats"]
+        self._entries = OrderedDict(state["entries"])
+        self._lock = threading.Lock()
+
+
 #: Process-wide default cache shared by every pipeline that doesn't get an
 #: explicit one — this is what makes repeated fits across table sweeps warm.
 _DEFAULT_CACHE = FeatureCache()
@@ -213,4 +320,22 @@ def set_default_cache(cache: FeatureCache) -> FeatureCache:
     global _DEFAULT_CACHE
     previous = _DEFAULT_CACHE
     _DEFAULT_CACHE = cache
+    return previous
+
+
+#: Process-wide default reference-matrix cache, shared so the L1/L2/L3 shape
+#: variants and the four colour metrics stack each reference set only once.
+_DEFAULT_MATRIX_CACHE = ReferenceMatrixCache()
+
+
+def default_matrix_cache() -> ReferenceMatrixCache:
+    """The process-wide shared reference-matrix cache."""
+    return _DEFAULT_MATRIX_CACHE
+
+
+def set_default_matrix_cache(cache: ReferenceMatrixCache) -> ReferenceMatrixCache:
+    """Replace the process-wide matrix cache; returns the previous one."""
+    global _DEFAULT_MATRIX_CACHE
+    previous = _DEFAULT_MATRIX_CACHE
+    _DEFAULT_MATRIX_CACHE = cache
     return previous

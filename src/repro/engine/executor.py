@@ -33,8 +33,13 @@ BACKENDS = ("thread", "process")
 
 
 def _predict_chunk(pipeline: "RecognitionPipeline", chunk: Sequence) -> list:
-    """Sequentially predict one chunk (module-level so it pickles)."""
-    return [pipeline.predict(query) for query in chunk]
+    """Predict one contiguous chunk as a block (module-level so it pickles).
+
+    Routing through ``predict_batch`` means batch-scoring pipelines score
+    each worker's whole block against the reference matrix in single NumPy
+    ops rather than one query at a time.
+    """
+    return pipeline.predict_batch(list(chunk))
 
 
 class ParallelExecutor:

@@ -93,6 +93,9 @@ class RunStats:
     queries: int = 0
     references: int = 0
     workers: int = 1
+    #: ``"batch"`` when the run used the vectorized scoring path, else
+    #: ``"scalar"`` (pipelines without a batched kernel).
+    scoring_mode: str = "scalar"
 
     @property
     def fit_seconds(self) -> float:
@@ -119,6 +122,7 @@ class RunStats:
         return (
             f"fit {self.fit_seconds:.3f}s, predict {self.predict_seconds:.3f}s "
             f"({self.queries} queries, {self.queries_per_second:.1f}/s, "
-            f"{self.workers} worker{'s' if self.workers != 1 else ''}), "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
+            f"{self.scoring_mode} scoring), "
             f"cache hit rate {self.cache_hit_rate:.0%}"
         )

@@ -47,14 +47,19 @@ def run_matching_experiment(
     references: ImageDataset,
     classes: Sequence[str] | None = None,
     executor: ParallelExecutor | None = None,
+    keep_view_scores: bool = False,
 ) -> ExperimentResult:
     """Fit *pipeline* on *references*, predict *queries*, report metrics.
 
     With *executor* the prediction loop fans out over its worker pool
     (order-stable, result-identical to the sequential path).
+    *keep_view_scores* attaches the per-view score vector to every
+    Prediction — off by default, since a full sweep would otherwise retain
+    a ``(Q, V)`` float64 matrix per configuration.
     """
     watch = Stopwatch()
     pipeline.stopwatch = watch
+    pipeline.keep_view_scores = keep_view_scores
     cache = getattr(pipeline, "cache", None)
     hits_before, misses_before = cache.stats.snapshot() if cache else (0, 0)
     try:
@@ -75,6 +80,7 @@ def run_matching_experiment(
         queries=len(predictions),
         references=len(references),
         workers=executor.workers if executor is not None else 1,
+        scoring_mode=pipeline.scoring_mode,
     )
     return ExperimentResult(
         pipeline_name=pipeline.name,
@@ -92,6 +98,7 @@ def run_matching_suite(
     references: ImageDataset,
     classes: Sequence[str] | None = None,
     executor: ParallelExecutor | None = None,
+    keep_view_scores: bool = False,
 ) -> dict[str, ExperimentResult]:
     """Run several pipelines over the same query/reference pairing.
 
@@ -100,7 +107,12 @@ def run_matching_suite(
     """
     return {
         pipeline.name: run_matching_experiment(
-            pipeline, queries, references, classes, executor=executor
+            pipeline,
+            queries,
+            references,
+            classes,
+            executor=executor,
+            keep_view_scores=keep_view_scores,
         )
         for pipeline in pipelines
     }

@@ -115,7 +115,7 @@ def format_timings_table(stats: Mapping[str, RunStats]) -> str:
     if not stats:
         return "(no timed runs)"
     header = ["Run", "Fit (s)", "Predict (s)", "Extract (s)",
-              "Score (s)", "Queries/s", "Cache hit"]
+              "Score (s)", "Queries/s", "Scoring", "Cache hit"]
     widths = [max(16, *(len(name) for name in stats))] + [
         max(9, len(column)) for column in header[1:]
     ]
@@ -128,6 +128,7 @@ def format_timings_table(stats: Mapping[str, RunStats]) -> str:
             f"{run.stage_seconds.get('extract', 0.0):.3f}",
             f"{run.stage_seconds.get('score', 0.0):.3f}",
             f"{run.queries_per_second:.1f}",
+            run.scoring_mode,
             f"{run.cache_hit_rate:.0%}",
         ]
         lines.append(_row(cells, widths))

@@ -30,12 +30,20 @@ from repro.imaging.contours import (
     largest_contour,
 )
 from repro.imaging.moments import hu_moments, image_moments, Moments
-from repro.imaging.match_shapes import ShapeDistance, match_shapes
+from repro.imaging.match_shapes import (
+    ShapeDistance,
+    hu_signature,
+    hu_signature_matrix,
+    match_shapes,
+    match_shapes_batch,
+)
 from repro.imaging.histogram import (
     HistogramMetric,
     compare_histograms,
+    compare_histograms_batch,
     gray_histogram,
     rgb_histogram,
+    stack_histograms,
 )
 from repro.imaging.filters import (
     box_filter,
@@ -72,11 +80,16 @@ __all__ = [
     "image_moments",
     "Moments",
     "ShapeDistance",
+    "hu_signature",
+    "hu_signature_matrix",
     "match_shapes",
+    "match_shapes_batch",
     "HistogramMetric",
     "compare_histograms",
+    "compare_histograms_batch",
     "gray_histogram",
     "rgb_histogram",
+    "stack_histograms",
     "box_filter",
     "convolve2d",
     "gaussian_blur",

@@ -138,3 +138,72 @@ def compare_histograms(
         return float(np.sqrt(max(0.0, 1.0 - bc)))
 
     raise ImageError(f"unknown histogram metric {metric!r}")
+
+
+def stack_histograms(histograms) -> np.ndarray:
+    """Stack per-view histograms into a contiguous ``(V, B)`` float64 matrix
+    — the reference-library layout of :func:`compare_histograms_batch`."""
+    matrix = np.ascontiguousarray(
+        np.vstack([np.asarray(h, dtype=np.float64).ravel() for h in histograms])
+    )
+    if matrix.shape[1] == 0:
+        raise ImageError("histograms are empty")
+    return matrix
+
+
+def compare_histograms_batch(
+    h1: np.ndarray,
+    ref_matrix: np.ndarray,
+    metric: HistogramMetric = HistogramMetric.HELLINGER,
+) -> np.ndarray:
+    """Compare one query histogram against all ``V`` rows of *ref_matrix*.
+
+    Numerically identical to calling :func:`compare_histograms` per row,
+    including the zero-variance (Correlation) and zero-mass (Hellinger)
+    edge cases, which are resolved per row exactly as the scalar kernel
+    resolves them.
+    """
+    h1 = np.asarray(h1, dtype=np.float64).ravel()
+    refs = np.asarray(ref_matrix, dtype=np.float64)
+    if refs.ndim != 2 or refs.shape[1] != h1.shape[0]:
+        raise ImageError(
+            f"histogram shapes differ: {h1.shape} vs {refs.shape}"
+        )
+    if h1.size == 0:
+        raise ImageError("histograms are empty")
+
+    if metric == HistogramMetric.CORRELATION:
+        d1 = h1 - h1.mean()
+        d2 = refs - refs.mean(axis=1)[:, None]
+        denom = np.sqrt((d1**2).sum() * (d2**2).sum(axis=1))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scores = (d1[None, :] * d2).sum(axis=1) / denom
+        degenerate = denom == 0
+        if degenerate.any():
+            identical = np.isclose(h1[None, :], refs[degenerate]).all(axis=1)
+            scores[degenerate] = np.where(identical, 1.0, 0.0)
+        return scores
+
+    if metric == HistogramMetric.CHI_SQUARE:
+        valid = h1 > 0
+        q = h1[valid]
+        diff = q[None, :] - refs[:, valid]
+        return (diff**2 / q[None, :]).sum(axis=1)
+
+    if metric == HistogramMetric.INTERSECTION:
+        return np.minimum(h1[None, :], refs).sum(axis=1)
+
+    if metric == HistogramMetric.HELLINGER:
+        mean1 = h1.mean()
+        means = refs.mean(axis=1)
+        denom = np.sqrt(mean1 * means) * h1.size
+        with np.errstate(divide="ignore", invalid="ignore"):
+            bc = np.sqrt(h1[None, :] * refs).sum(axis=1) / denom
+            scores = np.sqrt(np.maximum(0.0, 1.0 - bc))
+        degenerate = denom == 0
+        if degenerate.any():
+            identical = np.isclose(h1[None, :], refs[degenerate]).all(axis=1)
+            scores[degenerate] = np.where(identical, 0.0, 1.0)
+        return scores
+
+    raise ImageError(f"unknown histogram metric {metric!r}")

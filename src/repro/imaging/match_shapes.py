@@ -49,6 +49,85 @@ def log_hu(hu: np.ndarray) -> np.ndarray:
     return out
 
 
+def hu_signature(hu: np.ndarray) -> np.ndarray:
+    """Signed log-magnitude signature of one Hu vector, NaN-preserving.
+
+    Identical to :func:`log_hu` on finite input (bit for bit), but degenerate
+    signatures — NaN Hu vectors used by the pipelines to mark contour-less
+    images — keep their NaN entries instead of collapsing to 0, so the batch
+    kernel can still mask them to ``inf``.
+    """
+    hu = np.asarray(hu, dtype=np.float64)
+    out = np.zeros_like(hu)
+    nonzero = np.abs(hu) > _EPS  # NaN compares False: NaN entries stay masked
+    out[nonzero] = np.sign(hu[nonzero]) * np.log10(np.abs(hu[nonzero]))
+    out[np.isnan(hu)] = np.nan
+    return out
+
+
+def hu_signature_matrix(hu_rows: np.ndarray) -> np.ndarray:
+    """Stack Hu vectors into a contiguous ``(V, 7)`` signature matrix.
+
+    This is the reference-library layout consumed by
+    :func:`match_shapes_batch`; rows are :func:`hu_signature` transforms of
+    the input rows (NaN rows preserved).
+    """
+    rows = np.ascontiguousarray(np.atleast_2d(np.asarray(hu_rows, dtype=np.float64)))
+    if rows.ndim != 2 or rows.shape[1] != 7:
+        raise ImageError(f"expected (V, 7) Hu rows, got shape {rows.shape}")
+    out = np.zeros_like(rows)
+    nonzero = np.abs(rows) > _EPS
+    out[nonzero] = np.sign(rows[nonzero]) * np.log10(np.abs(rows[nonzero]))
+    out[np.isnan(rows)] = np.nan
+    return out
+
+
+def match_shapes_batch(
+    query_sig: np.ndarray,
+    ref_matrix: np.ndarray,
+    method: ShapeDistance = ShapeDistance.L1,
+) -> np.ndarray:
+    """All ``V`` shape distances of one query against a reference library.
+
+    *query_sig* is the query's :func:`hu_signature` (length 7); *ref_matrix*
+    a ``(V, 7)`` :func:`hu_signature_matrix`.  Scores are numerically
+    identical to calling :func:`match_shapes` per row: terms where either
+    signature vanishes are skipped, rows with no usable term score 0.0, and
+    NaN signatures (query or reference) score ``inf`` — the convention the
+    matching pipelines use for degenerate contours.
+    """
+    query = np.asarray(query_sig, dtype=np.float64).ravel()
+    refs = np.asarray(ref_matrix, dtype=np.float64)
+    if refs.ndim != 2 or query.shape[0] != refs.shape[1]:
+        raise ImageError(
+            f"signature shapes incompatible: {query.shape} vs {refs.shape}"
+        )
+    views = refs.shape[0]
+    if np.isnan(query).any():
+        return np.full(views, np.inf)
+
+    nan_rows = np.isnan(refs).any(axis=1)
+    # NaN magnitudes compare False, so degenerate entries drop out of the
+    # usable mask exactly as sub-eps magnitudes do.
+    usable = (np.abs(query) > _EPS)[None, :] & (np.abs(refs) > _EPS)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if method == ShapeDistance.L1:
+            terms = np.abs(1.0 / query[None, :] - 1.0 / refs)
+            scores = np.where(usable, terms, 0.0).sum(axis=1)
+        elif method == ShapeDistance.L2:
+            terms = np.abs(query[None, :] - refs)
+            scores = np.where(usable, terms, 0.0).sum(axis=1)
+        elif method == ShapeDistance.L3:
+            terms = np.abs(query[None, :] - refs) / np.abs(query)[None, :]
+            scores = np.where(usable, terms, -np.inf).max(axis=1)
+        else:
+            raise ImageError(f"unknown shape distance {method!r}")
+    scores = np.asarray(scores, dtype=np.float64)
+    scores[~usable.any(axis=1)] = 0.0
+    scores[nan_rows] = np.inf
+    return scores
+
+
 def match_shapes(
     a: np.ndarray,
     b: np.ndarray,

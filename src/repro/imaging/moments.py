@@ -74,15 +74,28 @@ def image_moments(image: np.ndarray) -> Moments:
     ys = np.arange(data.shape[0], dtype=np.float64)[:, None]
     xs = np.arange(data.shape[1], dtype=np.float64)[None, :]
 
+    # One fused pass: the x/y power tables are built once and the
+    # ``data * x^p`` products are shared across every q, instead of
+    # re-evaluating ``xs**p * ys**q`` from scratch for each of the 17
+    # moments.  The expression grouping ``(data * x^p) * y^q`` matches the
+    # original one-moment-at-a-time evaluation, so values are bit-identical.
+    xs_pow = [xs**p for p in range(4)]
+    ys_pow = [ys**q for q in range(4)]
+    data_xp = [data * xp for xp in xs_pow]
+
     def raw(p: int, q: int) -> float:
-        return float((data * xs**p * ys**q).sum())
+        return float((data_xp[p] * ys_pow[q]).sum())
 
     m10, m01 = raw(1, 0), raw(0, 1)
     cx, cy = m10 / m00, m01 / m00
     dx, dy = xs - cx, ys - cy
 
+    dx_pow = [dx**p for p in range(4)]
+    dy_pow = [dy**q for q in range(4)]
+    data_dxp = [data * dxp for dxp in dx_pow]
+
     def central(p: int, q: int) -> float:
-        return float((data * dx**p * dy**q).sum())
+        return float((data_dxp[p] * dy_pow[q]).sum())
 
     mu = {(p, q): central(p, q) for p in range(4) for q in range(4) if 2 <= p + q <= 3}
 

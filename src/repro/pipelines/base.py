@@ -7,7 +7,13 @@ class* and the model optimising the similarity/distance determines the
 predicted label.
 
 :class:`MatchingPipeline` implements that loop once; concrete pipelines
-supply per-view feature extraction and scoring.
+supply per-view feature extraction and scoring.  Since PR 2 the loop has a
+vectorized fast path: pipelines that can stack their reference features into
+a contiguous matrix implement :meth:`MatchingPipeline._stack_references` and
+:meth:`MatchingPipeline._score_batch`, and every query is then scored
+against the whole library in single NumPy expressions instead of a per-view
+Python loop.  Pipelines without a batched kernel simply inherit the scalar
+``_score`` loop — both paths produce the same argmin winners.
 """
 
 from __future__ import annotations
@@ -19,7 +25,12 @@ from typing import TYPE_CHECKING, Any, Sequence
 import numpy as np
 
 from repro.datasets.dataset import ImageDataset, LabelledImage
-from repro.engine.cache import FeatureCache, default_cache
+from repro.engine.cache import (
+    FeatureCache,
+    ReferenceMatrixCache,
+    default_cache,
+    default_matrix_cache,
+)
 from repro.engine.instrument import Stopwatch, maybe_stage
 from repro.errors import PipelineError
 
@@ -35,6 +46,9 @@ class Prediction:
     won the argmin/argmax (empty for pipelines without a model notion, e.g.
     the random baseline), ``score`` the winning score, and ``view_scores``
     an optional per-reference-view score vector in reference order.
+    ``view_scores`` is only populated when the producing pipeline has
+    ``keep_view_scores`` set — a full NYUSet sweep would otherwise retain a
+    ``(6934, V)`` float64 matrix per configuration.
     """
 
     label: str
@@ -62,6 +76,11 @@ class RecognitionPipeline(abc.ABC):
         self.cache: FeatureCache | None = None
         #: Optional per-stage timing sink, attached by the experiment runner.
         self.stopwatch: Stopwatch | None = None
+        #: Attach the per-view score vector to every Prediction.  Off by
+        #: default: retaining ``(Q, V)`` float64 per configuration is the
+        #: dominant memory cost of a full NYUSet sweep.  Evaluation code
+        #: that needs score curves (rank fusion, recall@k analysis) opts in.
+        self.keep_view_scores: bool = False
 
     @property
     def references(self) -> ImageDataset:
@@ -70,6 +89,12 @@ class RecognitionPipeline(abc.ABC):
             raise PipelineError(f"{self.name}: fit() must be called before use")
         return self._references
 
+    @property
+    def scoring_mode(self) -> str:
+        """``"batch"`` when the vectorized scoring path is active, else
+        ``"scalar"`` — surfaced by the ``--timings`` CLI output."""
+        return "scalar"
+
     @abc.abstractmethod
     def fit(self, references: ImageDataset) -> "RecognitionPipeline":
         """Index the reference views; returns self for chaining."""
@@ -77,6 +102,16 @@ class RecognitionPipeline(abc.ABC):
     @abc.abstractmethod
     def predict(self, query: LabelledImage) -> Prediction:
         """Predict the class of one query image."""
+
+    def predict_batch(self, queries: Sequence[LabelledImage]) -> list[Prediction]:
+        """Predict a contiguous block of queries, in order.
+
+        The default is the per-query loop; batch-scoring pipelines override
+        this to score the whole block against the reference matrix at once.
+        This is the unit of work the engine's ParallelExecutor hands to each
+        worker.
+        """
+        return [self.predict(query) for query in queries]
 
     def predict_all(
         self,
@@ -90,7 +125,7 @@ class RecognitionPipeline(abc.ABC):
         """
         if executor is not None:
             return executor.predict_all(self, queries)
-        return [self.predict(query) for query in queries]
+        return self.predict_batch(list(queries))
 
 
 class MatchingPipeline(RecognitionPipeline):
@@ -99,6 +134,13 @@ class MatchingPipeline(RecognitionPipeline):
     Subclasses implement :meth:`_extract` (per-image feature computation,
     cached for reference views at fit time) and :meth:`_score` (feature-pair
     scoring).  ``higher_is_better`` selects argmax instead of argmin.
+
+    Subclasses with a vectorized kernel additionally implement
+    :meth:`_stack_references` (stack per-view features into a contiguous
+    matrix at fit time) and :meth:`_score_batch` (all ``V`` scores of one
+    query in single NumPy ops); :meth:`score_views` then skips the scalar
+    per-view loop entirely.  ``batch_scoring = False`` forces the scalar
+    loop — the equivalence suite and the scoring benchmark use it.
     """
 
     higher_is_better: bool = False
@@ -110,7 +152,16 @@ class MatchingPipeline(RecognitionPipeline):
     def __init__(self) -> None:
         super().__init__()
         self._reference_features: list[Any] = []
+        #: Stacked reference-feature matrix (None when the pipeline has no
+        #: batched kernel, or when ``batch_scoring`` is off).
+        self._reference_matrix: Any | None = None
         self.cache = default_cache()
+        #: Memoises stacked reference matrices across pipeline configurations
+        #: that share an extraction namespace (shape L1/L2/L3, the four
+        #: colour metrics) — set to None to rebuild per fit.
+        self.matrix_cache: ReferenceMatrixCache | None = default_matrix_cache()
+        #: Master switch for the vectorized scoring path.
+        self.batch_scoring: bool = True
 
     @abc.abstractmethod
     def _extract(self, item: LabelledImage) -> Any:
@@ -119,6 +170,23 @@ class MatchingPipeline(RecognitionPipeline):
     @abc.abstractmethod
     def _score(self, query_features: Any, reference_features: Any) -> float:
         """Score a query against one reference view."""
+
+    def _stack_references(self, features: Sequence[Any]) -> Any | None:
+        """Stack per-view features into a batch-scorable matrix.
+
+        ``None`` (the default) means the pipeline has no vectorized kernel
+        and :meth:`score_views` keeps the scalar ``_score`` loop.
+        """
+        return None
+
+    def _score_batch(self, query_features: Any) -> np.ndarray | None:
+        """All ``V`` scores of one query against the stacked reference
+        matrix, or ``None`` to fall back to the scalar ``_score`` loop."""
+        return None
+
+    @property
+    def scoring_mode(self) -> str:
+        return "batch" if self._reference_matrix is not None else "scalar"
 
     def feature_namespace(self) -> str:
         """Cache namespace of :meth:`_extract`'s output.
@@ -144,6 +212,20 @@ class MatchingPipeline(RecognitionPipeline):
     def fit(self, references: ImageDataset) -> "MatchingPipeline":
         self._references = references
         self._reference_features = [self.extract_features(item) for item in references]
+        self._reference_matrix = None
+        if self.batch_scoring:
+            with maybe_stage(self.stopwatch, "stack"):
+                if self.matrix_cache is None:
+                    self._reference_matrix = self._stack_references(
+                        self._reference_features
+                    )
+                else:
+                    self._reference_matrix = self.matrix_cache.get_or_build(
+                        self.feature_namespace(),
+                        self.feature_version,
+                        references,
+                        lambda: self._stack_references(self._reference_features),
+                    )
         return self
 
     def score_views(self, query: LabelledImage) -> np.ndarray:
@@ -151,21 +233,62 @@ class MatchingPipeline(RecognitionPipeline):
         self.references  # raises PipelineError when fit() was never called
         features = self.extract_features(query)
         with maybe_stage(self.stopwatch, "score"):
-            return np.array(
-                [self._score(features, ref) for ref in self._reference_features],
-                dtype=np.float64,
-            )
+            return self._score_features(features)
+
+    def _score_features(self, features: Any) -> np.ndarray:
+        """One query's (V,) score vector from already-extracted features."""
+        if self._reference_matrix is not None:
+            scores = self._score_batch(features)
+            if scores is not None:
+                return scores
+        return np.array(
+            [self._score(features, ref) for ref in self._reference_features],
+            dtype=np.float64,
+        )
+
+    def score_views_batch(
+        self, queries: Sequence[LabelledImage]
+    ) -> np.ndarray:
+        """``(Q, V)`` score matrix of a query block against every view.
+
+        Row *i* equals ``score_views(queries[i])``; the multi-query entry
+        point lets the engine hand each worker a contiguous block instead of
+        one query at a time.
+        """
+        self.references
+        features = [self.extract_features(query) for query in queries]
+        with maybe_stage(self.stopwatch, "score"):
+            if not features:
+                return np.empty((0, len(self._reference_features)), dtype=np.float64)
+            return np.vstack([self._score_features(f) for f in features])
 
     def predict(self, query: LabelledImage) -> Prediction:
         scores = self.score_views(query)
         with maybe_stage(self.stopwatch, "argmin"):
             best = int(np.argmax(scores) if self.higher_is_better else np.argmin(scores))
+        return self._prediction_at(best, scores)
+
+    def predict_batch(self, queries: Sequence[LabelledImage]) -> list[Prediction]:
+        """Block prediction over the ``(Q, V)`` score matrix (argmin per row,
+        same first-winner tie rule as the per-query loop)."""
+        queries = list(queries)
+        if not queries:
+            return []
+        scores = self.score_views_batch(queries)
+        with maybe_stage(self.stopwatch, "argmin"):
+            best = scores.argmax(axis=1) if self.higher_is_better else scores.argmin(axis=1)
+        return [
+            self._prediction_at(int(index), row)
+            for index, row in zip(best, scores)
+        ]
+
+    def _prediction_at(self, best: int, scores: np.ndarray) -> Prediction:
         winner = self.references[best]
         return Prediction(
             label=winner.label,
             model_id=winner.model_id,
             score=float(scores[best]),
-            view_scores=scores,
+            view_scores=scores if self.keep_view_scores else None,
         )
 
     def predict_topk(self, query: LabelledImage, k: int = 3) -> list[Prediction]:

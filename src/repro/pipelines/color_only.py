@@ -18,7 +18,13 @@ import numpy as np
 from repro.config import HISTOGRAM_BINS
 from repro.datasets.dataset import LabelledImage
 from repro.errors import ContourError, ImageError
-from repro.imaging.histogram import HistogramMetric, compare_histograms, rgb_histogram
+from repro.imaging.histogram import (
+    HistogramMetric,
+    compare_histograms,
+    compare_histograms_batch,
+    rgb_histogram,
+    stack_histograms,
+)
 from repro.pipelines.base import MatchingPipeline
 from repro.pipelines.preprocess import extract_object_crop
 
@@ -76,3 +82,13 @@ class ColorOnlyPipeline(MatchingPipeline):
 
     def _score(self, query_features: np.ndarray, reference_features: np.ndarray) -> float:
         return compare_histograms(query_features, reference_features, self.metric)
+
+    def _stack_references(self, features) -> np.ndarray:
+        # (V, 3*bins) histogram matrix; metric-independent, so all four
+        # comparison metrics (and the hybrid's colour term) share the stack.
+        return stack_histograms(features)
+
+    def _score_batch(self, query_features: np.ndarray) -> np.ndarray:
+        return compare_histograms_batch(
+            query_features, self._reference_matrix, self.metric
+        )

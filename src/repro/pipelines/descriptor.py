@@ -150,5 +150,5 @@ class DescriptorPipeline(RecognitionPipeline):
             label=winner.label,
             model_id=winner.model_id,
             score=float(counts[best]),
-            view_scores=counts,
+            view_scores=counts if self.keep_view_scores else None,
         )

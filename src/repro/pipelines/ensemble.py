@@ -50,7 +50,19 @@ class VotingEnsemble(RecognitionPipeline):
         return self
 
     def predict(self, query: LabelledImage) -> Prediction:
-        votes = [member.predict(query) for member in self.members]
+        return self._combine([member.predict(query) for member in self.members])
+
+    def predict_batch(self, queries: Sequence[LabelledImage]) -> list[Prediction]:
+        """Each member predicts the whole block at once (batch-scoring
+        members fan the block over their reference matrix), then votes are
+        combined per query."""
+        queries = list(queries)
+        if not queries:
+            return []
+        per_member = [member.predict_batch(queries) for member in self.members]
+        return [self._combine(list(votes)) for votes in zip(*per_member)]
+
+    def _combine(self, votes: list[Prediction]) -> Prediction:
         counts = Counter(vote.label for vote in votes)
         top_count = max(counts.values())
         # Ties resolve to the earliest member whose vote is in the tie set.
@@ -88,6 +100,9 @@ class BordaEnsemble(RecognitionPipeline):
     def fit(self, references: ImageDataset) -> "BordaEnsemble":
         self._references = references
         for member in self.members:
+            # Rank fusion consumes per-view score vectors, which are opt-in
+            # since they dominate sweep memory; members must emit them here.
+            member.keep_view_scores = True
             member.fit(references)
         return self
 
@@ -115,10 +130,21 @@ class BordaEnsemble(RecognitionPipeline):
         return ordered
 
     def predict(self, query: LabelledImage) -> Prediction:
+        return self._combine([member.predict(query) for member in self.members])
+
+    def predict_batch(self, queries: Sequence[LabelledImage]) -> list[Prediction]:
+        """Each member predicts the whole block at once, then the Borda
+        totals are fused per query."""
+        queries = list(queries)
+        if not queries:
+            return []
+        per_member = [member.predict_batch(queries) for member in self.members]
+        return [self._combine(list(preds)) for preds in zip(*per_member)]
+
+    def _combine(self, predictions: list[Prediction]) -> Prediction:
         classes = self.references.classes
         totals = {label: 0.0 for label in classes}
-        for member in self.members:
-            prediction = member.predict(query)
+        for member, prediction in zip(self.members, predictions):
             ranking = self._class_ranking(member, prediction)
             if ranking is None:
                 # Top-1-only member: its pick gets rank 0, everyone else

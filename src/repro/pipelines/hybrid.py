@@ -30,13 +30,26 @@ from enum import Enum
 
 import numpy as np
 
+from typing import Sequence
+
 from repro.config import HISTOGRAM_BINS, HYBRID_ALPHA, HYBRID_BETA
 from repro.datasets.dataset import ImageDataset, LabelledImage
-from repro.engine.cache import default_cache
+from repro.engine.cache import default_cache, default_matrix_cache
 from repro.engine.instrument import maybe_stage
 from repro.errors import PipelineError
-from repro.imaging.histogram import HistogramMetric, compare_histograms
-from repro.imaging.match_shapes import ShapeDistance, match_shapes
+from repro.imaging.histogram import (
+    HistogramMetric,
+    compare_histograms,
+    compare_histograms_batch,
+    stack_histograms,
+)
+from repro.imaging.match_shapes import (
+    ShapeDistance,
+    hu_signature,
+    hu_signature_matrix,
+    match_shapes,
+    match_shapes_batch,
+)
 from repro.pipelines.base import Prediction, RecognitionPipeline
 from repro.pipelines.color_only import (
     COLOR_FEATURE_VERSION,
@@ -89,7 +102,15 @@ class HybridPipeline(RecognitionPipeline):
         self.name = f"hybrid-{self.strategy.value}"
         self._shape_refs: list[np.ndarray] = []
         self._color_refs: list[np.ndarray] = []
+        #: Stacked (V, 7) log-signature and (V, 3*bins) histogram matrices,
+        #: shared with the shape-only / colour-only pipelines through the
+        #: reference-matrix cache (None while batch scoring is off).
+        self._shape_matrix: np.ndarray | None = None
+        self._color_matrix: np.ndarray | None = None
         self.cache = default_cache()
+        self.matrix_cache = default_matrix_cache()
+        #: Master switch for the fused vectorized theta path.
+        self.batch_scoring: bool = True
 
     def _shape_of(self, item: LabelledImage) -> np.ndarray:
         # Shares the shape-only pipelines' cache namespace, so a hybrid fit
@@ -113,11 +134,41 @@ class HybridPipeline(RecognitionPipeline):
             lambda: color_features(item, bins=self.bins),
         )
 
+    @property
+    def scoring_mode(self) -> str:
+        batched = self._shape_matrix is not None and self._color_matrix is not None
+        return "batch" if batched else "scalar"
+
     def fit(self, references: ImageDataset) -> "HybridPipeline":
         self._references = references
         with maybe_stage(self.stopwatch, "extract"):
             self._shape_refs = [self._shape_of(item) for item in references]
             self._color_refs = [self._color_of(item) for item in references]
+        self._shape_matrix = None
+        self._color_matrix = None
+        if self.batch_scoring:
+            with maybe_stage(self.stopwatch, "stack"):
+                build_shape = lambda: hu_signature_matrix(np.vstack(self._shape_refs))
+                build_color = lambda: stack_histograms(self._color_refs)
+                if self.matrix_cache is None:
+                    self._shape_matrix = build_shape()
+                    self._color_matrix = build_color()
+                else:
+                    # Same namespaces/versions as the shape-only and
+                    # colour-only pipelines, so all of them share one stack
+                    # per reference set.
+                    self._shape_matrix = self.matrix_cache.get_or_build(
+                        SHAPE_FEATURE_NAMESPACE,
+                        SHAPE_FEATURE_VERSION,
+                        references,
+                        build_shape,
+                    )
+                    self._color_matrix = self.matrix_cache.get_or_build(
+                        color_feature_namespace(self.bins),
+                        COLOR_FEATURE_VERSION,
+                        references,
+                        build_color,
+                    )
         return self
 
     def theta_scores(self, query: LabelledImage) -> np.ndarray:
@@ -126,22 +177,53 @@ class HybridPipeline(RecognitionPipeline):
             query_shape = self._shape_of(query)
             query_color = self._color_of(query)
         with maybe_stage(self.stopwatch, "score"):
-            thetas = np.empty(len(self.references), dtype=np.float64)
-            for idx, (shape_ref, color_ref) in enumerate(
-                zip(self._shape_refs, self._color_refs)
-            ):
-                if np.isnan(query_shape).any() or np.isnan(shape_ref).any():
-                    shape_score = np.inf
-                else:
-                    shape_score = match_shapes(
-                        query_shape, shape_ref, self.shape_distance
-                    )
-                color_score = as_distance(
-                    compare_histograms(query_color, color_ref, self.color_metric),
-                    self.color_metric,
+            return self._thetas_of(query_shape, query_color)
+
+    def _thetas_of(
+        self, query_shape: np.ndarray, query_color: np.ndarray
+    ) -> np.ndarray:
+        """The (V,) theta vector from already-extracted query features."""
+        if self._shape_matrix is not None and self._color_matrix is not None:
+            # Fused vectorized pass: both terms and the weighted sum are
+            # single broadcasted expressions over the whole view library.
+            shape_scores = match_shapes_batch(
+                hu_signature(query_shape), self._shape_matrix, self.shape_distance
+            )
+            color_scores = compare_histograms_batch(
+                query_color, self._color_matrix, self.color_metric
+            )
+            if self.color_metric.higher_is_better:
+                color_scores = 1.0 - color_scores
+            return self.alpha * shape_scores + self.beta * color_scores
+
+        thetas = np.empty(len(self.references), dtype=np.float64)
+        for idx, (shape_ref, color_ref) in enumerate(
+            zip(self._shape_refs, self._color_refs)
+        ):
+            if np.isnan(query_shape).any() or np.isnan(shape_ref).any():
+                shape_score = np.inf
+            else:
+                shape_score = match_shapes(
+                    query_shape, shape_ref, self.shape_distance
                 )
-                thetas[idx] = self.alpha * shape_score + self.beta * color_score
+            color_score = as_distance(
+                compare_histograms(query_color, color_ref, self.color_metric),
+                self.color_metric,
+            )
+            thetas[idx] = self.alpha * shape_score + self.beta * color_score
         return thetas
+
+    def theta_scores_batch(self, queries: Sequence[LabelledImage]) -> np.ndarray:
+        """``(Q, V)`` theta matrix of a query block (row i = queries[i])."""
+        self.references
+        with maybe_stage(self.stopwatch, "extract"):
+            features = [
+                (self._shape_of(query), self._color_of(query)) for query in queries
+            ]
+        with maybe_stage(self.stopwatch, "score"):
+            if not features:
+                return np.empty((0, len(self.references)), dtype=np.float64)
+            return np.vstack([self._thetas_of(s, c) for s, c in features])
 
     def predict_topk(self, query: LabelledImage, k: int = 3) -> list[Prediction]:
         """The *k* lowest-theta distinct classes for one query, best first.
@@ -171,8 +253,20 @@ class HybridPipeline(RecognitionPipeline):
         return top
 
     def predict(self, query: LabelledImage) -> Prediction:
-        thetas = self.theta_scores(query)
+        return self._predict_from_thetas(self.theta_scores(query))
+
+    def predict_batch(self, queries: Sequence[LabelledImage]) -> list[Prediction]:
+        """Block prediction over the ``(Q, V)`` theta matrix — one fused
+        scoring pass per block instead of one per query."""
+        queries = list(queries)
+        if not queries:
+            return []
+        thetas = self.theta_scores_batch(queries)
+        return [self._predict_from_thetas(row) for row in thetas]
+
+    def _predict_from_thetas(self, thetas: np.ndarray) -> Prediction:
         references = self.references
+        view_scores = thetas if self.keep_view_scores else None
 
         if self.strategy == HybridStrategy.WEIGHTED_SUM:
             with maybe_stage(self.stopwatch, "argmin"):
@@ -182,7 +276,7 @@ class HybridPipeline(RecognitionPipeline):
                 label=winner.label,
                 model_id=winner.model_id,
                 score=float(thetas[best]),
-                view_scores=thetas,
+                view_scores=view_scores,
             )
 
         if self.strategy == HybridStrategy.MICRO_AVERAGE:
@@ -204,7 +298,7 @@ class HybridPipeline(RecognitionPipeline):
         else:
             label, model_id = best_key, ""
         return Prediction(
-            label=label, model_id=model_id, score=best_mean, view_scores=thetas
+            label=label, model_id=model_id, score=best_mean, view_scores=view_scores
         )
 
 

@@ -56,7 +56,7 @@ class NeuralMatchingPipeline(RecognitionPipeline):
             label=winner.label,
             model_id=winner.model_id,
             score=float(scores[best]),
-            view_scores=scores,
+            view_scores=scores if self.keep_view_scores else None,
         )
 
     def classify_pairs(self, pairs: PairDataset) -> np.ndarray:

@@ -16,7 +16,13 @@ import numpy as np
 
 from repro.datasets.dataset import LabelledImage
 from repro.errors import ContourError
-from repro.imaging.match_shapes import ShapeDistance, match_shapes
+from repro.imaging.match_shapes import (
+    ShapeDistance,
+    hu_signature,
+    hu_signature_matrix,
+    match_shapes,
+    match_shapes_batch,
+)
 from repro.imaging.moments import hu_moments
 from repro.pipelines.base import MatchingPipeline
 from repro.pipelines.preprocess import extract_object_crop
@@ -72,3 +78,13 @@ class ShapeOnlyPipeline(MatchingPipeline):
         if np.isnan(query_features).any() or np.isnan(reference_features).any():
             return float("inf")
         return match_shapes(query_features, reference_features, self.distance)
+
+    def _stack_references(self, features) -> np.ndarray:
+        # (V, 7) log-signature matrix; metric-independent, so L1/L2/L3 (and
+        # the hybrid's shape term) all share the cached stack.
+        return hu_signature_matrix(np.vstack(features))
+
+    def _score_batch(self, query_features: np.ndarray) -> np.ndarray:
+        return match_shapes_batch(
+            hu_signature(query_features), self._reference_matrix, self.distance
+        )

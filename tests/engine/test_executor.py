@@ -101,7 +101,9 @@ class TestProcessBackend:
 
         references = make_image_set(seed=21, count=6, name="refs")
         queries = make_image_set(seed=22, count=4, name="queries", source="sns2")
-        pipeline = ShapeOnlyPipeline(ShapeDistance.L2).fit(references)
+        pipeline = ShapeOnlyPipeline(ShapeDistance.L2)
+        pipeline.keep_view_scores = True
+        pipeline.fit(references)
         sequential = pipeline.predict_all(queries)
         executor = ParallelExecutor(workers=2, backend="process")
         parallel = executor.predict_all(pipeline, queries)

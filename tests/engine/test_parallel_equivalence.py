@@ -25,12 +25,19 @@ WORKER_COUNTS = (1, 2, 4)
 
 
 def fresh_pipelines():
-    """One instance of each stateless pipeline family (cheap configs)."""
-    return [
+    """One instance of each stateless pipeline family (cheap configs).
+
+    ``keep_view_scores`` is switched on so the identity check covers the
+    full per-view score vectors, not just the argmin winners.
+    """
+    pipelines = [
         ShapeOnlyPipeline(ShapeDistance.L2),
         ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=8),
         HybridPipeline(HybridStrategy.WEIGHTED_SUM, bins=8),
     ]
+    for pipeline in pipelines:
+        pipeline.keep_view_scores = True
+    return pipelines
 
 
 def assert_identical(sequential, parallel):

@@ -1,0 +1,196 @@
+"""Property-based equivalence: the batched scoring kernels against their
+scalar counterparts.
+
+``match_shapes_batch`` must agree with per-pair ``match_shapes`` (bit for
+bit — both reduce 7-vectors, where NumPy's summation order is identical)
+and ``compare_histograms_batch`` with per-pair ``compare_histograms``
+(within 1e-12 — axis-1 reductions over wide rows may legally differ from
+1-D sums in the last ULP).  Degenerate inputs are exercised explicitly:
+NaN signatures, all-zero/sub-eps rows, zero-variance and zero-mass
+histograms, and exact duplicate rows (ties).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ImageError
+from repro.imaging.histogram import (
+    HistogramMetric,
+    compare_histograms,
+    compare_histograms_batch,
+    stack_histograms,
+)
+from repro.imaging.match_shapes import (
+    _EPS,
+    ShapeDistance,
+    hu_signature,
+    hu_signature_matrix,
+    log_hu,
+    match_shapes,
+    match_shapes_batch,
+)
+
+DISTANCES = tuple(ShapeDistance)
+METRICS = tuple(HistogramMetric)
+
+
+def random_hu_rows(rng: np.random.Generator, views: int) -> np.ndarray:
+    """Hu-like rows spanning the awkward regimes: signed magnitudes across
+    many decades, exact zeros, sub-eps values and NaN (degenerate) rows."""
+    magnitudes = 10.0 ** rng.uniform(-12, 2, size=(views, 7))
+    rows = np.where(rng.random((views, 7)) < 0.5, -magnitudes, magnitudes)
+    rows[rng.random((views, 7)) < 0.15] = 0.0
+    rows[rng.random((views, 7)) < 0.05] = _EPS / 10.0
+    for idx in range(views):
+        if rng.random() < 0.1:
+            rows[idx] = np.nan
+        elif rng.random() < 0.1:
+            rows[idx] = 0.0
+    return rows
+
+
+def scalar_shape_scores(
+    query_hu: np.ndarray, ref_rows: np.ndarray, distance: ShapeDistance
+) -> np.ndarray:
+    """The pipelines' scalar convention: NaN on either side scores inf."""
+    scores = np.empty(len(ref_rows))
+    for idx, row in enumerate(ref_rows):
+        if np.isnan(query_hu).any() or np.isnan(row).any():
+            scores[idx] = np.inf
+        else:
+            scores[idx] = match_shapes(query_hu, row, distance)
+    return scores
+
+
+class TestMatchShapesBatch:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), distance=st.sampled_from(DISTANCES))
+    def test_matches_scalar_bitwise(self, seed, distance):
+        rng = np.random.default_rng(seed)
+        views = int(rng.integers(1, 25))
+        ref_rows = random_hu_rows(rng, views)
+        query_hu = random_hu_rows(rng, 1)[0]
+
+        batch = match_shapes_batch(
+            hu_signature(query_hu), hu_signature_matrix(ref_rows), distance
+        )
+        expected = scalar_shape_scores(query_hu, ref_rows, distance)
+        assert batch.shape == (views,)
+        assert np.array_equal(batch, expected), (batch, expected)
+
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_nan_query_scores_all_inf(self, distance):
+        refs = hu_signature_matrix(np.ones((4, 7)))
+        scores = match_shapes_batch(hu_signature(np.full(7, np.nan)), refs, distance)
+        assert np.isinf(scores).all()
+
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_nan_reference_row_scores_inf(self, distance):
+        rows = np.vstack([np.full(7, 0.25), np.full(7, np.nan), np.full(7, 0.5)])
+        scores = match_shapes_batch(
+            hu_signature(np.full(7, 0.25)), hu_signature_matrix(rows), distance
+        )
+        assert np.isinf(scores[1])
+        assert np.isfinite(scores[[0, 2]]).all()
+
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_no_usable_terms_scores_zero(self, distance):
+        # All-zero rows have no usable term: the scalar kernel returns 0.0.
+        rows = np.vstack([np.zeros(7), np.full(7, 0.5)])
+        scores = match_shapes_batch(
+            hu_signature(np.full(7, 0.25)), hu_signature_matrix(rows), distance
+        )
+        assert scores[0] == 0.0
+
+    def test_duplicate_rows_tie_exactly(self):
+        rng = np.random.default_rng(3)
+        row = random_hu_rows(rng, 1)[0]
+        rows = np.vstack([row, random_hu_rows(rng, 1)[0], row])
+        query = random_hu_rows(rng, 1)[0]
+        for distance in DISTANCES:
+            scores = match_shapes_batch(
+                hu_signature(query), hu_signature_matrix(rows), distance
+            )
+            # Structurally identical rows produce bit-identical scores, so
+            # first-index argmin tie-breaking matches the scalar loop.
+            assert scores[0] == scores[2]
+
+    def test_signature_matches_log_hu_on_finite_input(self):
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            hu = np.nan_to_num(random_hu_rows(rng, 1)[0])
+            assert np.array_equal(hu_signature(hu), log_hu(hu))
+
+    def test_shape_validation(self):
+        with pytest.raises(ImageError):
+            hu_signature_matrix(np.ones((3, 5)))
+        with pytest.raises(ImageError):
+            match_shapes_batch(np.ones(5), hu_signature_matrix(np.ones((2, 7))))
+
+
+def random_histograms(rng: np.random.Generator, views: int, width: int) -> np.ndarray:
+    """Histogram-like rows: mostly normalised, with zero bins, all-zero rows
+    and constant (zero-variance) rows mixed in."""
+    rows = rng.random((views, width))
+    rows[rng.random((views, width)) < 0.3] = 0.0
+    for idx in range(views):
+        draw = rng.random()
+        if draw < 0.1:
+            rows[idx] = 0.0
+        elif draw < 0.2:
+            rows[idx] = rng.random()  # constant row: zero variance
+        else:
+            total = rows[idx].sum()
+            if total > 0:
+                rows[idx] /= total
+    return rows
+
+
+class TestCompareHistogramsBatch:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), metric=st.sampled_from(METRICS))
+    def test_matches_scalar_within_tolerance(self, seed, metric):
+        rng = np.random.default_rng(seed)
+        views = int(rng.integers(1, 20))
+        width = int(rng.integers(1, 100))
+        refs = random_histograms(rng, views, width)
+        query = random_histograms(rng, 1, width)[0]
+
+        batch = compare_histograms_batch(query, stack_histograms(refs), metric)
+        expected = np.array(
+            [compare_histograms(query, row, metric) for row in refs]
+        )
+        assert batch.shape == (views,)
+        np.testing.assert_allclose(batch, expected, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_degenerate_rows_match_scalar_exactly(self, metric):
+        # Zero-mass and zero-variance rows hit the per-row edge-case
+        # branches; those must reproduce the scalar constants bit for bit.
+        width = 12
+        query = np.zeros(width)
+        refs = np.vstack(
+            [np.zeros(width), np.full(width, 0.25), np.ones(width) / width]
+        )
+        batch = compare_histograms_batch(query, stack_histograms(refs), metric)
+        expected = np.array(
+            [compare_histograms(query, row, metric) for row in refs]
+        )
+        assert np.array_equal(batch, expected)
+
+    def test_duplicate_rows_tie_exactly(self):
+        rng = np.random.default_rng(9)
+        row = random_histograms(rng, 1, 24)[0]
+        refs = np.vstack([row, random_histograms(rng, 1, 24)[0], row])
+        query = random_histograms(rng, 1, 24)[0]
+        for metric in METRICS:
+            batch = compare_histograms_batch(query, stack_histograms(refs), metric)
+            assert batch[0] == batch[2]
+
+    def test_shape_validation(self):
+        with pytest.raises(ImageError):
+            compare_histograms_batch(np.ones(4), np.ones((2, 5)))
+        with pytest.raises(ImageError):
+            stack_histograms([np.array([]), np.array([])])

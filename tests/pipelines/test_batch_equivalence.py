@@ -1,0 +1,200 @@
+"""Batch-vs-scalar equivalence at the pipeline level.
+
+The vectorized scoring path (``_score_batch`` over the stacked reference
+matrix) must be interchangeable with the scalar per-view ``_score`` loop:
+same argmin winners on every query (ties included), per-view scores within
+1e-12, and ``predict_batch``/``score_views_batch`` consistent with their
+per-query counterparts.  Covers every batch-capable configuration: three
+shape distances, four colour metrics, three hybrid strategies, plus the
+ensembles on top.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cache import ReferenceMatrixCache
+from repro.imaging.histogram import HistogramMetric
+from repro.imaging.match_shapes import ShapeDistance
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.ensemble import BordaEnsemble, VotingEnsemble
+from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+from tests.engine.synthetic import make_image_set
+
+
+def batch_configurations():
+    """Every batch-capable pipeline configuration, freshly constructed."""
+    pipelines = [ShapeOnlyPipeline(distance) for distance in ShapeDistance]
+    pipelines += [ColorOnlyPipeline(metric, bins=8) for metric in HistogramMetric]
+    pipelines += [HybridPipeline(strategy, bins=8) for strategy in HybridStrategy]
+    return pipelines
+
+
+def scalar_twin(pipeline):
+    """A copy of *pipeline*'s configuration with batch scoring forced off."""
+    if isinstance(pipeline, ShapeOnlyPipeline):
+        twin = ShapeOnlyPipeline(pipeline.distance)
+    elif isinstance(pipeline, ColorOnlyPipeline):
+        twin = ColorOnlyPipeline(pipeline.metric, bins=pipeline.bins)
+    else:
+        twin = HybridPipeline(
+            pipeline.strategy,
+            shape_distance=pipeline.shape_distance,
+            color_metric=pipeline.color_metric,
+            alpha=pipeline.alpha,
+            beta=pipeline.beta,
+            bins=pipeline.bins,
+        )
+    twin.batch_scoring = False
+    return twin
+
+
+class TestBatchVersusScalar:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_identical_winners_any_seed(self, seed):
+        references = make_image_set(seed=seed, count=7, name="refs")
+        queries = make_image_set(seed=seed + 1, count=5, name="queries", source="sns2")
+        for batched in batch_configurations():
+            scalar = scalar_twin(batched)
+            batched.fit(references)
+            scalar.fit(references)
+            assert batched.scoring_mode == "batch"
+            assert scalar.scoring_mode == "scalar"
+            for fast, slow in zip(
+                batched.predict_batch(list(queries)),
+                [scalar.predict(query) for query in queries],
+            ):
+                assert fast.label == slow.label
+                assert fast.model_id == slow.model_id
+                assert fast.score == pytest.approx(slow.score, rel=1e-12, abs=1e-12)
+
+    def test_score_vectors_within_tolerance(self, sns1, sns2):
+        queries = [sns2[i] for i in range(4)]
+        for batched in batch_configurations():
+            scalar = scalar_twin(batched)
+            batched.fit(sns1)
+            scalar.fit(sns1)
+            if isinstance(batched, HybridPipeline):
+                fast = batched.theta_scores_batch(queries)
+                slow = np.vstack([scalar.theta_scores(q) for q in queries])
+            else:
+                fast = batched.score_views_batch(queries)
+                slow = np.vstack([scalar.score_views(q) for q in queries])
+            assert fast.shape == (len(queries), len(sns1))
+            np.testing.assert_allclose(fast, slow, rtol=1e-12, atol=1e-12)
+
+    def test_duplicate_references_tie_to_first_index(self):
+        # A reference set whose views repeat verbatim: every score ties, and
+        # both paths must pick the same (first) winner.
+        base = make_image_set(seed=11, count=3, name="base")
+        from repro.datasets.dataset import ImageDataset
+
+        duplicated = ImageDataset(name="dup", items=base.items + base.items)
+        queries = make_image_set(seed=12, count=4, name="queries", source="sns2")
+        for batched in batch_configurations():
+            scalar = scalar_twin(batched)
+            batched.fit(duplicated)
+            scalar.fit(duplicated)
+            for query in queries:
+                fast, slow = batched.predict(query), scalar.predict(query)
+                assert (fast.label, fast.model_id) == (slow.label, slow.model_id)
+
+    def test_predict_batch_equals_predict_loop(self, sns1, sns2):
+        queries = [sns2[i] for i in range(6)]
+        for pipeline in batch_configurations():
+            pipeline.fit(sns1)
+            batched = pipeline.predict_batch(queries)
+            looped = [pipeline.predict(query) for query in queries]
+            for fast, slow in zip(batched, looped):
+                assert (fast.label, fast.model_id, fast.score) == (
+                    slow.label,
+                    slow.model_id,
+                    slow.score,
+                )
+
+    def test_empty_query_block(self, sns1):
+        for pipeline in batch_configurations():
+            pipeline.fit(sns1)
+            assert pipeline.predict_batch([]) == []
+            if not isinstance(pipeline, HybridPipeline):
+                assert pipeline.score_views_batch([]).shape == (0, len(sns1))
+
+
+class TestMatrixCacheSharing:
+    def test_shape_variants_share_one_stack(self):
+        references = make_image_set(seed=21, count=6, name="refs")
+        cache = ReferenceMatrixCache()
+        pipelines = [ShapeOnlyPipeline(distance) for distance in ShapeDistance]
+        for pipeline in pipelines:
+            pipeline.matrix_cache = cache
+            pipeline.fit(references)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == len(pipelines) - 1
+        first = pipelines[0]._reference_matrix
+        assert all(p._reference_matrix is first for p in pipelines)
+
+    def test_color_metrics_share_one_stack_per_bins(self):
+        references = make_image_set(seed=22, count=6, name="refs")
+        cache = ReferenceMatrixCache()
+        pipelines = [ColorOnlyPipeline(metric, bins=8) for metric in HistogramMetric]
+        for pipeline in pipelines:
+            pipeline.matrix_cache = cache
+            pipeline.fit(references)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == len(pipelines) - 1
+
+    def test_hybrid_reuses_both_stacks(self):
+        references = make_image_set(seed=23, count=6, name="refs")
+        cache = ReferenceMatrixCache()
+        shape = ShapeOnlyPipeline(ShapeDistance.L3)
+        color = ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=8)
+        hybrid = HybridPipeline(HybridStrategy.WEIGHTED_SUM, bins=8)
+        for pipeline in (shape, color, hybrid):
+            pipeline.matrix_cache = cache
+            pipeline.fit(references)
+        assert cache.stats.misses == 2  # one shape stack + one colour stack
+        assert cache.stats.hits == 2  # hybrid reuses both
+        assert hybrid._shape_matrix is shape._reference_matrix
+        assert hybrid._color_matrix is color._reference_matrix
+
+    def test_detached_cache_still_batches(self):
+        references = make_image_set(seed=24, count=5, name="refs")
+        queries = make_image_set(seed=25, count=3, name="queries", source="sns2")
+        pipeline = ShapeOnlyPipeline(ShapeDistance.L2)
+        pipeline.matrix_cache = None
+        pipeline.fit(references)
+        assert pipeline.scoring_mode == "batch"
+        assert len(pipeline.predict_batch(list(queries))) == 3
+
+
+class TestEnsembleBatch:
+    def members(self):
+        return [
+            ShapeOnlyPipeline(ShapeDistance.L3),
+            ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=8),
+            ColorOnlyPipeline(HistogramMetric.INTERSECTION, bins=8),
+        ]
+
+    def test_voting_batch_equals_loop(self):
+        references = make_image_set(seed=31, count=6, name="refs")
+        queries = make_image_set(seed=32, count=5, name="queries", source="sns2")
+        ensemble = VotingEnsemble(self.members()).fit(references)
+        batched = ensemble.predict_batch(list(queries))
+        looped = [ensemble.predict(query) for query in queries]
+        for fast, slow in zip(batched, looped):
+            assert (fast.label, fast.score) == (slow.label, slow.score)
+
+    def test_borda_batch_equals_loop(self):
+        references = make_image_set(seed=33, count=6, name="refs")
+        queries = make_image_set(seed=34, count=5, name="queries", source="sns2")
+        ensemble = BordaEnsemble(self.members()).fit(references)
+        # Borda needs the members' per-view scores despite the opt-in default.
+        assert all(member.keep_view_scores for member in ensemble.members)
+        batched = ensemble.predict_batch(list(queries))
+        looped = [ensemble.predict(query) for query in queries]
+        for fast, slow in zip(batched, looped):
+            assert (fast.label, fast.score) == (slow.label, slow.score)

@@ -39,6 +39,7 @@ class TestPrediction:
     @pytest.mark.parametrize("method", ["sift", "surf", "orb"])
     def test_predicts_valid_labels(self, method, small_refs, sns2):
         pipeline = DescriptorPipeline(method=method, ratio=0.75, tie_break_seed=0)
+        pipeline.keep_view_scores = True
         pipeline.fit(small_refs)
         prediction = pipeline.predict(sns2[0])
         assert prediction.label in small_refs.classes

@@ -32,6 +32,13 @@ class TestContract:
         assert isinstance(prediction, Prediction)
         assert prediction.label in sns1.classes
         assert prediction.model_id
+        # Per-view scores are opt-in (memory): absent by default.
+        assert prediction.view_scores is None
+
+    def test_view_scores_opt_in(self, sns1, sns2):
+        pipeline = ShapeOnlyPipeline().fit(sns1)
+        pipeline.keep_view_scores = True
+        prediction = pipeline.predict(sns2[0])
         assert prediction.view_scores.shape == (len(sns1),)
 
     def test_predict_all_order(self, sns1, sns2):
@@ -93,8 +100,10 @@ class TestColorOnly:
     def test_bins_configurable(self, sns1, sns2):
         coarse = ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=4).fit(sns1)
         fine = ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=64).fit(sns1)
-        assert coarse.predict(sns2[0]).view_scores.shape == (82,)
-        assert fine.predict(sns2[0]).view_scores.shape == (82,)
+        assert coarse.score_views(sns2[0]).shape == (82,)
+        assert fine.score_views(sns2[0]).shape == (82,)
+        assert coarse._reference_matrix.shape == (82, 3 * 4)
+        assert fine._reference_matrix.shape == (82, 3 * 64)
 
 
 class TestHybrid:
