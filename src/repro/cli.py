@@ -48,6 +48,16 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
         cache_capacity=base.cache_capacity,
         cache_dir=args.cache_dir if args.cache_dir is not None else base.cache_dir,
         timings=args.timings,
+        max_attempts=(
+            args.max_attempts if args.max_attempts is not None else base.max_attempts
+        ),
+        chunk_timeout=(
+            args.chunk_timeout if args.chunk_timeout is not None else base.chunk_timeout
+        ),
+        max_failures=(
+            args.max_failures if args.max_failures is not None else base.max_failures
+        ),
+        fail_fast=args.fail_fast or base.fail_fast,
     )
     return ExperimentConfig(seed=args.seed, nyu_scale=args.nyu_scale, engine=engine)
 
@@ -110,19 +120,39 @@ def _cmd_table9(args: argparse.Namespace) -> str:
     return result.classwise_text + "\n\n" + _timings_block(stats)
 
 
+def _resolve_fallback(name: str, config: ExperimentConfig):
+    """Build the fallback stage named by ``--fallback``."""
+    from repro.imaging.match_shapes import ShapeDistance
+    from repro.pipelines.baseline import MostFrequentClassPipeline
+    from repro.pipelines.color_only import ColorOnlyPipeline
+    from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+    if name == "shape-only":
+        return ShapeOnlyPipeline(ShapeDistance.L3)
+    if name == "color-only":
+        return ColorOnlyPipeline(bins=config.histogram_bins)
+    return MostFrequentClassPipeline()
+
+
 def _cmd_engine(args: argparse.Namespace) -> str:
     """Run the engine demo: a small matching sweep with timings.
 
     Matches a subset of SNS2 queries against a subset of SNS1 references
     with the shape-only, colour-only and hybrid pipelines under the
-    configured engine settings, and always prints the timings block.
+    configured engine settings, and always prints the timings block plus a
+    failure summary.  ``--fault-rate`` injects deterministic seeded faults
+    (see :mod:`repro.engine.chaos`) to demonstrate isolation, retries and
+    — with ``--fallback`` — graceful degradation.
     """
     from repro.datasets.shapenet import build_sns1, build_sns2
-    from repro.engine import build_executor, configure_pipeline
+    from repro.engine import FaultInjector, build_executor, configure_pipeline
+    from repro.errors import TooManyFailures
     from repro.evaluation.runner import run_matching_experiment
+    from repro.evaluation.tables import format_failure_table
     from repro.imaging.histogram import HistogramMetric
     from repro.imaging.match_shapes import ShapeDistance
     from repro.pipelines.color_only import ColorOnlyPipeline
+    from repro.pipelines.fallback import FallbackPipeline
     from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
     from repro.pipelines.shape_only import ShapeOnlyPipeline
 
@@ -154,23 +184,44 @@ def _cmd_engine(args: argparse.Namespace) -> str:
         f"({len(queries)} queries v. {len(references)} references)"
     ]
     stats = {}
+    failures = []
     for pipeline in pipelines:
         configure_pipeline(pipeline, config.engine)
         if args.scalar_scoring:
             pipeline.batch_scoring = False
-        result = run_matching_experiment(
-            pipeline,
-            queries,
-            references,
-            executor=executor,
-            keep_view_scores=args.keep_view_scores,
-        )
-        stats[pipeline.name] = result.stats
+        name = pipeline.name
+        if args.fault_rate:
+            # Inject below the fallback chain (when one is configured) so
+            # faults degrade to the fallback stage instead of failing.
+            pipeline = FaultInjector(
+                pipeline, rate=args.fault_rate, seed=args.fault_seed
+            )
+        if args.fallback:
+            pipeline = FallbackPipeline(
+                [pipeline, _resolve_fallback(args.fallback, config)]
+            )
+            name = pipeline.name
+        try:
+            result = run_matching_experiment(
+                pipeline,
+                queries,
+                references,
+                executor=executor,
+                keep_view_scores=args.keep_view_scores,
+            )
+        except TooManyFailures as exc:
+            lines.append(f"{name}: ABORTED — {exc}")
+            if exc.report is not None:
+                failures.extend(exc.report.failures)
+            continue
+        stats[name] = result.stats
+        failures.extend(result.failures)
         lines.append(
-            f"{pipeline.name}: accuracy {result.cumulative_accuracy:.5f} "
+            f"{name}: accuracy {result.cumulative_accuracy:.5f} "
             f"({result.stats.summary()})"
         )
     lines += ["", _timings_block(stats)]
+    lines += ["", "== FAILURES ==", format_failure_table(failures)]
     return "\n".join(lines)
 
 
@@ -294,6 +345,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings",
         action="store_true",
         help="append the per-stage timings block to the output",
+    )
+    fault = parser.add_argument_group("fault tolerance", "retry / fallback / chaos")
+    fault.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        help="prediction attempts per query, 1 = no retry "
+        "(default: $REPRO_MAX_ATTEMPTS or 1)",
+    )
+    fault.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="per-chunk wall-clock budget in seconds "
+        "(default: $REPRO_CHUNK_TIMEOUT or unbounded)",
+    )
+    fault.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        help="abort a sweep once more than this many queries have failed "
+        "(default: $REPRO_MAX_FAILURES or tolerate all)",
+    )
+    fault.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="legacy behaviour: re-raise the first per-query error instead "
+        "of isolating and recording it",
+    )
+    fault.add_argument(
+        "--fallback",
+        choices=("shape-only", "color-only", "most-frequent"),
+        default=None,
+        help="engine command: chain each pipeline with this fallback so "
+        "stage failures degrade instead of dropping the query",
+    )
+    fault.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="engine command: inject deterministic seeded faults into this "
+        "fraction of queries (chaos demo)",
+    )
+    fault.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="engine command: seed of the injected fault set",
     )
     engine.add_argument(
         "--scalar-scoring",

@@ -82,13 +82,20 @@ def spawn(base: np.random.Generator, key: str) -> np.random.Generator:
 
 @dataclass(frozen=True)
 class EngineSettings:
-    """Batch-execution-engine knobs: parallelism, caching, instrumentation.
+    """Batch-execution-engine knobs: parallelism, caching, fault tolerance.
 
     ``workers > 1`` fans ``predict_all`` out over *backend* (``"thread"`` or
     ``"process"``); results are bit-identical to the sequential loop for any
     worker count.  ``cache`` toggles reference-feature memoisation;
     ``cache_dir`` adds the persistent on-disk tier.  ``timings`` asks the
     CLI to print the per-stage timings block after a table.
+
+    Fault tolerance (see README "Fault tolerance"): ``max_attempts`` bounds
+    per-query prediction attempts (1 = no retry), ``retry_backoff`` the base
+    backoff seconds between attempts, ``chunk_timeout`` the per-chunk
+    wall-clock budget; ``max_failures`` aborts a sweep once more than that
+    many queries have failed, and ``fail_fast`` restores the legacy
+    raise-on-first-error behaviour.
     """
 
     workers: int = 1
@@ -97,6 +104,11 @@ class EngineSettings:
     cache_capacity: int = 65536
     cache_dir: str | None = None
     timings: bool = False
+    max_attempts: int = 1
+    retry_backoff: float = 0.0
+    chunk_timeout: float | None = None
+    max_failures: int | None = None
+    fail_fast: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -105,21 +117,40 @@ class EngineSettings:
             raise ValueError(f"backend must be 'thread' or 'process', got {self.backend!r}")
         if self.cache_capacity < 1:
             raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be > 0 (or None), got {self.chunk_timeout}"
+            )
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ValueError(f"max_failures must be >= 0, got {self.max_failures}")
 
     @staticmethod
     def from_env() -> "EngineSettings":
         """Engine defaults, overridable via ``REPRO_WORKERS``,
-        ``REPRO_BACKEND``, ``REPRO_NO_CACHE`` and ``REPRO_CACHE_DIR``.
+        ``REPRO_BACKEND``, ``REPRO_NO_CACHE``, ``REPRO_CACHE_DIR``,
+        ``REPRO_MAX_ATTEMPTS``, ``REPRO_CHUNK_TIMEOUT`` and
+        ``REPRO_MAX_FAILURES``.
 
         CI uses ``REPRO_WORKERS=2`` to exercise the parallel path across the
-        whole test suite without touching any call site.
+        whole test suite without touching any call site, and
+        ``REPRO_FAULT_RATE`` (read by :func:`repro.engine.chaos.
+        injector_from_env`) to soak the suite in transient injected faults.
         """
+        timeout = os.environ.get("REPRO_CHUNK_TIMEOUT") or None
+        max_failures = os.environ.get("REPRO_MAX_FAILURES") or None
         return EngineSettings(
             workers=int(os.environ.get("REPRO_WORKERS", "1")),
             backend=os.environ.get("REPRO_BACKEND", "thread"),
             cache=os.environ.get("REPRO_NO_CACHE", "").lower()
             not in ("1", "true", "yes"),
             cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+            max_attempts=int(os.environ.get("REPRO_MAX_ATTEMPTS", "1")),
+            chunk_timeout=float(timeout) if timeout is not None else None,
+            max_failures=int(max_failures) if max_failures is not None else None,
         )
 
 

@@ -31,17 +31,25 @@ from repro.engine.cache import (
     set_default_cache,
     set_default_matrix_cache,
 )
+from repro.engine.chaos import FaultInjector, InjectedFault, TransientInjectedFault
 from repro.engine.executor import ParallelExecutor
+from repro.engine.faults import ExecutionReport, FailureRecord, RetryPolicy
 from repro.engine.instrument import RunStats, Stopwatch, maybe_stage
 
 __all__ = [
     "CacheStats",
     "EngineSettings",
+    "ExecutionReport",
+    "FailureRecord",
+    "FaultInjector",
     "FeatureCache",
+    "InjectedFault",
     "ParallelExecutor",
     "ReferenceMatrixCache",
+    "RetryPolicy",
     "RunStats",
     "Stopwatch",
+    "TransientInjectedFault",
     "build_executor",
     "configure_pipeline",
     "content_hash",
@@ -59,11 +67,29 @@ _DISK_CACHES: dict[tuple[str, int], FeatureCache] = {}
 
 
 def build_executor(settings: EngineSettings) -> ParallelExecutor | None:
-    """A :class:`ParallelExecutor` for *settings*, or ``None`` when
-    ``workers == 1`` (the sequential path needs no executor at all)."""
-    if settings.workers <= 1:
+    """A :class:`ParallelExecutor` for *settings*, or ``None`` when nothing
+    needs one (single worker, default fault policy — the runner's inline
+    path covers that with zero overhead)."""
+    fault_knobs = (
+        settings.max_attempts > 1
+        or settings.retry_backoff > 0
+        or settings.chunk_timeout is not None
+        or settings.max_failures is not None
+        or settings.fail_fast
+    )
+    if settings.workers <= 1 and not fault_knobs:
         return None
-    return ParallelExecutor(workers=settings.workers, backend=settings.backend)
+    return ParallelExecutor(
+        workers=settings.workers,
+        backend=settings.backend,
+        retry_policy=RetryPolicy(
+            max_attempts=settings.max_attempts,
+            backoff=settings.retry_backoff,
+            chunk_timeout=settings.chunk_timeout,
+        ),
+        max_failures=settings.max_failures,
+        fail_fast=settings.fail_fast,
+    )
 
 
 def configure_pipeline(pipeline, settings: EngineSettings):

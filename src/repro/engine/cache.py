@@ -55,12 +55,14 @@ def content_hash(image: np.ndarray) -> str:
 
 @dataclass
 class CacheStats:
-    """Lookup counters; ``disk_hits`` is the subset of hits served from disk."""
+    """Lookup counters; ``disk_hits`` is the subset of hits served from disk,
+    ``corrupt`` counts on-disk entries quarantined as unreadable."""
 
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
     evictions: int = 0
+    corrupt: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -163,8 +165,24 @@ class FeatureCache:
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle), True
-        except (OSError, pickle.UnpicklingError, EOFError):
-            return None, False  # corrupt/partial entry: recompute and rewrite
+        except OSError:
+            return None, False  # unreadable right now: treat as a plain miss
+        except Exception:
+            # Truncated or garbled entry: unpickling can fail with anything
+            # from EOFError to AttributeError depending on where the bytes
+            # tear.  Quarantine the file (so the recompute's rewrite never
+            # races a half-read) and treat the lookup as a miss.
+            self._quarantine(path)
+            return None, False
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside with a ``.corrupt`` suffix."""
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # a concurrent reader may have quarantined it already
+        with self._lock:
+            self.stats.corrupt += 1
 
     def _write_to_disk(self, key: tuple[str, str, str], value: Any) -> None:
         if self.disk_dir is None:

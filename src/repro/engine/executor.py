@@ -1,4 +1,4 @@
-"""Order-stable parallel fan-out of ``predict_all``.
+"""Order-stable, fault-tolerant parallel fan-out of ``predict_all``.
 
 The paper's matching loop scores each query against every reference view
 independently, so queries parallelise embarrassingly.  :class:`ParallelExecutor`
@@ -6,20 +6,61 @@ splits the query list into deterministic contiguous chunks and maps them over
 a thread or process pool; chunk results are concatenated in submission order,
 so the output is bit-identical to the sequential loop for any worker count.
 
+Two entry points share that machinery:
+
+* :meth:`ParallelExecutor.predict_all` — the strict legacy path: any
+  per-query exception propagates to the caller;
+* :meth:`ParallelExecutor.run` — the fault-tolerant path: a failed chunk is
+  re-run query-by-query to isolate the bad items, each bad item is retried
+  under the executor's :class:`~repro.engine.faults.RetryPolicy`, and the
+  sweep returns an :class:`~repro.engine.faults.ExecutionReport` pairing the
+  surviving predictions with structured
+  :class:`~repro.engine.faults.FailureRecord`\\ s instead of raising.  With
+  zero faults the two paths produce bit-identical predictions.
+
+``run`` additionally enforces the policy's per-chunk wall-clock timeout
+(timed-out chunks fail with :class:`~repro.errors.ExecutionTimeout`; their
+workers are abandoned, not killed) and recovers from process-pool crashes: a
+``BrokenProcessPool`` marks the culprit chunk failed with
+:class:`~repro.errors.WorkerCrashError` and re-dispatches the surviving
+chunks on a fresh pool rather than re-running a crashing query in the
+parent.
+
 Pipelines that draw from a shared random stream during prediction (the
 random baseline, the descriptor pipelines' tie-break RNG) declare
 ``parallel_safe = False``; the executor runs those inline so the RNG
-consumption order — and therefore the results — never changes.
+consumption order — and therefore the results — never changes.  Note that
+per-query isolation of a *failed* chunk re-invokes ``predict`` on queries
+that already consumed stream draws, so for stateful pipelines the
+fault-tolerant path is best-effort on faulty runs (zero-fault runs are
+untouched).
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from itertools import repeat
 from typing import TYPE_CHECKING, Sequence
 
-from repro.errors import EngineError
+from repro.engine.faults import (
+    ExecutionReport,
+    FailureRecord,
+    RetryPolicy,
+    describe_query,
+)
+from repro.errors import (
+    EngineError,
+    ExecutionTimeout,
+    TooManyFailures,
+    WorkerCrashError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.datasets.dataset import LabelledImage
@@ -50,6 +91,12 @@ class ParallelExecutor:
     the workers; the ``process`` backend ships a pickled copy of the pipeline
     to each chunk task, which isolates the GIL but forfeits parent-side cache
     warming from the workers' extractions.
+
+    Fault-tolerance knobs apply to :meth:`run` only: *retry_policy* bounds
+    per-query retries and the per-chunk wall clock, *max_failures* aborts
+    the sweep (with :class:`~repro.errors.TooManyFailures`) once more than
+    that many queries have failed, and *fail_fast* re-raises the first
+    error immediately, legacy-style.
     """
 
     def __init__(
@@ -57,6 +104,9 @@ class ParallelExecutor:
         workers: int = 1,
         backend: str = "thread",
         chunk_size: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        max_failures: int | None = None,
+        fail_fast: bool = False,
     ) -> None:
         if workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
@@ -64,9 +114,14 @@ class ParallelExecutor:
             raise EngineError(f"unknown backend {backend!r}, expected one of {BACKENDS}")
         if chunk_size is not None and chunk_size < 1:
             raise EngineError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_failures is not None and max_failures < 0:
+            raise EngineError(f"max_failures must be >= 0, got {max_failures}")
         self.workers = workers
         self.backend = backend
         self.chunk_size = chunk_size
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.max_failures = max_failures
+        self.fail_fast = fail_fast
 
     def chunks(self, items: Sequence) -> list[Sequence]:
         """Deterministic contiguous chunking of *items*.
@@ -84,7 +139,11 @@ class ParallelExecutor:
         pipeline: "RecognitionPipeline",
         queries: Sequence["LabelledImage"],
     ) -> list["Prediction"]:
-        """Predict every query in order; bit-identical to the sequential loop."""
+        """Predict every query in order; bit-identical to the sequential loop.
+
+        Strict: the first per-query exception propagates.  Use :meth:`run`
+        for the fault-tolerant contract.
+        """
         items = list(queries)
         if (
             self.workers == 1
@@ -94,6 +153,216 @@ class ParallelExecutor:
             return _predict_chunk(pipeline, items)
         pool_cls = ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
         chunks = self.chunks(items)
-        with pool_cls(max_workers=min(self.workers, len(chunks))) as pool:
+        max_workers = min(self.workers, len(chunks), len(items))
+        with pool_cls(max_workers=max_workers) as pool:
             parts = list(pool.map(_predict_chunk, repeat(pipeline), chunks))
         return [prediction for part in parts for prediction in part]
+
+    # -- fault-tolerant path -------------------------------------------------
+
+    def run(
+        self,
+        pipeline: "RecognitionPipeline",
+        queries: Sequence["LabelledImage"],
+    ) -> ExecutionReport:
+        """Predict every query, isolating and recording per-query failures.
+
+        Returns an :class:`ExecutionReport` whose ``results`` align with
+        *queries* (``None`` per failed slot).  With zero faults the
+        predictions are bit-identical to :meth:`predict_all`.
+        """
+        items = list(queries)
+        state = _RunState(self, pipeline, items)
+        parallel = (
+            self.workers > 1
+            and len(items) > 1
+            and getattr(pipeline, "parallel_safe", True)
+        )
+        if self.chunk_size is not None and len(items) > 1 and self.chunk_size >= len(
+            items
+        ):
+            state.warnings.append(
+                f"chunk_size {self.chunk_size} >= {len(items)} queries: the sweep "
+                "collapses to a single chunk and workers sit idle"
+            )
+        chunk_list = self.chunks(items) if parallel else ([items] if items else [])
+        use_pool = parallel or (items and self.retry_policy.chunk_timeout is not None)
+        if use_pool:
+            self._run_pooled(state, chunk_list)
+        else:
+            offset = 0
+            for chunk in chunk_list:
+                state.settle_chunk(offset, chunk)
+                offset += len(chunk)
+        return state.report()
+
+    def _run_pooled(self, state: "_RunState", chunk_list: list[Sequence]) -> None:
+        """Dispatch chunks over a pool, recovering from crashes and timeouts."""
+        pool_cls = (
+            ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        )
+        timeout = self.retry_policy.chunk_timeout
+        offsets: list[int] = []
+        offset = 0
+        for chunk in chunk_list:
+            offsets.append(offset)
+            offset += len(chunk)
+        pending = list(zip(offsets, chunk_list))
+        while pending:
+            max_workers = max(1, min(self.workers, len(pending)))
+            pool = pool_cls(max_workers=max_workers)
+            abandoned = False  # a timed-out worker may still be running
+            crashed = False
+            survivors: list[tuple[int, Sequence]] = []
+            try:
+                futures = [
+                    (chunk_offset, chunk, pool.submit(_predict_chunk, state.pipeline, chunk))
+                    for chunk_offset, chunk in pending
+                ]
+                for chunk_offset, chunk, future in futures:
+                    try:
+                        part = future.result(timeout=timeout)
+                    except FutureTimeoutError:
+                        abandoned = True
+                        future.cancel()
+                        state.fail_chunk(
+                            chunk_offset,
+                            chunk,
+                            stage="chunk",
+                            error=ExecutionTimeout(
+                                f"chunk of {len(chunk)} queries exceeded the "
+                                f"{timeout:g}s wall-clock budget"
+                            ),
+                            attempts=0,
+                        )
+                    except BrokenExecutor as exc:
+                        if not crashed:
+                            # First broken future = the culprit chunk: record
+                            # it failed rather than replaying the crash.
+                            crashed = True
+                            state.fail_chunk(
+                                chunk_offset,
+                                chunk,
+                                stage="worker",
+                                error=WorkerCrashError(
+                                    f"worker died while predicting this chunk: {exc}"
+                                ),
+                                attempts=1,
+                            )
+                        else:
+                            # Survivor chunks re-dispatch on a fresh pool.
+                            survivors.append((chunk_offset, chunk))
+                    except Exception:
+                        # An in-band pipeline error: isolate query-by-query.
+                        state.settle_chunk(chunk_offset, chunk, batch_failed=True)
+                    else:
+                        state.store(chunk_offset, part)
+            finally:
+                pool.shutdown(wait=not (abandoned or crashed), cancel_futures=True)
+            pending = survivors
+
+
+class _RunState:
+    """Mutable accumulator of one :meth:`ParallelExecutor.run` sweep."""
+
+    def __init__(
+        self,
+        executor: ParallelExecutor,
+        pipeline: "RecognitionPipeline",
+        items: list,
+    ) -> None:
+        self.executor = executor
+        self.pipeline = pipeline
+        self.items = items
+        self.results: list["Prediction | None"] = [None] * len(items)
+        self.failures: list[FailureRecord] = []
+        self.retries = 0
+        self.warnings: list[str] = []
+
+    def store(self, offset: int, part: Sequence["Prediction"]) -> None:
+        for i, prediction in enumerate(part):
+            self.results[offset + i] = prediction
+
+    def settle_chunk(
+        self, offset: int, chunk: Sequence, batch_failed: bool = False
+    ) -> None:
+        """Predict *chunk* as a block; on failure isolate query-by-query."""
+        if not batch_failed:
+            try:
+                self.store(offset, _predict_chunk(self.pipeline, chunk))
+                return
+            except Exception as exc:
+                if self.executor.fail_fast:
+                    raise
+                del exc  # the per-query re-run pins blame precisely
+        elif self.executor.fail_fast:
+            # The pooled batch already failed; re-run strictly to surface
+            # the original error with its traceback.
+            self.store(offset, _predict_chunk(self.pipeline, chunk))
+            return
+        for i, query in enumerate(chunk):
+            self.predict_isolated(offset + i, query)
+
+    def predict_isolated(self, index: int, query) -> None:
+        """One query under the retry policy; records a failure when spent."""
+        policy = self.executor.retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                self.results[index] = self.pipeline.predict(query)
+                self.retries += attempt - 1
+                return
+            except Exception as exc:
+                if self.executor.fail_fast:
+                    raise
+                if policy.should_retry(exc, attempt):
+                    delay = policy.delay(attempt, index)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self.retries += attempt - 1
+                self.record_failure(
+                    index, stage="predict", error=exc, attempts=attempt
+                )
+                return
+
+    def fail_chunk(
+        self, offset: int, chunk: Sequence, stage: str, error: Exception, attempts: int
+    ) -> None:
+        """Record every query of *chunk* as failed with *error*."""
+        if self.executor.fail_fast:
+            raise error
+        for i in range(len(chunk)):
+            self.record_failure(offset + i, stage=stage, error=error, attempts=attempts)
+
+    def record_failure(
+        self, index: int, stage: str, error: Exception, attempts: int
+    ) -> None:
+        self.failures.append(
+            FailureRecord(
+                query_index=index,
+                query_id=describe_query(self.items[index], index),
+                stage=stage,
+                error_type=type(error).__name__,
+                message=str(error),
+                attempts=attempts,
+                pipeline=getattr(self.pipeline, "name", ""),
+            )
+        )
+        limit = self.executor.max_failures
+        if limit is not None and len(self.failures) > limit:
+            raise TooManyFailures(
+                f"aborting sweep: {len(self.failures)} failures exceed "
+                f"--max-failures {limit}",
+                report=self.report(),
+            )
+
+    def report(self) -> ExecutionReport:
+        failures = sorted(self.failures, key=lambda record: record.query_index)
+        return ExecutionReport(
+            results=tuple(self.results),
+            failures=tuple(failures),
+            retries=self.retries,
+            warnings=tuple(self.warnings),
+        )

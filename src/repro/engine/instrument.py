@@ -84,7 +84,12 @@ class RunStats:
 
     ``stage_seconds`` holds accumulated work per stage; ``cache_hits`` and
     ``cache_misses`` count feature-cache lookups made during the run (both
-    zero when the pipeline runs uncached).
+    zero when the pipeline runs uncached).  ``failures``/``retries``/
+    ``degraded`` are the fault-tolerance counters of the run: queries that
+    produced a :class:`~repro.engine.faults.FailureRecord`, extra prediction
+    attempts beyond the first, and successes served by a fallback stage.
+    ``warnings`` carries engine configuration diagnostics (e.g. a
+    ``chunk_size`` that degenerates to a single mega-chunk).
     """
 
     stage_seconds: Mapping[str, float] = field(default_factory=dict)
@@ -96,6 +101,10 @@ class RunStats:
     #: ``"batch"`` when the run used the vectorized scoring path, else
     #: ``"scalar"`` (pipelines without a batched kernel).
     scoring_mode: str = "scalar"
+    failures: int = 0
+    retries: int = 0
+    degraded: int = 0
+    warnings: tuple[str, ...] = ()
 
     @property
     def fit_seconds(self) -> float:
@@ -119,10 +128,18 @@ class RunStats:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        text = (
             f"fit {self.fit_seconds:.3f}s, predict {self.predict_seconds:.3f}s "
             f"({self.queries} queries, {self.queries_per_second:.1f}/s, "
             f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
             f"{self.scoring_mode} scoring), "
             f"cache hit rate {self.cache_hit_rate:.0%}"
         )
+        if self.failures or self.retries or self.degraded:
+            fault_bits = [f"{self.failures} failed"]
+            if self.retries:
+                fault_bits.append(f"{self.retries} retries")
+            if self.degraded:
+                fault_bits.append(f"{self.degraded} degraded")
+            text += ", " + ", ".join(fault_bits)
+        return text

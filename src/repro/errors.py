@@ -43,6 +43,26 @@ class EngineError(ReproError):
     """The batch execution engine was misconfigured (workers, cache, …)."""
 
 
+class ExecutionTimeout(EngineError):
+    """A chunk exceeded the executor's per-chunk wall-clock budget."""
+
+
+class WorkerCrashError(EngineError):
+    """A process-pool worker died mid-chunk (e.g. a hard crash); the chunk's
+    queries are recorded as failures rather than re-run, since replaying a
+    crashing query in the parent would take the whole run down with it."""
+
+
+class TooManyFailures(EngineError):
+    """The per-run failure count exceeded the configured ``max_failures``
+    threshold.  ``report`` carries the partial execution outcome collected
+    before the abort (successful predictions plus failure records)."""
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class EvaluationError(ReproError):
     """An evaluation routine received inconsistent predictions or labels."""
 

@@ -106,10 +106,28 @@ def classification_report(
             f1=f1,
             support=support,
         )
+    total = int(matrix.sum())
     return ClasswiseReport(
         per_class=per_class,
-        cumulative_accuracy=float(np.trace(matrix) / matrix.sum()),
-        total=int(matrix.sum()),
+        # A sweep can lose every query to faults; an empty report scores 0
+        # rather than dividing by zero.
+        cumulative_accuracy=float(np.trace(matrix) / total) if total else 0.0,
+        total=total,
+    )
+
+
+def empty_report(classes: Sequence[str] | None = None) -> ClasswiseReport:
+    """The report of a sweep with no surviving queries.
+
+    Every fault-tolerant path needs a well-formed (all-zero) report when
+    faults consumed the entire query set; raising here would turn total
+    failure back into an abort.
+    """
+    zero = ClassMetrics(accuracy=0.0, precision=0.0, recall=0.0, f1=0.0, support=0)
+    return ClasswiseReport(
+        per_class={name: zero for name in (classes or ())},
+        cumulative_accuracy=0.0,
+        total=0,
     )
 
 

@@ -1,5 +1,15 @@
 """Experiment orchestration: fit a pipeline on a reference set, predict a
-query set, and collect the paper's metrics."""
+query set, and collect the paper's metrics.
+
+Since the fault-tolerance PR every sweep runs through
+:meth:`~repro.engine.executor.ParallelExecutor.run`: a query that raises is
+isolated, retried under the executor's policy and recorded as a
+:class:`~repro.engine.faults.FailureRecord` instead of aborting the whole
+experiment.  Accuracy is computed over the surviving queries, with the
+failure count reported alongside in ``RunStats`` — with zero faults the
+predictions and reports are bit-identical to the pre-fault-tolerance
+sequential and parallel paths.
+"""
 
 from __future__ import annotations
 
@@ -8,13 +18,16 @@ from typing import Callable, Sequence
 
 from repro.datasets.dataset import ImageDataset
 from repro.datasets.pairs import PairDataset
+from repro.engine.chaos import injector_from_env
 from repro.engine.executor import ParallelExecutor
+from repro.engine.faults import FailureRecord, RetryPolicy
 from repro.engine.instrument import RunStats, Stopwatch
 from repro.evaluation.metrics import (
     BinaryReport,
     ClasswiseReport,
     binary_report,
     classification_report,
+    empty_report,
 )
 from repro.pipelines.base import Prediction, RecognitionPipeline
 
@@ -24,8 +37,11 @@ class ExperimentResult:
     """One pipeline's outcome on one query/reference dataset pairing.
 
     ``stats`` carries the engine instrumentation of the run: per-stage wall
-    time (fit / extract / score / argmin / predict) and feature-cache hit
-    counts.
+    time (fit / extract / score / argmin / predict), feature-cache hit
+    counts and the fault counters.  ``predictions`` holds the *successful*
+    predictions in query order; ``failures`` one record per query that
+    could not be predicted (empty on a clean run, in which case the
+    metrics cover every query exactly as before).
     """
 
     pipeline_name: str
@@ -34,10 +50,11 @@ class ExperimentResult:
     predictions: tuple[Prediction, ...] = field(repr=False)
     report: ClasswiseReport
     stats: RunStats | None = field(default=None, repr=False, compare=False)
+    failures: tuple[FailureRecord, ...] = field(default=(), repr=False)
 
     @property
     def cumulative_accuracy(self) -> float:
-        """The Table-2/3 headline number."""
+        """The Table-2/3 headline number (over surviving queries)."""
         return self.report.cumulative_accuracy
 
 
@@ -52,7 +69,11 @@ def run_matching_experiment(
     """Fit *pipeline* on *references*, predict *queries*, report metrics.
 
     With *executor* the prediction loop fans out over its worker pool
-    (order-stable, result-identical to the sequential path).
+    (order-stable, result-identical to the sequential path).  Per-query
+    failures never abort the sweep: they are isolated by the executor's
+    fault-tolerant path and surface as ``result.failures`` with accuracy
+    computed over the survivors (unless the executor is configured
+    ``fail_fast`` or trips its ``max_failures`` threshold).
     *keep_view_scores* attaches the per-view score vector to every
     Prediction — off by default, since a full sweep would otherwise retain
     a ``(Q, V)`` float64 matrix per configuration.
@@ -62,17 +83,36 @@ def run_matching_experiment(
     pipeline.keep_view_scores = keep_view_scores
     cache = getattr(pipeline, "cache", None)
     hits_before, misses_before = cache.stats.snapshot() if cache else (0, 0)
+    runner = executor if executor is not None else ParallelExecutor(workers=1)
+    # Suite-wide chaos soak (REPRO_FAULT_RATE): wrap stateless pipelines in a
+    # transient fault injector and make sure retries can absorb the faults.
+    predictor = injector_from_env(pipeline)
+    if predictor is not pipeline and runner.retry_policy.max_attempts < 2:
+        runner = ParallelExecutor(
+            workers=runner.workers,
+            backend=runner.backend,
+            chunk_size=runner.chunk_size,
+            retry_policy=RetryPolicy(max_attempts=3),
+            max_failures=runner.max_failures,
+            fail_fast=runner.fail_fast,
+        )
     try:
         with watch.stage("fit"):
             pipeline.fit(references)
         with watch.stage("predict"):
-            predictions = pipeline.predict_all(queries, executor=executor)
+            outcome = runner.run(predictor, list(queries))
     finally:
         pipeline.stopwatch = None
     hits_after, misses_after = cache.stats.snapshot() if cache else (0, 0)
-    report = classification_report(
-        queries.labels, [p.label for p in predictions], classes=classes
-    )
+    predictions = outcome.predictions
+    labels = queries.labels
+    surviving_labels = [labels[i] for i in outcome.success_indices]
+    if surviving_labels:
+        report = classification_report(
+            surviving_labels, [p.label for p in predictions], classes=classes
+        )
+    else:
+        report = empty_report(classes)
     stats = RunStats(
         stage_seconds=watch.as_dict(),
         cache_hits=hits_after - hits_before,
@@ -81,6 +121,10 @@ def run_matching_experiment(
         references=len(references),
         workers=executor.workers if executor is not None else 1,
         scoring_mode=pipeline.scoring_mode,
+        failures=len(outcome.failures),
+        retries=outcome.retries,
+        degraded=outcome.degraded,
+        warnings=outcome.warnings,
     )
     return ExperimentResult(
         pipeline_name=pipeline.name,
@@ -89,6 +133,7 @@ def run_matching_experiment(
         predictions=tuple(predictions),
         report=report,
         stats=stats,
+        failures=outcome.failures,
     )
 
 

@@ -115,12 +115,17 @@ def format_timings_table(stats: Mapping[str, RunStats]) -> str:
     if not stats:
         return "(no timed runs)"
     header = ["Run", "Fit (s)", "Predict (s)", "Extract (s)",
-              "Score (s)", "Queries/s", "Scoring", "Cache hit"]
+              "Score (s)", "Queries/s", "Scoring", "Cache hit", "Failures"]
     widths = [max(16, *(len(name) for name in stats))] + [
         max(9, len(column)) for column in header[1:]
     ]
     lines = [_row(header, widths), _rule(widths)]
     for name, run in stats.items():
+        failures = f"{run.failures}"
+        if run.retries:
+            failures += f" ({run.retries}r)"
+        if run.degraded:
+            failures += f" [{run.degraded}d]"
         cells = [
             name,
             f"{run.fit_seconds:.3f}",
@@ -130,6 +135,45 @@ def format_timings_table(stats: Mapping[str, RunStats]) -> str:
             f"{run.queries_per_second:.1f}",
             run.scoring_mode,
             f"{run.cache_hit_rate:.0%}",
+            failures,
+        ]
+        lines.append(_row(cells, widths))
+    warned = [
+        f"! {name}: {warning}"
+        for name, run in stats.items()
+        for warning in run.warnings
+    ]
+    return "\n".join(lines + warned)
+
+
+def format_failure_table(failures: Sequence) -> str:
+    """Failure-summary block: one row per failed query.
+
+    *failures* is a sequence of :class:`~repro.engine.faults.FailureRecord`;
+    the Failures column of the timings table counts them, this table names
+    them (query id, failing stage, exception class, attempts, message).
+    """
+    if not failures:
+        return "(no failures)"
+    header = ["Query", "Stage", "Error", "Attempts", "Message"]
+    widths = [
+        max(8, *(len(f.query_id) for f in failures)),
+        max(7, *(len(f.stage) for f in failures)),
+        max(8, *(len(f.error_type) for f in failures)),
+        8,
+        40,
+    ]
+    lines = [_row(header, widths), _rule(widths)]
+    for record in failures:
+        message = record.message
+        if len(message) > 60:
+            message = message[:57] + "..."
+        cells = [
+            record.query_id,
+            record.stage,
+            record.error_type,
+            str(record.attempts),
+            message,
         ]
         lines.append(_row(cells, widths))
     return "\n".join(lines)

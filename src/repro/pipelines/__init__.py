@@ -30,6 +30,8 @@ _EXPORTS = {
     "ObjectCrop": "repro.pipelines.preprocess",
     "extract_object_crop": "repro.pipelines.preprocess",
     "RandomBaselinePipeline": "repro.pipelines.baseline",
+    "MostFrequentClassPipeline": "repro.pipelines.baseline",
+    "FallbackPipeline": "repro.pipelines.fallback",
     "ShapeOnlyPipeline": "repro.pipelines.shape_only",
     "ColorOnlyPipeline": "repro.pipelines.color_only",
     "HybridPipeline": "repro.pipelines.hybrid",

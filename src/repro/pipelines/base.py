@@ -48,13 +48,17 @@ class Prediction:
     an optional per-reference-view score vector in reference order.
     ``view_scores`` is only populated when the producing pipeline has
     ``keep_view_scores`` set — a full NYUSet sweep would otherwise retain a
-    ``(6934, V)`` float64 matrix per configuration.
+    ``(6934, V)`` float64 matrix per configuration.  ``degraded`` marks a
+    prediction served by a fallback stage after the primary pipeline failed
+    (see :class:`~repro.pipelines.fallback.FallbackPipeline`) — coarser, but
+    better than a dropped query.
     """
 
     label: str
     model_id: str = ""
     score: float = 0.0
     view_scores: np.ndarray | None = field(default=None, repr=False)
+    degraded: bool = False
 
 
 class RecognitionPipeline(abc.ABC):

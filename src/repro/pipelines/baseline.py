@@ -8,6 +8,8 @@ SNS1 v. SNS2) are single random draws around that expectation.
 
 from __future__ import annotations
 
+from collections import Counter
+
 import numpy as np
 
 from repro.config import rng as make_rng
@@ -39,3 +41,32 @@ class RandomBaselinePipeline(RecognitionPipeline):
             self.references  # raises the not-fitted error
         label = self._classes[int(self._rng.integers(0, len(self._classes)))]
         return Prediction(label=label)
+
+
+class MostFrequentClassPipeline(RecognitionPipeline):
+    """Always predicts the modal reference class — the coarsest sane answer.
+
+    Exists as the terminal stage of a :class:`~repro.pipelines.fallback.
+    FallbackPipeline`: it never inspects the query image, so it cannot fail
+    on any input, making a chain that ends with it total.  Ties between
+    equally frequent classes break lexicographically for determinism.
+    """
+
+    name = "most-frequent"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._label = ""
+        self._frequency = 0.0
+
+    def fit(self, references: ImageDataset) -> "MostFrequentClassPipeline":
+        self._references = references
+        counts = Counter(references.labels)
+        self._label = min(counts, key=lambda label: (-counts[label], label))
+        self._frequency = counts[self._label] / len(references)
+        return self
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        if not self._label:
+            self.references  # raises the not-fitted error
+        return Prediction(label=self._label, score=self._frequency)

@@ -1,0 +1,99 @@
+"""Graceful degradation: chain pipelines so failures downgrade, not drop.
+
+A mobile robot that cannot run its full hybrid matcher on a hard input
+(degenerate contour, keypoint-free view) is better served by a coarser
+answer than by no answer: :class:`FallbackPipeline` chains recognisers —
+e.g. hybrid → shape-only → most-frequent-class — and, when a stage raises a
+:class:`~repro.errors.ReproError` for a query, hands that query to the next
+stage.  Predictions served by any stage past the first are flagged
+``degraded`` so evaluation and mission logs can report how often the system
+downgraded (Ramisa et al. make exactly this graceful-degradation argument
+for robot perception).
+
+The terminal stage is typically :class:`~repro.pipelines.baseline.
+MostFrequentClassPipeline`, which cannot fail, making the chain total; if
+every stage does raise, the chain re-raises a :class:`~repro.errors.
+PipelineError` and the engine's fault isolation records the query instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.errors import PipelineError, ReproError
+from repro.pipelines.base import Prediction, RecognitionPipeline
+
+#: Pipeline attributes fanned out to every stage when set on the chain —
+#: the experiment runner configures instrumentation and score retention
+#: through these, and each stage must see them to behave identically to a
+#: standalone run.
+_FANOUT_ATTRS = ("stopwatch", "keep_view_scores")
+
+
+class FallbackPipeline(RecognitionPipeline):
+    """Ordered pipeline chain with per-query fallback on stage failure.
+
+    ``stages[0]`` is the primary recogniser; each later stage is tried only
+    when every earlier one raised a :class:`ReproError` for the query at
+    hand.  Batch prediction first attempts the primary's vectorized
+    ``predict_batch`` over the whole block and only falls back to the
+    per-query chain when that block raises, so fault-free sweeps keep the
+    batch-scoring fast path.
+    """
+
+    def __init__(self, stages: Sequence[RecognitionPipeline]) -> None:
+        super().__init__()
+        stages = list(stages)
+        if not stages:
+            raise PipelineError("a fallback chain needs at least one stage")
+        self.stages = stages
+        self.name = "fallback(" + " > ".join(stage.name for stage in stages) + ")"
+        #: The chain replays a query across stages, so it is only safe to
+        #: parallelise when every stage is.
+        self.parallel_safe = all(
+            getattr(stage, "parallel_safe", True) for stage in stages
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        super().__setattr__(name, value)
+        if name in _FANOUT_ATTRS:
+            for stage in self.__dict__.get("stages", ()):
+                setattr(stage, name, value)
+
+    @property
+    def scoring_mode(self) -> str:
+        """The primary stage's scoring mode (fallbacks are the rare path)."""
+        return self.stages[0].scoring_mode
+
+    def fit(self, references: ImageDataset) -> "FallbackPipeline":
+        for stage in self.stages:
+            stage.fit(references)
+        self._references = references
+        return self
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        last_error: ReproError | None = None
+        for position, stage in enumerate(self.stages):
+            try:
+                prediction = stage.predict(query)
+            except ReproError as exc:
+                last_error = exc
+                continue
+            return replace(prediction, degraded=True) if position else prediction
+        raise PipelineError(
+            f"{self.name}: all {len(self.stages)} stages failed for "
+            f"{getattr(query, 'model_id', '') or 'query'}"
+        ) from last_error
+
+    def predict_batch(self, queries: Sequence[LabelledImage]) -> list[Prediction]:
+        queries = list(queries)
+        if not queries:
+            return []
+        try:
+            return self.stages[0].predict_batch(queries)
+        except ReproError:
+            # Some query in the block broke the primary; replay the block
+            # through the per-query chain so only the bad items degrade.
+            return [self.predict(query) for query in queries]

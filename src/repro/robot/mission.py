@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.errors import DatasetError
+from repro.engine.faults import FailureRecord
+from repro.errors import DatasetError, ReproError
 from repro.knowledge.semantic_map import SemanticMap
 from repro.pipelines.base import RecognitionPipeline
 from repro.robot.robot import Observation, Robot
@@ -23,12 +24,18 @@ from repro.robot.world import SimulatedWorld
 
 @dataclass(frozen=True)
 class MissionStep:
-    """One recognised observation during the patrol."""
+    """One recognised observation during the patrol.
+
+    ``degraded`` marks a recognition served by a fallback stage after the
+    primary pipeline failed on this observation (see
+    :class:`~repro.pipelines.fallback.FallbackPipeline`).
+    """
 
     waypoint_index: int
     observation: Observation = field(repr=False)
     predicted_label: str
     true_label: str
+    degraded: bool = False
 
     @property
     def correct(self) -> bool:
@@ -38,10 +45,16 @@ class MissionStep:
 
 @dataclass(frozen=True)
 class MissionLog:
-    """The full patrol record plus the resulting semantic map."""
+    """The full patrol record plus the resulting semantic map.
+
+    ``failures`` lists observations the pipeline could not recognise at all
+    (every fallback exhausted, or no fallback configured): the patrol
+    carries on and the object is simply absent from the semantic map.
+    """
 
     steps: tuple[MissionStep, ...]
     semantic_map: SemanticMap
+    failures: tuple[FailureRecord, ...] = ()
 
     @property
     def observations(self) -> int:
@@ -54,6 +67,11 @@ class MissionLog:
         if not self.steps:
             return 0.0
         return sum(step.correct for step in self.steps) / len(self.steps)
+
+    @property
+    def degraded_steps(self) -> int:
+        """Number of recognitions served by a fallback stage."""
+        return sum(1 for step in self.steps if step.degraded)
 
     def per_room_counts(self) -> dict[str, int]:
         """Observations recorded per room."""
@@ -76,6 +94,12 @@ def run_patrol(
     waypoint the robot performs a sweep over *sweep_headings* (absolute
     degrees) and observes once per heading; duplicate sightings of the same
     world object across headings are merged by the semantic map.
+
+    A recognition failure (any :class:`~repro.errors.ReproError` from the
+    pipeline) never aborts the patrol: the observation is recorded in
+    ``MissionLog.failures`` and the mission moves on — a robot should
+    survive a degenerate crop mid-route.  Predictions flagged ``degraded``
+    (a fallback chain downgraded the query) mark their step degraded.
     """
     if not waypoints:
         raise DatasetError("a patrol needs at least one waypoint")
@@ -84,6 +108,7 @@ def run_patrol(
     semantic_map = SemanticMap(width=bounds_x, height=bounds_y, merge_radius=0.4)
 
     steps: list[MissionStep] = []
+    failures: list[FailureRecord] = []
     for waypoint_index, (x, y) in enumerate(waypoints):
         if world.room_of(x, y) is None:
             raise DatasetError(f"waypoint ({x}, {y}) lies outside the world")
@@ -95,7 +120,25 @@ def run_patrol(
                 if id(observation.obj) in seen_objects:
                     continue
                 seen_objects.add(id(observation.obj))
-                prediction = pipeline.predict(observation.item)
+                try:
+                    prediction = pipeline.predict(observation.item)
+                except ReproError as exc:
+                    failures.append(
+                        FailureRecord(
+                            query_index=len(steps) + len(failures),
+                            query_id=(
+                                f"waypoint{waypoint_index}/"
+                                f"{observation.obj.label}"
+                                f"@({observation.obj.x:.1f},{observation.obj.y:.1f})"
+                            ),
+                            stage="patrol",
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            attempts=1,
+                            pipeline=getattr(pipeline, "name", ""),
+                        )
+                    )
+                    continue
                 room = world.room_of(observation.obj.x, observation.obj.y)
                 semantic_map.observe(
                     observation.obj.x,
@@ -110,6 +153,9 @@ def run_patrol(
                         observation=observation,
                         predicted_label=prediction.label,
                         true_label=observation.obj.label,
+                        degraded=getattr(prediction, "degraded", False),
                     )
                 )
-    return MissionLog(steps=tuple(steps), semantic_map=semantic_map)
+    return MissionLog(
+        steps=tuple(steps), semantic_map=semantic_map, failures=tuple(failures)
+    )

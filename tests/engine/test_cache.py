@@ -102,6 +102,57 @@ class TestDiskTier:
         assert fresh.get_or_compute("ns", "v1", image(1), lambda: "recomputed") == "recomputed"
 
 
+class TestQuarantine:
+    """Torn writes and garbled bytes become plain misses, never crashes."""
+
+    def _sole_pickle(self, tmp_path):
+        paths = list(tmp_path.glob("*.pkl"))
+        assert len(paths) == 1
+        return paths[0]
+
+    def test_truncated_entry_quarantined_and_recomputed(self, tmp_path):
+        from repro.engine.chaos import truncate_file
+
+        cache = FeatureCache(disk_dir=tmp_path)
+        cache.get_or_compute("ns", "v1", image(1), lambda: np.arange(64.0))
+        truncate_file(self._sole_pickle(tmp_path))
+        fresh = FeatureCache(disk_dir=tmp_path)
+        value = fresh.get_or_compute("ns", "v1", image(1), lambda: "recomputed")
+        assert value == "recomputed"
+        assert fresh.stats.corrupt == 1
+        # The bad entry is moved aside (not deleted) for post-mortems, and
+        # no longer shadows the key.
+        assert list(tmp_path.glob("*.corrupt"))
+        assert fresh.get_or_compute(
+            "ns", "v1", image(1), lambda: pytest.fail("should hit memory")
+        ) == "recomputed"
+
+    def test_garbled_entry_quarantined(self, tmp_path):
+        from repro.engine.chaos import garble_file
+
+        cache = FeatureCache(disk_dir=tmp_path)
+        cache.get_or_compute("ns", "v1", image(2), lambda: {"k": 3})
+        garble_file(self._sole_pickle(tmp_path), seed=5)
+        fresh = FeatureCache(disk_dir=tmp_path)
+        assert fresh.get_or_compute("ns", "v1", image(2), lambda: "again") == "again"
+        assert fresh.stats.corrupt == 1
+
+    def test_healthy_entries_unaffected_by_a_corrupt_neighbour(self, tmp_path):
+        from repro.engine.chaos import garble_file
+
+        cache = FeatureCache(disk_dir=tmp_path)
+        cache.get_or_compute("ns", "v1", image(3), lambda: "healthy")
+        cache.get_or_compute("ns", "v1", image(4), lambda: "doomed")
+        victim = sorted(tmp_path.glob("*.pkl"))[0]
+        garble_file(victim, seed=1)
+        fresh = FeatureCache(disk_dir=tmp_path)
+        first = fresh.get_or_compute("ns", "v1", image(3), lambda: "recomputed-3")
+        second = fresh.get_or_compute("ns", "v1", image(4), lambda: "recomputed-4")
+        # Exactly one of the two entries was corrupted; the other loads.
+        assert {first, second} & {"healthy", "doomed"}
+        assert fresh.stats.corrupt == 1
+
+
 class TestPickling:
     def test_cache_roundtrips_and_stays_functional(self):
         cache = FeatureCache()

@@ -1,0 +1,295 @@
+"""Unit tests for the fault-tolerance layer: policies, isolation, limits.
+
+Covers the policy objects in :mod:`repro.engine.faults` and the
+fault-tolerant :meth:`~repro.engine.executor.ParallelExecutor.run` path:
+per-query isolation, bounded retries, abort thresholds, fail-fast and the
+per-chunk wall-clock timeout.
+"""
+
+import time
+
+import pytest
+
+from repro.datasets.dataset import LabelledImage
+from repro.engine.executor import ParallelExecutor
+from repro.engine.faults import (
+    ExecutionReport,
+    FailureRecord,
+    RetryPolicy,
+    describe_query,
+)
+from repro.errors import (
+    EngineError,
+    ImageError,
+    ReproError,
+    TooManyFailures,
+)
+from repro.pipelines.base import Prediction, RecognitionPipeline
+
+from tests.engine.synthetic import make_image_set
+
+
+class FlakyPipeline(RecognitionPipeline):
+    """Raises ``ImageError`` for a fixed set of query view ids.
+
+    With ``fail_first`` the faulty queries recover after that many raises
+    (per query), which exercises the retry path.
+    """
+
+    name = "flaky"
+
+    def __init__(self, bad_views=(), fail_first=None):
+        super().__init__()
+        self.bad_views = frozenset(bad_views)
+        self.fail_first = fail_first
+        self.attempts: dict[int, int] = {}
+
+    def fit(self, references):
+        return self
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        if query.view_id in self.bad_views:
+            count = self.attempts.get(query.view_id, 0) + 1
+            self.attempts[query.view_id] = count
+            if self.fail_first is None or count <= self.fail_first:
+                raise ImageError(f"bad view {query.view_id}")
+        return Prediction(
+            label=query.label, model_id=query.model_id, score=float(query.view_id)
+        )
+
+    def predict_batch(self, queries):
+        # Raise without consuming attempt counters, so the tests can reason
+        # about per-query retry budgets purely from the isolation path.
+        queries = list(queries)
+        for query in queries:
+            if query.view_id in self.bad_views and (
+                self.fail_first is None
+                or self.attempts.get(query.view_id, 0) < self.fail_first
+            ):
+                raise ImageError(f"batch contains bad view {query.view_id}")
+        return [self.predict(query) for query in queries]
+
+
+class SleepyPipeline(RecognitionPipeline):
+    """Sleeps per query — makes chunk timeouts deterministic to trigger."""
+
+    name = "sleepy"
+
+    def __init__(self, seconds: float):
+        super().__init__()
+        self.seconds = seconds
+
+    def fit(self, references):
+        return self
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        time.sleep(self.seconds)
+        return Prediction(label=query.label, model_id=query.model_id, score=0.0)
+
+
+class TestDescribeQuery:
+    def test_uses_dataset_coordinates(self):
+        queries = make_image_set(seed=1, count=2, name="q")
+        assert describe_query(queries[0], 0) == f"{queries[0].model_id}/v0"
+
+    def test_falls_back_to_index(self):
+        assert describe_query(object(), 7) == "query[7]"
+
+
+class TestRetryPolicy:
+    def test_defaults_mean_no_retry(self):
+        policy = RetryPolicy()
+        assert not policy.should_retry(ReproError("x"), attempt=1)
+
+    def test_retries_repro_errors_up_to_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(ReproError("x"), attempt=1)
+        assert policy.should_retry(ReproError("x"), attempt=2)
+        assert not policy.should_retry(ReproError("x"), attempt=3)
+
+    def test_non_retryable_exceptions_fail_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert not policy.should_retry(ValueError("x"), attempt=1)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.5, multiplier=2.0)
+        assert policy.delay(1) == 0.5
+        assert policy.delay(2) == 1.0
+        assert policy.delay(3) == 2.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=3, backoff=1.0, jitter=0.5, seed=7)
+        first = policy.delay(1, query_index=3)
+        assert first == policy.delay(1, query_index=3)
+        assert 1.0 <= first < 1.5
+        # A different query index draws different (but still seeded) noise.
+        assert first != policy.delay(1, query_index=4)
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(EngineError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(EngineError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(EngineError):
+            RetryPolicy(chunk_timeout=0.0)
+
+
+class TestExecutionReport:
+    def test_alignment_and_summary(self):
+        good = Prediction(label="box", model_id="m", score=0.0)
+        report = ExecutionReport(
+            results=(good, None, good),
+            failures=(
+                FailureRecord(
+                    query_index=1,
+                    query_id="q1",
+                    stage="predict",
+                    error_type="ImageError",
+                    message="boom",
+                ),
+            ),
+            retries=2,
+        )
+        assert report.predictions == [good, good]
+        assert report.success_indices == [0, 2]
+        assert "2/3 queries succeeded" in report.summary()
+        assert "1 failed" in report.summary()
+        assert "2 retries" in report.summary()
+
+
+class TestIsolation:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_failures_recorded_not_raised(self, workers):
+        queries = make_image_set(seed=2, count=12, name="q")
+        pipeline = FlakyPipeline(bad_views={2, 7}).fit(queries)
+        report = ParallelExecutor(workers=workers).run(pipeline, queries)
+        assert len(report.predictions) == 10
+        assert sorted(f.query_index for f in report.failures) == [2, 7]
+        assert all(f.stage == "predict" for f in report.failures)
+        assert all(f.error_type == "ImageError" for f in report.failures)
+        assert all(f.pipeline == "flaky" for f in report.failures)
+        # Survivors keep their original order and content.
+        for index, prediction in zip(report.success_indices, report.predictions):
+            assert prediction.model_id == queries[index].model_id
+
+    def test_zero_faults_matches_predict_all(self):
+        queries = make_image_set(seed=3, count=9, name="q")
+        pipeline = FlakyPipeline().fit(queries)
+        strict = ParallelExecutor(workers=2).predict_all(pipeline, queries)
+        report = ParallelExecutor(workers=2).run(pipeline, queries)
+        assert not report.failures
+        assert [p.model_id for p in report.predictions] == [
+            p.model_id for p in strict
+        ]
+
+    def test_empty_query_list(self):
+        report = ParallelExecutor(workers=2).run(FlakyPipeline(), [])
+        assert report.results == ()
+        assert not report.failures
+
+
+class TestRetries:
+    def test_transient_fault_absorbed_by_retry(self):
+        queries = make_image_set(seed=4, count=6, name="q")
+        pipeline = FlakyPipeline(bad_views={1, 4}, fail_first=1).fit(queries)
+        executor = ParallelExecutor(retry_policy=RetryPolicy(max_attempts=2))
+        report = executor.run(pipeline, queries)
+        assert not report.failures
+        assert len(report.predictions) == 6
+        assert report.retries == 2
+
+    def test_persistent_fault_records_attempt_count(self):
+        queries = make_image_set(seed=5, count=4, name="q")
+        pipeline = FlakyPipeline(bad_views={0}).fit(queries)
+        executor = ParallelExecutor(retry_policy=RetryPolicy(max_attempts=3))
+        report = executor.run(pipeline, queries)
+        assert len(report.failures) == 1
+        assert report.failures[0].attempts == 3
+        assert report.retries == 2
+
+    def test_retry_budget_is_per_query(self):
+        queries = make_image_set(seed=6, count=8, name="q")
+        pipeline = FlakyPipeline(bad_views={0, 3, 5}, fail_first=2).fit(queries)
+        executor = ParallelExecutor(retry_policy=RetryPolicy(max_attempts=3))
+        report = executor.run(pipeline, queries)
+        assert not report.failures
+        assert report.retries == 6
+
+
+class TestLimits:
+    def test_max_failures_aborts_with_partial_report(self):
+        queries = make_image_set(seed=7, count=10, name="q")
+        pipeline = FlakyPipeline(bad_views={1, 2, 3, 4}).fit(queries)
+        executor = ParallelExecutor(max_failures=1)
+        with pytest.raises(TooManyFailures) as excinfo:
+            executor.run(pipeline, queries)
+        partial = excinfo.value.report
+        assert partial is not None
+        assert len(partial.failures) == 2
+
+    def test_max_failures_zero_tolerates_clean_runs(self):
+        queries = make_image_set(seed=8, count=5, name="q")
+        pipeline = FlakyPipeline().fit(queries)
+        report = ParallelExecutor(max_failures=0).run(pipeline, queries)
+        assert len(report.predictions) == 5
+
+    def test_fail_fast_reraises_original_error(self):
+        queries = make_image_set(seed=9, count=6, name="q")
+        pipeline = FlakyPipeline(bad_views={3}).fit(queries)
+        with pytest.raises(ImageError):
+            ParallelExecutor(fail_fast=True).run(pipeline, queries)
+
+    def test_invalid_max_failures_rejected(self):
+        with pytest.raises(EngineError):
+            ParallelExecutor(max_failures=-1)
+
+
+class TestWarnings:
+    def test_mega_chunk_warning(self):
+        queries = make_image_set(seed=10, count=4, name="q")
+        pipeline = FlakyPipeline().fit(queries)
+        executor = ParallelExecutor(workers=2, chunk_size=100)
+        report = executor.run(pipeline, queries)
+        assert any("single chunk" in warning for warning in report.warnings)
+
+    def test_no_warning_for_sane_chunking(self):
+        queries = make_image_set(seed=11, count=8, name="q")
+        pipeline = FlakyPipeline().fit(queries)
+        report = ParallelExecutor(workers=2, chunk_size=2).run(pipeline, queries)
+        assert report.warnings == ()
+
+    def test_worker_pool_capped_by_item_count(self):
+        # Two queries never need eight workers; the cap also keeps the
+        # thread pool from spawning idle workers for tiny sweeps.
+        queries = make_image_set(seed=12, count=2, name="q")
+        pipeline = FlakyPipeline().fit(queries)
+        report = ParallelExecutor(workers=8).run(pipeline, queries)
+        assert len(report.predictions) == 2
+
+
+@pytest.mark.slow
+class TestChunkTimeout:
+    def test_timed_out_chunk_fails_with_execution_timeout(self):
+        queries = make_image_set(seed=13, count=3, name="q")
+        slow = SleepyPipeline(seconds=0.4).fit(queries)
+        executor = ParallelExecutor(
+            retry_policy=RetryPolicy(chunk_timeout=0.05)
+        )
+        report = executor.run(slow, queries)
+        assert not report.predictions
+        assert len(report.failures) == 3
+        assert all(f.stage == "chunk" for f in report.failures)
+        assert all(f.error_type == "ExecutionTimeout" for f in report.failures)
+        assert all(f.attempts == 0 for f in report.failures)
+
+    def test_fast_chunks_pass_under_budget(self):
+        queries = make_image_set(seed=14, count=3, name="q")
+        quick = SleepyPipeline(seconds=0.0).fit(queries)
+        executor = ParallelExecutor(
+            retry_policy=RetryPolicy(chunk_timeout=30.0)
+        )
+        report = executor.run(quick, queries)
+        assert len(report.predictions) == 3
+        assert not report.failures

@@ -42,6 +42,29 @@ class TestRunner:
         assert result.report.recall_similar == 1.0
         assert result.report.recall_dissimilar == 0.0
 
+    def test_per_query_failures_surface_in_result(self, sns1, sns2):
+        from repro.engine.chaos import FaultInjector
+        from repro.pipelines.color_only import ColorOnlyPipeline
+
+        pipeline = FaultInjector(ColorOnlyPipeline(), rate=0.2, seed=11)
+        result = run_matching_experiment(pipeline, sns2, sns1)
+        assert len(result.predictions) + len(result.failures) == len(sns2)
+        assert result.stats.failures == len(result.failures)
+        # Accuracy is over survivors: the report totals only the successes.
+        assert result.report.total == len(result.predictions)
+        if result.failures:
+            assert all(f.error_type == "InjectedFault" for f in result.failures)
+
+    def test_all_queries_failing_yields_zero_accuracy(self, sns1, sns2):
+        from repro.engine.chaos import FaultInjector
+        from repro.pipelines.color_only import ColorOnlyPipeline
+
+        pipeline = FaultInjector(ColorOnlyPipeline(), rate=1.0, seed=1)
+        result = run_matching_experiment(pipeline, sns2, sns1)
+        assert not result.predictions
+        assert len(result.failures) == len(sns2)
+        assert result.cumulative_accuracy == 0.0
+
 
 class TestTableFormatters:
     def test_dataset_table_contains_rows(self, sns1, sns2):
@@ -73,6 +96,45 @@ class TestTableFormatters:
         text = format_pair_table({"toy pairs": report})
         assert "Similar" in text and "Dissimilar" in text
         assert "Support" in text
+
+    def test_timings_table_failure_column_and_warnings(self):
+        from repro.engine.instrument import RunStats
+        from repro.evaluation.tables import format_timings_table
+
+        stats = RunStats(
+            stage_seconds={"fit": 0.1, "predict": 0.2},
+            queries=10,
+            references=5,
+            failures=2,
+            retries=3,
+            degraded=1,
+            warnings=("chunk_size 99 >= 10 queries: mega-chunk",),
+        )
+        text = format_timings_table({"demo": stats})
+        assert "Failures" in text
+        assert "2 (3r) [1d]" in text
+        assert "! demo: chunk_size 99" in text
+
+    def test_failure_table_rows_and_truncation(self):
+        from repro.engine.faults import FailureRecord
+        from repro.evaluation.tables import format_failure_table
+
+        records = [
+            FailureRecord(
+                query_index=4,
+                query_id="chair-m3/v1",
+                stage="predict",
+                error_type="ContourError",
+                message="x" * 100,
+                attempts=3,
+            )
+        ]
+        text = format_failure_table(records)
+        assert "chair-m3/v1" in text
+        assert "ContourError" in text
+        assert "x" * 57 + "..." in text
+        assert "x" * 61 not in text
+        assert format_failure_table([]) == "(no failures)"
 
 
 class TestConfusionMatrixFormatter:

@@ -1,0 +1,87 @@
+"""Degenerate-input contract: every pipeline yields a valid Prediction or a
+typed :class:`~repro.errors.ReproError` — never a bare ``ValueError`` /
+``IndexError`` escaping from NumPy internals.
+
+A mobile robot's segmentation front-end hands the matcher whatever it cut
+out: all-black masks, single-pixel crops, NaN-poisoned floats, uniform
+keypoint-free patches.  The engine's fault isolation can only catch what is
+raised as a ``ReproError``, so this suite locks the exception taxonomy in
+for all five pipeline families, on both the scalar and the batch path.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engine.chaos import all_black, nan_pixels
+from repro.errors import ReproError
+from repro.imaging.histogram import HistogramMetric
+from repro.imaging.match_shapes import ShapeDistance
+from repro.pipelines.base import Prediction
+from repro.pipelines.baseline import RandomBaselinePipeline
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.descriptor import DescriptorPipeline
+from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+from tests.engine.synthetic import make_image_set
+
+REFERENCES = make_image_set(seed=31, count=9, name="refs")
+TEMPLATE = make_image_set(seed=32, count=1, name="q", source="sns2")[0]
+
+
+def pipeline_families():
+    return [
+        ShapeOnlyPipeline(ShapeDistance.L2),
+        ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=8),
+        HybridPipeline(HybridStrategy.WEIGHTED_SUM, bins=8),
+        DescriptorPipeline(method="orb", tie_break_seed=0),
+        RandomBaselinePipeline(rng=0),
+    ]
+
+
+def degenerate_items():
+    one_pixel = dataclasses.replace(
+        TEMPLATE, image=np.full((1, 1, 3), 0.5, dtype=np.float64)
+    )
+    uniform = dataclasses.replace(
+        TEMPLATE, image=np.full((32, 32, 3), 0.5, dtype=np.float64)
+    )
+    return {
+        "all-black": all_black(TEMPLATE),
+        "one-pixel": one_pixel,
+        "nan-pixels": nan_pixels(TEMPLATE, fraction=0.25, seed=0),
+        "uniform": uniform,
+    }
+
+
+@pytest.mark.parametrize(
+    "pipeline", pipeline_families(), ids=lambda p: p.name
+)
+@pytest.mark.parametrize("kind", sorted(degenerate_items()))
+class TestDegenerateInputs:
+    def test_predict_yields_prediction_or_repro_error(self, pipeline, kind):
+        item = degenerate_items()[kind]
+        pipeline.fit(REFERENCES)
+        try:
+            prediction = pipeline.predict(item)
+        except ReproError:
+            return  # typed failure: the engine isolates and records it
+        assert isinstance(prediction, Prediction)
+        assert prediction.label
+        # An infinite distance is a legitimate "worst possible match"; a NaN
+        # score would poison any downstream argmin.
+        assert not np.isnan(prediction.score)
+
+    def test_batch_path_matches_contract(self, pipeline, kind):
+        item = degenerate_items()[kind]
+        pipeline.fit(REFERENCES)
+        try:
+            predictions = pipeline.predict_batch([item, TEMPLATE])
+        except ReproError:
+            return
+        assert len(predictions) == 2
+        for prediction in predictions:
+            assert isinstance(prediction, Prediction)
+            assert prediction.label

@@ -1,0 +1,139 @@
+"""Tests for graceful degradation: fallback chains and the unfailable
+most-frequent-class terminal stage."""
+
+import pytest
+
+from repro.datasets.dataset import LabelledImage
+from repro.engine.chaos import FaultInjector, InjectedFault
+from repro.engine.executor import ParallelExecutor
+from repro.errors import PipelineError, ReproError
+from repro.imaging.match_shapes import ShapeDistance
+from repro.pipelines.base import Prediction, RecognitionPipeline
+from repro.pipelines.baseline import MostFrequentClassPipeline
+from repro.pipelines.fallback import FallbackPipeline
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+from tests.engine.synthetic import make_image_set
+
+
+class AlwaysFails(RecognitionPipeline):
+    name = "always-fails"
+
+    def fit(self, references):
+        return self
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        raise ReproError("nope")
+
+
+class TestMostFrequentClass:
+    def test_predicts_modal_label_without_looking_at_pixels(self):
+        references = make_image_set(seed=41, count=7, name="refs")
+        # LABELS cycle box/disc/bar: 7 items -> box appears 3 times.
+        pipeline = MostFrequentClassPipeline().fit(references)
+        query = make_image_set(seed=42, count=1, name="q", source="sns2")[0]
+        prediction = pipeline.predict(query)
+        assert prediction.label == "box"
+        assert prediction.score == pytest.approx(3 / 7)
+
+    def test_tie_breaks_alphabetically(self):
+        references = make_image_set(seed=43, count=6, name="refs")
+        # 6 items: box/disc/bar twice each — "bar" wins the tie.
+        pipeline = MostFrequentClassPipeline().fit(references)
+        query = make_image_set(seed=44, count=1, name="q")[0]
+        assert pipeline.predict(query).label == "bar"
+
+    def test_unfitted_raises(self):
+        query = make_image_set(seed=45, count=1, name="q")[0]
+        with pytest.raises(ReproError):
+            MostFrequentClassPipeline().predict(query)
+
+
+class TestFallbackPipeline:
+    def test_requires_at_least_one_stage(self):
+        with pytest.raises(PipelineError):
+            FallbackPipeline([])
+
+    def test_primary_success_is_not_degraded(self):
+        references = make_image_set(seed=46, count=6, name="refs")
+        queries = make_image_set(seed=47, count=4, name="q", source="sns2")
+        chain = FallbackPipeline(
+            [ShapeOnlyPipeline(ShapeDistance.L2), MostFrequentClassPipeline()]
+        ).fit(references)
+        for query in queries:
+            prediction = chain.predict(query)
+            assert prediction.degraded is False
+
+    def test_failed_primary_degrades_to_next_stage(self):
+        references = make_image_set(seed=48, count=6, name="refs")
+        query = make_image_set(seed=49, count=1, name="q", source="sns2")[0]
+        chain = FallbackPipeline(
+            [AlwaysFails(), MostFrequentClassPipeline()]
+        ).fit(references)
+        prediction = chain.predict(query)
+        assert prediction.degraded is True
+        assert prediction.label  # the terminal stage always answers
+
+    def test_all_stages_failing_raises_pipeline_error(self):
+        references = make_image_set(seed=50, count=6, name="refs")
+        query = make_image_set(seed=51, count=1, name="q")[0]
+        chain = FallbackPipeline([AlwaysFails(), AlwaysFails()]).fit(references)
+        with pytest.raises(PipelineError):
+            chain.predict(query)
+
+    def test_batch_path_only_degrades_the_bad_items(self):
+        references = make_image_set(seed=52, count=9, name="refs")
+        queries = make_image_set(seed=53, count=10, name="q", source="sns2")
+        primary = FaultInjector(
+            ShapeOnlyPipeline(ShapeDistance.L2), rate=0.3, seed=6
+        )
+        chain = FallbackPipeline(
+            [primary, MostFrequentClassPipeline()]
+        ).fit(references)
+        faulty = {i for i, q in enumerate(queries) if primary.is_faulty(q)}
+        assert 0 < len(faulty) < len(queries)
+        predictions = chain.predict_batch(list(queries))
+        assert len(predictions) == len(queries)
+        assert {
+            i for i, p in enumerate(predictions) if p.degraded
+        } == faulty
+
+    def test_chain_name_and_scoring_mode(self):
+        chain = FallbackPipeline(
+            [ShapeOnlyPipeline(ShapeDistance.L2), MostFrequentClassPipeline()]
+        )
+        assert chain.name == "fallback(shape-only-L2 > most-frequent)"
+        assert chain.scoring_mode == ShapeOnlyPipeline(ShapeDistance.L2).scoring_mode
+
+    def test_executor_counts_degraded_predictions(self):
+        references = make_image_set(seed=54, count=9, name="refs")
+        queries = make_image_set(seed=55, count=12, name="q", source="sns2")
+        primary = FaultInjector(
+            ShapeOnlyPipeline(ShapeDistance.L2), rate=0.4, seed=2
+        )
+        chain = FallbackPipeline(
+            [primary, MostFrequentClassPipeline()]
+        ).fit(references)
+        faulty = sum(1 for q in queries if primary.is_faulty(q))
+        assert faulty > 0
+        report = ParallelExecutor(workers=2).run(chain, list(queries))
+        assert not report.failures
+        assert report.degraded == faulty
+
+    def test_unfailable_terminal_stage_makes_injection_lossless(self):
+        references = make_image_set(seed=56, count=6, name="refs")
+        queries = make_image_set(seed=57, count=20, name="q", source="sns2")
+        chain = FallbackPipeline(
+            [
+                FaultInjector(
+                    ShapeOnlyPipeline(ShapeDistance.L2),
+                    rate=1.0,
+                    seed=1,
+                    exception=InjectedFault,
+                ),
+                MostFrequentClassPipeline(),
+            ]
+        ).fit(references)
+        predictions = chain.predict_batch(list(queries))
+        assert len(predictions) == len(queries)
+        assert all(p.degraded for p in predictions)

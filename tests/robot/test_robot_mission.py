@@ -107,3 +107,61 @@ class TestPatrol:
         log = run_patrol(world, robot, pipeline, [world.rooms[0].center])
         observed = [id(step.observation.obj) for step in log.steps]
         assert len(observed) == len(set(observed))
+
+
+class TestPatrolFaultTolerance:
+    @staticmethod
+    def _fitted_hybrid():
+        from repro.config import ExperimentConfig
+        from repro.datasets.shapenet import build_sns1
+
+        pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM)
+        pipeline.fit(build_sns1(ExperimentConfig(seed=7, nyu_scale=0.01)))
+        return pipeline
+
+    def test_recognition_failures_never_abort_the_patrol(self, world):
+        from repro.engine.chaos import FaultInjector
+
+        pipeline = FaultInjector(self._fitted_hybrid(), rate=1.0, seed=5)
+        robot = Robot(sensing_range=2.5, seed=3)
+        log = run_patrol(world, robot, pipeline, [room.center for room in world.rooms])
+        # Every recognition fails, yet the mission completes: all sightings
+        # end as failure records and the semantic map stays empty.
+        assert log.observations == 0
+        assert len(log.failures) > 0
+        assert all(f.stage == "patrol" for f in log.failures)
+        assert all(f.error_type == "InjectedFault" for f in log.failures)
+        assert all(f.query_id.startswith("waypoint") for f in log.failures)
+        assert len(log.semantic_map) == 0
+
+    def test_fallback_chain_marks_degraded_steps(self, world):
+        from repro.engine.chaos import FaultInjector
+        from repro.pipelines.baseline import MostFrequentClassPipeline
+        from repro.pipelines.fallback import FallbackPipeline
+        from repro.config import ExperimentConfig
+        from repro.datasets.shapenet import build_sns1
+
+        references = build_sns1(ExperimentConfig(seed=7, nyu_scale=0.01))
+        chain = FallbackPipeline(
+            [
+                FaultInjector(
+                    HybridPipeline(HybridStrategy.WEIGHTED_SUM), rate=1.0, seed=5
+                ),
+                MostFrequentClassPipeline(),
+            ]
+        ).fit(references)
+        robot = Robot(sensing_range=2.5, seed=3)
+        log = run_patrol(world, robot, chain, [room.center for room in world.rooms])
+        # The chain absorbs every fault: no failures, every step degraded,
+        # and the semantic map is still populated (coarsely).
+        assert not log.failures
+        assert log.observations > 0
+        assert log.degraded_steps == log.observations
+        assert len(log.semantic_map) > 0
+
+    def test_clean_patrol_reports_no_degradation(self, world):
+        pipeline = self._fitted_hybrid()
+        robot = Robot(sensing_range=2.5, seed=3)
+        log = run_patrol(world, robot, pipeline, [room.center for room in world.rooms])
+        assert log.failures == ()
+        assert log.degraded_steps == 0

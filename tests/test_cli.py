@@ -48,6 +48,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["engine", "--backend", "fibers"])
 
+    def test_fault_tolerance_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "engine",
+                "--max-attempts", "3",
+                "--chunk-timeout", "2.5",
+                "--max-failures", "10",
+                "--fail-fast",
+                "--fallback", "most-frequent",
+                "--fault-rate", "0.1",
+                "--fault-seed", "42",
+            ]
+        )
+        assert args.max_attempts == 3
+        assert args.chunk_timeout == pytest.approx(2.5)
+        assert args.max_failures == 10
+        assert args.fail_fast is True
+        assert args.fallback == "most-frequent"
+        assert args.fault_rate == pytest.approx(0.1)
+        assert args.fault_seed == 42
+
+    def test_fault_tolerance_flag_defaults(self):
+        args = build_parser().parse_args(["engine"])
+        assert args.max_attempts is None
+        assert args.chunk_timeout is None
+        assert args.max_failures is None
+        assert args.fail_fast is False
+        assert args.fallback is None
+        assert args.fault_rate == 0.0
+
+    def test_rejects_unknown_fallback(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine", "--fallback", "guesswork"])
+
 
 class TestMain:
     def test_table1_prints(self, capsys):
@@ -77,6 +111,62 @@ class TestEngineCommand:
         # With caching disabled every run reports a 0% hit rate.
         assert "cache=off" in out
         assert "cache hit rate 0%" in out
+
+
+class TestEngineFaultTolerance:
+    def test_fault_injection_reports_failures(self, capsys):
+        code = main(
+            [
+                "engine",
+                "--refs", "8",
+                "--queries", "6",
+                "--fault-rate", "0.4",
+                "--fault-seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== FAILURES ==" in out
+        assert "InjectedFault" in out
+        assert "failed" in out  # the RunStats summary counts them
+
+    def test_fallback_degrades_instead_of_failing(self, capsys):
+        code = main(
+            [
+                "engine",
+                "--refs", "8",
+                "--queries", "6",
+                "--fault-rate", "0.4",
+                "--fault-seed", "3",
+                "--fallback", "most-frequent",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fallback(" in out
+        assert "(no failures)" in out
+        assert "degraded" in out
+
+    def test_max_failures_aborts_cleanly(self, capsys):
+        code = main(
+            [
+                "engine",
+                "--refs", "8",
+                "--queries", "6",
+                "--fault-rate", "0.4",
+                "--fault-seed", "3",
+                "--max-failures", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ABORTED" in out
+
+    def test_clean_run_shows_no_failures(self, capsys):
+        code = main(["engine", "--refs", "8", "--queries", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(no failures)" in out
 
 
 class TestPatrol:
