@@ -1,0 +1,57 @@
+"""Serving bench: micro-batched throughput against the single-request
+baselines.
+
+One seeded closed-loop load-generator run over the hybrid pipeline at a
+batch-friendly load (clients >= max_batch_size, so flushes run full).  Hard
+assertions: zero prediction mismatches (micro-batched answers bit-identical
+to sequential ``predict()``), zero rejects at this load, and serving
+throughput at least 3x the scalar single-request twin — the same
+``batch_scoring = False`` baseline ``test_batch_scoring.py`` measures
+against.  The full payload lands in ``BENCH_serving.json`` for trend
+tracking (CI uploads it as an artifact).
+"""
+
+import json
+from pathlib import Path
+
+from repro.config import ExperimentConfig, ServingSettings
+from repro.serving.loadgen import format_loadgen_report, run_loadgen
+
+from conftest import run_once
+
+REQUESTS = 200
+CLIENTS = 32
+MIN_SPEEDUP_VS_SCALAR = 3.0
+RESULT_FILE = Path("BENCH_serving.json")
+
+
+def test_serving_throughput(benchmark):
+    payload = run_once(
+        benchmark,
+        lambda: run_loadgen(
+            pipeline_name="hybrid",
+            config=ExperimentConfig(seed=7, nyu_scale=0.02),
+            settings=ServingSettings(max_batch_size=32, max_wait_ms=2.0),
+            requests=REQUESTS,
+            clients=CLIENTS,
+            mode="closed",
+        ),
+    )
+    RESULT_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print()
+    print(format_loadgen_report(payload))
+
+    serving = payload["serving"]
+    assert payload["prediction_mismatches"] == 0, (
+        "micro-batched answers diverged from sequential predict()"
+    )
+    assert serving["completed"] == REQUESTS
+    assert serving["rejected"] == 0, (
+        f"{serving['rejected']} rejects at a load the queue must absorb"
+    )
+    assert payload["speedup_vs_scalar"] is not None
+    assert payload["speedup_vs_scalar"] >= MIN_SPEEDUP_VS_SCALAR, (
+        f"serving only {payload['speedup_vs_scalar']:.1f}x the scalar "
+        f"single-request twin (need >= {MIN_SPEEDUP_VS_SCALAR}x) — "
+        "micro-batching has regressed"
+    )

@@ -17,6 +17,16 @@ timings block, and ``repro engine`` runs a small dedicated engine demo::
 
     repro table2 --workers 4 --timings
     repro engine --refs 20 --queries 8 --workers 2 --no-cache
+
+Serving commands (see README "Serving"): ``repro serve`` warm-starts the
+online recognition service and drives a concurrent request stream through
+it; ``repro loadgen`` runs the seeded load generator and writes
+``BENCH_serving.json``; ``repro patrol --serve`` routes the robot's
+observations through the service::
+
+    repro serve --pipeline hybrid --requests 200 --clients 32
+    repro loadgen --mode open --rate 500 --fallback most-frequent
+    repro patrol --serve --deadline-ms 50
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ import sys
 import time
 
 from repro import experiments
-from repro.config import EngineSettings, ExperimentConfig
+from repro.config import EngineSettings, ExperimentConfig, ServingSettings
 
 
 def _positive_int(value: str) -> int:
@@ -225,8 +235,103 @@ def _cmd_engine(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _make_serving_settings(args: argparse.Namespace) -> ServingSettings:
+    """ServingSettings from the environment with CLI overrides applied."""
+    base = ServingSettings.from_env()
+    return ServingSettings(
+        max_batch_size=(
+            args.max_batch_size
+            if args.max_batch_size is not None
+            else base.max_batch_size
+        ),
+        max_wait_ms=(
+            args.max_wait_ms if args.max_wait_ms is not None else base.max_wait_ms
+        ),
+        max_queue_depth=(
+            args.max_queue_depth
+            if args.max_queue_depth is not None
+            else base.max_queue_depth
+        ),
+        deadline_ms=(
+            args.deadline_ms if args.deadline_ms is not None else base.deadline_ms
+        ),
+        max_attempts=(
+            args.max_attempts if args.max_attempts is not None else base.max_attempts
+        ),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """Warm-start the recognition service and drive a request stream.
+
+    Submits ``--requests`` NYUSet crops through ``--clients`` concurrent
+    callers (the thread-based stand-in for robots on a network) and prints
+    the service report — the smallest end-to-end serving demo.
+    """
+    from repro.datasets.shapenet import build_sns1
+    from repro.serving.loadgen import _drive_closed_loop, build_workload
+    from repro.serving.service import RecognitionService
+
+    config = _make_config(args)
+    settings = _make_serving_settings(args)
+    service = RecognitionService.warm_start(
+        args.pipeline,
+        build_sns1(config),
+        config=config,
+        fallback=args.fallback,
+        settings=settings,
+    )
+    queries = build_workload(config, args.requests)
+    try:
+        answers = _drive_closed_loop(service, queries, args.clients)
+    finally:
+        service.stop(drain=True)
+    report = service.report()
+    correct = sum(
+        1
+        for answer, query in zip(answers, queries)
+        if answer is not None and answer.label == query.label
+    )
+    lines = [
+        f"serve: {service.name} ready "
+        f"(batch<= {settings.max_batch_size}, wait<= {settings.max_wait_ms:g}ms, "
+        f"queue<= {settings.max_queue_depth}, {args.clients} clients)",
+        f"  {report.summary()}",
+        f"  accuracy {correct}/{len(queries)} over the request stream",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> str:
+    """Run the seeded load generator and write ``BENCH_serving.json``."""
+    import json
+    from pathlib import Path
+
+    from repro.serving.loadgen import format_loadgen_report, run_loadgen
+
+    payload = run_loadgen(
+        pipeline_name=args.pipeline,
+        config=_make_config(args),
+        settings=_make_serving_settings(args),
+        requests=args.requests,
+        clients=args.clients,
+        mode=args.mode,
+        rate_hz=args.rate,
+        fallback=args.fallback,
+    )
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return format_loadgen_report(payload) + f"\n  wrote {output}"
+
+
 def _cmd_patrol(args: argparse.Namespace) -> str:
-    """Run a simulated robot patrol and answer a few map queries."""
+    """Run a simulated robot patrol and answer a few map queries.
+
+    With ``--serve`` the patrol submits its observations through a
+    warm-started :class:`~repro.serving.service.RecognitionService` instead
+    of calling the pipeline inline — the service duck-types ``predict``, so
+    concurrent missions could share one warm pipeline and batch together.
+    """
     from repro.datasets.shapenet import build_sns1
     from repro.knowledge import ObjectRetriever
     from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
@@ -236,8 +341,24 @@ def _cmd_patrol(args: argparse.Namespace) -> str:
     world = build_random_world(objects_per_room=args.objects_per_room, rng=config.seed)
     pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM)
     pipeline.fit(build_sns1(config))
+    service = None
+    if args.serve:
+        from repro.serving.service import RecognitionService
+
+        service = RecognitionService(
+            pipeline, settings=_make_serving_settings(args)
+        ).start()
     robot = Robot(sensing_range=2.8, seed=config.seed)
-    log = run_patrol(world, robot, pipeline, [room.center for room in world.rooms])
+    try:
+        log = run_patrol(
+            world,
+            robot,
+            service if service is not None else pipeline,
+            [room.center for room in world.rooms],
+        )
+    finally:
+        if service is not None:
+            service.stop(drain=True)
 
     lines = [
         f"patrol: {log.observations} observations, "
@@ -245,6 +366,8 @@ def _cmd_patrol(args: argparse.Namespace) -> str:
         f"semantic map: {len(log.semantic_map)} entries, "
         f"rooms {log.per_room_counts()}",
     ]
+    if service is not None:
+        lines.append(f"serving: {service.report().summary()}")
     retriever = ObjectRetriever(log.semantic_map)
     for question in (
         "how many pieces of furniture are there?",
@@ -278,6 +401,8 @@ _COMMANDS = {
     "table9": _cmd_table9,
     "patrol": _cmd_patrol,
     "engine": _cmd_engine,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "all": _cmd_all,
 }
 
@@ -417,6 +542,78 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="engine command: cap the query set size (0 = all)",
+    )
+    serving = parser.add_argument_group(
+        "serving", "online recognition service (serve / loadgen / patrol --serve)"
+    )
+    serving.add_argument(
+        "--pipeline",
+        choices=("shape-only", "color-only", "hybrid", "most-frequent"),
+        default="hybrid",
+        help="registry pipeline the service warm-starts",
+    )
+    serving.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=120,
+        help="requests to drive through the service",
+    )
+    serving.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=32,
+        help="concurrent closed-loop callers",
+    )
+    serving.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="loadgen: closed loop (fixed concurrency) or open loop "
+        "(seeded Poisson arrivals)",
+    )
+    serving.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="loadgen: open-loop arrival rate in requests/second",
+    )
+    serving.add_argument(
+        "--max-batch-size",
+        type=_positive_int,
+        default=None,
+        help="micro-batch size cap (default: $REPRO_SERVE_BATCH or 32)",
+    )
+    serving.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=None,
+        help="micro-batch accumulation window in milliseconds "
+        "(default: $REPRO_SERVE_WAIT_MS or 2.0)",
+    )
+    serving.add_argument(
+        "--max-queue-depth",
+        type=_positive_int,
+        default=None,
+        help="admission queue bound; beyond it requests are rejected "
+        "(default: $REPRO_SERVE_QUEUE_DEPTH or 256)",
+    )
+    serving.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline; expired requests degrade to the "
+        "fallback (default: $REPRO_SERVE_DEADLINE_MS or none)",
+    )
+    serving.add_argument(
+        "--serve",
+        action="store_true",
+        help="patrol command: submit observations through the recognition "
+        "service instead of calling the pipeline inline",
+    )
+    serving.add_argument(
+        "--output",
+        default="BENCH_serving.json",
+        help="loadgen: where to write the benchmark payload",
     )
     return parser
 

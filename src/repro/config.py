@@ -155,6 +155,62 @@ class EngineSettings:
 
 
 @dataclass(frozen=True)
+class ServingSettings:
+    """Online recognition-service knobs: micro-batching, admission, deadlines.
+
+    ``max_batch_size`` / ``max_wait_ms`` tune the micro-batcher: a flush
+    happens as soon as a full batch is queued or the oldest queued request
+    has waited ``max_wait_ms``, whichever comes first — larger batches ride
+    the vectorized ``predict_batch`` kernels harder, a shorter wait bounds
+    tail latency.  ``max_queue_depth`` bounds the admission queue; requests
+    arriving past it are rejected with
+    :class:`~repro.errors.ServiceOverloaded` instead of queuing into
+    unbounded latency.  ``deadline_ms`` is the default per-request deadline
+    (``None`` = no deadline); an expired request degrades through the
+    service's fallback stage rather than running late.  ``max_attempts``
+    bounds per-request prediction attempts when a request is isolated after
+    a batch failure (same semantics as the engine's
+    :class:`~repro.engine.faults.RetryPolicy`).
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    max_queue_depth: int = 256
+    deadline_ms: float | None = None
+    max_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0 (or None), got {self.deadline_ms}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    @staticmethod
+    def from_env() -> "ServingSettings":
+        """Serving defaults, overridable via ``REPRO_SERVE_BATCH``,
+        ``REPRO_SERVE_WAIT_MS``, ``REPRO_SERVE_QUEUE_DEPTH`` and
+        ``REPRO_SERVE_DEADLINE_MS``."""
+        deadline = os.environ.get("REPRO_SERVE_DEADLINE_MS") or None
+        return ServingSettings(
+            max_batch_size=int(os.environ.get("REPRO_SERVE_BATCH", "32")),
+            max_wait_ms=float(os.environ.get("REPRO_SERVE_WAIT_MS", "2.0")),
+            max_queue_depth=int(os.environ.get("REPRO_SERVE_QUEUE_DEPTH", "256")),
+            deadline_ms=float(deadline) if deadline is not None else None,
+            max_attempts=int(os.environ.get("REPRO_SERVE_ATTEMPTS", "1")),
+        )
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Knobs shared by the experiment runner and the benchmark harness.
 

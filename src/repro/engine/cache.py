@@ -43,14 +43,39 @@ DEFAULT_CAPACITY = 65536
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
 
 
+#: Content-hash memo keyed by array object id.  Serving and the hybrid
+#: pipeline look the *same* image up under several namespaces (shape, colour)
+#: and across repeated requests; hashing ~100KB of pixels per lookup was the
+#: single largest per-query cost.  A ``weakref.finalize`` evicts each entry
+#: when its array is collected, so a recycled id can never serve a stale
+#: digest.  (Like every cache in this module, the memo assumes images are
+#: not mutated in place once they enter a pipeline.)
+_CONTENT_HASH_MEMO: dict[int, str] = {}
+
+
 def content_hash(image: np.ndarray) -> str:
-    """Stable digest of an image's dtype, shape and pixel bytes."""
+    """Stable digest of an image's dtype, shape and pixel bytes.
+
+    Memoised per array *object*: repeated lookups of the same image (the
+    hybrid's shape + colour namespaces, every re-served query) hash the
+    pixels once, not once per lookup.
+    """
+    key = id(image)
+    memoised = _CONTENT_HASH_MEMO.get(key)
+    if memoised is not None:
+        return memoised
     array = np.ascontiguousarray(image)
     digest = hashlib.blake2b(digest_size=16)
     digest.update(str(array.dtype).encode("ascii"))
     digest.update(str(array.shape).encode("ascii"))
     digest.update(array.tobytes())
-    return digest.hexdigest()
+    result = digest.hexdigest()
+    try:
+        weakref.finalize(image, _CONTENT_HASH_MEMO.pop, key, None)
+    except TypeError:
+        return result  # not weakref-able (e.g. a plain list): skip the memo
+    _CONTENT_HASH_MEMO[key] = result
+    return result
 
 
 @dataclass

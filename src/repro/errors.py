@@ -63,6 +63,27 @@ class TooManyFailures(EngineError):
         self.report = report
 
 
+class ServingError(ReproError):
+    """The online recognition service was misconfigured or misused."""
+
+
+class ServiceNotReady(ServingError):
+    """A request was submitted before the service warm-started (or after it
+    stopped); callers should wait for ``RecognitionService.ready``."""
+
+
+class ServiceOverloaded(ServingError):
+    """The admission queue is full: the request was rejected at the door
+    rather than queued into unbounded latency.  Clients should back off and
+    retry; the rejection is counted in the service stats."""
+
+
+class DeadlineExceeded(ServingError):
+    """A request's deadline elapsed before its batch ran.  With a fallback
+    stage configured the service degrades the request instead of raising
+    this; without one, the caller sees it."""
+
+
 class EvaluationError(ReproError):
     """An evaluation routine received inconsistent predictions or labels."""
 

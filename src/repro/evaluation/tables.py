@@ -116,16 +116,24 @@ def format_timings_table(stats: Mapping[str, RunStats]) -> str:
         return "(no timed runs)"
     header = ["Run", "Fit (s)", "Predict (s)", "Extract (s)",
               "Score (s)", "Queries/s", "Scoring", "Cache hit", "Failures"]
-    widths = [max(16, *(len(name) for name in stats))] + [
-        max(9, len(column)) for column in header[1:]
-    ]
-    lines = [_row(header, widths), _rule(widths)]
+    # Render the failures cells first: a run with retries/degradations
+    # ("3 (2r) [1d]") can outgrow the default column width, and a zero is
+    # always rendered as "0" rather than left blank — sizing from the
+    # rendered cells keeps every row inside the rule line.
+    failure_cells = {}
     for name, run in stats.items():
         failures = f"{run.failures}"
         if run.retries:
             failures += f" ({run.retries}r)"
         if run.degraded:
             failures += f" [{run.degraded}d]"
+        failure_cells[name] = failures
+    widths = [max(16, *(len(name) for name in stats))] + [
+        max(9, len(column)) for column in header[1:]
+    ]
+    widths[-1] = max(widths[-1], *(len(cell) for cell in failure_cells.values()))
+    lines = [_row(header, widths), _rule(widths)]
+    for name, run in stats.items():
         cells = [
             name,
             f"{run.fit_seconds:.3f}",
@@ -135,7 +143,7 @@ def format_timings_table(stats: Mapping[str, RunStats]) -> str:
             f"{run.queries_per_second:.1f}",
             run.scoring_mode,
             f"{run.cache_hit_rate:.0%}",
-            failures,
+            failure_cells[name],
         ]
         lines.append(_row(cells, widths))
     warned = [

@@ -27,6 +27,10 @@ from repro.imaging.moments import hu_moments
 #: Magnitudes below this are treated as zero, mirroring OpenCV's eps.
 _EPS = 1e-30
 
+#: Query rows per block-kernel chunk — keeps the broadcasted ``(Q, V, 7)``
+#: temporaries inside the cache hierarchy for typical reference libraries.
+_BLOCK_CHUNK = 32
+
 
 class ShapeDistance(str, Enum):
     """The three matchShapes distance variants evaluated in the paper."""
@@ -125,6 +129,60 @@ def match_shapes_batch(
     scores = np.asarray(scores, dtype=np.float64)
     scores[~usable.any(axis=1)] = 0.0
     scores[nan_rows] = np.inf
+    return scores
+
+
+def match_shapes_block(
+    query_matrix: np.ndarray,
+    ref_matrix: np.ndarray,
+    method: ShapeDistance = ShapeDistance.L1,
+) -> np.ndarray:
+    """``(Q, V)`` shape distances of a query block against the library.
+
+    *query_matrix* is a ``(Q, 7)`` :func:`hu_signature_matrix` of the query
+    signatures; row *i* of the result is bit-identical to
+    ``match_shapes_batch(query_matrix[i], ref_matrix, method)`` — the same
+    elementwise expressions broadcast over one extra axis, with reductions
+    still running over the trailing moment axis.  This is the serving fast
+    path: one kernel call scores a whole micro-batch.
+    """
+    queries = np.asarray(query_matrix, dtype=np.float64)
+    refs = np.asarray(ref_matrix, dtype=np.float64)
+    if queries.ndim != 2 or refs.ndim != 2 or queries.shape[1] != refs.shape[1]:
+        raise ImageError(
+            f"signature shapes incompatible: {queries.shape} vs {refs.shape}"
+        )
+    if queries.shape[0] > _BLOCK_CHUNK:
+        # Rows are independent; chunking the query axis keeps the (Q, V, 7)
+        # temporaries cache-resident and is bit-identical.
+        return np.vstack(
+            [
+                match_shapes_block(queries[i : i + _BLOCK_CHUNK], refs, method)
+                for i in range(0, queries.shape[0], _BLOCK_CHUNK)
+            ]
+        )
+    nan_queries = np.isnan(queries).any(axis=1)
+    nan_refs = np.isnan(refs).any(axis=1)
+    usable = (np.abs(queries) > _EPS)[:, None, :] & (np.abs(refs) > _EPS)[None, :, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if method == ShapeDistance.L1:
+            terms = np.abs(1.0 / queries[:, None, :] - 1.0 / refs[None, :, :])
+            scores = np.where(usable, terms, 0.0).sum(axis=2)
+        elif method == ShapeDistance.L2:
+            terms = np.abs(queries[:, None, :] - refs[None, :, :])
+            scores = np.where(usable, terms, 0.0).sum(axis=2)
+        elif method == ShapeDistance.L3:
+            terms = (
+                np.abs(queries[:, None, :] - refs[None, :, :])
+                / np.abs(queries)[:, None, :]
+            )
+            scores = np.where(usable, terms, -np.inf).max(axis=2)
+        else:
+            raise ImageError(f"unknown shape distance {method!r}")
+    scores = np.asarray(scores, dtype=np.float64)
+    scores[~usable.any(axis=2)] = 0.0
+    scores[:, nan_refs] = np.inf
+    scores[nan_queries, :] = np.inf
     return scores
 
 

@@ -166,6 +166,9 @@ class MatchingPipeline(RecognitionPipeline):
         self.matrix_cache: ReferenceMatrixCache | None = default_matrix_cache()
         #: Master switch for the vectorized scoring path.
         self.batch_scoring: bool = True
+        #: ``(namespace, version)`` cache keyspace, derived once per fit
+        #: instead of once per query in the extraction hot loop.
+        self._feature_keyspace: tuple[str, str] | None = None
 
     @abc.abstractmethod
     def _extract(self, item: LabelledImage) -> Any:
@@ -188,6 +191,16 @@ class MatchingPipeline(RecognitionPipeline):
         matrix, or ``None`` to fall back to the scalar ``_score`` loop."""
         return None
 
+    def _score_block(self, features: Sequence[Any]) -> np.ndarray | None:
+        """``(Q, V)`` scores of a whole query block in one kernel call.
+
+        ``None`` (the default) means the pipeline scores blocks row by row
+        through :meth:`_score_batch`.  Implementations must be bit-identical
+        per row to :meth:`_score_batch` — the serving equivalence suite
+        compares micro-batched answers against sequential ones exactly.
+        """
+        return None
+
     @property
     def scoring_mode(self) -> str:
         return "batch" if self._reference_matrix is not None else "scalar"
@@ -201,20 +214,34 @@ class MatchingPipeline(RecognitionPipeline):
         """
         return self.name
 
+    def feature_keyspace(self) -> tuple[str, str]:
+        """The ``(namespace, version)`` cache keyspace, derived once.
+
+        :meth:`feature_namespace` may build its name dynamically (the colour
+        family embeds the bin count); re-deriving it for every query in the
+        executor hot loop was pure waste.  Reset on :meth:`fit` so
+        reconfigured pipelines re-derive.
+        """
+        if self._feature_keyspace is None:
+            self._feature_keyspace = (self.feature_namespace(), self.feature_version)
+        return self._feature_keyspace
+
     def extract_features(self, item: LabelledImage) -> Any:
         """:meth:`_extract` through the feature cache (and the stopwatch)."""
         with maybe_stage(self.stopwatch, "extract"):
             if self.cache is None:
                 return self._extract(item)
+            namespace, version = self.feature_keyspace()
             return self.cache.get_or_compute(
-                self.feature_namespace(),
-                self.feature_version,
+                namespace,
+                version,
                 item.image,
                 lambda: self._extract(item),
             )
 
     def fit(self, references: ImageDataset) -> "MatchingPipeline":
         self._references = references
+        self._feature_keyspace = None
         self._reference_features = [self.extract_features(item) for item in references]
         self._reference_matrix = None
         if self.batch_scoring:
@@ -224,9 +251,10 @@ class MatchingPipeline(RecognitionPipeline):
                         self._reference_features
                     )
                 else:
+                    namespace, version = self.feature_keyspace()
                     self._reference_matrix = self.matrix_cache.get_or_build(
-                        self.feature_namespace(),
-                        self.feature_version,
+                        namespace,
+                        version,
                         references,
                         lambda: self._stack_references(self._reference_features),
                     )
@@ -264,6 +292,10 @@ class MatchingPipeline(RecognitionPipeline):
         with maybe_stage(self.stopwatch, "score"):
             if not features:
                 return np.empty((0, len(self._reference_features)), dtype=np.float64)
+            if self._reference_matrix is not None:
+                scores = self._score_block(features)
+                if scores is not None:
+                    return scores
             return np.vstack([self._score_features(f) for f in features])
 
     def predict(self, query: LabelledImage) -> Prediction:

@@ -22,6 +22,7 @@ from repro.imaging.histogram import (
     HistogramMetric,
     compare_histograms,
     compare_histograms_batch,
+    compare_histograms_block,
     rgb_histogram,
     stack_histograms,
 )
@@ -91,4 +92,11 @@ class ColorOnlyPipeline(MatchingPipeline):
     def _score_batch(self, query_features: np.ndarray) -> np.ndarray:
         return compare_histograms_batch(
             query_features, self._reference_matrix, self.metric
+        )
+
+    def _score_block(self, features) -> np.ndarray:
+        # One broadcasted kernel call for a whole micro-batch; rows are
+        # bit-identical to the per-query _score_batch path.
+        return compare_histograms_block(
+            stack_histograms(features), self._reference_matrix, self.metric
         )

@@ -86,6 +86,8 @@ class DescriptorPipeline(RecognitionPipeline):
         self._views: list[_ViewDescriptors] = []
         self._rng = make_rng(tie_break_seed)
         self.cache = default_cache()
+        #: Cache keyspace derived once instead of once per query lookup.
+        self._feature_keyspace = (f"desc-{method}", self.feature_version)
 
     def feature_namespace(self) -> str:
         return f"desc-{self.method}"
@@ -94,9 +96,10 @@ class DescriptorPipeline(RecognitionPipeline):
         with maybe_stage(self.stopwatch, "extract"):
             if self.cache is None:
                 return self._compute_descriptors(item)
+            namespace, version = self._feature_keyspace
             return self.cache.get_or_compute(
-                self.feature_namespace(),
-                self.feature_version,
+                namespace,
+                version,
                 item.image,
                 lambda: self._compute_descriptors(item),
             )

@@ -41,6 +41,7 @@ from repro.imaging.histogram import (
     HistogramMetric,
     compare_histograms,
     compare_histograms_batch,
+    compare_histograms_block,
     stack_histograms,
 )
 from repro.imaging.match_shapes import (
@@ -49,6 +50,7 @@ from repro.imaging.match_shapes import (
     hu_signature_matrix,
     match_shapes,
     match_shapes_batch,
+    match_shapes_block,
 )
 from repro.pipelines.base import Prediction, RecognitionPipeline
 from repro.pipelines.color_only import (
@@ -111,15 +113,20 @@ class HybridPipeline(RecognitionPipeline):
         self.matrix_cache = default_matrix_cache()
         #: Master switch for the fused vectorized theta path.
         self.batch_scoring: bool = True
+        #: Cache keyspaces derived once instead of once per query lookup
+        #: (the colour namespace embeds the bin count).
+        self._shape_keyspace = (SHAPE_FEATURE_NAMESPACE, SHAPE_FEATURE_VERSION)
+        self._color_keyspace = (color_feature_namespace(bins), COLOR_FEATURE_VERSION)
 
     def _shape_of(self, item: LabelledImage) -> np.ndarray:
         # Shares the shape-only pipelines' cache namespace, so a hybrid fit
         # after a shape-only fit (or vice versa) is all hits.
         if self.cache is None:
             return shape_features(item)
+        namespace, version = self._shape_keyspace
         return self.cache.get_or_compute(
-            SHAPE_FEATURE_NAMESPACE,
-            SHAPE_FEATURE_VERSION,
+            namespace,
+            version,
             item.image,
             lambda: shape_features(item),
         )
@@ -127,9 +134,10 @@ class HybridPipeline(RecognitionPipeline):
     def _color_of(self, item: LabelledImage) -> np.ndarray:
         if self.cache is None:
             return color_features(item, bins=self.bins)
+        namespace, version = self._color_keyspace
         return self.cache.get_or_compute(
-            color_feature_namespace(self.bins),
-            COLOR_FEATURE_VERSION,
+            namespace,
+            version,
             item.image,
             lambda: color_features(item, bins=self.bins),
         )
@@ -223,6 +231,22 @@ class HybridPipeline(RecognitionPipeline):
         with maybe_stage(self.stopwatch, "score"):
             if not features:
                 return np.empty((0, len(self.references)), dtype=np.float64)
+            if self._shape_matrix is not None and self._color_matrix is not None:
+                # One fused kernel call per block; rows are bit-identical to
+                # the per-query _thetas_of path.
+                shape_scores = match_shapes_block(
+                    hu_signature_matrix(np.vstack([s for s, _ in features])),
+                    self._shape_matrix,
+                    self.shape_distance,
+                )
+                color_scores = compare_histograms_block(
+                    stack_histograms([c for _, c in features]),
+                    self._color_matrix,
+                    self.color_metric,
+                )
+                if self.color_metric.higher_is_better:
+                    color_scores = 1.0 - color_scores
+                return self.alpha * shape_scores + self.beta * color_scores
             return np.vstack([self._thetas_of(s, c) for s, c in features])
 
     def predict_topk(self, query: LabelledImage, k: int = 3) -> list[Prediction]:
@@ -262,6 +286,22 @@ class HybridPipeline(RecognitionPipeline):
         if not queries:
             return []
         thetas = self.theta_scores_batch(queries)
+        if self.strategy == HybridStrategy.WEIGHTED_SUM and not self.keep_view_scores:
+            # One argmin call for the whole block instead of one per row.
+            references = self.references
+            with maybe_stage(self.stopwatch, "argmin"):
+                best = thetas.argmin(axis=1)
+            out = []
+            for index, row in zip(best, thetas):
+                winner = references[int(index)]
+                out.append(
+                    Prediction(
+                        label=winner.label,
+                        model_id=winner.model_id,
+                        score=float(row[index]),
+                    )
+                )
+            return out
         return [self._predict_from_thetas(row) for row in thetas]
 
     def _predict_from_thetas(self, thetas: np.ndarray) -> Prediction:

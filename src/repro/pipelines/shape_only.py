@@ -22,6 +22,7 @@ from repro.imaging.match_shapes import (
     hu_signature_matrix,
     match_shapes,
     match_shapes_batch,
+    match_shapes_block,
 )
 from repro.imaging.moments import hu_moments
 from repro.pipelines.base import MatchingPipeline
@@ -87,4 +88,13 @@ class ShapeOnlyPipeline(MatchingPipeline):
     def _score_batch(self, query_features: np.ndarray) -> np.ndarray:
         return match_shapes_batch(
             hu_signature(query_features), self._reference_matrix, self.distance
+        )
+
+    def _score_block(self, features) -> np.ndarray:
+        # One broadcasted kernel call for a whole micro-batch; rows are
+        # bit-identical to the per-query _score_batch path.
+        return match_shapes_block(
+            hu_signature_matrix(np.vstack(features)),
+            self._reference_matrix,
+            self.distance,
         )

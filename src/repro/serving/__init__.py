@@ -1,0 +1,61 @@
+"""Online recognition service: micro-batching, admission control, serving
+statistics and a seeded load generator.
+
+This is the latency-bound front door to the batch-scoring engine: where the
+offline :class:`~repro.engine.executor.ParallelExecutor` sweeps a known
+query list, :class:`~repro.serving.service.RecognitionService` answers
+single-image requests as they arrive — a mobile robot asking "what is this
+object?" mid-mission — while still riding the vectorized ``predict_batch``
+kernels through dynamic micro-batching.
+
+* :class:`~repro.serving.batcher.MicroBatcher` — bounded FIFO + flush
+  thread coalescing requests (``max_batch_size`` / ``max_wait_ms``);
+* :class:`~repro.serving.service.RecognitionService` — admission control
+  with :class:`~repro.errors.ServiceOverloaded` backpressure, per-request
+  deadlines, retry + fallback degradation, warm-started readiness;
+* :class:`~repro.serving.registry.PipelineRegistry` — named pipeline
+  factories with cache-priming warm starts;
+* :class:`~repro.serving.stats.ServiceStats` / :class:`~repro.serving.
+  stats.ServingReport` — queue depth, batch-size histogram, p50/p95/p99
+  latency, degraded/rejected counts;
+* :mod:`~repro.serving.loadgen` — seeded open/closed-loop load generation
+  emitting ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+from repro.config import ServingSettings
+from repro.errors import (
+    DeadlineExceeded,
+    ServiceNotReady,
+    ServiceOverloaded,
+    ServingError,
+)
+from repro.serving.batcher import MicroBatcher
+from repro.serving.loadgen import (
+    LOAD_MODES,
+    build_workload,
+    format_loadgen_report,
+    run_loadgen,
+)
+from repro.serving.registry import PipelineRegistry, default_registry
+from repro.serving.service import RecognitionService
+from repro.serving.stats import ServiceStats, ServingReport
+
+__all__ = [
+    "DeadlineExceeded",
+    "LOAD_MODES",
+    "MicroBatcher",
+    "PipelineRegistry",
+    "RecognitionService",
+    "ServiceNotReady",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "ServingError",
+    "ServingReport",
+    "ServingSettings",
+    "build_workload",
+    "default_registry",
+    "format_loadgen_report",
+    "run_loadgen",
+]

@@ -1,0 +1,174 @@
+"""Dynamic micro-batching: coalesce queued requests into bounded batches.
+
+Online callers submit one query at a time, but the PR 2 scoring kernels are
+at their best on contiguous blocks (`predict_batch` scores a whole block
+against the reference matrix in single NumPy expressions).
+:class:`MicroBatcher` bridges the two: submissions land in a bounded FIFO
+queue, and a single flush thread drains it in batches of at most
+``max_batch_size``, waiting at most ``max_wait_ms`` from the moment the
+oldest queued item arrived.  Under load, flushes run back-to-back at full
+batch size; at a trickle, each item waits no longer than the window.
+
+Timing guarantee: an item is handed to the flush callable no later than
+``max_wait_ms`` plus one in-flight flush after it was submitted — the flush
+thread never sleeps while items are queued and a batch slot is free.
+
+The batcher is generic over item type (the service queues request records);
+``flush`` runs on the batcher's thread with no lock held, so it may block
+without stalling admission.  A full queue rejects new submissions with
+:class:`~repro.errors.ServiceOverloaded` — admission control, not silent
+unbounded queueing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from repro.errors import ServiceNotReady, ServiceOverloaded, ServingError
+
+
+class MicroBatcher:
+    """Bounded FIFO queue drained in batches by one background thread.
+
+    *flush* is called with a non-empty list of items, in submission order;
+    exceptions it raises are routed to *on_error* (default: swallowed, so a
+    bad batch can never kill the flush thread — the service resolves its
+    requests' futures itself and never raises from its flush).  *on_discard*
+    receives items dropped by a non-draining :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        flush: Callable[[list], None],
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue_depth: int | None = None,
+        on_error: Callable[[Sequence, BaseException], None] | None = None,
+        on_discard: Callable[[Any], None] | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ServingError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ServingError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServingError(
+                f"max_queue_depth must be >= 1 (or None), got {max_queue_depth}"
+            )
+        self._flush = flush
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.max_queue_depth = max_queue_depth
+        self._on_error = on_error
+        self._on_discard = on_discard
+        self._clock = clock
+        self._queue: deque[tuple[Any, float]] = deque()
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        self._draining = True
+
+    @property
+    def running(self) -> bool:
+        """Whether the flush thread is accepting submissions."""
+        return self._thread is not None and not self._stopping
+
+    @property
+    def depth(self) -> int:
+        """Items currently queued (excludes the batch being flushed)."""
+        with self._cond:
+            return len(self._queue)
+
+    def start(self) -> "MicroBatcher":
+        """Spawn the flush thread; idempotent while running."""
+        with self._cond:
+            if self._stopping:
+                raise ServingError("a stopped MicroBatcher cannot be restarted")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="micro-batcher", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def submit(self, item) -> int:
+        """Enqueue *item*; returns the queue depth after enqueue.
+
+        Raises :class:`ServiceOverloaded` when the queue is at
+        ``max_queue_depth`` and :class:`ServiceNotReady` when the batcher is
+        not running.
+        """
+        with self._cond:
+            if self._thread is None or self._stopping:
+                raise ServiceNotReady("micro-batcher is not running")
+            if (
+                self.max_queue_depth is not None
+                and len(self._queue) >= self.max_queue_depth
+            ):
+                raise ServiceOverloaded(
+                    f"admission queue full ({self.max_queue_depth} requests queued)"
+                )
+            self._queue.append((item, self._clock()))
+            depth = len(self._queue)
+            self._cond.notify()
+        return depth
+
+    def stop(self, drain: bool = True, timeout: float | None = 10.0) -> None:
+        """Stop the flush thread.
+
+        With *drain* (default) every queued item is still flushed before the
+        thread exits; without it, queued items are handed to ``on_discard``
+        and dropped.  Idempotent.
+        """
+        with self._cond:
+            if self._thread is None:
+                self._stopping = True
+                return
+            self._stopping = True
+            self._draining = drain
+            self._cond.notify_all()
+            thread = self._thread
+        thread.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- flush thread --------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            try:
+                self._flush(batch)
+            except BaseException as exc:  # never kill the flush thread
+                if self._on_error is not None:
+                    self._on_error(batch, exc)
+
+    def _next_batch(self) -> list | None:
+        """Block until a batch is due; ``None`` means shut down."""
+        with self._cond:
+            while not self._queue and not self._stopping:
+                self._cond.wait()
+            if self._stopping and (not self._queue or not self._draining):
+                if self._queue and self._on_discard is not None:
+                    for item, _ in self._queue:
+                        self._on_discard(item)
+                self._queue.clear()
+                return None
+            # The batching window opens when the oldest queued item arrived.
+            window_closes = self._queue[0][1] + self.max_wait_s
+            while len(self._queue) < self.max_batch_size and not self._stopping:
+                remaining = window_closes - self._clock()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            take = min(self.max_batch_size, len(self._queue))
+            return [self._queue.popleft()[0] for _ in range(take)]

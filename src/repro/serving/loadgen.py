@@ -1,0 +1,290 @@
+"""Seeded load generator for the online recognition service.
+
+Drives a warm :class:`~repro.serving.service.RecognitionService` with
+NYUSet crops under one of two canonical load models:
+
+* **closed loop** — ``clients`` synthetic callers, each submitting its next
+  request the moment the previous answer returns (throughput-oriented:
+  concurrency is fixed, arrival rate adapts to service speed);
+* **open loop** — requests arrive on a seeded Poisson schedule at
+  ``rate_hz`` regardless of completions (latency-oriented: models external
+  traffic that does not slow down when the service does, so queueing and
+  admission control actually bite).
+
+Every run also times two single-request baselines on the same warm pipeline:
+
+* **sequential** — the same queries one ``predict()`` at a time through the
+  vectorized per-query kernel (the best a single-request caller gets today);
+* **scalar** — a twin of the pipeline with ``batch_scoring`` off, scoring a
+  query subset through the per-view Python loop (the pre-vectorization
+  single-request path, the baseline ``benchmarks/test_batch_scoring.py``
+  measures speedups against).
+
+Feature caches are warmed for every path first, so the comparison isolates
+scheduling + scoring.  ``speedup_vs_scalar`` is the headline micro-batching
+win; ``speedup_vs_sequential`` shows what batching adds on top of the
+already-vectorized single-query path (bounded by the per-call overhead it
+amortises — on a single-core host the two paths share one CPU, so this
+ratio is structurally modest there).
+
+:func:`run_loadgen` returns the ``BENCH_serving.json`` payload: latency
+percentiles, throughput, batch-size histogram, rejection/degradation
+counts, the baseline and the speedup, plus a prediction-equivalence check
+(micro-batched answers must be bit-identical to sequential ones for every
+non-degraded request).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Sequence
+
+from repro.config import ExperimentConfig, ServingSettings, rng as make_rng
+from repro.datasets.dataset import LabelledImage
+from repro.datasets.nyu import build_nyu
+from repro.datasets.shapenet import build_sns1
+from repro.errors import ServiceOverloaded, ServingError
+from repro.pipelines.base import Prediction, RecognitionPipeline
+from repro.serving.service import RecognitionService
+
+LOAD_MODES = ("closed", "open")
+
+
+def build_workload(
+    config: ExperimentConfig, requests: int, seed: int | None = None
+) -> list[LabelledImage]:
+    """*requests* NYUSet crops in a seeded shuffled order (cycled when the
+    scaled set is smaller than the request count)."""
+    if requests < 1:
+        raise ServingError(f"requests must be >= 1, got {requests}")
+    crops = list(build_nyu(config))
+    order = make_rng(config.seed if seed is None else seed).permutation(len(crops))
+    return [crops[int(order[i % len(crops)])] for i in range(requests)]
+
+
+#: Queries timed through the scalar twin — the per-view Python loop is
+#: ~50x slower per query, so a capped probe keeps loadgen runs short.
+_SCALAR_PROBE = 32
+
+
+def _sequential_baseline(
+    pipeline: RecognitionPipeline, queries: Sequence[LabelledImage]
+) -> tuple[list[Prediction], float]:
+    """The one-query-at-a-time ``predict()`` path: predictions and seconds."""
+    started = time.perf_counter()
+    predictions = [pipeline.predict(query) for query in queries]
+    return predictions, time.perf_counter() - started
+
+
+def _scalar_baseline_qps(
+    pipeline_name: str,
+    registry,
+    references,
+    config: ExperimentConfig,
+    queries: Sequence[LabelledImage],
+) -> float | None:
+    """Single-request throughput of the ``batch_scoring=False`` twin.
+
+    ``None`` when the pipeline has no scalar twin (e.g. the most-frequent
+    baseline, which never scores views).
+    """
+    twin = registry.build(pipeline_name, config)
+    if not getattr(twin, "batch_scoring", False):
+        return None
+    twin.batch_scoring = False
+    twin.fit(references)  # reference features come warm from the shared cache
+    probe = list(queries)[:_SCALAR_PROBE]
+    twin.predict(probe[0])  # exercise the code path before timing
+    started = time.perf_counter()
+    for query in probe:
+        twin.predict(query)
+    elapsed = time.perf_counter() - started
+    return len(probe) / elapsed if elapsed else None
+
+
+def _drive_closed_loop(
+    service: RecognitionService,
+    queries: Sequence[LabelledImage],
+    clients: int,
+) -> list[Prediction | None]:
+    """*clients* callers in lockstep with their own completions."""
+    results: list[Prediction | None] = [None] * len(queries)
+
+    def client(start: int) -> None:
+        for index in range(start, len(queries), clients):
+            try:
+                results[index] = service.recognize(queries[index])
+            except Exception:
+                results[index] = None  # rejected/failed: counted by the stats
+
+    threads = [
+        threading.Thread(target=client, args=(start,), name=f"loadgen-{start}")
+        for start in range(min(clients, len(queries)))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def _drive_open_loop(
+    service: RecognitionService,
+    queries: Sequence[LabelledImage],
+    rate_hz: float,
+    seed: int,
+) -> list[Prediction | None]:
+    """Seeded Poisson arrivals at *rate_hz*, submissions never wait for
+    completions; rejected requests are dropped (and counted)."""
+    rng = make_rng(seed)
+    inter_arrivals = rng.exponential(1.0 / rate_hz, size=len(queries))
+    futures: list = [None] * len(queries)
+    next_arrival = time.monotonic()
+    for index, query in enumerate(queries):
+        next_arrival += float(inter_arrivals[index])
+        delay = next_arrival - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            futures[index] = service.submit(query)
+        except ServiceOverloaded:
+            futures[index] = None
+    results: list[Prediction | None] = [None] * len(queries)
+    for index, future in enumerate(futures):
+        if future is None:
+            continue
+        try:
+            results[index] = future.result(timeout=30.0)
+        except Exception:
+            results[index] = None
+    return results
+
+
+def run_loadgen(
+    pipeline_name: str = "hybrid",
+    config: ExperimentConfig | None = None,
+    settings: ServingSettings | None = None,
+    requests: int = 120,
+    clients: int = 32,
+    mode: str = "closed",
+    rate_hz: float = 200.0,
+    fallback: str | None = None,
+    registry=None,
+) -> dict:
+    """One full load-generation run; returns the BENCH_serving.json payload.
+
+    Warm-starts *pipeline_name* on ShapeNetSet1, times the sequential
+    baseline over the workload, then serves the same workload through a
+    micro-batched service under the chosen load model.
+    """
+    if mode not in LOAD_MODES:
+        raise ServingError(f"unknown load mode {mode!r}, expected one of {LOAD_MODES}")
+    if clients < 1:
+        raise ServingError(f"clients must be >= 1, got {clients}")
+    if mode == "open" and rate_hz <= 0:
+        raise ServingError(f"open-loop rate_hz must be > 0, got {rate_hz}")
+    config = config or ExperimentConfig(nyu_scale=0.05)
+    settings = settings or ServingSettings()
+
+    from repro.serving.registry import default_registry
+
+    registry = registry or default_registry()
+    references = build_sns1(config)
+    pipeline = registry.warm_start(pipeline_name, references, config)
+    queries = build_workload(config, requests)
+
+    # Prime the feature cache with every query once, so both the baseline
+    # and the service score warm — the comparison isolates scheduling +
+    # scoring, not first-touch extraction.
+    pipeline.predict_batch(queries)
+
+    sequential, sequential_seconds = _sequential_baseline(pipeline, queries)
+    sequential_qps = len(queries) / sequential_seconds if sequential_seconds else 0.0
+    scalar_qps = _scalar_baseline_qps(
+        pipeline_name, registry, references, config, queries
+    )
+
+    # Serve through the very pipeline we baselined (same caches, same
+    # matrices) so the two paths differ only in scheduling.
+    fallback_pipeline = (
+        registry.warm_start(fallback, references, config) if fallback else None
+    )
+    service = RecognitionService(
+        pipeline, settings=settings, fallback=fallback_pipeline
+    ).start()
+    try:
+        if mode == "closed":
+            served = _drive_closed_loop(service, queries, clients)
+        else:
+            served = _drive_open_loop(service, queries, rate_hz, seed=config.seed)
+    finally:
+        service.stop(drain=True)
+
+    report = service.report()
+    mismatches = sum(
+        1
+        for answer, expected in zip(served, sequential)
+        if answer is not None
+        and not answer.degraded
+        and (answer.label, answer.model_id, answer.score)
+        != (expected.label, expected.model_id, expected.score)
+    )
+    payload = {
+        "pipeline": pipeline_name,
+        "fallback": fallback,
+        "seed": config.seed,
+        "nyu_scale": config.nyu_scale,
+        "mode": mode,
+        "requests": requests,
+        "clients": clients if mode == "closed" else None,
+        "rate_hz": rate_hz if mode == "open" else None,
+        "max_batch_size": settings.max_batch_size,
+        "max_wait_ms": settings.max_wait_ms,
+        "max_queue_depth": settings.max_queue_depth,
+        "serving": report.as_dict(),
+        "sequential_qps": round(sequential_qps, 2),
+        "scalar_qps": round(scalar_qps, 2) if scalar_qps is not None else None,
+        "speedup_vs_sequential": (
+            round(report.throughput_qps / sequential_qps, 2) if sequential_qps else 0.0
+        ),
+        "speedup_vs_scalar": (
+            round(report.throughput_qps / scalar_qps, 2) if scalar_qps else None
+        ),
+        "prediction_mismatches": mismatches,
+    }
+    return payload
+
+
+def format_loadgen_report(payload: dict) -> str:
+    """Human-readable digest of a :func:`run_loadgen` payload."""
+    serving = payload["serving"]
+    latency = serving["latency_ms"]
+    load = (
+        f"{payload['clients']} closed-loop clients"
+        if payload["mode"] == "closed"
+        else f"open loop @ {payload['rate_hz']:g}/s"
+    )
+    lines = [
+        f"loadgen: {payload['requests']} requests over {payload['pipeline']} "
+        f"({load}, batch<= {payload['max_batch_size']}, "
+        f"wait<= {payload['max_wait_ms']:g}ms)",
+        f"  latency   p50 {latency['p50']:.1f}ms   p95 {latency['p95']:.1f}ms   "
+        f"p99 {latency['p99']:.1f}ms   max {latency['max']:.1f}ms",
+        f"  throughput {serving['throughput_qps']:.1f} req/s   "
+        f"sequential {payload['sequential_qps']:.1f} req/s "
+        f"({payload['speedup_vs_sequential']:.1f}x)   "
+        + (
+            f"scalar {payload['scalar_qps']:.1f} req/s "
+            f"({payload['speedup_vs_scalar']:.1f}x)"
+            if payload.get("scalar_qps")
+            else "scalar n/a"
+        ),
+        f"  batches   {serving['batches']} flushes, mean size "
+        f"{serving['mean_batch_size']:.1f}, peak queue "
+        f"{serving['peak_queue_depth']}",
+        f"  outcomes  {serving['completed']} served, {serving['rejected']} "
+        f"rejected, {serving['degraded']} degraded, {serving['failed']} failed, "
+        f"{payload['prediction_mismatches']} mismatches",
+    ]
+    return "\n".join(lines)

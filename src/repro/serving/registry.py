@@ -1,0 +1,109 @@
+"""Named pipeline factories with warm-started builds.
+
+A service should not report ready and then spend its first requests paying
+fit costs: :meth:`PipelineRegistry.warm_start` builds the named pipeline,
+fits it on the reference library (which extracts every reference feature
+through the :class:`~repro.engine.cache.FeatureCache` and stacks the
+reference matrix through the :class:`~repro.engine.cache.
+ReferenceMatrixCache`), then runs one probe prediction so the query-side
+code paths — extraction, batched scoring, argmin — are all exercised before
+the first real request arrives.
+
+:func:`default_registry` registers the serveable configurations: the three
+matching families the paper evaluates plus the unfailable most-frequent
+baseline (the natural terminal fallback stage).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import ExperimentConfig
+from repro.datasets.dataset import ImageDataset
+from repro.errors import ServingError
+from repro.pipelines.base import RecognitionPipeline
+
+#: A factory maps an :class:`ExperimentConfig` to a fresh, unfitted pipeline.
+PipelineFactory = Callable[[ExperimentConfig], RecognitionPipeline]
+
+
+class PipelineRegistry:
+    """Registry of named pipeline factories (build + warm-start)."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, PipelineFactory] = {}
+
+    def register(
+        self, name: str, factory: PipelineFactory, overwrite: bool = False
+    ) -> None:
+        """Register *factory* under *name* (guarded against collisions)."""
+        if not overwrite and name in self._factories:
+            raise ServingError(f"pipeline {name!r} is already registered")
+        self._factories[name] = factory
+
+    def names(self) -> tuple[str, ...]:
+        """Registered pipeline names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def build(
+        self, name: str, config: ExperimentConfig | None = None
+    ) -> RecognitionPipeline:
+        """A fresh, unfitted pipeline for *name*."""
+        if name not in self._factories:
+            raise ServingError(
+                f"unknown pipeline {name!r}; registered: {', '.join(self.names())}"
+            )
+        return self._factories[name](config or ExperimentConfig())
+
+    def warm_start(
+        self,
+        name: str,
+        references: ImageDataset,
+        config: ExperimentConfig | None = None,
+        probe: bool = True,
+    ) -> RecognitionPipeline:
+        """Build *name*, fit it on *references* and exercise a probe query.
+
+        After this returns, the feature cache holds every reference feature,
+        the reference matrix is stacked, and (with *probe*) one prediction
+        has run end to end — the pipeline is ready to serve at full speed.
+        """
+        if not len(references):
+            raise ServingError("warm_start needs a non-empty reference library")
+        pipeline = self.build(name, config)
+        pipeline.fit(references)
+        if probe:
+            pipeline.predict_batch([references[0]])
+        return pipeline
+
+
+def default_registry() -> PipelineRegistry:
+    """The serveable configurations: paper pipelines + unfailable baseline."""
+    from repro.imaging.histogram import HistogramMetric
+    from repro.imaging.match_shapes import ShapeDistance
+    from repro.pipelines.baseline import MostFrequentClassPipeline
+    from repro.pipelines.color_only import ColorOnlyPipeline
+    from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+    from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+    registry = PipelineRegistry()
+    registry.register(
+        "shape-only", lambda config: ShapeOnlyPipeline(ShapeDistance.L3)
+    )
+    registry.register(
+        "color-only",
+        lambda config: ColorOnlyPipeline(
+            HistogramMetric.HELLINGER, bins=config.histogram_bins
+        ),
+    )
+    registry.register(
+        "hybrid",
+        lambda config: HybridPipeline(
+            HybridStrategy.WEIGHTED_SUM,
+            alpha=config.alpha,
+            beta=config.beta,
+            bins=config.histogram_bins,
+        ),
+    )
+    registry.register("most-frequent", lambda config: MostFrequentClassPipeline())
+    return registry

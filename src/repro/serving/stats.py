@@ -1,0 +1,217 @@
+"""Service-level statistics: queue depth, batch sizes, latency percentiles.
+
+:class:`ServiceStats` is the thread-safe mutable collector the service and
+its micro-batcher write into while requests flow; :class:`ServingReport` is
+the immutable snapshot handed to callers — the serving counterpart of the
+engine's :class:`~repro.engine.instrument.RunStats`, rendered by
+:func:`~repro.evaluation.tables.format_timings_table`'s sibling
+:func:`format_serving_report` and serialised into ``BENCH_serving.json``
+by the load generator.
+
+Latency is measured per request from admission to response (so it includes
+queueing, batching wait and scoring); throughput is completed requests over
+the wall-clock span from the first admission to the last response.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Immutable snapshot of one service's lifetime counters.
+
+    ``submitted`` counts admitted requests only; ``rejected`` the requests
+    turned away at the admission queue.  ``completed`` splits into plain and
+    ``degraded`` (served by the fallback stage after a primary failure or an
+    expired deadline — ``expired`` is the deadline subset).  ``failed``
+    requests resolved with an exception.  ``batch_histogram`` maps flush
+    batch size to occurrence count; the latency fields are milliseconds over
+    all completed requests.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    degraded: int = 0
+    expired: int = 0
+    batches: int = 0
+    peak_queue_depth: int = 0
+    queue_depth: int = 0
+    batch_histogram: Mapping[int, int] = field(default_factory=dict)
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_max_ms: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet resolved either way."""
+        return self.submitted - self.completed - self.failed
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per flush (0.0 before any flush)."""
+        total = sum(size * count for size, count in self.batch_histogram.items())
+        return total / self.batches if self.batches else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed requests per second of wall time (0.0 when idle)."""
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest (RunStats style)."""
+        text = (
+            f"{self.completed}/{self.submitted} served, "
+            f"{self.throughput_qps:.1f} req/s, "
+            f"p50 {self.latency_p50_ms:.1f}ms p95 {self.latency_p95_ms:.1f}ms "
+            f"p99 {self.latency_p99_ms:.1f}ms, "
+            f"mean batch {self.mean_batch_size:.1f}"
+        )
+        extras = []
+        if self.rejected:
+            extras.append(f"{self.rejected} rejected")
+        if self.degraded:
+            extras.append(f"{self.degraded} degraded")
+        if self.failed:
+            extras.append(f"{self.failed} failed")
+        if extras:
+            text += ", " + ", ".join(extras)
+        return text
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (histogram keys stringified, derived fields
+        included) — the shape ``BENCH_serving.json`` records."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "degraded": self.degraded,
+            "expired": self.expired,
+            "batches": self.batches,
+            "peak_queue_depth": self.peak_queue_depth,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "batch_histogram": {
+                str(size): count for size, count in sorted(self.batch_histogram.items())
+            },
+            "latency_ms": {
+                "p50": round(self.latency_p50_ms, 3),
+                "p95": round(self.latency_p95_ms, 3),
+                "p99": round(self.latency_p99_ms, 3),
+                "max": round(self.latency_max_ms, 3),
+            },
+            "throughput_qps": round(self.throughput_qps, 2),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+
+class ServiceStats:
+    """Thread-safe collector behind :class:`ServingReport`.
+
+    The service records admissions/rejections from client threads and
+    resolutions from the flush thread; every method takes the one lock, so
+    counters always reconcile (``submitted == completed + failed + pending``).
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._degraded = 0
+        self._expired = 0
+        self._peak_depth = 0
+        self._batch_histogram: dict[int, int] = {}
+        self._latencies: list[float] = []
+        self._first_submit: float | None = None
+        self._last_resolve: float | None = None
+
+    def record_submitted(self, queue_depth: int) -> None:
+        """One request admitted; *queue_depth* is the depth after enqueue."""
+        with self._lock:
+            self._submitted += 1
+            self._peak_depth = max(self._peak_depth, queue_depth)
+            if self._first_submit is None:
+                self._first_submit = self._clock()
+
+    def record_rejected(self) -> None:
+        """One request turned away at the admission queue."""
+        with self._lock:
+            self._rejected += 1
+
+    def record_batch(self, size: int) -> None:
+        """One flush of *size* requests left the queue."""
+        with self._lock:
+            self._batch_histogram[size] = self._batch_histogram.get(size, 0) + 1
+
+    def record_completed(
+        self, latency_seconds: float, degraded: bool = False, expired: bool = False
+    ) -> None:
+        """One request resolved with a prediction."""
+        with self._lock:
+            self._completed += 1
+            if degraded:
+                self._degraded += 1
+            if expired:
+                self._expired += 1
+            self._latencies.append(latency_seconds)
+            self._last_resolve = self._clock()
+
+    def record_completed_many(self, latencies_seconds: list[float]) -> None:
+        """A whole flush of plain (non-degraded) completions in one lock
+        acquisition — the happy-path cost is per batch, not per request."""
+        if not latencies_seconds:
+            return
+        with self._lock:
+            self._completed += len(latencies_seconds)
+            self._latencies.extend(latencies_seconds)
+            self._last_resolve = self._clock()
+
+    def record_failed(self, expired: bool = False) -> None:
+        """One request resolved with an exception."""
+        with self._lock:
+            self._failed += 1
+            if expired:
+                self._expired += 1
+            self._last_resolve = self._clock()
+
+    def snapshot(self, queue_depth: int = 0) -> ServingReport:
+        """The current counters frozen into a :class:`ServingReport`."""
+        with self._lock:
+            if self._latencies:
+                p50, p95, p99 = np.percentile(self._latencies, [50, 95, 99])
+                worst = max(self._latencies)
+            else:
+                p50 = p95 = p99 = worst = 0.0
+            wall = 0.0
+            if self._first_submit is not None and self._last_resolve is not None:
+                wall = max(0.0, self._last_resolve - self._first_submit)
+            return ServingReport(
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                failed=self._failed,
+                degraded=self._degraded,
+                expired=self._expired,
+                batches=sum(self._batch_histogram.values()),
+                peak_queue_depth=self._peak_depth,
+                queue_depth=queue_depth,
+                batch_histogram=dict(self._batch_histogram),
+                latency_p50_ms=float(p50) * 1000.0,
+                latency_p95_ms=float(p95) * 1000.0,
+                latency_p99_ms=float(p99) * 1000.0,
+                latency_max_ms=float(worst) * 1000.0,
+                wall_seconds=wall,
+            )

@@ -31,6 +31,42 @@ class TestContentHash:
         assert content_hash(data) == content_hash(transposed_back)
 
 
+class TestContentHashMemo:
+    """The per-object digest memo: hash once, reuse across namespaces."""
+
+    def test_repeat_lookups_reuse_the_memoised_digest(self):
+        from repro.engine.cache import _CONTENT_HASH_MEMO
+
+        data = image(11)
+        first = content_hash(data)
+        assert _CONTENT_HASH_MEMO.get(id(data)) == first
+        assert content_hash(data) == first
+
+    def test_memo_entry_evicted_when_the_array_is_collected(self):
+        import gc
+
+        from repro.engine.cache import _CONTENT_HASH_MEMO
+
+        data = image(12)
+        key = id(data)
+        content_hash(data)
+        assert key in _CONTENT_HASH_MEMO
+        del data
+        gc.collect()
+        assert key not in _CONTENT_HASH_MEMO
+
+    def test_distinct_objects_with_equal_content_agree(self):
+        # The memo is an optimisation, never a semantic change: two arrays
+        # with identical content still produce one digest.
+        assert content_hash(image(13)) == content_hash(image(13))
+
+    def test_non_weakrefable_inputs_still_hash(self):
+        # Plain nested lists cannot carry a weakref; the memo is skipped but
+        # the digest is still computed (and matches the ndarray form).
+        payload = [[0.0, 1.0], [2.0, 3.0]]
+        assert content_hash(payload) == content_hash(np.asarray(payload))
+
+
 class TestMemoryTier:
     def test_miss_then_hit(self):
         cache = FeatureCache()

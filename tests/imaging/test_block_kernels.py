@@ -1,0 +1,157 @@
+"""Bit-identity of the cross-query block kernels.
+
+``match_shapes_block`` / ``compare_histograms_block`` score a whole query
+block against the reference matrix at once; they back the serving fast path,
+whose contract is that micro-batched answers equal sequential ones *bit for
+bit*.  So unlike the per-query batch kernels (tolerance-tested against the
+scalar loop), every row of a block result must be ``np.array_equal`` to the
+corresponding single-query batch call — including NaN rows, degenerate
+histograms and blocks larger than the internal cache chunk.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ImageError
+from repro.imaging.histogram import (
+    HistogramMetric,
+    compare_histograms_batch,
+    compare_histograms_block,
+    stack_histograms,
+)
+from repro.imaging.match_shapes import (
+    ShapeDistance,
+    hu_signature_matrix,
+    match_shapes_batch,
+    match_shapes_block,
+)
+
+from tests.imaging.test_batch_kernels import random_histograms, random_hu_rows
+
+DISTANCES = tuple(ShapeDistance)
+METRICS = tuple(HistogramMetric)
+
+#: The kernels chunk internally at 32 queries; block sizes straddle it.
+CHUNK_STRADDLE = (1, 2, 31, 32, 33, 70)
+
+
+class TestMatchShapesBlock:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), distance=st.sampled_from(DISTANCES))
+    def test_rows_bitwise_equal_per_query_batch(self, seed, distance):
+        rng = np.random.default_rng(seed)
+        queries = int(rng.integers(1, 40))
+        views = int(rng.integers(1, 25))
+        query_matrix = hu_signature_matrix(random_hu_rows(rng, queries))
+        ref_matrix = hu_signature_matrix(random_hu_rows(rng, views))
+
+        block = match_shapes_block(query_matrix, ref_matrix, distance)
+        assert block.shape == (queries, views)
+        for row_index in range(queries):
+            expected = match_shapes_batch(
+                query_matrix[row_index], ref_matrix, distance
+            )
+            assert np.array_equal(block[row_index], expected, equal_nan=True)
+
+    @pytest.mark.parametrize("queries", CHUNK_STRADDLE)
+    def test_chunking_is_invisible(self, queries):
+        # Blocks larger than the internal chunk must score identically to
+        # per-row calls — chunk boundaries cannot change a single bit.
+        rng = np.random.default_rng(queries)
+        query_matrix = hu_signature_matrix(random_hu_rows(rng, queries))
+        ref_matrix = hu_signature_matrix(random_hu_rows(rng, 9))
+        for distance in DISTANCES:
+            block = match_shapes_block(query_matrix, ref_matrix, distance)
+            rows = np.vstack(
+                [
+                    match_shapes_batch(query_matrix[i], ref_matrix, distance)
+                    for i in range(queries)
+                ]
+            )
+            assert np.array_equal(block, rows, equal_nan=True)
+
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_nan_rows_score_inf_both_ways(self, distance):
+        query_matrix = hu_signature_matrix(
+            np.vstack([np.full(7, 0.25), np.full(7, np.nan)])
+        )
+        ref_matrix = hu_signature_matrix(
+            np.vstack([np.full(7, 0.5), np.full(7, np.nan)])
+        )
+        block = match_shapes_block(query_matrix, ref_matrix, distance)
+        assert np.isinf(block[1]).all()  # NaN query row
+        assert np.isinf(block[:, 1]).all()  # NaN reference row
+        assert np.isfinite(block[0, 0])
+
+    def test_shape_validation(self):
+        refs = hu_signature_matrix(np.ones((2, 7)))
+        with pytest.raises(ImageError):
+            match_shapes_block(np.ones(7), refs)  # 1-D query matrix
+        with pytest.raises(ImageError):
+            match_shapes_block(np.ones((2, 5)), refs)  # wrong width
+
+
+class TestCompareHistogramsBlock:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), metric=st.sampled_from(METRICS))
+    def test_rows_bitwise_equal_per_query_batch(self, seed, metric):
+        rng = np.random.default_rng(seed)
+        queries = int(rng.integers(1, 40))
+        views = int(rng.integers(1, 20))
+        width = int(rng.integers(1, 64))
+        query_matrix = stack_histograms(random_histograms(rng, queries, width))
+        ref_matrix = stack_histograms(random_histograms(rng, views, width))
+
+        block = compare_histograms_block(query_matrix, ref_matrix, metric)
+        assert block.shape == (queries, views)
+        for row_index in range(queries):
+            expected = compare_histograms_batch(
+                query_matrix[row_index], ref_matrix, metric
+            )
+            assert np.array_equal(block[row_index], expected, equal_nan=True)
+
+    @pytest.mark.parametrize("queries", CHUNK_STRADDLE)
+    def test_chunking_is_invisible(self, queries):
+        rng = np.random.default_rng(queries)
+        query_matrix = stack_histograms(random_histograms(rng, queries, 24))
+        ref_matrix = stack_histograms(random_histograms(rng, 7, 24))
+        for metric in METRICS:
+            block = compare_histograms_block(query_matrix, ref_matrix, metric)
+            rows = np.vstack(
+                [
+                    compare_histograms_batch(query_matrix[i], ref_matrix, metric)
+                    for i in range(queries)
+                ]
+            )
+            assert np.array_equal(block, rows, equal_nan=True)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_degenerate_rows_match_per_query_exactly(self, metric):
+        # Zero-mass and constant rows exercise every degenerate branch on
+        # both the query and the reference axis simultaneously.
+        width = 12
+        rows = np.vstack(
+            [
+                np.zeros(width),
+                np.full(width, 0.25),
+                np.ones(width) / width,
+                np.linspace(0.0, 1.0, width),
+            ]
+        )
+        block = compare_histograms_block(
+            stack_histograms(rows), stack_histograms(rows), metric
+        )
+        for row_index in range(len(rows)):
+            expected = compare_histograms_batch(
+                rows[row_index], stack_histograms(rows), metric
+            )
+            assert np.array_equal(block[row_index], expected, equal_nan=True)
+
+    def test_shape_validation(self):
+        refs = stack_histograms(np.ones((2, 5)))
+        with pytest.raises(ImageError):
+            compare_histograms_block(np.ones(5), refs)
+        with pytest.raises(ImageError):
+            compare_histograms_block(np.ones((2, 4)), refs)

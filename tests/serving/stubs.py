@@ -1,0 +1,76 @@
+"""Controllable stand-in pipelines for the serving tests.
+
+The real pipelines are deterministic but not controllable: overload and
+deadline tests need a pipeline that blocks until told to proceed, and the
+isolation tests need one that fails on chosen queries.  ``StubPipeline``
+provides both knobs while honouring the full pipeline contract (fit /
+predict / predict_batch / references)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.errors import PipelineError
+from repro.pipelines.base import Prediction, RecognitionPipeline
+
+
+class StubFault(PipelineError):
+    """The deliberate failure raised by a faulted stub prediction.
+
+    Derives from :class:`PipelineError` so the default
+    :class:`~repro.engine.faults.RetryPolicy` treats it as retryable."""
+
+
+class StubPipeline(RecognitionPipeline):
+    """Deterministic pipeline with blocking and fault injection hooks.
+
+    * ``hold`` — while set (cleared Event), ``predict_batch`` blocks until
+      :meth:`release` is called; lets a test pin the flush thread mid-batch.
+    * ``batch_fails`` — ``predict_batch`` raises, forcing the service onto
+      its per-request isolation path.
+    * ``fail_labels`` — ``predict`` raises :class:`StubFault` for queries
+      with these labels (isolation / fallback routing tests).
+    """
+
+    name = "stub"
+
+    def __init__(
+        self,
+        hold: bool = False,
+        batch_fails: bool = False,
+        fail_labels: frozenset[str] | set[str] = frozenset(),
+    ) -> None:
+        super().__init__()
+        self._gate = threading.Event()
+        if not hold:
+            self._gate.set()
+        self.batch_fails = batch_fails
+        self.fail_labels = frozenset(fail_labels)
+        self.batch_calls: list[int] = []
+        self.predict_calls = 0
+
+    def release(self) -> None:
+        """Unblock any held ``predict_batch`` call (idempotent)."""
+        self._gate.set()
+
+    def fit(self, references: ImageDataset) -> "StubPipeline":
+        self._references = references
+        return self
+
+    def predict(self, query: LabelledImage) -> Prediction:
+        self.predict_calls += 1
+        if query.label in self.fail_labels:
+            raise StubFault(f"stub refuses label {query.label!r}")
+        return Prediction(
+            label=query.label,
+            model_id=f"stub-{query.label}",
+            score=float(query.view_id),
+        )
+
+    def predict_batch(self, queries) -> list[Prediction]:
+        self._gate.wait()
+        self.batch_calls.append(len(queries))
+        if self.batch_fails:
+            raise StubFault("stub batch kernel down")
+        return [self.predict(query) for query in queries]

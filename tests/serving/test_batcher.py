@@ -1,0 +1,225 @@
+"""Deterministic properties of the micro-batcher.
+
+The timing contract under test: an item is handed to the flush callable no
+later than ``max_wait_ms`` plus one in-flight flush after submission, a full
+queue flushes immediately (no window stalling), order is preserved, and the
+bounded queue rejects with :class:`ServiceOverloaded` instead of growing.
+Tests that need to observe queue state mid-flight pin the flush thread with
+an event rather than sleeping, so they are schedule-independent.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceNotReady, ServiceOverloaded, ServingError
+from repro.serving.batcher import MicroBatcher
+
+
+class FlushRecorder:
+    """Collects flushed batches plus the wall-clock time of each flush."""
+
+    def __init__(self, hold: bool = False):
+        self.batches: list[list] = []
+        self.flush_times: list[float] = []
+        self._gate = threading.Event()
+        if not hold:
+            self._gate.set()
+        self.entered = threading.Event()
+
+    def release(self):
+        self._gate.set()
+
+    def __call__(self, batch):
+        self.entered.set()
+        self._gate.wait()
+        self.flush_times.append(time.monotonic())
+        self.batches.append(batch)
+
+    @property
+    def items(self):
+        return [item for batch in self.batches for item in batch]
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        flush = lambda batch: None
+        with pytest.raises(ServingError):
+            MicroBatcher(flush, max_batch_size=0)
+        with pytest.raises(ServingError):
+            MicroBatcher(flush, max_wait_ms=-1.0)
+        with pytest.raises(ServingError):
+            MicroBatcher(flush, max_queue_depth=0)
+
+    def test_submit_before_start_rejected(self):
+        batcher = MicroBatcher(lambda batch: None)
+        with pytest.raises(ServiceNotReady):
+            batcher.submit("early")
+
+    def test_stopped_batcher_cannot_restart(self):
+        batcher = MicroBatcher(lambda batch: None).start()
+        batcher.stop()
+        with pytest.raises(ServingError):
+            batcher.start()
+        with pytest.raises(ServiceNotReady):
+            batcher.submit("late")
+
+
+class TestBatching:
+    def test_order_preserved_and_batch_size_capped(self):
+        # Pin the flush thread on a primer batch, queue 10 items behind it,
+        # then release: every later flush is capped at max_batch_size and
+        # the concatenation preserves submission order.
+        recorder = FlushRecorder(hold=True)
+        with MicroBatcher(recorder, max_batch_size=4, max_wait_ms=0.0) as batcher:
+            batcher.submit("primer")
+            recorder.entered.wait(timeout=5.0)
+            for index in range(10):
+                batcher.submit(index)
+            recorder.release()
+        assert recorder.items == ["primer"] + list(range(10))
+        assert all(len(batch) <= 4 for batch in recorder.batches)
+        # 10 queued items behind a held flush drain as full batches: 4+4+2.
+        assert [len(b) for b in recorder.batches[1:]] == [4, 4, 2]
+
+    def test_full_batch_flushes_without_waiting_for_window(self):
+        # With a 5-second window, a full batch must still flush immediately.
+        recorder = FlushRecorder()
+        with MicroBatcher(recorder, max_batch_size=4, max_wait_ms=5000.0) as batcher:
+            started = time.monotonic()
+            for index in range(4):
+                batcher.submit(index)
+            deadline = started + 2.0
+            while not recorder.batches and time.monotonic() < deadline:
+                time.sleep(0.001)
+        assert recorder.items == [0, 1, 2, 3]
+        assert recorder.flush_times[0] - started < 2.0
+
+    def test_single_item_flushed_within_window_bound(self):
+        # A lone item must not wait (much) past max_wait_ms: the contract is
+        # window + one in-flight flush; the margin absorbs scheduling noise.
+        recorder = FlushRecorder()
+        with MicroBatcher(recorder, max_batch_size=32, max_wait_ms=20.0) as batcher:
+            submitted = time.monotonic()
+            batcher.submit("lone")
+            deadline = submitted + 5.0
+            while not recorder.batches and time.monotonic() < deadline:
+                time.sleep(0.001)
+        assert recorder.items == ["lone"]
+        assert recorder.flush_times[0] - submitted < 0.020 + 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_seeded_schedules_lose_nothing_and_keep_order(self, seed):
+        # Property: under any seeded arrival schedule, draining the batcher
+        # flushes every submitted item exactly once, in submission order.
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(1, 40))
+        batch_size = int(rng.integers(1, 8))
+        recorder = FlushRecorder()
+        batcher = MicroBatcher(
+            recorder, max_batch_size=batch_size, max_wait_ms=float(rng.uniform(0, 2))
+        ).start()
+        for index in range(count):
+            batcher.submit(index)
+            if rng.random() < 0.3:
+                time.sleep(float(rng.uniform(0, 0.002)))
+        batcher.stop(drain=True)
+        assert recorder.items == list(range(count))
+        assert all(len(batch) <= batch_size for batch in recorder.batches)
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_service_overloaded(self):
+        recorder = FlushRecorder(hold=True)
+        batcher = MicroBatcher(
+            recorder, max_batch_size=1, max_wait_ms=0.0, max_queue_depth=2
+        ).start()
+        batcher.submit("primer")  # taken by the flush thread, which then holds
+        recorder.entered.wait(timeout=5.0)
+        assert batcher.submit("a") == 1
+        assert batcher.submit("b") == 2
+        with pytest.raises(ServiceOverloaded):
+            batcher.submit("c")
+        recorder.release()
+        batcher.stop(drain=True)
+        # The rejected item is gone; the admitted ones all flushed.
+        assert recorder.items == ["primer", "a", "b"]
+
+    def test_depth_reports_queued_items(self):
+        recorder = FlushRecorder(hold=True)
+        batcher = MicroBatcher(recorder, max_batch_size=1, max_wait_ms=0.0).start()
+        batcher.submit("primer")
+        recorder.entered.wait(timeout=5.0)
+        assert batcher.depth == 0
+        batcher.submit("queued")
+        assert batcher.depth == 1
+        recorder.release()
+        batcher.stop(drain=True)
+
+
+class TestStop:
+    def test_drain_flushes_queued_items(self):
+        recorder = FlushRecorder(hold=True)
+        batcher = MicroBatcher(recorder, max_batch_size=2, max_wait_ms=0.0).start()
+        batcher.submit("primer")
+        recorder.entered.wait(timeout=5.0)
+        for index in range(5):
+            batcher.submit(index)
+        recorder.release()
+        batcher.stop(drain=True)
+        assert recorder.items == ["primer"] + list(range(5))
+
+    def test_non_draining_stop_discards_to_hook(self):
+        discarded = []
+        recorder = FlushRecorder(hold=True)
+        batcher = MicroBatcher(
+            recorder,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            on_discard=discarded.append,
+        ).start()
+        batcher.submit("primer")
+        recorder.entered.wait(timeout=5.0)
+        batcher.submit("doomed-1")
+        batcher.submit("doomed-2")
+        recorder.release()
+        batcher.stop(drain=False)
+        # The in-flight primer still flushed; the queued items were handed
+        # to on_discard instead (in order), never to flush.
+        assert "primer" in recorder.items
+        assert discarded == ["doomed-1", "doomed-2"]
+        assert not set(discarded) & set(recorder.items)
+
+    def test_stop_is_idempotent(self):
+        batcher = MicroBatcher(lambda batch: None).start()
+        batcher.stop()
+        batcher.stop()
+
+
+class TestErrorRouting:
+    def test_flush_errors_never_kill_the_thread(self):
+        failures = []
+
+        def flaky(batch):
+            if batch[0] == "bad":
+                raise RuntimeError("boom")
+            survived.extend(batch)
+
+        survived: list = []
+        batcher = MicroBatcher(
+            flaky,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            on_error=lambda batch, exc: failures.append((list(batch), str(exc))),
+        ).start()
+        batcher.submit("bad")
+        batcher.submit("good")
+        batcher.stop(drain=True)
+        assert survived == ["good"]
+        assert failures == [(["bad"], "boom")]

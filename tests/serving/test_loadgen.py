@@ -1,0 +1,126 @@
+"""The load generator end to end: workload seeding, payload schema, and the
+serving-vs-sequential equivalence check baked into every run.
+
+Runs here are deliberately tiny (1% NYU scale, a few dozen requests) — the
+point is schema and invariants, not throughput numbers; the real benchmark
+is the CI loadgen smoke and ``repro loadgen``.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig, ServingSettings
+from repro.errors import ServingError
+from repro.serving.loadgen import (
+    build_workload,
+    format_loadgen_report,
+    run_loadgen,
+)
+
+#: Every top-level key a BENCH_serving.json payload must carry.
+PAYLOAD_KEYS = {
+    "pipeline",
+    "fallback",
+    "seed",
+    "nyu_scale",
+    "mode",
+    "requests",
+    "clients",
+    "rate_hz",
+    "max_batch_size",
+    "max_wait_ms",
+    "max_queue_depth",
+    "serving",
+    "sequential_qps",
+    "scalar_qps",
+    "speedup_vs_sequential",
+    "speedup_vs_scalar",
+    "prediction_mismatches",
+}
+
+
+class TestBuildWorkload:
+    def test_seeded_and_deterministic(self, config):
+        first = build_workload(config, requests=10)
+        second = build_workload(config, requests=10)
+        assert [item.view_id for item in first] == [item.view_id for item in second]
+
+    def test_seed_override_changes_order(self, config):
+        base = build_workload(config, requests=10)
+        other = build_workload(config, requests=10, seed=99)
+        assert [i.view_id for i in base] != [i.view_id for i in other]
+
+    def test_cycles_when_requests_exceed_the_set(self, config):
+        import repro.datasets.nyu as nyu_module
+
+        crops = len(nyu_module.build_nyu(config))
+        workload = build_workload(config, requests=crops + 5)
+        assert len(workload) == crops + 5
+
+    def test_validation(self, config):
+        with pytest.raises(ServingError):
+            build_workload(config, requests=0)
+
+
+class TestRunLoadgen:
+    @pytest.fixture(scope="class")
+    def payload(self, config):
+        return run_loadgen(
+            pipeline_name="shape-only",
+            config=config,
+            settings=ServingSettings(max_batch_size=8, max_wait_ms=2.0),
+            requests=16,
+            clients=8,
+            mode="closed",
+        )
+
+    def test_payload_schema(self, payload):
+        assert set(payload) == PAYLOAD_KEYS
+        serving = payload["serving"]
+        assert serving["completed"] == 16
+        assert serving["rejected"] == 0
+        assert set(serving["latency_ms"]) == {"p50", "p95", "p99", "max"}
+        assert serving["latency_ms"]["p50"] <= serving["latency_ms"]["p99"]
+
+    def test_no_prediction_mismatches(self, payload):
+        # The core guarantee: micro-batched answers bit-equal sequential.
+        assert payload["prediction_mismatches"] == 0
+
+    def test_both_baselines_recorded(self, payload):
+        assert payload["sequential_qps"] > 0
+        # shape-only has a scalar twin (batch_scoring switch), so the
+        # headline speedup-vs-scalar is measurable.
+        assert payload["scalar_qps"] is not None and payload["scalar_qps"] > 0
+        assert payload["speedup_vs_scalar"] is not None
+        assert payload["speedup_vs_sequential"] > 0
+
+    def test_report_formatting(self, payload):
+        text = format_loadgen_report(payload)
+        assert "loadgen: 16 requests over shape-only" in text
+        assert "closed-loop clients" in text
+        assert "0 mismatches" in text
+        assert "scalar" in text
+
+    def test_open_loop_records_rate_not_clients(self, config):
+        payload = run_loadgen(
+            pipeline_name="most-frequent",
+            config=config,
+            settings=ServingSettings(max_batch_size=8, max_wait_ms=1.0),
+            requests=10,
+            mode="open",
+            rate_hz=2000.0,
+        )
+        assert payload["mode"] == "open"
+        assert payload["clients"] is None
+        assert payload["rate_hz"] == 2000.0
+        # most-frequent has no scalar twin: the field is honestly None.
+        assert payload["scalar_qps"] is None
+        assert payload["speedup_vs_scalar"] is None
+        assert "scalar n/a" in format_loadgen_report(payload)
+
+    def test_validation(self, config):
+        with pytest.raises(ServingError):
+            run_loadgen(mode="sideways", config=config)
+        with pytest.raises(ServingError):
+            run_loadgen(clients=0, config=config)
+        with pytest.raises(ServingError):
+            run_loadgen(mode="open", rate_hz=0.0, config=config)

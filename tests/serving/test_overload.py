@@ -1,0 +1,153 @@
+"""Backpressure under saturation: the bounded admission queue in anger.
+
+A single flush worker is pinned mid-batch so the admission queue fills
+deterministically; past ``max_queue_depth`` every submission must be turned
+away with :class:`ServiceOverloaded` (never silently queued, never an
+unbounded wait), every *accepted* request must still complete once the
+worker resumes, and the service counters must reconcile exactly:
+``submitted == completed + failed`` and ``rejected`` equals the turned-away
+count.
+"""
+
+import threading
+
+import pytest
+
+from repro.config import ServingSettings
+from repro.errors import ServiceOverloaded
+from repro.serving.service import RecognitionService
+
+from tests.engine.synthetic import make_image_set
+from tests.serving.stubs import StubPipeline
+
+
+@pytest.fixture(scope="module")
+def refs():
+    return make_image_set(seed=21, count=6, name="overload-refs")
+
+
+def held_service(refs, max_queue_depth):
+    """A started 1-worker service whose flush is pinned on a primer batch."""
+    pipeline = StubPipeline(hold=True).fit(refs)
+    service = RecognitionService(
+        pipeline,
+        settings=ServingSettings(
+            max_batch_size=1, max_wait_ms=0.0, max_queue_depth=max_queue_depth
+        ),
+    ).start()
+    primer = make_image_set(seed=22, count=1, name="primer", source="nyu")[0]
+    primer_future = service.submit(primer)
+    # Wait until the flush thread has dequeued the primer and is blocked
+    # inside predict_batch — from here the queue state is deterministic.
+    deadline = threading.Event()
+    for _ in range(5000):
+        if pipeline.batch_calls or service.queue_depth == 0:
+            break
+        deadline.wait(0.001)
+    return pipeline, service, primer_future
+
+
+class TestBoundedQueue:
+    def test_saturated_queue_rejects_then_serves_the_admitted(self, refs):
+        pipeline, service, primer_future = held_service(refs, max_queue_depth=2)
+        queries = list(make_image_set(seed=23, count=5, name="q", source="nyu"))
+        futures = []
+        rejections = 0
+        try:
+            for query in queries:
+                try:
+                    futures.append(service.submit(query))
+                except ServiceOverloaded:
+                    rejections += 1
+            # Depth 2 admits exactly two of the five; the rest bounce.
+            assert len(futures) == 2
+            assert rejections == 3
+            pipeline.release()
+            answers = [future.result(timeout=10.0) for future in futures]
+            assert primer_future.result(timeout=10.0) is not None
+        finally:
+            pipeline.release()
+            service.stop(drain=True)
+        assert [a.label for a in answers] == [q.label for q in queries[:2]]
+        report = service.report()
+        assert report.submitted == 3  # primer + the two admitted
+        assert report.completed == 3
+        assert report.rejected == 3
+        assert report.failed == 0
+        assert report.pending == 0
+
+    def test_concurrent_saturation_admits_exactly_queue_depth(self, refs):
+        # 16 clients race a held 1-worker service with depth 4: exactly 4
+        # are admitted, 12 rejected, and all admitted requests complete.
+        depth = 4
+        pipeline, service, primer_future = held_service(refs, max_queue_depth=depth)
+        queries = list(make_image_set(seed=24, count=16, name="q", source="nyu"))
+        outcomes: list = [None] * len(queries)
+        start_barrier = threading.Barrier(len(queries))
+
+        def client(index):
+            start_barrier.wait()
+            try:
+                outcomes[index] = service.submit(queries[index])
+            except ServiceOverloaded:
+                outcomes[index] = "rejected"
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(len(queries))
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            admitted = [o for o in outcomes if o != "rejected"]
+            assert len(admitted) == depth
+            assert outcomes.count("rejected") == len(queries) - depth
+            pipeline.release()
+            for future in admitted:
+                assert future.result(timeout=10.0) is not None
+        finally:
+            pipeline.release()
+            service.stop(drain=True)
+        report = service.report()
+        assert report.submitted == depth + 1  # + primer
+        assert report.completed == depth + 1
+        assert report.rejected == len(queries) - depth
+        assert report.pending == 0
+        assert report.peak_queue_depth == depth
+
+    def test_degraded_counts_reconcile_under_saturation(self, refs):
+        # Saturate a service whose primary always fails: every admitted
+        # request degrades through the fallback, none fail, and
+        # submitted == completed == degraded + plain.
+        pipeline = StubPipeline(
+            batch_fails=True, fail_labels={"box", "disc", "bar"}
+        ).fit(refs)
+        fallback = StubPipeline().fit(refs)
+        service = RecognitionService(
+            pipeline,
+            settings=ServingSettings(
+                max_batch_size=2, max_wait_ms=0.5, max_queue_depth=8
+            ),
+            fallback=fallback,
+        ).start()
+        queries = list(make_image_set(seed=25, count=12, name="q", source="nyu"))
+        answers = []
+        rejections = 0
+        try:
+            for query in queries:
+                try:
+                    answers.append(service.recognize(query))
+                except ServiceOverloaded:
+                    rejections += 1
+        finally:
+            service.stop(drain=True)
+        # Blocking one-at-a-time submission never overflows depth 8.
+        assert rejections == 0
+        assert all(answer.degraded for answer in answers)
+        report = service.report()
+        assert report.submitted == len(queries)
+        assert report.completed == len(queries)
+        assert report.degraded == len(queries)
+        assert report.failed == 0 and report.rejected == 0
+        assert report.pending == 0

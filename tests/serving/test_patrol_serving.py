@@ -1,0 +1,82 @@
+"""Robot patrols through the recognition service.
+
+The service duck-types the pipeline protocol (``predict`` + ``name``), so
+``run_patrol`` needs no changes to submit its observations through a shared
+micro-batched service — and because micro-batched answers are bit-identical
+to sequential ones, the resulting mission log must match a direct-pipeline
+patrol exactly (same semantic map, same accuracy, same per-room counts).
+"""
+
+import pytest
+
+from repro.config import ServingSettings
+from repro.datasets.classes import CLASS_NAMES
+from repro.robot.mission import run_patrol
+from repro.robot.robot import Robot
+from repro.robot.world import build_random_world
+from repro.serving.registry import default_registry
+from repro.serving.service import RecognitionService
+
+from tests.serving.stubs import StubPipeline
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_random_world(objects_per_room=4, rng=17)
+
+
+class TestPatrolThroughService:
+    def test_mission_log_matches_direct_pipeline(self, world, config, sns1):
+        pipeline = default_registry().warm_start("hybrid", sns1, config)
+        waypoints = [room.center for room in world.rooms]
+
+        direct = run_patrol(world, Robot(sensing_range=2.5, seed=3), pipeline, waypoints)
+
+        service = RecognitionService(
+            pipeline, settings=ServingSettings(max_batch_size=8, max_wait_ms=1.0)
+        ).start()
+        try:
+            served = run_patrol(
+                world, Robot(sensing_range=2.5, seed=3), service, waypoints
+            )
+        finally:
+            service.stop(drain=True)
+
+        assert served.observations == direct.observations
+        assert served.accuracy == direct.accuracy
+        assert served.semantic_map.observations == direct.semantic_map.observations
+        assert served.per_room_counts() == direct.per_room_counts()
+        assert [s.predicted_label for s in served.steps] == [
+            s.predicted_label for s in direct.steps
+        ]
+        assert served.failures == direct.failures == ()
+
+        report = service.report()
+        assert report.completed == served.observations
+        assert report.failed == 0 and report.rejected == 0
+
+    def test_service_failures_become_patrol_failure_records(self, world, sns1):
+        # A primary that fails every query and no fallback: every sighting
+        # surfaces as a ReproError from the service, which the patrol loop
+        # records as a failure instead of aborting the mission.
+        pipeline = StubPipeline(
+            batch_fails=True, fail_labels=set(CLASS_NAMES)
+        ).fit(sns1)
+        service = RecognitionService(
+            pipeline, settings=ServingSettings(max_batch_size=1, max_wait_ms=0.0)
+        ).start()
+        try:
+            log = run_patrol(
+                world,
+                Robot(sensing_range=2.5, seed=3),
+                service,
+                [room.center for room in world.rooms],
+            )
+        finally:
+            service.stop(drain=True)
+        assert log.observations == 0
+        assert len(log.failures) > 0
+        assert all(f.stage == "patrol" for f in log.failures)
+        assert all(f.pipeline == "serving(stub)" for f in log.failures)
+        assert all(f.error_type == "StubFault" for f in log.failures)
+        assert len(log.semantic_map) == 0

@@ -1,0 +1,72 @@
+"""Unit tests for the pipeline registry and its warm-started builds."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import ServingError
+from repro.pipelines.baseline import MostFrequentClassPipeline
+from repro.serving.registry import PipelineRegistry, default_registry
+
+from tests.engine.synthetic import make_image_set
+
+
+class TestRegistry:
+    def test_default_names_cover_the_serveable_pipelines(self):
+        assert default_registry().names() == (
+            "color-only",
+            "hybrid",
+            "most-frequent",
+            "shape-only",
+        )
+
+    def test_build_returns_fresh_unfitted_pipelines(self):
+        registry = default_registry()
+        first = registry.build("shape-only")
+        second = registry.build("shape-only")
+        assert first is not second
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            first.references
+
+    def test_unknown_name_rejected_with_known_names_listed(self):
+        with pytest.raises(ServingError, match="shape-only"):
+            default_registry().build("telepathy")
+
+    def test_duplicate_registration_guarded(self):
+        registry = PipelineRegistry()
+        registry.register("mf", lambda config: MostFrequentClassPipeline())
+        with pytest.raises(ServingError):
+            registry.register("mf", lambda config: MostFrequentClassPipeline())
+        registry.register(
+            "mf", lambda config: MostFrequentClassPipeline(), overwrite=True
+        )
+
+    def test_config_reaches_the_factory(self):
+        registry = default_registry()
+        pipeline = registry.build("color-only", ExperimentConfig(histogram_bins=16))
+        assert pipeline.bins == 16
+
+
+class TestWarmStart:
+    def test_warm_start_fits_and_stacks(self):
+        references = make_image_set(seed=31, count=9, name="warm-refs")
+        pipeline = default_registry().warm_start(
+            "shape-only", references, ExperimentConfig()
+        )
+        assert pipeline.references is references
+        # The vectorized path is live: the reference matrix is stacked.
+        assert pipeline._reference_matrix is not None
+
+    def test_warm_start_rejects_empty_references(self):
+        # ImageDataset itself refuses to be empty, so the guard is exercised
+        # with a bare empty sequence (warm_start only needs len()).
+        with pytest.raises(ServingError):
+            default_registry().warm_start("shape-only", [])
+
+    def test_probe_can_be_skipped(self):
+        references = make_image_set(seed=32, count=6, name="warm-refs")
+        pipeline = default_registry().warm_start(
+            "most-frequent", references, probe=False
+        )
+        assert pipeline.references is references

@@ -83,6 +83,62 @@ class TestParser:
             build_parser().parse_args(["engine", "--fallback", "guesswork"])
 
 
+class TestServingFlags:
+    def test_serve_and_loadgen_commands_known(self):
+        parser = build_parser()
+        for command in ("serve", "loadgen"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_serving_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--pipeline", "shape-only",
+                "--requests", "64",
+                "--clients", "16",
+                "--mode", "open",
+                "--rate", "500",
+                "--max-batch-size", "16",
+                "--max-wait-ms", "1.5",
+                "--max-queue-depth", "99",
+                "--deadline-ms", "40",
+                "--fallback", "most-frequent",
+                "--output", "bench.json",
+            ]
+        )
+        assert args.pipeline == "shape-only"
+        assert args.requests == 64
+        assert args.clients == 16
+        assert args.mode == "open"
+        assert args.rate == pytest.approx(500.0)
+        assert args.max_batch_size == 16
+        assert args.max_wait_ms == pytest.approx(1.5)
+        assert args.max_queue_depth == 99
+        assert args.deadline_ms == pytest.approx(40.0)
+        assert args.fallback == "most-frequent"
+        assert args.output == "bench.json"
+
+    def test_serving_flag_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.pipeline == "hybrid"
+        assert args.requests == 120
+        assert args.clients == 32
+        assert args.mode == "closed"
+        # None means "fall back to REPRO_SERVE_* / ServingSettings defaults".
+        assert args.max_batch_size is None
+        assert args.max_wait_ms is None
+        assert args.max_queue_depth is None
+        assert args.deadline_ms is None
+        assert args.serve is False
+
+    def test_rejects_unknown_serving_pipeline(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--pipeline", "telepathy"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--mode", "sideways"])
+
+
 class TestMain:
     def test_table1_prints(self, capsys):
         code = main(["table1", "--nyu-scale", "0.005"])
@@ -177,3 +233,60 @@ class TestPatrol:
         assert "patrol:" in out
         assert "semantic map:" in out
         assert "Q:" in out and "A:" in out
+
+    def test_patrol_through_service(self, capsys):
+        code = main(
+            [
+                "patrol",
+                "--serve",
+                "--nyu-scale", "0.005",
+                "--objects-per-room", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "patrol:" in out
+        assert "serving:" in out  # service report line appended
+
+
+class TestServeCommand:
+    def test_serve_smoke(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--pipeline", "most-frequent",
+                "--nyu-scale", "0.005",
+                "--requests", "8",
+                "--clients", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serve: serving(most-frequent) ready" in out
+        assert "8/8 served" in out
+        assert "accuracy" in out
+
+
+class TestLoadgenCommand:
+    def test_loadgen_writes_benchmark_json(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "BENCH_serving.json"
+        code = main(
+            [
+                "loadgen",
+                "--pipeline", "most-frequent",
+                "--nyu-scale", "0.005",
+                "--requests", "8",
+                "--clients", "4",
+                "--output", str(output),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loadgen: 8 requests over most-frequent" in out
+        assert f"wrote {output}" in out
+        payload = json.loads(output.read_text())
+        assert payload["requests"] == 8
+        assert payload["prediction_mismatches"] == 0
+        assert payload["serving"]["completed"] == 8
