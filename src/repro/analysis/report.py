@@ -1,0 +1,91 @@
+"""Reporters for lint runs: the human text view and the machine JSON view.
+
+The text report lists findings ``path:line:col RULE message`` followed by a
+per-rule summary table.  The table sizes every column from the rendered
+cells, so three-digit finding counts keep the pipes aligned (the same
+discipline as :func:`repro.evaluation.tables.format_timings_table`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.core import RuleRegistry, default_registry
+from repro.analysis.runner import LintReport
+
+
+def _summary_rows(
+    report: LintReport, registry: RuleRegistry
+) -> list[tuple[str, str, str, str]]:
+    active = Counter(f.rule_id for f in report.active)
+    waived = Counter(f.rule_id for f in report.suppressed)
+    descriptions = {rule.rule_id: rule.description for rule in registry.rules()}
+    rows = []
+    for rule_id in sorted(set(active) | set(waived)):
+        rows.append(
+            (
+                rule_id,
+                str(active.get(rule_id, 0)),
+                str(waived.get(rule_id, 0)),
+                descriptions.get(rule_id, ""),
+            )
+        )
+    return rows
+
+
+def _render_table(headers: tuple[str, ...], rows: list[tuple[str, ...]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))
+    ]
+    def fmt(cells: tuple[str, ...]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    rule = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    return "\n".join([fmt(headers), rule, *(fmt(row) for row in rows)])
+
+
+def format_report(report: LintReport, registry: RuleRegistry | None = None) -> str:
+    """Human-readable report: findings, summary table, verdict line."""
+    registry = registry if registry is not None else default_registry()
+    lines: list[str] = []
+    for finding in report.findings:
+        location = f"{finding.path}:{finding.line}:{finding.col}"
+        line = f"{location} {finding.rule_id} {finding.message}"
+        if finding.suppressed:
+            reason = finding.reason or "no reason given"
+            line += f" [suppressed: {reason}]"
+        lines.append(line)
+    rows = _summary_rows(report, registry)
+    if rows:
+        if lines:
+            lines.append("")
+        lines.append(
+            _render_table(("rule", "active", "suppressed", "description"), rows)
+        )
+    for error in report.errors:
+        lines.append(f"ERROR {error}")
+    if lines:
+        lines.append("")
+    active = len(report.active)
+    lines.append(
+        f"{report.files_checked} files checked: {active} finding"
+        f"{'s' if active != 1 else ''}, {len(report.suppressed)} suppressed"
+        + (f", {len(report.errors)} internal errors" if report.errors else "")
+    )
+    return "\n".join(lines)
+
+
+def report_as_json(report: LintReport) -> str:
+    """Machine-readable report (the ``--format json`` payload)."""
+    payload = {
+        "files_checked": report.files_checked,
+        "findings": [f.as_dict() for f in report.findings],
+        "errors": list(report.errors),
+        "counts": {
+            "active": len(report.active),
+            "suppressed": len(report.suppressed),
+        },
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

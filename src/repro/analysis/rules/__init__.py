@@ -1,0 +1,11 @@
+"""Rule families: determinism (DET1xx), numeric safety (NUM2xx),
+lock discipline (LCK3xx).  Each module exposes a ``RULES`` tuple which
+:func:`repro.analysis.core.default_registry` registers in order."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import concurrency, determinism, numeric
+
+ALL_RULES = determinism.RULES + numeric.RULES + concurrency.RULES
+
+__all__ = ["ALL_RULES", "concurrency", "determinism", "numeric"]

@@ -1,0 +1,332 @@
+"""Lock-discipline rules (LCK3xx), scoped to ``lock_modules``.
+
+The serving layer mutates shared state from client threads and the flush
+thread at once; the engine does the same from pool workers.  The contract
+that keeps the stats reconcilable and the micro-batcher race-free is simple
+— shared mutable attributes are touched only under the owner's lock — and
+simple contracts are exactly what static analysis can hold.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.core import FileContext, Rule, dotted_name
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "put",
+        "put_nowait",
+    }
+)
+
+#: Methods exempt from lock discipline: construction and (un)pickling run
+#: before/without any concurrent access.
+_EXEMPT_METHODS = frozenset({"__init__", "__getstate__", "__setstate__", "__del__"})
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    """Whether *node* constructs a threading synchronisation primitive."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name.split(".")[-1] in ("Lock", "RLock", "Condition", "Semaphore")
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """The root attribute name of a ``self.X[...].Y`` chain, or ``None``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        parent = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(parent, ast.Name)
+            and parent.id == "self"
+        ):
+            return node.attr
+        node = parent
+    return None
+
+
+@dataclass
+class _Mutation:
+    attr: str
+    node: ast.AST
+    locked: bool
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collects self-attribute mutations in one method, lock-aware."""
+
+    def __init__(self, lock_attrs: frozenset[str]) -> None:
+        self.lock_attrs = lock_attrs
+        self.mutations: list[_Mutation] = []
+        self._lock_depth = 0
+
+    def _record(self, target: ast.AST, node: ast.AST) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            self.mutations.append(_Mutation(attr, node, self._lock_depth > 0))
+
+    def visit_With(self, node: ast.With) -> None:
+        holds_lock = any(
+            (attr := _self_attr(item.context_expr)) is not None
+            and (not self.lock_attrs or attr in self.lock_attrs)
+            for item in node.items
+        )
+        if holds_lock:
+            self._lock_depth += 1
+            self.generic_visit(node)
+            self._lock_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._record(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+            self._record(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._record(target, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+            self._record(func.value, node)
+        self.generic_visit(node)
+
+
+def _class_lock_attrs(node: ast.ClassDef) -> frozenset[str]:
+    """Attributes of *node* assigned a threading primitive anywhere."""
+    locks: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign) and _is_lock_factory(child.value):
+            for target in child.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    locks.add(attr)
+    return frozenset(locks)
+
+
+class _LockModuleRule(Rule):
+    """Shared scoping: run only over ``lock_modules`` files."""
+
+    def applies_to(self, context: FileContext) -> bool:
+        config = context.config
+        modules = config.lock_modules if config is not None else ()
+        return context.module_in(modules)
+
+
+class MixedLockAttributeRule(_LockModuleRule):
+    """LCK301: an attribute mutated both inside and outside the lock.
+
+    For classes that own a ``threading.Lock``/``Condition``: if some method
+    mutates ``self.X`` under ``with self._lock`` and another mutates it bare,
+    the lock protects nothing — every writer must hold it (``__init__`` and
+    pickling hooks are exempt).
+    """
+
+    rule_id = "LCK301"
+    family = "concurrency"
+    description = "attribute mutated both inside and outside the owner's lock"
+    rationale = (
+        "a lock only excludes writers that take it; one unlocked mutation "
+        "of the same attribute reintroduces the race the lock was bought for"
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        lock_attrs = _class_lock_attrs(node)
+        if lock_attrs:
+            locked: set[str] = set()
+            unlocked: dict[str, ast.AST] = {}
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in _EXEMPT_METHODS:
+                    continue
+                scanner = _MethodScanner(lock_attrs)
+                scanner.visit(item)
+                for mutation in scanner.mutations:
+                    if mutation.attr in lock_attrs:
+                        continue
+                    if mutation.locked:
+                        locked.add(mutation.attr)
+                    else:
+                        unlocked.setdefault(mutation.attr, mutation.node)
+            for attr in sorted(locked & set(unlocked)):
+                self.report(
+                    unlocked[attr],
+                    f"self.{attr} is mutated here without the lock but under "
+                    f"it elsewhere in {node.name}; every writer must hold it",
+                )
+        self.generic_visit(node)
+
+
+class UnlockedCounterRule(_LockModuleRule):
+    """LCK302: read-modify-write on a shared attribute without a lock.
+
+    In threaded modules (those importing ``threading`` or
+    ``concurrent.futures``), ``self.x += 1`` is a racy load/add/store: two
+    threads interleaving lose increments.  Guard it with the owner's lock or
+    confine the object to one thread (and suppress with that reason).
+    """
+
+    rule_id = "LCK302"
+    family = "concurrency"
+    description = "unlocked read-modify-write on an instance attribute"
+    rationale = (
+        "`self.x += 1` is not atomic; concurrent callers drop updates "
+        "silently — exactly how serving counters drift from the truth"
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        if not super().applies_to(context):
+            return False
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                if any(
+                    alias.name in ("threading", "concurrent.futures")
+                    for alias in node.names
+                ):
+                    return True
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "threading",
+                "concurrent",
+                "concurrent.futures",
+            ):
+                return True
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _EXEMPT_METHODS:
+                continue
+            # Any `with self.<attr>:` counts as holding a lock here; LCK301
+            # checks that the *right* lock is used consistently.
+            scanner = _MethodScanner(frozenset())
+            scanner.visit(item)
+            for mutation in scanner.mutations:
+                if isinstance(mutation.node, ast.AugAssign) and not mutation.locked:
+                    self.report(
+                        mutation.node,
+                        f"read-modify-write of self.{mutation.attr} without a "
+                        "lock; guard it or document single-thread confinement",
+                    )
+        self.generic_visit(node)
+
+
+class ThreadedClosureMutationRule(_LockModuleRule):
+    """LCK303: closure state mutated from an executor-submitted callable.
+
+    A nested function handed to ``threading.Thread(target=...)`` or an
+    executor's ``submit``/``map`` runs on another thread; bare mutation of
+    enclosing-scope lists/dicts from there is shared-state mutation with no
+    lock.  Safe-by-construction patterns (disjoint index stripes) must say
+    so in a suppression.
+    """
+
+    rule_id = "LCK303"
+    family = "concurrency"
+    description = "closure state mutated from a thread/executor callable"
+    rationale = (
+        "executor-submitted callables run concurrently; unlocked writes to "
+        "closed-over containers are cross-thread data races unless provably "
+        "disjoint"
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        inner: dict[str, ast.FunctionDef] = {
+            child.name: child
+            for child in node.body
+            if isinstance(child, ast.FunctionDef)
+        }
+        submitted: set[str] = set()
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            name = dotted_name(call.func)
+            if name.split(".")[-1] == "Thread":
+                for kw in call.keywords:
+                    if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                        submitted.add(kw.value.id)
+            elif name.split(".")[-1] in ("submit", "map") and call.args:
+                first = call.args[0]
+                if isinstance(first, ast.Name):
+                    submitted.add(first.id)
+        for fn_name in sorted(submitted & set(inner)):
+            self._scan_worker(inner[fn_name])
+        self.generic_visit(node)
+
+    def _scan_worker(self, fn: ast.FunctionDef) -> None:
+        local = {arg.arg for arg in fn.args.args}
+        local |= {arg.arg for arg in fn.args.kwonlyargs}
+        for child in ast.walk(fn):
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        local.add(target.id)
+            if isinstance(child, (ast.For, ast.comprehension)):
+                target = child.target
+                if isinstance(target, ast.Name):
+                    local.add(target.id)
+        scanner = _MethodScanner(frozenset())
+        scanner.visit(fn)
+        for child in ast.walk(fn):
+            locked = False  # lexical `with` tracking is handled below
+            if isinstance(child, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    child.targets if isinstance(child, ast.Assign) else [child.target]
+                )
+                for target in targets:
+                    root = target
+                    while isinstance(root, (ast.Subscript, ast.Attribute)):
+                        root = root.value
+                    if (
+                        isinstance(root, ast.Name)
+                        and root.id not in local
+                        and isinstance(target, (ast.Subscript, ast.Attribute))
+                        and not self._under_with(fn, child)
+                    ):
+                        self.report(
+                            child,
+                            f"worker callable {fn.name!r} mutates closed-over "
+                            f"{root.id!r} without a lock",
+                        )
+            del locked
+
+    @staticmethod
+    def _under_with(fn: ast.FunctionDef, node: ast.AST) -> bool:
+        """Whether *node* sits lexically inside any ``with`` block of *fn*."""
+        for child in ast.walk(fn):
+            if isinstance(child, ast.With):
+                if any(node is sub for sub in ast.walk(child)):
+                    return True
+        return False
+
+
+RULES = (MixedLockAttributeRule, UnlockedCounterRule, ThreadedClosureMutationRule)

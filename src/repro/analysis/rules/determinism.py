@@ -1,0 +1,279 @@
+"""Determinism rules (DET1xx).
+
+Reproducibility here means: rerunning any sweep with the same seed yields
+bit-identical predictions under every worker count, backend and chunking.
+Three things break that silently — global RNG draws nobody seeded, wall
+clocks read inside pure kernels, and unordered-set iteration feeding
+results.  Each gets a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, dotted_name
+
+#: Module-level functions of the stdlib ``random`` module that draw from the
+#: shared global generator.  ``random.Random(seed)`` instances are fine.
+_STDLIB_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "seed",
+        "getrandbits",
+    }
+)
+
+#: Legacy ``numpy.random`` module-level functions backed by the hidden global
+#: ``RandomState``.  ``np.random.default_rng(seed)`` / ``Generator`` methods
+#: are the sanctioned replacements.
+_NUMPY_RANDOM_FNS = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "poisson",
+        "exponential",
+        "seed",
+    }
+)
+
+#: Wall-clock reads banned inside pure kernels: a kernel whose output (or
+#: fault decision) depends on the clock cannot be replayed.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class UnseededRandomRule(Rule):
+    """DET101: module-level ``random`` / ``np.random`` draws.
+
+    The global generators are shared, unseeded process state: a single call
+    perturbs every downstream draw, so two runs of the same experiment
+    diverge.  Use ``repro.config.rng(seed)`` / ``np.random.default_rng``.
+    """
+
+    rule_id = "DET101"
+    family = "determinism"
+    description = "module-level random/np.random call (unseeded global RNG)"
+    rationale = (
+        "global RNG state makes results depend on call order across the "
+        "whole process; every draw must come from an explicitly seeded "
+        "generator"
+    )
+
+    def __init__(self, context: FileContext) -> None:
+        super().__init__(context)
+        self._random_aliases: set[str] = set()
+        self._numpy_aliases: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._random_aliases.add(alias.asname or "random")
+            if alias.name == "numpy":
+                self._numpy_aliases.add(alias.asname or "numpy")
+            if alias.name == "numpy.random":
+                self._random_aliases.add(alias.asname or "numpy.random")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _STDLIB_RANDOM_FNS:
+                    self.report(
+                        node,
+                        f"from random import {alias.name}: draws from the "
+                        "unseeded global generator",
+                    )
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._random_aliases.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        parts = name.split(".")
+        if len(parts) >= 2:
+            base, fn = ".".join(parts[:-1]), parts[-1]
+            if base in self._random_aliases and fn in _STDLIB_RANDOM_FNS:
+                self.report(
+                    node, f"{name}() draws from the unseeded global RNG"
+                )
+            elif (
+                len(parts) >= 3
+                and parts[-2] == "random"
+                and ".".join(parts[:-2]) in self._numpy_aliases
+                and fn in _NUMPY_RANDOM_FNS
+            ):
+                self.report(
+                    node,
+                    f"{name}() uses numpy's hidden global RandomState; "
+                    "seed a Generator via np.random.default_rng instead",
+                )
+        self.generic_visit(node)
+
+
+class WallClockInKernelRule(Rule):
+    """DET102: wall-clock reads inside pure kernel modules.
+
+    Scoped by ``kernel_modules`` (imaging/feature kernels and the chaos
+    injector): their outputs must be pure functions of inputs and seeds, so
+    clocks are banned outright there.
+    """
+
+    rule_id = "DET102"
+    family = "determinism"
+    description = "wall-clock read inside a pure kernel module"
+    rationale = (
+        "kernels and the chaos layer must be replayable; any time.time()/"
+        "datetime.now() dependence breaks bit-identical reruns"
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        config = context.config
+        modules = config.kernel_modules if config is not None else ()
+        return context.module_in(modules)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name in _CLOCK_CALLS:
+            self.report(
+                node,
+                f"{name}() inside a kernel module: outputs must not depend "
+                "on the clock",
+            )
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether *node* syntactically produces a ``set``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and dotted_name(node.func) in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)
+    ):
+        # set algebra: s - t, s & t, s | t, s ^ t — set-valued when either
+        # side is.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class SetIterationRule(Rule):
+    """DET103: iterating an unordered set where order can leak into results.
+
+    Set iteration order depends on insertion history and hash seeding; a
+    loop over a set that accumulates scores, ranks or output rows is a
+    reproducibility hazard.  Wrap the set in ``sorted(...)`` or iterate the
+    original ordered sequence.  Membership tests and ``sorted(set(...))``
+    are fine.
+    """
+
+    rule_id = "DET103"
+    family = "determinism"
+    description = "iteration over an unordered set (order-dependent results)"
+    rationale = (
+        "set order varies with insertion history; loops feeding scores or "
+        "output must run in a deterministic order"
+    )
+
+    def __init__(self, context: FileContext) -> None:
+        super().__init__(context)
+        #: Names assigned a set-valued expression in the current function
+        #: scope (one level of simple dataflow, reset per function).
+        self._set_names: list[set[str]] = [set()]
+
+    def _enter_scope(self, node: ast.AST) -> None:
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    visit_FunctionDef = _enter_scope
+    visit_AsyncFunctionDef = _enter_scope
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names[-1].add(target.id)
+        else:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            node.value is not None
+            and _is_set_expr(node.value)
+            and isinstance(node.target, ast.Name)
+        ):
+            self._set_names[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    def _iterates_set(self, iter_node: ast.AST) -> bool:
+        if _is_set_expr(iter_node):
+            return True
+        return (
+            isinstance(iter_node, ast.Name) and iter_node.id in self._set_names[-1]
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._iterates_set(node.iter):
+            self.report(
+                node,
+                "for-loop over an unordered set; sort it or iterate the "
+                "source sequence",
+            )
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in getattr(node, "generators", []):
+            if self._iterates_set(generator.iter):
+                self.report(
+                    node,
+                    "comprehension over an unordered set; sort it or iterate "
+                    "the source sequence",
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+
+RULES = (UnseededRandomRule, WallClockInKernelRule, SetIterationRule)

@@ -1,0 +1,230 @@
+"""Numeric-safety rules (NUM2xx).
+
+The scoring stack is floating-point end to end (Hu log-signatures,
+histogram distances, fused hybrid scores).  Exact ``==`` on floats, silent
+dtype narrowing and uninitialised score buffers are the three classic ways
+such code stays correct on today's inputs and breaks on tomorrow's.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, dotted_name
+
+#: Calls that produce floats (or float arrays) no matter their input.
+_FLOAT_CALLS = frozenset({"float", "np.float64", "np.float32", "numpy.float64"})
+
+#: ndarray methods whose result is float-typed for any numeric input.
+_FLOAT_METHODS = frozenset({"mean", "std", "var"})
+
+#: ``astype`` targets that narrow (or truncate) typical float/int inputs.
+_NARROWING_DTYPES = frozenset(
+    {
+        "int",
+        "np.int8",
+        "np.int16",
+        "np.int32",
+        "np.int64",
+        "np.uint8",
+        "np.uint16",
+        "np.uint32",
+        "np.uint64",
+        "np.intp",
+        "np.float16",
+        "np.float32",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "uint8",
+        "uint16",
+        "uint32",
+        "float16",
+        "float32",
+    }
+)
+
+#: Receiver calls that make a float->int ``astype`` well-defined: the value
+#: was already rounded to an integer lattice point.
+_ROUNDING_CALLS = frozenset(
+    {"np.rint", "np.round", "np.floor", "np.ceil", "numpy.rint", "round"}
+)
+
+
+class FloatEqualityRule(Rule):
+    """NUM201: ``==`` / ``!=`` where an operand is float-valued.
+
+    Detected heuristically: float literals, true division, ``float(...)``
+    casts, ``.mean()/.std()/.var()`` results, and names assigned any of
+    those in the same function.  Compare with a tolerance
+    (``math.isclose`` / ``np.isclose``), compare the underlying integer
+    counts, or use an inequality that states the real invariant.
+    """
+
+    rule_id = "NUM201"
+    family = "numeric"
+    description = "exact ==/!= comparison on a float expression"
+    rationale = (
+        "float equality silently depends on rounding of every upstream op; "
+        "the accuracy comparisons in the evaluation path must be exact-by-"
+        "construction (integers) or tolerance-based"
+    )
+
+    def __init__(self, context: FileContext) -> None:
+        super().__init__(context)
+        self._float_names: list[set[str]] = [set()]
+
+    def _enter_scope(self, node: ast.AST) -> None:
+        self._float_names.append(set())
+        self.generic_visit(node)
+        self._float_names.pop()
+
+    visit_FunctionDef = _enter_scope
+    visit_AsyncFunctionDef = _enter_scope
+
+    def _is_floatish(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return self._is_floatish(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._is_floatish(node.left) or self._is_floatish(node.right)
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _FLOAT_CALLS:
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FLOAT_METHODS
+            ):
+                return True
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self._float_names[-1]
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        floatish = self._is_floatish(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if floatish:
+                    self._float_names[-1].add(target.id)
+                else:
+                    self._float_names[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if self._is_floatish(left) or self._is_floatish(right):
+                self.report(
+                    node,
+                    "exact float comparison; use a tolerance or compare "
+                    "integer counts",
+                )
+                break
+        self.generic_visit(node)
+
+
+class NarrowingAstypeRule(Rule):
+    """NUM202: dtype-narrowing ``astype`` without an explicit ``casting=``.
+
+    ``.astype(int)`` on a float expression truncates toward zero — often
+    intended (bin indices), sometimes a bug (lost precision on scores).
+    The rule demands the intent be written down: round first
+    (``np.rint(...).astype(...)``) or pass ``casting=`` explicitly.
+    Boolean sources (``(a > b).astype(...)``) are exempt.
+    """
+
+    rule_id = "NUM202"
+    family = "numeric"
+    description = "implicit dtype-narrowing astype (no casting= keyword)"
+    rationale = (
+        "silent float->int truncation and float64->float32 narrowing lose "
+        "precision invisibly; an explicit casting= (or a prior rint/floor) "
+        "documents that the narrowing is intentional"
+    )
+
+    def _receiver_is_safe(self, receiver: ast.AST) -> bool:
+        if isinstance(receiver, ast.Compare):
+            return True  # boolean source: narrowing cannot lose information
+        if isinstance(receiver, ast.Call):
+            name = dotted_name(receiver.func)
+            if name in _ROUNDING_CALLS:
+                return True
+            if name in ("np.clip", "numpy.clip") and receiver.args:
+                return self._receiver_is_safe(receiver.args[0])
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "astype"
+            and node.args
+            and not any(kw.arg == "casting" for kw in node.keywords)
+        ):
+            dtype = node.args[0]
+            target = (
+                dtype.value
+                if isinstance(dtype, ast.Constant) and isinstance(dtype.value, str)
+                else dotted_name(dtype)
+            )
+            if target in _NARROWING_DTYPES and not self._receiver_is_safe(func.value):
+                self.report(
+                    node,
+                    f"astype({target}) narrows implicitly; round first or "
+                    "pass casting= to make the truncation explicit",
+                )
+        self.generic_visit(node)
+
+
+class BareEmptyRule(Rule):
+    """NUM203: ``np.empty`` in scoring-path modules.
+
+    An ``np.empty`` buffer holds whatever bytes the allocator returns; a
+    single unwritten slot feeds garbage into an argmin without any error.
+    Scoped by ``scoring_modules``.  Zero-length fast paths
+    (``np.empty((0, n))``) are exempt — they have no cells to leave
+    uninitialised.
+    """
+
+    rule_id = "NUM203"
+    family = "numeric"
+    description = "bare np.empty allocation in a scoring path"
+    rationale = (
+        "a partially-filled empty() buffer silently corrupts scores; use "
+        "zeros/full(nan) or prove every slot is written (and suppress with "
+        "that reason)"
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        config = context.config
+        modules = config.scoring_modules if config is not None else ()
+        return context.module_in(modules)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name in ("np.empty", "numpy.empty", "np.empty_like"):
+            shape = node.args[0] if node.args else None
+            zero_row = (
+                isinstance(shape, ast.Tuple)
+                and shape.elts
+                and isinstance(shape.elts[0], ast.Constant)
+                and shape.elts[0].value == 0
+            )
+            if not zero_row:
+                self.report(
+                    node,
+                    f"{name}() leaves cells uninitialised; prefer zeros/"
+                    "full(nan) in scoring paths",
+                )
+        self.generic_visit(node)
+
+
+RULES = (FloatEqualityRule, NarrowingAstypeRule, BareEmptyRule)

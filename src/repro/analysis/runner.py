@@ -1,0 +1,153 @@
+"""Running the rules over files and trees.
+
+:func:`lint_source` checks one source string (what the fixture tests use);
+:func:`lint_paths` walks directories, derives dotted module names from
+``src``-relative paths and aggregates everything into a :class:`LintReport`
+whose ``exit_code`` carries the CLI contract: 0 clean, 1 non-suppressed
+findings, 2 internal linter error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    RuleRegistry,
+    apply_suppressions,
+    default_registry,
+    iter_findings,
+)
+
+import ast
+
+#: Pseudo-rule id for files the parser rejects: a tree we cannot read is a
+#: finding against the file, not a crash of the linter.
+SYNTAX_RULE_ID = "SYN001"
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one lint run.
+
+    ``errors`` are internal linter failures (a rule raised); they force exit
+    code 2 so CI never mistakes a broken linter for a clean tree.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings not waived by a suppression comment."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        if self.active:
+            return 1
+        return 0
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module path for *path*, relative to its ``src`` root.
+
+    ``src/repro/serving/service.py`` -> ``repro.serving.service``;
+    without a ``src`` component the parts after the last directory named
+    like a package root are joined as-is.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    name = ".".join(parts)
+    if name.endswith(".py"):
+        name = name[: -len(".py")]
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+def _iter_python_files(
+    paths: Sequence[str | Path], exclude: Sequence[str]
+) -> Iterable[Path]:
+    for entry in paths:
+        root = Path(entry)
+        candidates = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for candidate in candidates:
+            text = candidate.as_posix()
+            if any(pattern in text for pattern in exclude):
+                continue
+            yield candidate
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str = "",
+    config: LintConfig | None = None,
+    registry: RuleRegistry | None = None,
+) -> list[Finding]:
+    """Findings (suppressions applied) for one source string."""
+    config = config if config is not None else LintConfig()
+    registry = registry if registry is not None else default_registry()
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=SYNTAX_RULE_ID,
+                path=path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    context = FileContext(
+        path=path, module=module, tree=tree, source_lines=lines, config=config
+    )
+    findings = list(iter_findings(registry.rules(config.disable), context))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return apply_suppressions(findings, lines)
+
+
+def lint_paths(
+    paths: Sequence[str | Path] | None = None,
+    config: LintConfig | None = None,
+    registry: RuleRegistry | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under *paths* (default: ``config.paths``)."""
+    config = config if config is not None else LintConfig()
+    registry = registry if registry is not None else default_registry()
+    report = LintReport()
+    for path in _iter_python_files(paths or config.paths, config.exclude):
+        report.files_checked += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.errors.append(f"{path}: unreadable: {exc}")
+            continue
+        try:
+            report.findings.extend(
+                lint_source(
+                    source,
+                    path=path.as_posix(),
+                    module=module_name_for(path),
+                    config=config,
+                    registry=registry,
+                )
+            )
+        except Exception as exc:  # a rule bug, not a finding
+            report.errors.append(f"{path}: internal error: {exc!r}")
+    return report

@@ -378,6 +378,27 @@ def _cmd_patrol(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
+    """Run reprolint; exit 0 clean / 1 findings / 2 internal error."""
+    from dataclasses import replace as dc_replace
+
+    from repro.analysis import LintConfig, format_report, lint_paths, report_as_json
+
+    try:
+        config = LintConfig.from_pyproject(".")
+        if args.paths:
+            config = dc_replace(config, paths=tuple(args.paths))
+        report = lint_paths(config.paths, config)
+        text = (
+            report_as_json(report)
+            if args.format == "json"
+            else format_report(report)
+        )
+    except Exception as exc:  # never let a linter bug look like a clean tree
+        return f"lint: internal error: {exc!r}", 2
+    return text, report.exit_code
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     chunks = []
     for name in ("table1", "table2", "table3", "table4", "table5",
@@ -403,6 +424,7 @@ _COMMANDS = {
     "engine": _cmd_engine,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "lint": _cmd_lint,
     "all": _cmd_all,
 }
 
@@ -615,14 +637,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_serving.json",
         help="loadgen: where to write the benchmark payload",
     )
+    lint = parser.add_argument_group("lint", "reprolint static analysis")
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="lint: report format (json is what CI consumes)",
+    )
+    lint.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="lint: files/directories to check "
+        "(default: [tool.reprolint] paths, then src)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Commands return either the output text (exit 0) or a ``(text, code)``
+    pair — ``lint`` uses the latter for its 0/1/2 exit-code contract.
+    """
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
-    return 0
+    result = _COMMANDS[args.command](args)
+    text, code = result if isinstance(result, tuple) else (result, 0)
+    print(text)
+    return code
 
 
 if __name__ == "__main__":

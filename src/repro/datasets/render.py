@@ -8,6 +8,7 @@ approximating out-of-plane yaw of the 3-D model, and mirroring.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -127,7 +128,7 @@ def render_view(
         out = _with_fill(
             out, background, lambda ch, fill: rotate_image(ch, viewpoint.rotation_degrees, fill=fill)
         )
-    if viewpoint.scale != 1.0:
+    if not math.isclose(viewpoint.scale, 1.0, rel_tol=1e-12, abs_tol=1e-12):
         out = _with_fill(
             out, background, lambda ch, fill: scale_image(ch, viewpoint.scale, fill=fill)
         )

@@ -19,6 +19,8 @@ The engine is the repo's hot-path layer.  It provides:
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.config import EngineSettings
 from repro.engine.cache import (
     CacheStats,
@@ -92,7 +94,7 @@ def build_executor(settings: EngineSettings) -> ParallelExecutor | None:
     )
 
 
-def configure_pipeline(pipeline, settings: EngineSettings):
+def configure_pipeline(pipeline: Any, settings: EngineSettings) -> Any:
     """Apply *settings*' cache policy to *pipeline*; returns the pipeline.
 
     ``cache=False`` detaches the pipeline from any cache (including the

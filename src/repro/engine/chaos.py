@@ -28,12 +28,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import os
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
 from repro.engine.cache import content_hash
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datasets.dataset import LabelledImage
+    from repro.engine.executor import ParallelExecutor
 
 
 class InjectedFault(ReproError):
@@ -74,7 +78,7 @@ class FaultInjector:
 
     def __init__(
         self,
-        pipeline,
+        pipeline: Any,
         rate: float,
         seed: int = 0,
         exception: type[Exception] = InjectedFault,
@@ -95,13 +99,13 @@ class FaultInjector:
 
     # -- fault decision ------------------------------------------------------
 
-    def is_faulty(self, item) -> bool:
+    def is_faulty(self, item: "LabelledImage") -> bool:
         """Whether *item* belongs to the injected fault set (pure, seeded)."""
         if self.rate <= 0.0:
             return False
         return fault_draw(self.seed, item.image) < self.rate
 
-    def _should_raise(self, item) -> bool:
+    def _should_raise(self, item: "LabelledImage") -> bool:
         """Fault decision plus transient bookkeeping (one count per call)."""
         if not self.is_faulty(item):
             return False
@@ -118,11 +122,11 @@ class FaultInjector:
     def parallel_safe(self) -> bool:
         return getattr(self.inner, "parallel_safe", True)
 
-    def fit(self, references) -> "FaultInjector":
+    def fit(self, references: Any) -> "FaultInjector":
         self.inner.fit(references)
         return self
 
-    def predict(self, query):
+    def predict(self, query: "LabelledImage") -> Any:
         if self._should_raise(query):
             raise self.exception(
                 f"injected fault (seed {self.seed}, rate {self.rate:g}) on "
@@ -130,7 +134,7 @@ class FaultInjector:
             )
         return self.inner.predict(query)
 
-    def predict_batch(self, queries: Sequence) -> list:
+    def predict_batch(self, queries: Sequence["LabelledImage"]) -> list:
         for query in queries:
             if self._should_raise(query):
                 raise self.exception(
@@ -139,7 +143,11 @@ class FaultInjector:
                 )
         return self.inner.predict_batch(list(queries))
 
-    def predict_all(self, queries, executor=None):
+    def predict_all(
+        self,
+        queries: Sequence["LabelledImage"],
+        executor: "ParallelExecutor | None" = None,
+    ) -> Any:
         if executor is not None:
             return executor.predict_all(self, queries)
         return self.predict_batch(list(queries))
@@ -152,21 +160,21 @@ class FaultInjector:
         {"inner", "rate", "seed", "exception", "fail_first", "_attempts"}
     )
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # During unpickling the instance briefly has an empty __dict__;
         # proxying "inner" to itself would recurse forever.
         if name == "inner":
             raise AttributeError(name)
         return getattr(self.inner, name)
 
-    def __setattr__(self, name: str, value) -> None:
+    def __setattr__(self, name: str, value: Any) -> None:
         if name in self._OWN_ATTRS or "inner" not in self.__dict__:
             object.__setattr__(self, name, value)
         else:
             setattr(self.inner, name, value)
 
 
-def injector_from_env(pipeline):
+def injector_from_env(pipeline: Any) -> Any:
     """Suite-wide chaos mode: wrap *pipeline* per ``REPRO_FAULT_RATE``.
 
     Returns the pipeline unchanged when the env knob is absent/zero, or when
@@ -194,12 +202,14 @@ def injector_from_env(pipeline):
 # -- corrupt-input generators ------------------------------------------------
 
 
-def all_black(item):
+def all_black(item: "LabelledImage") -> "LabelledImage":
     """*item* with its pixels zeroed — an empty segmentation mask."""
     return dataclasses.replace(item, image=np.zeros_like(item.image))
 
 
-def nan_pixels(item, fraction: float = 0.25, seed: int = 0):
+def nan_pixels(
+    item: "LabelledImage", fraction: float = 0.25, seed: int = 0
+) -> "LabelledImage":
     """*item* with a seeded *fraction* of its pixels set to NaN."""
     image = np.asarray(item.image, dtype=np.float64).copy()
     rng = np.random.default_rng(seed)
@@ -208,13 +218,13 @@ def nan_pixels(item, fraction: float = 0.25, seed: int = 0):
     return dataclasses.replace(item, image=image)
 
 
-def truncate_file(path, keep_bytes: int = 8) -> None:
+def truncate_file(path: "str | os.PathLike[str]", keep_bytes: int = 8) -> None:
     """Truncate an on-disk cache entry to *keep_bytes* — a torn write."""
     with open(path, "r+b") as handle:
         handle.truncate(keep_bytes)
 
 
-def garble_file(path, seed: int = 0) -> None:
+def garble_file(path: "str | os.PathLike[str]", seed: int = 0) -> None:
     """Overwrite a cache entry with seeded noise — undeserialisable bytes."""
     rng = np.random.default_rng(seed)
     size = max(16, os.path.getsize(path) // 2)

@@ -47,7 +47,7 @@ from concurrent.futures import (
 )
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from itertools import repeat
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.engine.faults import (
     ExecutionReport,
@@ -303,7 +303,7 @@ class _RunState:
         for i, query in enumerate(chunk):
             self.predict_isolated(offset + i, query)
 
-    def predict_isolated(self, index: int, query) -> None:
+    def predict_isolated(self, index: int, query: Any) -> None:
         """One query under the retry policy; records a failure when spent."""
         policy = self.executor.retry_policy
         attempt = 0
@@ -311,6 +311,7 @@ class _RunState:
             attempt += 1
             try:
                 self.results[index] = self.pipeline.predict(query)
+                # reprolint: disable=LCK302 -- _RunState is confined to the single dispatcher thread
                 self.retries += attempt - 1
                 return
             except Exception as exc:
@@ -321,6 +322,7 @@ class _RunState:
                     if delay > 0:
                         time.sleep(delay)
                     continue
+                # reprolint: disable=LCK302 -- _RunState is confined to the single dispatcher thread
                 self.retries += attempt - 1
                 self.record_failure(
                     index, stage="predict", error=exc, attempts=attempt

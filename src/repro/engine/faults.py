@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import EngineError, ReproError
 
@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipelines.base import Prediction
 
 
-def describe_query(item, index: int) -> str:
+def describe_query(item: Any, index: int) -> str:
     """A stable human-readable id for a query: dataset coordinates when the
     item carries them, else its position in the sweep."""
     model_id = getattr(item, "model_id", "")
@@ -111,7 +111,9 @@ class RetryPolicy:
         perturb any experiment's random stream.
         """
         base = self.backoff * self.multiplier ** (attempt - 1)
-        if base == 0.0 or self.jitter == 0.0:
+        # Both terms are validated non-negative, so <= is the robust form of
+        # the "no backoff / no jitter" test (exact == on floats is fragile).
+        if base <= 0.0 or self.jitter <= 0.0:
             return base
         digest = hashlib.blake2b(
             f"{self.seed}:{query_index}:{attempt}".encode("ascii"), digest_size=8

@@ -108,9 +108,12 @@ def paired_bootstrap_test(
     generator = make_rng(rng)
     n = a.size
     samples = generator.integers(0, n, size=(n_resamples, n))
-    acc_a = a[samples].mean(axis=1)
-    acc_b = b[samples].mean(axis=1)
-    wins = (acc_a > acc_b).mean() + 0.5 * (acc_a == acc_b).mean()
+    # Compare integer hit counts, not float means: both replicates share the
+    # denominator n, so count order == mean order, and int equality is exact
+    # where float-mean equality would depend on summation rounding.
+    hits_a = a.astype(np.int64, casting="unsafe")[samples].sum(axis=1)
+    hits_b = b.astype(np.int64, casting="unsafe")[samples].sum(axis=1)
+    wins = (hits_a > hits_b).mean() + 0.5 * (hits_a == hits_b).mean()
     return PairedComparison(
         accuracy_a=float(a.mean()),
         accuracy_b=float(b.mean()),

@@ -171,7 +171,7 @@ class SiftExtractor:
             return []
         ys, xs = np.mgrid[-radius:radius, -radius:radius]
         weights = patch_mag * np.exp(-(ys**2 + xs**2) / (2 * (1.5 * radius / 3) ** 2))
-        bins = ((patch_ori + np.pi) / (2 * np.pi) * 36).astype(int) % 36
+        bins = ((patch_ori + np.pi) / (2 * np.pi) * 36).astype(int, casting="unsafe") % 36
         hist = np.bincount(bins.ravel(), weights=weights.ravel(), minlength=36)
         hist = ndimage.uniform_filter1d(hist, size=3, mode="wrap")
         peak = hist.max()
@@ -210,9 +210,22 @@ class SiftExtractor:
         gauss = np.exp(-(ys**2 + xs**2) / (2 * (radius / 2) ** 2))
         weights = mags * gauss
 
-        cell_y = np.clip(((ys + radius) / (2 * radius) * self._CELLS).astype(int), 0, 3)
-        cell_x = np.clip(((xs + radius) / (2 * radius) * self._CELLS).astype(int), 0, 3)
-        ori_bin = ((oris + np.pi) / (2 * np.pi) * self._ORI_BINS).astype(int) % self._ORI_BINS
+        # Truncation toward zero is the intended cell binning; casting= makes
+        # the float->int narrowing explicit for reprolint NUM202.
+        cell_y = np.clip(
+            ((ys + radius) / (2 * radius) * self._CELLS).astype(int, casting="unsafe"),
+            0,
+            3,
+        )
+        cell_x = np.clip(
+            ((xs + radius) / (2 * radius) * self._CELLS).astype(int, casting="unsafe"),
+            0,
+            3,
+        )
+        ori_bin = (
+            ((oris + np.pi) / (2 * np.pi) * self._ORI_BINS).astype(int, casting="unsafe")
+            % self._ORI_BINS
+        )
 
         np.add.at(descriptor, (cell_y, cell_x, ori_bin), weights)
         flat = descriptor.ravel()

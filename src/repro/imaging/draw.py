@@ -20,6 +20,7 @@ def new_canvas(height: int, width: int, color: tuple[float, float, float]) -> np
     """Allocate an RGB float canvas filled with *color*."""
     if height <= 0 or width <= 0:
         raise ImageError(f"canvas size must be positive, got {height}x{width}")
+    # reprolint: disable=NUM203 -- broadcast-filled with the background on the next line
     canvas = np.empty((height, width, 3), dtype=np.float64)
     canvas[:] = np.asarray(color, dtype=np.float64)
     return canvas

@@ -45,7 +45,9 @@ def as_uint8(image: np.ndarray) -> np.ndarray:
     if image.dtype == np.uint8:
         return image
     if image.dtype == bool:
-        return image.astype(np.uint8) * 255
+        # Bool source: widening, not narrowing — but the rule can't see the
+        # dtype, so state the cast explicitly.
+        return image.astype(np.uint8, casting="unsafe") * 255
     return np.clip(np.rint(image * 255.0), 0, 255).astype(np.uint8)
 
 
@@ -108,8 +110,14 @@ def resize(image: np.ndarray, height: int, width: int, interpolation: str = "bil
     src_h, src_w = src.shape[:2]
 
     if interpolation == "nearest":
-        rows = np.minimum((np.arange(height) + 0.5) * src_h / height, src_h - 1).astype(int)
-        cols = np.minimum((np.arange(width) + 0.5) * src_w / width, src_w - 1).astype(int)
+        # Truncation is the nearest-neighbour index rule; casting= documents
+        # the intentional float->int narrowing (reprolint NUM202).
+        rows = np.minimum((np.arange(height) + 0.5) * src_h / height, src_h - 1).astype(
+            int, casting="unsafe"
+        )
+        cols = np.minimum((np.arange(width) + 0.5) * src_w / width, src_w - 1).astype(
+            int, casting="unsafe"
+        )
         out = src[np.ix_(rows, cols)]
     else:
         out = _bilinear(src, height, width)

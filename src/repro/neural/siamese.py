@@ -157,7 +157,7 @@ class NormalizedXCorrNet:
 
     def predict_proba(self, pairs: PairDataset, batch_size: int = 32) -> np.ndarray:
         """P(similar) for every pair, in order."""
-        probs = np.empty(len(pairs))
+        probs = np.zeros(len(pairs))
         for start in range(0, len(pairs), batch_size):
             indices = np.arange(start, min(start + batch_size, len(pairs)))
             a, b, _ = self._batch_tensors(pairs, indices)

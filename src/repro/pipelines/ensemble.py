@@ -155,8 +155,9 @@ class BordaEnsemble(RecognitionPipeline):
                 continue
             for rank, label in enumerate(ranking):
                 totals[label] += rank
-            unranked = set(classes) - set(ranking)
-            for label in unranked:
-                totals[label] += len(ranking)
+            ranked = set(ranking)
+            for label in classes:  # iterate the ordered class list, not a set
+                if label not in ranked:
+                    totals[label] += len(ranking)
         best = min(totals, key=lambda label: (totals[label], classes.index(label)))
         return Prediction(label=best, score=float(totals[best]))

@@ -204,6 +204,7 @@ class HybridPipeline(RecognitionPipeline):
                 color_scores = 1.0 - color_scores
             return self.alpha * shape_scores + self.beta * color_scores
 
+        # reprolint: disable=NUM203 -- the enumerate loop below writes every slot before thetas is read
         thetas = np.empty(len(self.references), dtype=np.float64)
         for idx, (shape_ref, color_ref) in enumerate(
             zip(self._shape_refs, self._color_refs)

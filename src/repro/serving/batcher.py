@@ -48,7 +48,7 @@ class MicroBatcher:
         max_queue_depth: int | None = None,
         on_error: Callable[[Sequence, BaseException], None] | None = None,
         on_discard: Callable[[Any], None] | None = None,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch_size < 1:
             raise ServingError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -94,7 +94,7 @@ class MicroBatcher:
                 self._thread.start()
         return self
 
-    def submit(self, item) -> int:
+    def submit(self, item: Any) -> int:
         """Enqueue *item*; returns the queue depth after enqueue.
 
         Raises :class:`ServiceOverloaded` when the queue is at
@@ -136,7 +136,7 @@ class MicroBatcher:
     def __enter__(self) -> "MicroBatcher":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     # -- flush thread --------------------------------------------------------

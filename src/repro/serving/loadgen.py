@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.config import ExperimentConfig, ServingSettings, rng as make_rng
 from repro.datasets.dataset import LabelledImage
@@ -79,8 +79,8 @@ def _sequential_baseline(
 
 def _scalar_baseline_qps(
     pipeline_name: str,
-    registry,
-    references,
+    registry: Any,
+    references: Any,
     config: ExperimentConfig,
     queries: Sequence[LabelledImage],
 ) -> float | None:
@@ -114,8 +114,10 @@ def _drive_closed_loop(
     def client(start: int) -> None:
         for index in range(start, len(queries), clients):
             try:
+                # reprolint: disable=LCK303 -- each client writes a disjoint index stripe (start, start+clients, ...)
                 results[index] = service.recognize(queries[index])
             except Exception:
+                # reprolint: disable=LCK303 -- each client writes a disjoint index stripe (start, start+clients, ...)
                 results[index] = None  # rejected/failed: counted by the stats
 
     threads = [
@@ -170,7 +172,7 @@ def run_loadgen(
     mode: str = "closed",
     rate_hz: float = 200.0,
     fallback: str | None = None,
-    registry=None,
+    registry: Any = None,
 ) -> dict:
     """One full load-generation run; returns the BENCH_serving.json payload.
 

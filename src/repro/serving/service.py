@@ -29,10 +29,11 @@ concurrent missions then share one warm pipeline and batch together.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future
 from dataclasses import replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.config import ExperimentConfig, ServingSettings
 from repro.datasets.dataset import ImageDataset, LabelledImage
@@ -83,7 +84,7 @@ class RecognitionService:
         settings: ServingSettings | None = None,
         fallback: RecognitionPipeline | None = None,
         retry_policy: RetryPolicy | None = None,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.pipeline = pipeline
         self.settings = settings or ServingSettings()
@@ -96,6 +97,10 @@ class RecognitionService:
         self._clock = clock
         self._ready = False
         self._admitted = 0
+        # Guards the admission counter: submit() runs on arbitrary client
+        # threads, and a bare `self._admitted += 1` would hand two concurrent
+        # requests the same index (found by reprolint LCK302).
+        self._admit_lock = threading.Lock()
         self._batcher = MicroBatcher(
             self._flush,
             max_batch_size=self.settings.max_batch_size,
@@ -166,7 +171,7 @@ class RecognitionService:
     def __enter__(self) -> "RecognitionService":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     def submit(
@@ -187,18 +192,20 @@ class RecognitionService:
         if deadline_ms is not None and deadline_ms <= 0:
             raise ServingError(f"deadline_ms must be > 0, got {deadline_ms}")
         now = self._clock()
+        with self._admit_lock:
+            index = self._admitted
+            self._admitted += 1
         request = _PendingRequest(
             query=query,
             enqueued_at=now,
             deadline=now + deadline_ms / 1000.0 if deadline_ms is not None else None,
-            index=self._admitted,
+            index=index,
         )
         try:
             depth = self._batcher.submit(request)
         except ServingError:
             self.stats.record_rejected()
             raise
-        self._admitted += 1
         self.stats.record_submitted(depth)
         return request.future
 

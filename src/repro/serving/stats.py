@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -123,7 +123,7 @@ class ServiceStats:
     counters always reconcile (``submitted == completed + failed + pending``).
     """
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self._lock = threading.Lock()
         self._submitted = 0

@@ -1,0 +1,10 @@
+"""Offending fixture for DET101: unseeded global RNG draws."""
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    noise = random.random()  # line 8: stdlib global RNG
+    offsets = np.random.rand(3)  # line 9: numpy hidden RandomState
+    return [v + noise for v in values], offsets

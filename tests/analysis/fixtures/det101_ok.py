@@ -1,0 +1,10 @@
+"""Clean fixture for DET101: every draw comes from a seeded generator."""
+import random
+
+import numpy as np
+
+
+def jitter(values, seed):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return [v + rng.random() for v in values], gen.random(3)

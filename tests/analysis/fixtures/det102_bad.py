@@ -1,0 +1,8 @@
+"""Offending fixture for DET102 (linted as a kernel module)."""
+import time
+
+
+def extract(image):
+    started = time.time()  # line 6: wall clock inside a kernel
+    features = image.mean()
+    return features, started

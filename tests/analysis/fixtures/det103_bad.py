@@ -1,0 +1,8 @@
+"""Offending fixture for DET103: iteration over unordered sets."""
+
+
+def accumulate(classes, ranking, totals):
+    unranked = set(classes) - set(ranking)
+    for label in unranked:  # line 6: order-dependent accumulation
+        totals[label] += len(ranking)
+    return [t for t in {1.0, 2.0}]  # line 8: comprehension over a set literal

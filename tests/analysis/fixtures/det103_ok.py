@@ -1,0 +1,9 @@
+"""Clean fixture for DET103: membership tests and sorted iteration."""
+
+
+def accumulate(classes, ranking, totals):
+    ranked = set(ranking)
+    for label in classes:  # ordered source sequence
+        if label not in ranked:  # membership test on the set is fine
+            totals[label] += len(ranking)
+    return [t for t in sorted({1.0, 2.0})]

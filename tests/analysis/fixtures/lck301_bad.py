@@ -1,0 +1,16 @@
+"""Offending fixture for LCK301 (linted as a lock module): the same
+attribute is mutated under the lock in one method and bare in another."""
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def drop(self, key):
+        self._entries.pop(key, None)  # line 16: bare mutation of a locked attr

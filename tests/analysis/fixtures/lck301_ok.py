@@ -1,0 +1,16 @@
+"""Clean fixture for LCK301: every writer of the shared dict holds the lock."""
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def drop(self, key):
+        with self._lock:
+            self._entries.pop(key, None)

@@ -1,0 +1,11 @@
+"""Offending fixture for LCK302: racy counter in a threaded module."""
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self.started = threading.Event()
+        self.count = 0
+
+    def record(self):
+        self.count += 1  # line 11: unlocked read-modify-write

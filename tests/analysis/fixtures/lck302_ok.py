@@ -1,0 +1,12 @@
+"""Clean fixture for LCK302: the counter increments under its lock."""
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def record(self):
+        with self._lock:
+            self.count += 1

@@ -1,0 +1,17 @@
+"""Offending fixture for LCK303: a thread-target closure mutates shared
+state without a lock."""
+import threading
+
+
+def gather(tasks):
+    results = {}
+
+    def worker(key):
+        results[key] = key * 2  # line 10: unlocked cross-thread write
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in tasks]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results

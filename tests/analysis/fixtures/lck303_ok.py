@@ -1,0 +1,18 @@
+"""Clean fixture for LCK303: the worker takes a lock around the shared write."""
+import threading
+
+
+def gather(tasks):
+    results = {}
+    lock = threading.Lock()
+
+    def worker(key):
+        with lock:
+            results[key] = key * 2
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in tasks]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results

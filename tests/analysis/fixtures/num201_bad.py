@@ -1,0 +1,8 @@
+"""Offending fixture for NUM201: exact equality on float expressions."""
+
+
+def compare(scores, other):
+    acc = scores.mean()
+    if acc == other.mean():  # line 6: float == float
+        return True
+    return scores / 2.0 != other  # line 8: true-division result under !=

@@ -1,0 +1,10 @@
+"""Clean fixture for NUM201: tolerances and integer counts."""
+import math
+
+
+def compare(scores, other, n):
+    acc = scores.mean()
+    if math.isclose(acc, other.mean(), rel_tol=1e-9):
+        return True
+    hits = scores.sum()
+    return int(hits) == n  # integer comparison is exact

@@ -1,0 +1,8 @@
+"""Offending fixture for NUM202: silent dtype-narrowing astype."""
+import numpy as np
+
+
+def to_bins(values, edges):
+    bins = (values * 10.0).astype(int)  # line 6: float->int truncation, no casting=
+    half = values.astype(np.float32)  # line 7: float64->float32 narrowing
+    return bins, half, edges

@@ -1,0 +1,10 @@
+"""Clean fixture for NUM202: rounded receivers, boolean sources, explicit casting."""
+import numpy as np
+
+
+def to_bins(values, edges):
+    bins = np.rint(values * 10.0).astype(np.int64)  # rounded first: well-defined
+    mask = (values > 0.5).astype(np.int64)  # boolean source: no information loss
+    trunc = (values * 10.0).astype(int, casting="unsafe")  # narrowing stated
+    wide = values.astype(np.float64)  # widening target is out of scope
+    return bins, mask, trunc, wide, edges

@@ -1,0 +1,302 @@
+"""The reprolint contract: every rule catches its fixture, spares the clean
+twin, honours suppressions, and the CLI speaks the 0/1/2 exit-code protocol.
+
+The fixture corpus under ``tests/analysis/fixtures`` holds one offending and
+one clean snippet per rule; the assertions pin exact rule ids and line
+numbers so a rule that drifts (fires elsewhere, or goes silent) fails loudly.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintConfig,
+    LintReport,
+    Rule,
+    RuleRegistry,
+    default_registry,
+    format_report,
+    lint_paths,
+    lint_source,
+    report_as_json,
+)
+from repro.analysis.runner import SYNTAX_RULE_ID, module_name_for
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+
+#: Module names that put fixtures in each scoped rule family's territory.
+_SCOPED_MODULES = {
+    "det102": "repro.imaging.fake_kernel",
+    "num203": "repro.pipelines.fake_scoring",
+    "lck301": "repro.serving.fake_locks",
+    "lck302": "repro.serving.fake_locks",
+    "lck303": "repro.serving.fake_locks",
+}
+
+#: Exact (rule_id, line) expectations for every offending fixture.
+_EXPECTED = {
+    "det101": [("DET101", 8), ("DET101", 9)],
+    "det102": [("DET102", 6)],
+    "det103": [("DET103", 6), ("DET103", 8)],
+    "num201": [("NUM201", 6), ("NUM201", 8)],
+    "num202": [("NUM202", 6), ("NUM202", 7)],
+    "num203": [("NUM203", 6)],
+    "lck301": [("LCK301", 16)],
+    "lck302": [("LCK302", 11)],
+    "lck303": [("LCK303", 10)],
+}
+
+
+def _lint_fixture(name: str) -> list[Finding]:
+    path = FIXTURES / f"{name}.py"
+    stem = name.rsplit("_", 1)[0]
+    module = _SCOPED_MODULES.get(stem, f"tests.fixtures.{name}")
+    return lint_source(path.read_text(), path=str(path), module=module)
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("stem", sorted(_EXPECTED))
+    def test_offending_fixture_flags_exact_lines(self, stem):
+        findings = _lint_fixture(f"{stem}_bad")
+        assert [(f.rule_id, f.line) for f in findings] == _EXPECTED[stem]
+        assert not any(f.suppressed for f in findings)
+
+    @pytest.mark.parametrize("stem", sorted(_EXPECTED))
+    def test_clean_fixture_is_silent(self, stem):
+        assert _lint_fixture(f"{stem}_ok") == []
+
+    def test_every_registered_rule_has_fixture_coverage(self):
+        covered = {rule_id for expected in _EXPECTED.values() for rule_id, _ in expected}
+        assert covered == set(default_registry().ids())
+
+
+class TestModuleScoping:
+    def test_kernel_rule_ignores_non_kernel_modules(self):
+        source = (FIXTURES / "det102_bad.py").read_text()
+        assert lint_source(source, module="repro.evaluation.runner") == []
+
+    def test_scoring_rule_ignores_non_scoring_modules(self):
+        source = (FIXTURES / "num203_bad.py").read_text()
+        assert lint_source(source, module="repro.engine.cache") == []
+
+    def test_lock_rules_ignore_non_lock_modules(self):
+        source = (FIXTURES / "lck302_bad.py").read_text()
+        assert lint_source(source, module="repro.datasets.render") == []
+
+    def test_scope_includes_submodules(self):
+        source = (FIXTURES / "det102_bad.py").read_text()
+        findings = lint_source(source, module="repro.imaging.deep.nested.kernel")
+        assert [f.rule_id for f in findings] == ["DET102"]
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_with_reason(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # reprolint: disable=DET101 -- fixture waiver\n"
+        )
+        (finding,) = lint_source(source)
+        assert finding.rule_id == "DET101"
+        assert finding.suppressed
+        assert finding.reason == "fixture waiver"
+
+    def test_floating_comment_covers_next_code_line(self):
+        source = (
+            "import random\n"
+            "# reprolint: disable=DET101 -- long statement below\n"
+            "\n"
+            "x = random.random()\n"
+        )
+        (finding,) = lint_source(source)
+        assert finding.suppressed
+        assert finding.line == 4
+
+    def test_unrelated_rule_id_does_not_suppress(self):
+        source = "import random\nx = random.random()  # reprolint: disable=NUM201\n"
+        (finding,) = lint_source(source)
+        assert not finding.suppressed
+
+    def test_disable_all_and_multi_rule_lists(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # reprolint: disable=all -- demo\n"
+            "y = random.random()  # reprolint: disable=NUM201,DET101 -- both named\n"
+        )
+        first, second = lint_source(source)
+        assert first.suppressed and second.suppressed
+        assert second.reason == "both named"
+
+    def test_suppressed_findings_are_reported_not_dropped(self):
+        source = "import random\nx = random.random()  # reprolint: disable=DET101\n"
+        report = LintReport(findings=lint_source(source), files_checked=1)
+        assert report.active == []
+        assert len(report.suppressed) == 1
+        assert report.exit_code == 0
+        assert "[suppressed:" in format_report(report)
+
+
+class TestRegistryAndConfig:
+    def test_default_registry_ids(self):
+        assert default_registry().ids() == (
+            "DET101",
+            "DET102",
+            "DET103",
+            "LCK301",
+            "LCK302",
+            "LCK303",
+            "NUM201",
+            "NUM202",
+            "NUM203",
+        )
+
+    def test_duplicate_registration_rejected(self):
+        registry = RuleRegistry()
+
+        class Dup(Rule):
+            rule_id = "TST001"
+
+        registry.register(Dup)
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(Dup)
+
+    def test_disabled_rules_do_not_run(self):
+        source = "import random\nx = random.random()\n"
+        from dataclasses import replace
+
+        config = replace(LintConfig(), disable=("DET101",))
+        assert lint_source(source, config=config) == []
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            LintConfig.from_mapping({"typo-key": ["x"]})
+
+    def test_pyproject_config_round_trip(self):
+        config = LintConfig.from_pyproject(REPO_ROOT)
+        assert config.paths == ("src",)
+        assert "repro.engine.chaos" in config.kernel_modules
+        assert "repro.serving" in config.lock_modules
+
+
+class TestRunner:
+    def test_module_name_derivation(self):
+        assert module_name_for(Path("src/repro/serving/service.py")) == (
+            "repro.serving.service"
+        )
+        assert module_name_for(Path("src/repro/engine/__init__.py")) == "repro.engine"
+
+    def test_syntax_error_is_a_finding_not_a_crash(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.rule_id for f in findings] == [SYNTAX_RULE_ID]
+        report = LintReport(findings=findings, files_checked=1)
+        assert report.exit_code == 1
+
+    def test_rule_exception_is_an_internal_error(self, tmp_path):
+        class Broken(Rule):
+            rule_id = "TST999"
+
+            def visit_Module(self, node: ast.Module) -> None:
+                raise RuntimeError("boom")
+
+        registry = RuleRegistry()
+        registry.register(Broken)
+        target = tmp_path / "victim.py"
+        target.write_text("x = 1\n")
+        report = lint_paths([target], registry=registry)
+        assert report.findings == []
+        assert len(report.errors) == 1 and "boom" in report.errors[0]
+        assert report.exit_code == 2
+
+    def test_exclude_patterns_skip_files(self):
+        from dataclasses import replace
+
+        config = replace(LintConfig(), exclude=("fixtures",))
+        report = lint_paths([FIXTURES], config=config)
+        assert report.files_checked == 0
+
+
+class TestTreeIsClean:
+    def test_src_has_no_active_findings(self):
+        config = LintConfig.from_pyproject(REPO_ROOT)
+        report = lint_paths([REPO_ROOT / "src"], config=config)
+        assert report.errors == []
+        offenders = [(f.path, f.line, f.rule_id) for f in report.active]
+        assert offenders == []
+
+    def test_every_suppression_in_src_states_a_reason(self):
+        config = LintConfig.from_pyproject(REPO_ROOT)
+        report = lint_paths([REPO_ROOT / "src"], config=config)
+        assert report.suppressed, "the tree documents known false positives"
+        assert all(f.reason for f in report.suppressed)
+
+
+class TestReporters:
+    def _report_with_counts(self, active: int, suppressed: int) -> LintReport:
+        findings = [
+            Finding("NUM201", f"src/x{i}.py", i + 1, 0, "exact float comparison")
+            for i in range(active)
+        ]
+        findings += [
+            Finding("DET103", "src/y.py", i + 1, 0, "set loop", True, "known")
+            for i in range(suppressed)
+        ]
+        return LintReport(findings=findings, files_checked=active + suppressed)
+
+    def test_summary_table_aligns_for_multi_digit_counts(self):
+        text = format_report(self._report_with_counts(active=120, suppressed=3))
+        table = [line for line in text.splitlines() if line.startswith("|")]
+        assert len(table) == 4  # header, rule, two body rows
+        positions = [tuple(i for i, c in enumerate(row) if c == "|") for row in table]
+        assert len(set(positions)) == 1, "pipes must align in every row"
+        assert "120" in table[-1] or "120" in table[-2]
+
+    def test_verdict_line_counts(self):
+        text = format_report(self._report_with_counts(active=2, suppressed=1))
+        assert text.splitlines()[-1] == "3 files checked: 2 findings, 1 suppressed"
+
+    def test_json_payload_shape(self):
+        payload = json.loads(report_as_json(self._report_with_counts(1, 1)))
+        assert payload["counts"] == {"active": 1, "suppressed": 1}
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "NUM201"
+        assert {"rule", "path", "line", "col", "message", "suppressed", "reason"} == set(
+            payload["findings"][0]
+        )
+
+
+class TestCli:
+    def test_lint_clean_file_exits_zero(self, capsys):
+        code = cli_main(["lint", "--paths", str(FIXTURES / "det101_ok.py")])
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_lint_findings_exit_one(self, capsys):
+        code = cli_main(["lint", "--paths", str(FIXTURES / "det101_bad.py")])
+        assert code == 1
+        assert "DET101" in capsys.readouterr().out
+
+    def test_lint_json_format(self, capsys):
+        code = cli_main(
+            ["lint", "--format", "json", "--paths", str(FIXTURES / "det101_bad.py")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["active"] == 2
+
+    def test_lint_internal_error_exits_two(self, capsys, monkeypatch):
+        import repro.analysis
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("linter bug")
+
+        monkeypatch.setattr(repro.analysis, "lint_paths", boom)
+        code = cli_main(["lint"])
+        assert code == 2
+        assert "internal error" in capsys.readouterr().out
