@@ -1,0 +1,106 @@
+"""Reference-store bench: memmap attach versus cold feature rebuild.
+
+The store's reason to exist is startup latency: a worker process should
+attach the published artifact in milliseconds instead of re-extracting
+Hu moments and histograms from pixels.  This bench builds the SNS1 store
+once, then times (a) a cold ``fit`` with an empty feature cache — what a
+worker without the store must do — and (b) ``ReferenceStore.attach`` +
+``attach_store`` — what a store-backed worker does.  Hard assertion:
+attach is at least 10x faster, and attached scores are bit-identical to
+the cold fit.  The payload lands in ``BENCH_store.json``.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.shapenet import build_sns1, build_sns2
+from repro.engine.cache import FeatureCache
+from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+from repro.store import ReferenceStore, build_store
+
+from conftest import bench_config, run_once
+
+MIN_ATTACH_SPEEDUP = 10.0
+ATTACH_REPEATS = 5
+RESULT_FILE = Path("BENCH_store.json")
+
+
+def cold_pipeline(config):
+    """A hybrid pipeline with a fresh, empty feature cache (no reuse)."""
+    pipeline = HybridPipeline(HybridStrategy.WEIGHTED_SUM, bins=config.histogram_bins)
+    pipeline.cache = FeatureCache()
+    return pipeline
+
+
+def test_store_attach_speedup(benchmark):
+    config = bench_config()
+    references = build_sns1(config)
+    queries = build_sns2(config).items[:4]
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        store_dir = Path(tmp) / "store"
+
+        build_started = time.perf_counter()
+        result = build_store(
+            references,
+            store_dir,
+            bins=config.histogram_bins,
+            families=("shape", "color"),
+            cache=FeatureCache(),
+        )
+        build_seconds = time.perf_counter() - build_started
+
+        cold = cold_pipeline(config)
+        cold_started = time.perf_counter()
+        cold.fit(references)
+        cold_seconds = time.perf_counter() - cold_started
+        baseline = np.asarray(cold.theta_scores_batch(list(queries)))
+
+        def attach_once():
+            store = ReferenceStore.attach(store_dir)
+            return cold_pipeline(config).attach_store(store)
+
+        attach_seconds = min(
+            _timed(attach_once)[1] for _ in range(ATTACH_REPEATS - 1)
+        )
+        attached, timed = _timed(lambda: run_once(benchmark, attach_once))
+        attach_seconds = min(attach_seconds, timed)
+
+        speedup = cold_seconds / attach_seconds
+        payload = {
+            "store_version": result.store_version,
+            "views": len(references),
+            "families": ["shape", "color"],
+            "store_bytes": sum(
+                f.stat().st_size for f in result.path.iterdir() if f.is_file()
+            ),
+            "build_seconds": build_seconds,
+            "cold_fit_seconds": cold_seconds,
+            "attach_seconds": attach_seconds,
+            "attach_speedup_vs_cold_fit": speedup,
+        }
+        RESULT_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print()
+        print(
+            f"store {result.store_version}: cold fit {cold_seconds * 1e3:.1f} ms, "
+            f"attach {attach_seconds * 1e3:.2f} ms ({speedup:.0f}x), "
+            f"build {build_seconds:.2f} s, {payload['store_bytes'] / 1024:.0f} KiB"
+        )
+
+        assert np.array_equal(
+            np.asarray(attached.theta_scores_batch(list(queries))), baseline
+        ), "attached scores diverged from the cold fit"
+        assert speedup >= MIN_ATTACH_SPEEDUP, (
+            f"attach is only {speedup:.1f}x faster than a cold rebuild "
+            f"(need >= {MIN_ATTACH_SPEEDUP}x) — the memmap fast path has regressed"
+        )
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started

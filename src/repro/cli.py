@@ -27,6 +27,17 @@ observations through the service::
     repro serve --pipeline hybrid --requests 200 --clients 32
     repro loadgen --mode open --rate 500 --fallback most-frequent
     repro patrol --serve --deadline-ms 50
+
+Store commands (see README "Reference store"): ``repro store build``
+publishes a memory-mapped reference-feature artifact, ``repro store
+verify`` re-hashes every shard against its manifest; ``--workers N`` on
+``serve``/``loadgen`` switches to the multi-process sharded topology that
+attaches the store zero-copy per worker::
+
+    repro store build --store-dir .repro-store
+    repro store verify --store-dir .repro-store
+    repro serve --workers 2 --store-dir .repro-store
+    repro loadgen --workers 2 --slo-p99-ms 250
 """
 
 from __future__ import annotations
@@ -266,26 +277,61 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     Submits ``--requests`` NYUSet crops through ``--clients`` concurrent
     callers (the thread-based stand-in for robots on a network) and prints
-    the service report — the smallest end-to-end serving demo.
+    the service report — the smallest end-to-end serving demo.  With
+    ``--workers N`` (N >= 2) the stream is served by the multi-process
+    sharded topology instead: a store is built (or republished) in
+    ``--store-dir`` and each worker process attaches its shard zero-copy.
     """
+    import tempfile
+
     from repro.datasets.shapenet import build_sns1
     from repro.serving.loadgen import _drive_closed_loop, build_workload
     from repro.serving.service import RecognitionService
 
     config = _make_config(args)
     settings = _make_serving_settings(args)
-    service = RecognitionService.warm_start(
-        args.pipeline,
-        build_sns1(config),
-        config=config,
-        fallback=args.fallback,
-        settings=settings,
-    )
+    workers = args.workers or 1
+    references = build_sns1(config)
+    store_cleanup: tempfile.TemporaryDirectory | None = None
+    if workers > 1:
+        from repro.serving.shards import ShardedRecognitionService
+        from repro.store import build_store
+
+        store_dir = args.store_dir
+        if store_dir is None:
+            store_cleanup = tempfile.TemporaryDirectory(prefix="repro-store-")
+            store_dir = store_cleanup.name
+        build_store(
+            references, store_dir, bins=config.histogram_bins,
+            families=("shape", "color"),
+        )
+        fallback_pipeline = None
+        if args.fallback:
+            fallback_pipeline = _resolve_fallback(args.fallback, config)
+            fallback_pipeline.fit(references)
+        service = ShardedRecognitionService(
+            args.pipeline,
+            store_dir,
+            workers=workers,
+            settings=settings,
+            config=config,
+            fallback=fallback_pipeline,
+        ).start()
+    else:
+        service = RecognitionService.warm_start(
+            args.pipeline,
+            references,
+            config=config,
+            fallback=args.fallback,
+            settings=settings,
+        )
     queries = build_workload(config, args.requests)
     try:
         answers = _drive_closed_loop(service, queries, args.clients)
     finally:
         service.stop(drain=True)
+        if store_cleanup is not None:
+            store_cleanup.cleanup()
     report = service.report()
     correct = sum(
         1
@@ -302,8 +348,12 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _cmd_loadgen(args: argparse.Namespace) -> str:
-    """Run the seeded load generator and write ``BENCH_serving.json``."""
+def _cmd_loadgen(args: argparse.Namespace) -> tuple[str, int]:
+    """Run the seeded load generator and write ``BENCH_serving.json``.
+
+    Exit code 1 when a ``--slo-p99-ms`` assertion is violated, so CI can
+    gate on the SLO without parsing the payload.
+    """
     import json
     from pathlib import Path
 
@@ -318,10 +368,64 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
         mode=args.mode,
         rate_hz=args.rate,
         fallback=args.fallback,
+        workers=args.workers or 1,
+        store_dir=args.store_dir,
+        slo_p99_ms=args.slo_p99_ms,
     )
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return format_loadgen_report(payload) + f"\n  wrote {output}"
+    slo = payload.get("slo")
+    code = 1 if slo is not None and slo["violations"] else 0
+    return format_loadgen_report(payload) + f"\n  wrote {output}", code
+
+
+def _cmd_store(args: argparse.Namespace) -> tuple[str, int]:
+    """Build or verify the memory-mapped reference store.
+
+    ``repro store build`` extracts and publishes one content-addressed
+    version of the ShapeNetSet1 reference features (idempotent — unchanged
+    references republish the same version); ``repro store verify``
+    re-hashes every shard of the CURRENT version against its manifest and
+    exits 1 on any integrity problem.
+    """
+    from repro.datasets.shapenet import build_sns1
+    from repro.errors import StoreError, StoreIntegrityError
+    from repro.store import ReferenceStore, build_store
+
+    subcommand = args.subcommand or "build"
+    if subcommand not in ("build", "verify"):
+        return (
+            f"store: unknown subcommand {subcommand!r} (expected build or verify)",
+            2,
+        )
+    config = _make_config(args)
+    store_dir = args.store_dir or ".repro-store"
+    if subcommand == "build":
+        references = build_sns1(config)
+        started = time.perf_counter()
+        result = build_store(references, store_dir, bins=config.histogram_bins)
+        elapsed = time.perf_counter() - started
+        verb = "built" if result.created else "republished"
+        shards = ", ".join(
+            f"{spec.namespace}/{spec.version}" for spec in result.manifest.shards
+        )
+        return (
+            f"store: {verb} version {result.store_version} in {elapsed:.2f}s "
+            f"({len(result.manifest)} views of {references.name})\n"
+            f"  path   {result.path}\n"
+            f"  shards {shards}",
+            0,
+        )
+    try:
+        store = ReferenceStore.attach(store_dir, verify="full")
+    except (StoreIntegrityError, StoreError) as exc:
+        return f"store: verify FAILED — {exc}", 1
+    return (
+        f"store: version {store.store_version} verified "
+        f"({len(store)} views, {len(store.manifest.shards)} shards, "
+        "all digests match)",
+        0,
+    )
 
 
 def _cmd_patrol(args: argparse.Namespace) -> str:
@@ -424,6 +528,7 @@ _COMMANDS = {
     "engine": _cmd_engine,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "store": _cmd_store,
     "lint": _cmd_lint,
     "all": _cmd_all,
 }
@@ -436,6 +541,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the tables of Chiatti et al. (EDBT/ICDT 2019 workshops)",
     )
     parser.add_argument("command", choices=sorted(_COMMANDS), help="table to regenerate")
+    parser.add_argument(
+        "subcommand",
+        nargs="?",
+        default=None,
+        help="store command: 'build' (default) or 'verify'",
+    )
     parser.add_argument("--seed", type=int, default=7, help="global random seed")
     parser.add_argument(
         "--nyu-scale",
@@ -636,6 +747,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default="BENCH_serving.json",
         help="loadgen: where to write the benchmark payload",
+    )
+    serving.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        help="loadgen: p99 latency SLO in milliseconds; a violated SLO "
+        "exits 1 (for CI gating)",
+    )
+    store = parser.add_argument_group(
+        "store", "memory-mapped reference store (store build / store verify)"
+    )
+    store.add_argument(
+        "--store-dir",
+        default=None,
+        help="store directory (store commands default to .repro-store; "
+        "serve/loadgen --workers default to a temporary store)",
     )
     lint = parser.add_argument_group("lint", "reprolint static analysis")
     lint.add_argument(

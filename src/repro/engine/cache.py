@@ -285,10 +285,13 @@ class ReferenceMatrixCache:
 
     Batch scoring needs the whole reference library as one contiguous matrix
     (Hu log-signatures as ``(V, 7)``, histograms as ``(V, 3*bins)``).  The
-    stack depends only on the extraction namespace/version and the reference
-    images — not on the scoring metric — so the three shape distances share
-    one matrix, the four colour metrics share another, and the hybrid reuses
-    both.  Keys are ``(namespace, version, dataset_fingerprint)``.
+    stack depends only on the extraction namespace/version, the reference
+    images and the matrix dtype — not on the scoring metric — so the three
+    shape distances share one matrix, the four colour metrics share another,
+    and the hybrid reuses both.  Keys are ``(namespace, version,
+    dataset_fingerprint, dtype)``: the dtype leg keeps a reduced-precision
+    stack (a float32 scoring path) from colliding with — and silently
+    serving — the float64 entries built for the exact kernels.
 
     Thread-safe with the same relaxed semantics as :class:`FeatureCache`:
     ``build`` runs outside the lock and the last writer wins.
@@ -299,7 +302,7 @@ class ReferenceMatrixCache:
             raise EngineError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
-        self._entries: OrderedDict[tuple[str, str, str], Any] = OrderedDict()
+        self._entries: OrderedDict[tuple[str, str, str, str], Any] = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -312,9 +315,15 @@ class ReferenceMatrixCache:
         version: str,
         references: Any,
         build: Callable[[], Any],
+        dtype: str = "float64",
     ) -> Any:
-        """The memoised value of ``build()`` for *references*."""
-        key = (namespace, version, dataset_fingerprint(references))
+        """The memoised value of ``build()`` for *references*.
+
+        *dtype* names the matrix precision ``build()`` produces; callers
+        stacking anything other than the default float64 must pass it so
+        differently-typed stacks of the same references get distinct entries.
+        """
+        key = (namespace, version, dataset_fingerprint(references), dtype)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)

@@ -84,6 +84,18 @@ class DeadlineExceeded(ServingError):
     this; without one, the caller sees it."""
 
 
+class StoreError(ReproError):
+    """The memory-mapped reference store was misconfigured or misused."""
+
+
+class StoreIntegrityError(StoreError):
+    """A store artifact failed an integrity check (missing, truncated or
+    digest-mismatched shard, torn manifest).  The offending shard is
+    quarantined with a ``.corrupt`` suffix — mirroring
+    :class:`~repro.engine.cache.FeatureCache` — so a corrupt artifact can
+    degrade a service but never mis-score a query."""
+
+
 class EvaluationError(ReproError):
     """An evaluation routine received inconsistent predictions or labels."""
 

@@ -32,10 +32,11 @@ from repro.engine.cache import (
     default_matrix_cache,
 )
 from repro.engine.instrument import Stopwatch, maybe_stage
-from repro.errors import PipelineError
+from repro.errors import PipelineError, StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.executor import ParallelExecutor
+    from repro.store.attach import ReferenceStore
 
 
 @dataclass(frozen=True)
@@ -258,6 +259,51 @@ class MatchingPipeline(RecognitionPipeline):
                         references,
                         lambda: self._stack_references(self._reference_features),
                     )
+        return self
+
+    def attach_store(
+        self,
+        store: "ReferenceStore",
+        rows: tuple[int, int] | None = None,
+    ) -> "MatchingPipeline":
+        """Adopt a pre-stacked reference matrix from a memmapped store.
+
+        The zero-copy alternative to :meth:`fit`: instead of extracting and
+        stacking reference features in-process, the pipeline maps the store's
+        ``(V, D)`` shard for its own feature keyspace and serves from it.
+        Because the shard was produced by the same ``_stack_references``
+        functions ``fit`` runs, scoring is bit-identical to the fitted path
+        (the store equivalence suite pins this).
+
+        *rows* restricts the pipeline to the contiguous reference range
+        ``[start, stop)`` — the unit a multi-process serving shard owns.
+        References become the store's image-free identity records; anything
+        needing reference pixels must use :meth:`fit`.
+        """
+        if not self.batch_scoring:
+            raise StoreError(
+                f"{self.name}: attach_store requires batch_scoring (the store "
+                "holds stacked matrices, not per-view features)"
+            )
+        references = store.references()
+        start, stop = (0, len(references)) if rows is None else rows
+        if not 0 <= start <= stop <= len(references):
+            raise StoreError(
+                f"shard rows [{start}, {stop}) outside store of {len(references)} views"
+            )
+        self._feature_keyspace = None
+        namespace, version = self.feature_keyspace()
+        matrix = store.matrix(namespace, version)
+        if matrix.shape[0] != len(references):
+            raise StoreError(
+                f"store shard {namespace}/{version} has {matrix.shape[0]} rows "
+                f"for {len(references)} reference views"
+            )
+        self._references = references.slice(start, stop)  # type: ignore[assignment]
+        self._reference_matrix = matrix[start:stop]
+        # Identity placeholders: scoring never touches per-view features on
+        # the batch path, but length-derived shapes must stay correct.
+        self._reference_features = [None] * (stop - start)
         return self
 
     def score_views(self, query: LabelledImage) -> np.ndarray:

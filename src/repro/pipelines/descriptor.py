@@ -12,6 +12,7 @@ the most consistent).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from repro.features.orb import OrbExtractor
 from repro.features.sift import SiftExtractor
 from repro.features.surf import SurfExtractor
 from repro.pipelines.base import Prediction, RecognitionPipeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.attach import ReferenceStore
 
 #: Extractor registry: name -> (factory, matching metric).
 _EXTRACTORS = {
@@ -120,6 +124,41 @@ class DescriptorPipeline(RecognitionPipeline):
                 model_id=item.model_id,
             )
             for item in references
+        ]
+        return self
+
+    def attach_store(
+        self,
+        store: "ReferenceStore",
+        rows: tuple[int, int] | None = None,
+    ) -> "DescriptorPipeline":
+        """Adopt reference descriptors from a memmapped store.
+
+        Maps the ragged ``desc-<method>`` shard (ORB rows come back from the
+        bit-packed layout byte-identical to the extractor's output) instead
+        of recomputing descriptors per process; *rows* restricts to a
+        contiguous reference range for shard workers.  Query-side extraction
+        and the ratio-test loop are unchanged, so match counts equal the
+        fitted path's exactly.
+        """
+        from repro.errors import StoreError
+
+        references = store.references()
+        start, stop = (0, len(references)) if rows is None else rows
+        if not 0 <= start <= stop <= len(references):
+            raise StoreError(
+                f"shard rows [{start}, {stop}) outside store of {len(references)} views"
+            )
+        namespace, version = self._feature_keyspace
+        descriptor_rows = store.ragged(namespace, version)
+        self._references = references.slice(start, stop)  # type: ignore[assignment]
+        self._views = [
+            _ViewDescriptors(
+                descriptors=descriptor_rows[start + offset],
+                label=item.label,
+                model_id=item.model_id,
+            )
+            for offset, item in enumerate(self._references)
         ]
         return self
 

@@ -30,13 +30,13 @@ from enum import Enum
 
 import numpy as np
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.config import HISTOGRAM_BINS, HYBRID_ALPHA, HYBRID_BETA
 from repro.datasets.dataset import ImageDataset, LabelledImage
 from repro.engine.cache import default_cache, default_matrix_cache
 from repro.engine.instrument import maybe_stage
-from repro.errors import PipelineError
+from repro.errors import PipelineError, StoreError
 from repro.imaging.histogram import (
     HistogramMetric,
     compare_histograms,
@@ -63,6 +63,9 @@ from repro.pipelines.shape_only import (
     SHAPE_FEATURE_VERSION,
     shape_features,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.attach import ReferenceStore
 
 
 class HybridStrategy(str, Enum):
@@ -177,6 +180,40 @@ class HybridPipeline(RecognitionPipeline):
                         references,
                         build_color,
                     )
+        return self
+
+    def attach_store(
+        self,
+        store: "ReferenceStore",
+        rows: tuple[int, int] | None = None,
+    ) -> "HybridPipeline":
+        """Adopt both the shape and colour matrices from a memmapped store.
+
+        The hybrid counterpart of
+        :meth:`~repro.pipelines.base.MatchingPipeline.attach_store`: maps the
+        same two shards the shape-only and colour-only pipelines use, sliced
+        to the *rows* range when serving as a shard worker.
+        """
+        if not self.batch_scoring:
+            raise StoreError(
+                f"{self.name}: attach_store requires batch_scoring (the store "
+                "holds stacked matrices, not per-view features)"
+            )
+        references = store.references()
+        start, stop = (0, len(references)) if rows is None else rows
+        if not 0 <= start <= stop <= len(references):
+            raise StoreError(
+                f"shard rows [{start}, {stop}) outside store of {len(references)} views"
+            )
+        shape_matrix = store.matrix(SHAPE_FEATURE_NAMESPACE, SHAPE_FEATURE_VERSION)
+        color_matrix = store.matrix(
+            color_feature_namespace(self.bins), COLOR_FEATURE_VERSION
+        )
+        self._references = references.slice(start, stop)  # type: ignore[assignment]
+        self._shape_matrix = shape_matrix[start:stop]
+        self._color_matrix = color_matrix[start:stop]
+        self._shape_refs = []
+        self._color_refs = []
         return self
 
     def theta_scores(self, query: LabelledImage) -> np.ndarray:

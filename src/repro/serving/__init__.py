@@ -19,7 +19,11 @@ kernels through dynamic micro-batching.
   stats.ServingReport` — queue depth, batch-size histogram, p50/p95/p99
   latency, degraded/rejected counts;
 * :mod:`~repro.serving.loadgen` — seeded open/closed-loop load generation
-  emitting ``BENCH_serving.json``.
+  emitting ``BENCH_serving.json``;
+* :mod:`~repro.serving.shards` — multi-process fan-out: class-aligned
+  reference shards served by worker processes attached zero-copy to a
+  memory-mapped :mod:`repro.store` artifact, merged bit-identically to the
+  single-process argmin.
 """
 
 from __future__ import annotations
@@ -40,6 +44,12 @@ from repro.serving.loadgen import (
 )
 from repro.serving.registry import PipelineRegistry, default_registry
 from repro.serving.service import RecognitionService
+from repro.serving.shards import (
+    ShardedRecognitionService,
+    WorkerShard,
+    merge_champions,
+    plan_shards,
+)
 from repro.serving.stats import ServiceStats, ServingReport
 
 __all__ = [
@@ -48,6 +58,10 @@ __all__ = [
     "MicroBatcher",
     "PipelineRegistry",
     "RecognitionService",
+    "ShardedRecognitionService",
+    "WorkerShard",
+    "merge_champions",
+    "plan_shards",
     "ServiceNotReady",
     "ServiceOverloaded",
     "ServiceStats",

@@ -32,10 +32,19 @@ percentiles, throughput, batch-size histogram, rejection/degradation
 counts, the baseline and the speedup, plus a prediction-equivalence check
 (micro-batched answers must be bit-identical to sequential ones for every
 non-degraded request).
+
+With ``workers >= 2`` the run builds (or reuses) a :mod:`repro.store`
+artifact and serves through the multi-process
+:class:`~repro.serving.shards.ShardedRecognitionService` instead — the
+same workload, the same sequential baseline, so the mismatch audit pins
+the scatter-gather merge bit-exactly.  ``slo_p99_ms`` adds a latency SLO
+leg to the payload: the measured p99 against the configured deadline and
+an integer violation flag CI asserts on.
 """
 
 from __future__ import annotations
 
+import tempfile
 import threading
 import time
 from typing import Any, Sequence
@@ -173,12 +182,19 @@ def run_loadgen(
     rate_hz: float = 200.0,
     fallback: str | None = None,
     registry: Any = None,
+    workers: int = 1,
+    store_dir: str | None = None,
+    slo_p99_ms: float | None = None,
 ) -> dict:
     """One full load-generation run; returns the BENCH_serving.json payload.
 
     Warm-starts *pipeline_name* on ShapeNetSet1, times the sequential
     baseline over the workload, then serves the same workload through a
-    micro-batched service under the chosen load model.
+    micro-batched service under the chosen load model.  With ``workers >=
+    2`` the service is the multi-process sharded topology over a
+    :mod:`repro.store` artifact built in *store_dir* (a temporary directory
+    when omitted); *slo_p99_ms*, when set, adds a p99-latency SLO check to
+    the payload.
     """
     if mode not in LOAD_MODES:
         raise ServingError(f"unknown load mode {mode!r}, expected one of {LOAD_MODES}")
@@ -186,6 +202,10 @@ def run_loadgen(
         raise ServingError(f"clients must be >= 1, got {clients}")
     if mode == "open" and rate_hz <= 0:
         raise ServingError(f"open-loop rate_hz must be > 0, got {rate_hz}")
+    if workers < 1:
+        raise ServingError(f"workers must be >= 1, got {workers}")
+    if slo_p99_ms is not None and slo_p99_ms <= 0:
+        raise ServingError(f"slo_p99_ms must be > 0, got {slo_p99_ms}")
     config = config or ExperimentConfig(nyu_scale=0.05)
     settings = settings or ServingSettings()
 
@@ -212,9 +232,43 @@ def run_loadgen(
     fallback_pipeline = (
         registry.warm_start(fallback, references, config) if fallback else None
     )
-    service = RecognitionService(
-        pipeline, settings=settings, fallback=fallback_pipeline
-    ).start()
+    store_info: dict | None = None
+    store_cleanup: tempfile.TemporaryDirectory | None = None
+    service: Any
+    if workers > 1:
+        from repro.serving.shards import ShardedRecognitionService
+        from repro.store import build_store
+
+        if store_dir is None:
+            store_cleanup = tempfile.TemporaryDirectory(prefix="repro-store-")
+            store_dir = store_cleanup.name
+        built = build_store(
+            references,
+            store_dir,
+            bins=config.histogram_bins,
+            families=("shape", "color"),
+        )
+        service = ShardedRecognitionService(
+            pipeline_name,
+            store_dir,
+            workers=workers,
+            settings=settings,
+            config=config,
+            fallback=fallback_pipeline,
+        ).start()
+        store_info = {
+            "dir": None if store_cleanup is not None else str(store_dir),
+            "version": built.store_version,
+            "views": len(built.manifest),
+            "shards": [
+                {"start": shard.start, "stop": shard.stop, "classes": list(shard.classes)}
+                for shard in service.shards
+            ],
+        }
+    else:
+        service = RecognitionService(
+            pipeline, settings=settings, fallback=fallback_pipeline
+        ).start()
     try:
         if mode == "closed":
             served = _drive_closed_loop(service, queries, clients)
@@ -222,6 +276,8 @@ def run_loadgen(
             served = _drive_open_loop(service, queries, rate_hz, seed=config.seed)
     finally:
         service.stop(drain=True)
+        if store_cleanup is not None:
+            store_cleanup.cleanup()
 
     report = service.report()
     mismatches = sum(
@@ -254,6 +310,17 @@ def run_loadgen(
             round(report.throughput_qps / scalar_qps, 2) if scalar_qps else None
         ),
         "prediction_mismatches": mismatches,
+        "workers": workers,
+        "store": store_info,
+        "slo": (
+            {
+                "p99_ms": slo_p99_ms,
+                "measured_p99_ms": round(report.latency_p99_ms, 3),
+                "violations": int(report.latency_p99_ms > slo_p99_ms),
+            }
+            if slo_p99_ms is not None
+            else None
+        ),
     }
     return payload
 
@@ -267,10 +334,12 @@ def format_loadgen_report(payload: dict) -> str:
         if payload["mode"] == "closed"
         else f"open loop @ {payload['rate_hz']:g}/s"
     )
+    workers = payload.get("workers", 1) or 1
+    topology = f", {workers} shard workers" if workers > 1 else ""
     lines = [
         f"loadgen: {payload['requests']} requests over {payload['pipeline']} "
         f"({load}, batch<= {payload['max_batch_size']}, "
-        f"wait<= {payload['max_wait_ms']:g}ms)",
+        f"wait<= {payload['max_wait_ms']:g}ms{topology})",
         f"  latency   p50 {latency['p50']:.1f}ms   p95 {latency['p95']:.1f}ms   "
         f"p99 {latency['p99']:.1f}ms   max {latency['max']:.1f}ms",
         f"  throughput {serving['throughput_qps']:.1f} req/s   "
@@ -289,4 +358,11 @@ def format_loadgen_report(payload: dict) -> str:
         f"rejected, {serving['degraded']} degraded, {serving['failed']} failed, "
         f"{payload['prediction_mismatches']} mismatches",
     ]
+    slo = payload.get("slo")
+    if slo is not None:
+        verdict = "VIOLATED" if slo["violations"] else "met"
+        lines.append(
+            f"  slo       p99 <= {slo['p99_ms']:g}ms {verdict} "
+            f"(measured {slo['measured_p99_ms']:.1f}ms)"
+        )
     return "\n".join(lines)

@@ -1,0 +1,514 @@
+"""Multi-process serving shards over a memory-mapped reference store.
+
+:class:`ShardedRecognitionService` scales the single-process
+:class:`~repro.serving.service.RecognitionService` out to worker
+*processes*: the reference library is split into contiguous row ranges
+(:func:`plan_shards`, aligned to class boundaries so each shard owns whole
+class namespaces), every worker process attaches its range of the shared
+:class:`~repro.store.attach.ReferenceStore` zero-copy, and each admitted
+micro-batch is scattered to all shards and merged by a tie-rule-preserving
+reduction.
+
+Why this is *bit-identical* to the single-process path: every scoring
+kernel is row-independent per reference view, so a worker scoring rows
+``[start, stop)`` of the memmapped matrix produces exactly the score slice
+``scores[:, start:stop]`` of the full computation.  Each worker returns its
+per-query ``(score, global_index, label, model_id)`` champion; because
+shards are contiguous and ordered, picking the lexicographically best
+``(score, global_index)`` across shards — score ascending (or descending
+for ``higher_is_better``), index ascending — reproduces NumPy's
+argmin/argmax first-index tie rule over the full matrix exactly.  The
+equivalence suite and the loadgen mismatch audit both pin this.
+
+Fault handling follows :class:`~repro.engine.executor.ParallelExecutor`'s
+process backend: a :class:`~concurrent.futures.process.BrokenProcessPool`
+(a worker died mid-batch) rebuilds the pool once and replays the batch —
+scoring is deterministic and read-only, so replay is safe; if the replay
+fails too, the batch degrades through the configured fallback pipeline
+(flagged ``degraded``) rather than erroring every caller.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.config import ExperimentConfig, ServingSettings
+from repro.datasets.dataset import LabelledImage
+from repro.engine.faults import RetryPolicy
+from repro.errors import DeadlineExceeded, ServingError, StoreError
+from repro.pipelines.base import Prediction, RecognitionPipeline
+from repro.serving.batcher import MicroBatcher
+from repro.serving.service import _PendingRequest
+from repro.serving.stats import ServiceStats, ServingReport
+from repro.store.attach import ReferenceStore
+
+
+@dataclass(frozen=True)
+class WorkerShard:
+    """One contiguous reference row range ``[start, stop)`` owned by a worker.
+
+    ``classes`` lists the class labels whose views fall in the range — with
+    class-aligned planning each label appears in exactly one shard, so the
+    shard *is* that set of class namespaces.
+    """
+
+    index: int
+    start: int
+    stop: int
+    classes: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(labels: Sequence[str], workers: int) -> tuple[WorkerShard, ...]:
+    """Split reference rows into ``workers`` contiguous, class-aligned shards.
+
+    Rows are never split mid-class: the plan walks the contiguous runs of
+    equal labels (the reference sets are stored grouped by class) and closes
+    a shard when its row count reaches the ideal ``V / workers`` boundary.
+    With fewer class runs than workers the plan has fewer shards — a shard
+    is never empty.
+    """
+    if workers < 1:
+        raise ServingError(f"workers must be >= 1, got {workers}")
+    total = len(labels)
+    if total == 0:
+        raise ServingError("cannot shard an empty reference library")
+    runs: list[tuple[int, int]] = []  # (start, stop) of each equal-label run
+    start = 0
+    for index in range(1, total + 1):
+        if index == total or labels[index] != labels[start]:
+            runs.append((start, index))
+            start = index
+    shards: list[WorkerShard] = []
+    shard_start = runs[0][0]
+    for position, (_, run_stop) in enumerate(runs):
+        remaining_runs = len(runs) - position - 1
+        remaining_shards = workers - len(shards) - 1
+        boundary = (len(shards) + 1) * total / workers
+        if (run_stop >= boundary or remaining_runs < remaining_shards) and (
+            remaining_shards > 0 or run_stop == total
+        ):
+            shards.append(
+                WorkerShard(
+                    index=len(shards),
+                    start=shard_start,
+                    stop=run_stop,
+                    classes=tuple(
+                        dict.fromkeys(labels[shard_start:run_stop])
+                    ),
+                )
+            )
+            shard_start = run_stop
+            if run_stop == total:
+                break
+    if shard_start < total:  # tail rows when workers > class runs consumed
+        shards.append(
+            WorkerShard(
+                index=len(shards),
+                start=shard_start,
+                stop=total,
+                classes=tuple(dict.fromkeys(labels[shard_start:total])),
+            )
+        )
+    return tuple(shards)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker process needs to (re)build its shard pipeline.
+
+    Deliberately small and picklable: the worker re-creates the pipeline
+    from the *default registry* name and attaches the store range by path —
+    no matrices, images or locks ever cross the process boundary.
+    """
+
+    store_dir: str
+    store_version: str
+    pipeline: str
+    config: ExperimentConfig
+    start: int
+    stop: int
+
+
+#: One attached shard pipeline per (task) per worker process.  Plain memo —
+#: each worker process is single-threaded, and the key includes the store
+#: version so a new publish naturally re-attaches.
+_SHARD_PIPELINES: dict[ShardTask, RecognitionPipeline] = {}
+
+
+def _shard_pipeline(task: ShardTask) -> RecognitionPipeline:
+    pipeline = _SHARD_PIPELINES.get(task)
+    if pipeline is None:
+        from repro.serving.registry import default_registry
+
+        store = ReferenceStore.attach(task.store_dir, version=task.store_version)
+        pipeline = default_registry().build(task.pipeline, task.config)
+        pipeline.attach_store(store, rows=(task.start, task.stop))  # type: ignore[attr-defined]
+        _SHARD_PIPELINES[task] = pipeline
+    return pipeline
+
+
+def _score_shard(
+    task: ShardTask, queries: list[LabelledImage]
+) -> list[tuple[float, int, str, str]]:
+    """Worker entry point: each query's champion within this shard.
+
+    Returns one ``(score, global_index, label, model_id)`` per query; the
+    index is global (shard start + local argmin) so the front-end merge can
+    reproduce the whole-matrix first-index tie rule.  Module-level so the
+    process backend can pickle it by reference.
+    """
+    import numpy as np
+
+    pipeline = _shard_pipeline(task)
+    if hasattr(pipeline, "theta_scores_batch"):
+        scores = pipeline.theta_scores_batch(queries)  # type: ignore[attr-defined]
+        higher_is_better = False
+    else:
+        scores = pipeline.score_views_batch(queries)  # type: ignore[attr-defined]
+        higher_is_better = bool(getattr(pipeline, "higher_is_better", False))
+    best = scores.argmax(axis=1) if higher_is_better else scores.argmin(axis=1)
+    references = pipeline.references
+    out: list[tuple[float, int, str, str]] = []
+    for row, local in zip(scores, best):
+        winner = references[int(local)]
+        out.append(
+            (
+                float(row[int(local)]),
+                task.start + int(local),
+                winner.label,
+                winner.model_id,
+            )
+        )
+    return out
+
+
+def merge_champions(
+    per_shard: Sequence[Sequence[tuple[float, int, str, str]]],
+    higher_is_better: bool = False,
+) -> list[tuple[float, int, str, str]]:
+    """Reduce per-shard champions to the global winner per query.
+
+    Lexicographic on ``(score, global_index)`` — score ascending (or
+    descending when *higher_is_better*), then lowest index — which equals
+    NumPy's argmin/argmax first-index rule over the concatenated score row.
+    """
+    if not per_shard:
+        return []
+    merged: list[tuple[float, int, str, str]] = list(per_shard[0])
+    for shard_rows in per_shard[1:]:
+        for query_index, candidate in enumerate(shard_rows):
+            champion = merged[query_index]
+            better = (
+                candidate[0] > champion[0]
+                if higher_is_better
+                else candidate[0] < champion[0]
+            )
+            # Equal scores keep the earlier (lower-index) champion: shards
+            # are ordered, so the incumbent always has the smaller index.
+            if better:
+                merged[query_index] = candidate
+    return merged
+
+
+class ShardedRecognitionService:
+    """Micro-batched recognition fanned out over shard worker processes.
+
+    *pipeline_name* must be a default-registry pipeline with a per-view
+    batch scoring path (the matching families; the hybrid is served in its
+    weighted-sum strategy).  Workers attach the published *store_dir*
+    version zero-copy; the front-end keeps only the admission queue, the
+    deadline/fallback machinery and the merge — reference matrices live in
+    the workers' shared page cache.
+
+    The submit/recognize/report surface mirrors
+    :class:`~repro.serving.service.RecognitionService`, so the load
+    generator drives either interchangeably.
+    """
+
+    def __init__(
+        self,
+        pipeline_name: str,
+        store_dir: str,
+        workers: int = 2,
+        settings: ServingSettings | None = None,
+        config: ExperimentConfig | None = None,
+        fallback: RecognitionPipeline | None = None,
+        retry_policy: RetryPolicy | None = None,
+        store_version: str | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ServingError(f"workers must be >= 1, got {workers}")
+        self.settings = settings or ServingSettings()
+        self.config = config or ExperimentConfig()
+        self.pipeline_name = pipeline_name
+        self.fallback = fallback
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=self.settings.max_attempts
+        )
+        self.name = f"sharded-serving({pipeline_name}x{workers})"
+        self.stats = ServiceStats()
+        self._clock = clock
+        store = ReferenceStore.attach(store_dir, version=store_version)
+        self.store_dir = str(store_dir)
+        self.store_version = store.store_version
+        self._probe_registry_pipeline()
+        labels = store.references().labels
+        self.shards: tuple[WorkerShard, ...] = plan_shards(labels, workers)
+        self.workers = len(self.shards)
+        self._tasks: tuple[ShardTask, ...] = tuple(
+            ShardTask(
+                store_dir=self.store_dir,
+                store_version=self.store_version,
+                pipeline=pipeline_name,
+                config=self.config,
+                start=shard.start,
+                stop=shard.stop,
+            )
+            for shard in self.shards
+        )
+        self._ready = False
+        self._admitted = 0
+        # Same discipline as RecognitionService: submit() runs on arbitrary
+        # client threads, so the admission counter increments under a lock.
+        self._admit_lock = threading.Lock()
+        # Guards pool teardown/rebuild: the flush thread may replace a broken
+        # pool while stop() shuts it down.
+        self._pool_lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_rebuilds = 0
+        self._batcher = MicroBatcher(
+            self._flush,
+            max_batch_size=self.settings.max_batch_size,
+            max_wait_ms=self.settings.max_wait_ms,
+            max_queue_depth=self.settings.max_queue_depth,
+            on_discard=self._discard,
+            clock=clock,
+        )
+
+    def _probe_registry_pipeline(self) -> None:
+        """Fail fast on pipelines the scatter-gather merge cannot serve."""
+        from repro.serving.registry import default_registry
+
+        probe = default_registry().build(self.pipeline_name, self.config)
+        if not hasattr(probe, "attach_store"):
+            raise StoreError(
+                f"pipeline {self.pipeline_name!r} has no attach_store path "
+                "and cannot be served from shards"
+            )
+        strategy = getattr(probe, "strategy", None)
+        if strategy is not None and getattr(strategy, "value", "") != "weighted_sum":
+            raise ServingError(
+                "sharded serving requires per-view argmin semantics; hybrid "
+                f"strategy {strategy!r} aggregates across views"
+            )
+        self._higher_is_better = bool(getattr(probe, "higher_is_better", False))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        """Whether the service is warm and accepting requests."""
+        return self._ready and self._batcher.running
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a flush."""
+        return self._batcher.depth
+
+    @property
+    def pool_rebuilds(self) -> int:
+        """Times a broken worker pool was replaced mid-run."""
+        with self._pool_lock:
+            return self._pool_rebuilds
+
+    def start(self) -> "ShardedRecognitionService":
+        """Spawn the worker pool, pre-attach every shard, start batching.
+
+        Warm-up scatters one empty scoring round so each worker pays its
+        store attach before the service reports ready — the sharded
+        equivalent of the registry's warm-start probe.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            pool = self._pool
+        warmups = [pool.submit(_score_shard, task, []) for task in self._tasks]
+        for future in warmups:
+            future.result()
+        self._batcher.start()
+        self._ready = True
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop admission, flush or discard the queue, shut the pool down."""
+        self._ready = False
+        self._batcher.stop(drain=drain)
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ShardedRecognitionService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- admission ------------------------------------------------------------
+
+    def submit(
+        self, query: LabelledImage, deadline_ms: float | None = None
+    ) -> "Future[Prediction]":
+        """Admit one query; returns a future resolving to its Prediction."""
+        from repro.errors import ServiceNotReady
+
+        if not self._ready:
+            raise ServiceNotReady(f"{self.name}: service is not running")
+        if deadline_ms is None:
+            deadline_ms = self.settings.deadline_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ServingError(f"deadline_ms must be > 0, got {deadline_ms}")
+        now = self._clock()
+        with self._admit_lock:
+            index = self._admitted
+            self._admitted += 1
+        request = _PendingRequest(
+            query=query,
+            enqueued_at=now,
+            deadline=now + deadline_ms / 1000.0 if deadline_ms is not None else None,
+            index=index,
+        )
+        try:
+            depth = self._batcher.submit(request)
+        except ServingError:
+            self.stats.record_rejected()
+            raise
+        self.stats.record_submitted(depth)
+        return request.future
+
+    def recognize(
+        self, query: LabelledImage, deadline_ms: float | None = None
+    ) -> Prediction:
+        """Blocking submit-and-wait — the single-caller convenience path."""
+        return self.submit(query, deadline_ms=deadline_ms).result()
+
+    predict = recognize
+
+    def report(self) -> ServingReport:
+        """Current service-level statistics snapshot."""
+        return self.stats.snapshot(queue_depth=self._batcher.depth)
+
+    # -- flush path (micro-batcher thread) ------------------------------------
+
+    def _flush(self, requests: list[_PendingRequest]) -> None:
+        self.stats.record_batch(len(requests))
+        now = self._clock()
+        live: list[_PendingRequest] = []
+        for request in requests:
+            if request.deadline is not None and now > request.deadline:
+                self._serve_degraded(
+                    request,
+                    DeadlineExceeded(
+                        f"{self.name}: request deadline elapsed before its "
+                        f"batch ran (queued {now - request.enqueued_at:.3f}s)"
+                    ),
+                    expired=True,
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        queries = [request.query for request in live]
+        try:
+            champions = self._scatter_gather(queries)
+        except BrokenProcessPool:
+            # One rebuild + one replay: scoring is deterministic and
+            # read-only against an immutable store version, so replaying
+            # the whole batch is safe and cheap.
+            self._rebuild_pool()
+            try:
+                champions = self._scatter_gather(queries)
+            except Exception as exc:
+                for request in live:
+                    self._serve_degraded(request, exc)
+                return
+        except Exception as exc:
+            for request in live:
+                self._serve_degraded(request, exc)
+            return
+        done = self._clock()
+        for request, (score, _, label, model_id) in zip(live, champions):
+            try:
+                request.future.set_result(
+                    Prediction(label=label, model_id=model_id, score=score)
+                )
+            except Exception:
+                pass  # the caller cancelled or abandoned the future
+        self.stats.record_completed_many(
+            [done - request.enqueued_at for request in live]
+        )
+
+    def _scatter_gather(
+        self, queries: list[LabelledImage]
+    ) -> list[tuple[float, int, str, str]]:
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            raise ServingError(f"{self.name}: worker pool is not running")
+        futures = [pool.submit(_score_shard, task, queries) for task in self._tasks]
+        per_shard = [future.result() for future in futures]
+        return merge_champions(per_shard, higher_is_better=self._higher_is_better)
+
+    def _rebuild_pool(self) -> None:
+        with self._pool_lock:
+            broken, self._pool = self._pool, None
+            if broken is not None:
+                broken.shutdown(wait=False, cancel_futures=True)
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool_rebuilds += 1
+
+    # -- degradation ----------------------------------------------------------
+
+    def _serve_degraded(
+        self, request: _PendingRequest, cause: BaseException, expired: bool = False
+    ) -> None:
+        if self.fallback is None:
+            self._fail(request, cause, expired=expired)
+            return
+        try:
+            prediction = self.fallback.predict(request.query)
+        except Exception as fallback_exc:
+            self._fail(request, fallback_exc, expired=expired)
+            return
+        self.stats.record_completed(
+            self._clock() - request.enqueued_at, degraded=True, expired=expired
+        )
+        try:
+            request.future.set_result(replace(prediction, degraded=True))
+        except Exception:
+            pass  # the caller cancelled or abandoned the future
+
+    def _fail(
+        self, request: _PendingRequest, exc: BaseException, expired: bool = False
+    ) -> None:
+        self.stats.record_failed(expired=expired)
+        try:
+            request.future.set_exception(exc)
+        except Exception:
+            pass  # the caller cancelled or abandoned the future
+
+    def _discard(self, request: _PendingRequest) -> None:
+        from repro.errors import ServiceNotReady
+
+        self._fail(
+            request, ServiceNotReady(f"{self.name}: service stopped before flush")
+        )

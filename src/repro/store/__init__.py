@@ -1,0 +1,64 @@
+"""Versioned, memory-mapped columnar reference-feature store.
+
+``repro.store`` turns the per-process reference warm-up (extract every
+feature, stack every matrix) into a one-time *build* that publishes
+immutable, content-addressed artifact versions; worker processes then
+*attach* zero-copy via ``np.load(mmap_mode="r")`` in milliseconds and share
+one physical copy of the matrices through the OS page cache.
+
+Three layers:
+
+* :mod:`repro.store.manifest` — the on-disk format: version directories,
+  ``manifest.json``, the atomically flipped ``CURRENT`` pointer, digests
+  and quarantine;
+* :mod:`repro.store.builder` — :func:`build_store`, feature extraction
+  through the shared :class:`~repro.engine.cache.FeatureCache` into
+  columnar shards;
+* :mod:`repro.store.attach` — :class:`ReferenceStore`, the read-only
+  memmapped view pipelines attach to via
+  :meth:`~repro.pipelines.base.MatchingPipeline.attach_store`.
+"""
+
+from repro.store.attach import (
+    ReferenceStore,
+    StoreReference,
+    StoreReferences,
+    attach_or_fit,
+)
+from repro.store.builder import (
+    DEFAULT_FAMILIES,
+    StoreBuildResult,
+    build_store,
+    store_version_id,
+)
+from repro.store.manifest import (
+    STORE_FORMAT,
+    ShardSpec,
+    StoreManifest,
+    current_version,
+    file_digest,
+    published_versions,
+    quarantine,
+    read_manifest,
+    resolve_version,
+)
+
+__all__ = [
+    "DEFAULT_FAMILIES",
+    "STORE_FORMAT",
+    "ReferenceStore",
+    "ShardSpec",
+    "StoreBuildResult",
+    "StoreManifest",
+    "StoreReference",
+    "StoreReferences",
+    "attach_or_fit",
+    "build_store",
+    "current_version",
+    "file_digest",
+    "published_versions",
+    "quarantine",
+    "read_manifest",
+    "resolve_version",
+    "store_version_id",
+]

@@ -1,0 +1,278 @@
+"""Versioned store manifests with atomic publish.
+
+A reference store on disk is a directory of immutable *version
+directories*, each holding columnar ``.npy`` shards plus one
+``manifest.json`` describing them, and a single ``CURRENT`` pointer file
+naming the live version::
+
+    store_dir/
+      CURRENT                      # "a1b2c3..." (the live version id)
+      a1b2c3.../
+        manifest.json
+        shape-hu-v1.npy
+        color-hist16-v1.npy
+        desc-orb-v1-data.npy
+        desc-orb-v1-offsets.npy
+        ...
+
+Publishing is tear-proof by construction: a new version is staged in a
+hidden sibling directory, renamed into place in one ``os.rename`` (atomic
+within a filesystem), and only then does ``CURRENT`` flip — itself via
+write-temp-then-``os.replace``.  A reader that resolves ``CURRENT`` at any
+instant therefore always lands on a fully written version directory; there
+is no moment at which a manifest names a half-written shard.
+
+Shard and manifest integrity is content-hashed (blake2b, the same digest
+family as :func:`repro.engine.cache.content_hash`): every
+:class:`ShardSpec` records its file's digest, so ``store verify`` — and the
+paranoid ``verify="full"`` attach mode — can detect silent corruption, and
+the version id itself is derived from the reference dataset fingerprint
+plus the build parameters, giving the store the same
+namespace/version/content-hash invalidation rule as the feature cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import StoreError, StoreIntegrityError
+
+#: Bumped whenever the on-disk layout changes; readers refuse newer formats.
+STORE_FORMAT = 1
+
+MANIFEST_NAME = "manifest.json"
+CURRENT_NAME = "CURRENT"
+
+
+def file_digest(path: Path) -> str:
+    """blake2b hex digest of a file's bytes (streamed, 16-byte digest)."""
+    digest = hashlib.blake2b(digest_size=16)
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One columnar shard of a store version.
+
+    ``kind`` is ``"matrix"`` (a single ``(V, D)`` array, one row per
+    reference view) or ``"ragged"`` (a concatenated data array plus an
+    ``(V + 1,)`` int64 offsets array; view *i* owns rows
+    ``offsets[i]:offsets[i+1]``).  ``packed_bits`` marks a ragged binary
+    shard stored with ``np.packbits`` — the attach path unpacks rows back
+    to ``packed_bits`` columns of 0/1 uint8 (the ORB descriptor layout).
+    ``dtype``/``shape`` describe the *stored* data array and are validated
+    on attach; ``digest`` (and ``offsets_digest``) cover the file bytes.
+    """
+
+    namespace: str
+    version: str
+    kind: str
+    dtype: str
+    shape: tuple[int, ...]
+    filename: str
+    digest: str
+    offsets_filename: str | None = None
+    offsets_digest: str | None = None
+    packed_bits: int | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.namespace, self.version)
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """The full description of one immutable store version.
+
+    Reference identity (``labels`` / ``model_ids`` / ``view_ids`` /
+    ``sources``) is stored inline so a worker can attach and *serve* without
+    ever materialising the reference images — the labels are what
+    predictions need, the pixels are not.
+    """
+
+    format: int
+    store_version: str
+    dataset_name: str
+    fingerprint: str
+    histogram_bins: int
+    labels: tuple[str, ...]
+    model_ids: tuple[str, ...]
+    view_ids: tuple[int, ...]
+    sources: tuple[str, ...]
+    shards: tuple[ShardSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        views = len(self.labels)
+        if not (len(self.model_ids) == len(self.view_ids) == len(self.sources) == views):
+            raise StoreError(
+                "manifest reference columns disagree: "
+                f"{views} labels, {len(self.model_ids)} model_ids, "
+                f"{len(self.view_ids)} view_ids, {len(self.sources)} sources"
+            )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def shard(self, namespace: str, version: str) -> ShardSpec:
+        """The shard registered under ``(namespace, version)``."""
+        for spec in self.shards:
+            if spec.key == (namespace, version):
+                return spec
+        known = ", ".join(f"{s.namespace}/{s.version}" for s in self.shards)
+        raise StoreError(
+            f"store has no shard {namespace!r}/{version!r}; available: {known}"
+        )
+
+    def namespaces(self) -> tuple[tuple[str, str], ...]:
+        """All registered ``(namespace, version)`` shard keys, in order."""
+        return tuple(spec.key for spec in self.shards)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "StoreManifest":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreIntegrityError(f"manifest is not valid JSON: {exc}") from exc
+        try:
+            shards = tuple(
+                ShardSpec(**{**spec, "shape": tuple(spec["shape"])})
+                for spec in raw.pop("shards")
+            )
+            manifest = StoreManifest(
+                **{
+                    **raw,
+                    "labels": tuple(raw["labels"]),
+                    "model_ids": tuple(raw["model_ids"]),
+                    "view_ids": tuple(raw["view_ids"]),
+                    "sources": tuple(raw["sources"]),
+                    "shards": shards,
+                }
+            )
+        except (KeyError, TypeError) as exc:
+            raise StoreIntegrityError(f"manifest is missing fields: {exc}") from exc
+        if manifest.format > STORE_FORMAT:
+            raise StoreError(
+                f"store format {manifest.format} is newer than this reader "
+                f"(supports <= {STORE_FORMAT})"
+            )
+        return manifest
+
+
+def read_manifest(version_dir: Path) -> StoreManifest:
+    """Load and parse ``manifest.json`` from *version_dir*."""
+    path = version_dir / MANIFEST_NAME
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise StoreIntegrityError(f"cannot read manifest {path}: {exc}") from exc
+    return StoreManifest.from_json(text)
+
+
+def current_version(store_dir: Path) -> str | None:
+    """The version id named by ``CURRENT``, or ``None`` before any publish."""
+    try:
+        text = (Path(store_dir) / CURRENT_NAME).read_text().strip()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise StoreError(f"cannot read {CURRENT_NAME} in {store_dir}: {exc}") from exc
+    return text or None
+
+
+def published_versions(store_dir: Path) -> tuple[str, ...]:
+    """All fully published version ids under *store_dir*, sorted."""
+    root = Path(store_dir)
+    if not root.is_dir():
+        return ()
+    return tuple(
+        sorted(
+            entry.name
+            for entry in root.iterdir()
+            if entry.is_dir()
+            and not entry.name.startswith(".")
+            and (entry / MANIFEST_NAME).is_file()
+        )
+    )
+
+
+def resolve_version(store_dir: Path, version: str | None = None) -> Path:
+    """The on-disk directory of *version* (default: the ``CURRENT`` one)."""
+    root = Path(store_dir)
+    if version is None:
+        version = current_version(root)
+        if version is None:
+            raise StoreError(
+                f"store {root} has no published version (no {CURRENT_NAME})"
+            )
+    path = root / version
+    if not path.is_dir():
+        raise StoreIntegrityError(
+            f"{CURRENT_NAME} names version {version!r} but {path} does not exist"
+        )
+    return path
+
+
+def publish_version(store_dir: Path, staging_dir: Path, store_version: str) -> Path:
+    """Atomically promote *staging_dir* to ``store_dir/store_version``.
+
+    The staged directory (same filesystem, a hidden sibling) is renamed into
+    place in one ``os.rename``; ``CURRENT`` then flips via
+    write-temp-then-``os.replace``.  If the version directory already exists
+    (a concurrent or repeated build of identical content — version ids are
+    content-addressed), the staged copy is discarded and ``CURRENT`` still
+    flips, making publishes idempotent.
+    """
+    root = Path(store_dir)
+    target = root / store_version
+    if not target.exists():
+        try:
+            os.rename(staging_dir, target)
+        except OSError:
+            if not target.exists():  # a real failure, not a lost publish race
+                raise
+    # reprolint: disable=NUM201 -- Path identity check, not float arithmetic
+    if target != staging_dir and staging_dir.exists():
+        _remove_tree(staging_dir)
+    tmp = root / f".{CURRENT_NAME}.tmp.{os.getpid()}"
+    tmp.write_text(store_version + "\n")
+    os.replace(tmp, root / CURRENT_NAME)
+    return target
+
+
+def quarantine(path: Path) -> Path:
+    """Move a corrupt store file aside with a ``.corrupt`` suffix.
+
+    Mirrors :meth:`repro.engine.cache.FeatureCache._quarantine`: the rename
+    guarantees a later rebuild can never race a half-read of the bad bytes,
+    and the sidecar preserves the evidence for post-mortems.  Idempotent
+    under concurrent quarantines.
+    """
+    sidecar = path.with_name(path.name + ".corrupt")
+    try:
+        path.replace(sidecar)
+    except OSError:
+        pass  # a concurrent reader may have quarantined it already
+    return sidecar
+
+
+def _remove_tree(path: Path) -> None:
+    """Best-effort recursive removal of a staging directory."""
+    try:
+        for child in sorted(path.rglob("*"), reverse=True):
+            if child.is_dir():
+                child.rmdir()
+            else:
+                child.unlink(missing_ok=True)
+        path.rmdir()
+    except OSError:
+        pass  # leftover staging dirs are ignored by readers (dot-prefixed)

@@ -161,6 +161,35 @@ class TestMatrixCacheSharing:
         assert hybrid._shape_matrix is shape._reference_matrix
         assert hybrid._color_matrix is color._reference_matrix
 
+    def test_dtype_is_part_of_the_cache_key(self):
+        # Regression: the key used to ignore the requested dtype, so a
+        # float32 consumer could be handed another consumer's float64 stack
+        # (or vice versa) for the same namespace/version/fingerprint.
+        references = make_image_set(seed=26, count=6, name="refs")
+        cache = ReferenceMatrixCache()
+
+        def build(dtype):
+            return np.arange(len(references), dtype=dtype).reshape(-1, 1)
+
+        wide = cache.get_or_build(
+            "shape-hu", "v1", references, lambda: build(np.float64)
+        )
+        narrow = cache.get_or_build(
+            "shape-hu",
+            "v1",
+            references,
+            lambda: build(np.float32),
+            dtype="float32",
+        )
+        assert cache.stats.misses == 2  # distinct entries, not one shared
+        assert wide.dtype == np.float64
+        assert narrow.dtype == np.float32
+        again = cache.get_or_build(
+            "shape-hu", "v1", references, lambda: build(np.float64)
+        )
+        assert again is wide  # the default-dtype leg still shares
+        assert cache.stats.hits == 1
+
     def test_detached_cache_still_batches(self):
         references = make_image_set(seed=24, count=5, name="refs")
         queries = make_image_set(seed=25, count=3, name="queries", source="sns2")

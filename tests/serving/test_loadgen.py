@@ -35,6 +35,9 @@ PAYLOAD_KEYS = {
     "speedup_vs_sequential",
     "speedup_vs_scalar",
     "prediction_mismatches",
+    "workers",
+    "store",
+    "slo",
 }
 
 
@@ -80,6 +83,10 @@ class TestRunLoadgen:
         assert serving["rejected"] == 0
         assert set(serving["latency_ms"]) == {"p50", "p95", "p99", "max"}
         assert serving["latency_ms"]["p50"] <= serving["latency_ms"]["p99"]
+        # Single-process defaults for the sharded-serving payload blocks.
+        assert payload["workers"] == 1
+        assert payload["store"] is None
+        assert payload["slo"] is None
 
     def test_no_prediction_mismatches(self, payload):
         # The core guarantee: micro-batched answers bit-equal sequential.

@@ -1,0 +1,141 @@
+"""Concurrent publish/attach: readers never observe a torn manifest.
+
+A builder republishes new store versions in a tight loop while a pool of
+reader *processes* attaches with ``verify="full"`` as fast as it can.  The
+atomic-rename publish protocol guarantees every observed version is (a) one
+the publisher actually completed, and (b) internally consistent — manifest
+digests match shard bytes and shard content matches the version's expected
+payload.  Counts are exact: every reader performs exactly its quota of
+attaches and classifies each one; nothing is lost, nothing sleeps.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.store import ReferenceStore, read_manifest, resolve_version
+from repro.store.manifest import (
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    ShardSpec,
+    StoreManifest,
+    file_digest,
+    publish_version,
+)
+
+ROWS = 5
+COLS = 4
+
+
+def version_payload(index: int) -> np.ndarray:
+    """The deterministic matrix content of published version *index*."""
+    return np.full((ROWS, COLS), float(index), dtype=np.float64)
+
+
+def publish_tiny_version(root: Path, index: int) -> str:
+    """Stage and atomically publish one tiny, self-consistent version."""
+    version = f"v{index:03d}"
+    staging = root / f".staging-{version}-{os.getpid()}"
+    staging.mkdir(parents=True)
+    np.save(staging / "shape-hu-v1.npy", version_payload(index), allow_pickle=False)
+    spec = ShardSpec(
+        namespace="shape-hu",
+        version="v1",
+        kind="matrix",
+        dtype="float64",
+        shape=(ROWS, COLS),
+        filename="shape-hu-v1.npy",
+        digest=file_digest(staging / "shape-hu-v1.npy"),
+    )
+    manifest = StoreManifest(
+        format=STORE_FORMAT,
+        store_version=version,
+        dataset_name="concurrency",
+        fingerprint=f"fp-{index}",
+        histogram_bins=16,
+        labels=("a",) * ROWS,
+        model_ids=tuple(f"m{i}" for i in range(ROWS)),
+        view_ids=tuple(range(ROWS)),
+        sources=("sns1",) * ROWS,
+        shards=(spec,),
+    )
+    (staging / MANIFEST_NAME).write_text(manifest.to_json() + "\n")
+    publish_version(root, staging, version)
+    return version
+
+
+def _reader(store_dir: str, attempts: int) -> list[str]:
+    """Worker: attach `attempts` times, classify every observation.
+
+    Returns one tag per attempt — the observed version when the attach was
+    fully consistent, ``"TORN:..."`` when anything about it was not.
+    """
+    observations: list[str] = []
+    for _ in range(attempts):
+        try:
+            store = ReferenceStore.attach(store_dir, verify="full")
+            index = int(store.store_version[1:])
+            matrix = store.matrix("shape-hu", "v1")
+            if not np.array_equal(matrix, version_payload(index)):
+                observations.append(f"TORN:content:{store.store_version}")
+            else:
+                observations.append(store.store_version)
+        except Exception as exc:  # any surprise is a torn observation
+            observations.append(f"TORN:{type(exc).__name__}:{exc}")
+    return observations
+
+
+class TestPublishAttachRace:
+    N_READERS = 3
+    ATTEMPTS = 40
+    N_VERSIONS = 30
+
+    def test_readers_only_ever_see_complete_published_versions(self, tmp_path):
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        publish_tiny_version(store_dir, 0)  # readers always have a CURRENT
+        published = {"v000"}
+        with ProcessPoolExecutor(max_workers=self.N_READERS) as pool:
+            futures = [
+                pool.submit(_reader, str(store_dir), self.ATTEMPTS)
+                for _ in range(self.N_READERS)
+            ]
+            # Publish new versions while the readers hammer attach().
+            for index in range(1, self.N_VERSIONS + 1):
+                published.add(publish_tiny_version(store_dir, index))
+            results = [future.result() for future in futures]
+
+        # Exact accounting: every attach attempt produced one observation.
+        assert [len(r) for r in results] == [self.ATTEMPTS] * self.N_READERS
+        observed = [tag for result in results for tag in result]
+        torn = [tag for tag in observed if tag.startswith("TORN")]
+        assert torn == []
+        assert set(observed) <= published
+
+    def test_last_publish_wins_and_is_fully_consistent(self, tmp_path):
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        for index in range(4):
+            publish_tiny_version(store_dir, index)
+        store = ReferenceStore.attach(store_dir, verify="full")
+        assert store.store_version == "v003"
+        assert np.array_equal(store.matrix("shape-hu", "v1"), version_payload(3))
+        # Every superseded version remains attachable and unmodified.
+        for index in range(3):
+            old = ReferenceStore.attach(store_dir, version=f"v{index:03d}")
+            assert np.array_equal(old.matrix("shape-hu", "v1"), version_payload(index))
+
+    def test_manifest_on_disk_is_never_partially_written(self, tmp_path):
+        # publish_version moves a fully staged directory; the manifest file
+        # inside the published tree must always parse and self-describe.
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        for index in range(10):
+            publish_tiny_version(store_dir, index)
+            version_dir = resolve_version(store_dir)
+            manifest = read_manifest(version_dir)
+            assert manifest.store_version == version_dir.name
+            spec = manifest.shard("shape-hu", "v1")
+            assert file_digest(version_dir / spec.filename) == spec.digest

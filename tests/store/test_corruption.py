@@ -1,0 +1,184 @@
+"""Chaos suite: a damaged store degrades loudly, never answers wrongly.
+
+Every corruption mode — truncated shard, flipped bytes, tampered offsets,
+a manifest lying about its digests, garbled or future-format manifests —
+must end in one of exactly two outcomes: a raised ``StoreIntegrityError``/
+``StoreError`` with the offending file quarantined to a ``*.corrupt``
+sidecar, or a clean fallback to the cold in-process fit that is bit-
+identical to an uncorrupted run.  Serving wrong scores from damaged bytes
+is the one failure mode these tests exist to make impossible.
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.datasets.shapenet import build_sns1, build_sns2
+from repro.engine.cache import FeatureCache
+from repro.errors import StoreError, StoreIntegrityError
+from repro.imaging.match_shapes import ShapeDistance
+from repro.pipelines.descriptor import DescriptorPipeline
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+from repro.store import (
+    STORE_FORMAT,
+    ReferenceStore,
+    attach_or_fit,
+    build_store,
+    read_manifest,
+    resolve_version,
+)
+from repro.store.manifest import MANIFEST_NAME
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """One healthy store per module; tests copy it before breaking it."""
+    config = ExperimentConfig(seed=7, nyu_scale=0.01)
+    references = build_sns1(config)
+    queries = build_sns2(config).items[:3]
+    root = tmp_path_factory.mktemp("chaos")
+    cache = FeatureCache(disk_dir=str(root / "cache"))
+    build_store(references, root / "store", bins=config.histogram_bins, cache=cache)
+    return config, references, queries, root / "store"
+
+
+@pytest.fixture
+def broken_copy(pristine, tmp_path):
+    """A private, mutable copy of the pristine store for one test."""
+    _, _, _, store_dir = pristine
+    copy = tmp_path / "store"
+    shutil.copytree(store_dir, copy)
+    return copy
+
+
+def shard_path(store_dir, namespace, version="v1", offsets=False):
+    version_dir = resolve_version(store_dir)
+    spec = read_manifest(version_dir).shard(namespace, version)
+    name = spec.offsets_filename if offsets else spec.filename
+    return version_dir / name
+
+
+class TestShardCorruption:
+    def test_truncated_matrix_is_quarantined_not_served(self, broken_copy):
+        victim = shard_path(broken_copy, "shape-hu")
+        victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+        store = ReferenceStore.attach(broken_copy)  # manifest itself is fine
+        with pytest.raises(StoreIntegrityError, match="quarantined"):
+            ShapeOnlyPipeline(ShapeDistance.L1).attach_store(store)
+        assert victim.with_suffix(victim.suffix + ".corrupt").exists()
+        assert not victim.exists()
+
+    def test_bit_flip_is_invisible_to_size_mode_but_full_mode_catches_it(
+        self, broken_copy
+    ):
+        # Flip one payload byte without touching the npy header or length:
+        # the cheap structural check cannot see it (documented limitation) —
+        # the digest re-hash of verify="full" must.
+        victim = shard_path(broken_copy, "shape-hu")
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        store = ReferenceStore.attach(broken_copy, verify="size")
+        ShapeOnlyPipeline(ShapeDistance.L1).attach_store(store)  # maps fine
+        with pytest.raises(StoreIntegrityError, match="failed verification"):
+            ReferenceStore.attach(broken_copy, verify="full")
+        assert victim.with_suffix(victim.suffix + ".corrupt").exists()
+
+    def test_tampered_offsets_never_yield_a_ragged_view(self, broken_copy):
+        victim = shard_path(broken_copy, "desc-orb", offsets=True)
+        np.save(victim, np.array([0, 1, 2], dtype=np.int64), allow_pickle=False)
+        store = ReferenceStore.attach(broken_copy)
+        with pytest.raises(StoreIntegrityError, match="offsets"):
+            DescriptorPipeline(method="orb").attach_store(store)
+        assert victim.with_suffix(victim.suffix + ".corrupt").exists()
+
+    def test_verify_reports_every_damaged_file(self, broken_copy):
+        for namespace in ("shape-hu", "color-hist16"):
+            victim = shard_path(broken_copy, namespace)
+            blob = bytearray(victim.read_bytes())
+            blob[-1] ^= 0x01
+            victim.write_bytes(bytes(blob))
+        store = ReferenceStore.attach(broken_copy, verify="size")
+        problems = store.verify()
+        assert len(problems) == 2
+        assert all("digest mismatch" in problem for problem in problems)
+
+
+class TestManifestCorruption:
+    def test_manifest_lying_about_a_digest_quarantines_the_file(self, broken_copy):
+        version_dir = resolve_version(broken_copy)
+        manifest_path = version_dir / MANIFEST_NAME
+        raw = json.loads(manifest_path.read_text())
+        raw["shards"][0]["digest"] = "0" * 32
+        manifest_path.write_text(json.dumps(raw))
+        with pytest.raises(StoreIntegrityError, match="failed verification"):
+            ReferenceStore.attach(broken_copy, verify="full")
+
+    def test_garbled_manifest_json_is_an_integrity_error(self, broken_copy):
+        version_dir = resolve_version(broken_copy)
+        (version_dir / MANIFEST_NAME).write_text("{ half a manif")
+        with pytest.raises(StoreIntegrityError):
+            ReferenceStore.attach(broken_copy)
+
+    def test_future_format_manifest_is_refused(self, broken_copy):
+        version_dir = resolve_version(broken_copy)
+        manifest_path = version_dir / MANIFEST_NAME
+        raw = json.loads(manifest_path.read_text())
+        raw["format"] = STORE_FORMAT + 1
+        manifest_path.write_text(json.dumps(raw))
+        with pytest.raises(StoreError, match="format"):
+            ReferenceStore.attach(broken_copy)
+
+
+class TestDegradationChain:
+    def test_attach_or_fit_falls_back_to_cold_and_stays_bit_identical(
+        self, pristine, broken_copy
+    ):
+        config, references, queries, _ = pristine
+        victim = shard_path(broken_copy, "shape-hu")
+        victim.write_bytes(victim.read_bytes()[:64])
+        pipeline, mode = attach_or_fit(
+            ShapeOnlyPipeline(ShapeDistance.L1),
+            broken_copy,
+            references=references,
+            verify="full",
+        )
+        assert mode == "cold"
+        fitted = ShapeOnlyPipeline(ShapeDistance.L1).fit(references)
+        for want, got in zip(
+            fitted.predict_batch(list(queries)), pipeline.predict_batch(list(queries))
+        ):
+            assert (got.label, got.model_id, got.score) == (
+                want.label,
+                want.model_id,
+                want.score,
+            )
+
+    def test_attach_or_fit_without_references_reraises(self, broken_copy):
+        victim = shard_path(broken_copy, "shape-hu")
+        victim.write_bytes(b"not an npy file")
+        with pytest.raises(StoreIntegrityError):
+            attach_or_fit(
+                ShapeOnlyPipeline(ShapeDistance.L1), broken_copy, verify="full"
+            )
+
+    def test_sharded_service_refuses_to_start_on_a_truncated_store(
+        self, pristine, broken_copy
+    ):
+        from repro.serving.shards import ShardedRecognitionService
+
+        config, _, _, _ = pristine
+        victim = shard_path(broken_copy, "shape-hu")
+        victim.write_bytes(victim.read_bytes()[:64])
+        service = ShardedRecognitionService(
+            "shape-only", str(broken_copy), workers=2, config=config
+        )
+        try:
+            with pytest.raises(StoreIntegrityError):
+                service.start()
+        finally:
+            service.stop(drain=False)
+        assert not service.ready

@@ -1,0 +1,159 @@
+"""Cross-process equivalence: store-attached pipelines are bit-identical.
+
+The whole point of :mod:`repro.store` is that a worker process attaching a
+memory-mapped artifact scores *exactly* like a process that rebuilt the
+reference features from pixels.  Not "close" — bitwise equal: same float64
+score vectors (``np.array_equal``, no tolerance), same winners, same tie
+breaks, across every batch-capable pipeline family and three dataset seeds.
+No sleeps, no timing assumptions: the build happens once per seed in a
+module-scoped fixture and every check is a pure data comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.datasets.shapenet import build_sns1, build_sns2
+from repro.engine.cache import FeatureCache
+from repro.imaging.histogram import HistogramMetric
+from repro.imaging.match_shapes import ShapeDistance
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.descriptor import DescriptorPipeline
+from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+from repro.store import ReferenceStore, attach_or_fit, build_store
+
+SEEDS = (7, 11, 23)
+N_QUERIES = 4
+
+
+@pytest.fixture(scope="module", params=SEEDS, ids=lambda s: f"seed{s}")
+def corpus(request, tmp_path_factory):
+    """Per-seed references, queries and a freshly built + attached store."""
+    seed = request.param
+    config = ExperimentConfig(seed=seed, nyu_scale=0.01)
+    references = build_sns1(config)
+    queries = build_sns2(config).items[:N_QUERIES]
+    root = tmp_path_factory.mktemp(f"store-seed{seed}")
+    cache = FeatureCache(disk_dir=str(root / "cache"))
+    result = build_store(
+        references, root / "store", bins=config.histogram_bins, cache=cache
+    )
+    store = ReferenceStore.attach(root / "store")
+    return config, references, queries, result, store
+
+
+def fresh_pipelines(config):
+    """One representative per batch-capable family, freshly constructed."""
+    return [
+        ShapeOnlyPipeline(ShapeDistance.L1),
+        ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=config.histogram_bins),
+        HybridPipeline(HybridStrategy.WEIGHTED_SUM, bins=config.histogram_bins),
+        DescriptorPipeline(method="sift"),
+        DescriptorPipeline(method="orb"),
+    ]
+
+
+def assert_same_predictions(fitted, attached, queries):
+    expected = fitted.predict_batch(list(queries))
+    actual = attached.predict_batch(list(queries))
+    for want, got in zip(expected, actual):
+        assert got.label == want.label
+        assert got.model_id == want.model_id
+        # Bitwise: the score is the same float64, not a close one.
+        assert got.score == want.score
+
+
+class TestAttachedEqualsFitted:
+    def test_store_round_trips_reference_metadata(self, corpus):
+        _, references, _, result, store = corpus
+        assert store.store_version == result.store_version
+        assert store.is_current()
+        assert len(store) == len(references)
+        refs = store.references()
+        assert refs.labels == references.labels
+        assert tuple(r.model_id for r in refs) == tuple(
+            item.model_id for item in references
+        )
+
+    def test_every_pipeline_family_is_bitwise_identical(self, corpus):
+        config, references, queries, _, store = corpus
+        for fitted in fresh_pipelines(config):
+            attached = type(fitted)(**constructor_kwargs(fitted, config))
+            fitted.fit(references)
+            attached.attach_store(store)
+            assert_same_predictions(fitted, attached, queries)
+
+    def test_matrix_scores_are_array_equal(self, corpus):
+        config, references, queries, _, store = corpus
+        fitted = ShapeOnlyPipeline(ShapeDistance.L1).fit(references)
+        attached = ShapeOnlyPipeline(ShapeDistance.L1).attach_store(store)
+        expected = fitted.score_views_batch(list(queries))
+        actual = attached.score_views_batch(list(queries))
+        assert np.array_equal(np.asarray(expected), np.asarray(actual))
+
+    def test_hybrid_theta_scores_are_array_equal(self, corpus):
+        config, references, queries, _, store = corpus
+        kwargs = {"bins": config.histogram_bins}
+        fitted = HybridPipeline(HybridStrategy.WEIGHTED_SUM, **kwargs)
+        attached = HybridPipeline(HybridStrategy.WEIGHTED_SUM, **kwargs)
+        fitted.fit(references)
+        attached.attach_store(store)
+        expected = fitted.theta_scores_batch(list(queries))
+        actual = attached.theta_scores_batch(list(queries))
+        assert np.array_equal(expected, actual)
+
+    def test_row_slice_attach_matches_full_matrix_slice(self, corpus):
+        config, references, queries, _, store = corpus
+        start, stop = 10, 40
+        full = ShapeOnlyPipeline(ShapeDistance.L1).attach_store(store)
+        part = ShapeOnlyPipeline(ShapeDistance.L1).attach_store(
+            store, rows=(start, stop)
+        )
+        expected = np.asarray(full.score_views_batch(list(queries)))
+        actual = np.asarray(part.score_views_batch(list(queries)))
+        assert np.array_equal(expected[:, start:stop], actual)
+
+    def test_descriptor_match_counts_identical(self, corpus):
+        config, references, queries, _, store = corpus
+        for method in ("sift", "orb"):
+            fitted = DescriptorPipeline(method=method).fit(references)
+            attached = DescriptorPipeline(method=method).attach_store(store)
+            for query in queries:
+                assert np.array_equal(
+                    fitted.good_match_counts(query),
+                    attached.good_match_counts(query),
+                )
+
+
+class TestAttachOrFit:
+    def test_attach_path_taken_when_store_is_healthy(self, corpus):
+        config, references, queries, _, store = corpus
+        pipeline, mode = attach_or_fit(
+            ShapeOnlyPipeline(ShapeDistance.L1), store.store_dir
+        )
+        assert mode == "attached"
+        fitted = ShapeOnlyPipeline(ShapeDistance.L1).fit(references)
+        assert_same_predictions(fitted, pipeline, queries)
+
+    def test_cold_fit_when_store_is_missing(self, corpus, tmp_path):
+        config, references, queries, _, _ = corpus
+        pipeline, mode = attach_or_fit(
+            ShapeOnlyPipeline(ShapeDistance.L1),
+            tmp_path / "nowhere",
+            references=references,
+        )
+        assert mode == "cold"
+        fitted = ShapeOnlyPipeline(ShapeDistance.L1).fit(references)
+        assert_same_predictions(fitted, pipeline, queries)
+
+
+def constructor_kwargs(pipeline, config):
+    """Rebuild-from-scratch kwargs so the attached twin shares no state."""
+    if isinstance(pipeline, ShapeOnlyPipeline):
+        return {"distance": pipeline.distance}
+    if isinstance(pipeline, ColorOnlyPipeline):
+        return {"metric": pipeline.metric, "bins": pipeline.bins}
+    if isinstance(pipeline, HybridPipeline):
+        return {"strategy": pipeline.strategy, "bins": pipeline.bins}
+    return {"method": pipeline.method}

@@ -1,0 +1,191 @@
+"""Unit tests for the store manifest format and atomic publish protocol."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError, StoreIntegrityError
+from repro.store.manifest import (
+    CURRENT_NAME,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    ShardSpec,
+    StoreManifest,
+    current_version,
+    file_digest,
+    publish_version,
+    published_versions,
+    quarantine,
+    read_manifest,
+    resolve_version,
+)
+
+
+def tiny_manifest(version: str = "v-one", shards: tuple = ()) -> StoreManifest:
+    return StoreManifest(
+        format=STORE_FORMAT,
+        store_version=version,
+        dataset_name="tiny",
+        fingerprint="abc123",
+        histogram_bins=16,
+        labels=("chair", "chair", "lamp"),
+        model_ids=("m0", "m0", "m1"),
+        view_ids=(0, 1, 0),
+        sources=("sns1", "sns1", "sns1"),
+        shards=shards,
+    )
+
+
+def stage_version(root: Path, version: str, rows: int = 3) -> Path:
+    """A staged version directory with one real matrix shard + manifest."""
+    staging = root / f".staging-{version}"
+    staging.mkdir(parents=True)
+    matrix = np.arange(rows * 4, dtype=np.float64).reshape(rows, 4)
+    np.save(staging / "shape-hu-v1.npy", matrix, allow_pickle=False)
+    spec = ShardSpec(
+        namespace="shape-hu",
+        version="v1",
+        kind="matrix",
+        dtype="float64",
+        shape=(rows, 4),
+        filename="shape-hu-v1.npy",
+        digest=file_digest(staging / "shape-hu-v1.npy"),
+    )
+    manifest = tiny_manifest(version, shards=(spec,))
+    (staging / MANIFEST_NAME).write_text(manifest.to_json() + "\n")
+    return staging
+
+
+class TestManifestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        spec = ShardSpec(
+            namespace="desc-orb",
+            version="v1",
+            kind="ragged",
+            dtype="uint8",
+            shape=(10, 32),
+            filename="desc-orb-v1-data.npy",
+            digest="d" * 32,
+            offsets_filename="desc-orb-v1-offsets.npy",
+            offsets_digest="e" * 32,
+            packed_bits=256,
+        )
+        manifest = tiny_manifest(shards=(spec,))
+        clone = StoreManifest.from_json(manifest.to_json())
+        assert clone == manifest
+        assert clone.shard("desc-orb", "v1").packed_bits == 256
+        assert len(clone) == 3
+
+    def test_inconsistent_reference_columns_rejected(self):
+        with pytest.raises(StoreError):
+            StoreManifest(
+                format=STORE_FORMAT,
+                store_version="v",
+                dataset_name="tiny",
+                fingerprint="f",
+                histogram_bins=16,
+                labels=("a", "b"),
+                model_ids=("m",),  # one short
+                view_ids=(0, 1),
+                sources=("s", "s"),
+            )
+
+    def test_garbled_json_is_an_integrity_error(self):
+        with pytest.raises(StoreIntegrityError):
+            StoreManifest.from_json("{ not json")
+
+    def test_missing_fields_are_an_integrity_error(self):
+        with pytest.raises(StoreIntegrityError):
+            StoreManifest.from_json(json.dumps({"format": STORE_FORMAT}))
+
+    def test_newer_format_refused(self):
+        raw = json.loads(tiny_manifest().to_json())
+        raw["format"] = STORE_FORMAT + 1
+        with pytest.raises(StoreError):
+            StoreManifest.from_json(json.dumps(raw))
+
+    def test_unknown_shard_lookup_names_the_available_ones(self):
+        manifest = tiny_manifest()
+        with pytest.raises(StoreError, match="no shard"):
+            manifest.shard("shape-hu", "v1")
+
+
+class TestAtomicPublish:
+    def test_publish_renames_staging_and_flips_current(self, tmp_path):
+        staging = stage_version(tmp_path, "aaaa")
+        target = publish_version(tmp_path, staging, "aaaa")
+        assert target == tmp_path / "aaaa"
+        assert not staging.exists()
+        assert current_version(tmp_path) == "aaaa"
+        assert read_manifest(target).store_version == "aaaa"
+
+    def test_no_current_before_any_publish(self, tmp_path):
+        assert current_version(tmp_path) is None
+        with pytest.raises(StoreError, match="no published version"):
+            resolve_version(tmp_path)
+
+    def test_republish_existing_version_is_idempotent(self, tmp_path):
+        publish_version(tmp_path, stage_version(tmp_path, "aaaa"), "aaaa")
+        before = file_digest(tmp_path / "aaaa" / "shape-hu-v1.npy")
+        # A concurrent/repeated build of identical content stages again and
+        # publishes the same id: the duplicate staging is discarded.
+        staging = stage_version(tmp_path, "aaaa-dup")
+        publish_version(tmp_path, staging, "aaaa")
+        assert not staging.exists()
+        assert file_digest(tmp_path / "aaaa" / "shape-hu-v1.npy") == before
+        assert current_version(tmp_path) == "aaaa"
+
+    def test_current_flip_points_at_latest_publish(self, tmp_path):
+        publish_version(tmp_path, stage_version(tmp_path, "aaaa"), "aaaa")
+        publish_version(tmp_path, stage_version(tmp_path, "bbbb"), "bbbb")
+        assert current_version(tmp_path) == "bbbb"
+        # The older version stays fully attachable (immutable versions).
+        assert read_manifest(resolve_version(tmp_path, "aaaa")).store_version == "aaaa"
+
+    def test_published_versions_ignores_staging_and_junk(self, tmp_path):
+        publish_version(tmp_path, stage_version(tmp_path, "aaaa"), "aaaa")
+        stage_version(tmp_path, "neverpublished")  # left mid-stage
+        (tmp_path / "not-a-version").mkdir()  # no manifest inside
+        assert published_versions(tmp_path) == ("aaaa",)
+
+    def test_current_never_names_a_half_written_version(self, tmp_path):
+        # The pointer only flips after the rename: mid-stage, CURRENT still
+        # resolves to the old complete version.
+        publish_version(tmp_path, stage_version(tmp_path, "aaaa"), "aaaa")
+        stage_version(tmp_path, "bbbb")  # staged but not published
+        assert current_version(tmp_path) == "aaaa"
+        path = resolve_version(tmp_path)
+        assert (path / MANIFEST_NAME).is_file()
+
+    def test_dangling_current_is_an_integrity_error(self, tmp_path):
+        (tmp_path / CURRENT_NAME).write_text("ghost\n")
+        with pytest.raises(StoreIntegrityError, match="does not exist"):
+            resolve_version(tmp_path)
+
+
+class TestDigestsAndQuarantine:
+    def test_file_digest_is_content_addressed(self, tmp_path):
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        a.write_bytes(b"hello world")
+        b.write_bytes(b"hello world")
+        assert file_digest(a) == file_digest(b)
+        b.write_bytes(b"hello worle")
+        assert file_digest(a) != file_digest(b)
+
+    def test_quarantine_moves_the_file_aside(self, tmp_path):
+        victim = tmp_path / "shard.npy"
+        victim.write_bytes(b"corrupt")
+        sidecar = quarantine(victim)
+        assert not victim.exists()
+        assert sidecar == tmp_path / "shard.npy.corrupt"
+        assert sidecar.read_bytes() == b"corrupt"
+
+    def test_quarantine_is_idempotent_under_races(self, tmp_path):
+        victim = tmp_path / "shard.npy"
+        victim.write_bytes(b"corrupt")
+        quarantine(victim)
+        # A concurrent reader already moved it: no raise, same sidecar name.
+        sidecar = quarantine(victim)
+        assert sidecar.exists()

@@ -1,0 +1,110 @@
+"""Enroll-under-load: publishing a grown store never disturbs live readers.
+
+"Enrolling" new reference objects (ROADMAP: incremental enroll/invalidate)
+is modelled as building a new store version with more rows and atomically
+flipping ``CURRENT``.  An attached pipeline serves from an immutable
+version directory, so a publish happening mid-request-stream must be
+invisible to it: every score computed during the flip is bit-identical to
+the pre-flip baseline.  Coordination is by events and joins — no sleeps.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.datasets.dataset import ImageDataset
+from repro.datasets.shapenet import build_sns1, build_sns2
+from repro.engine.cache import FeatureCache
+from repro.imaging.match_shapes import ShapeDistance
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+from repro.store import ReferenceStore, build_store, current_version
+
+SUBSET = 40
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    config = ExperimentConfig(seed=7, nyu_scale=0.01)
+    full = build_sns1(config)
+    subset = ImageDataset(name="sns1-enroll-subset", items=full.items[:SUBSET])
+    queries = build_sns2(config).items[:3]
+    root = tmp_path_factory.mktemp("enroll")
+    cache = FeatureCache(disk_dir=str(root / "cache"))
+    return config, full, subset, queries, root, cache
+
+
+class TestEnrollFlow:
+    def test_enrolling_more_references_publishes_a_new_version(self, world):
+        config, full, subset, _, root, cache = world
+        store_dir = root / "grow"
+        first = build_store(
+            subset, store_dir, bins=config.histogram_bins, cache=cache
+        )
+        second = build_store(
+            full, store_dir, bins=config.histogram_bins, cache=cache
+        )
+        assert second.created
+        assert first.store_version != second.store_version
+        assert current_version(store_dir) == second.store_version
+        assert len(ReferenceStore.attach(store_dir)) == len(full)
+        # The pre-enroll version is still attachable by its explicit id.
+        old = ReferenceStore.attach(store_dir, version=first.store_version)
+        assert len(old) == SUBSET
+
+    def test_attached_reader_is_immune_to_a_concurrent_enroll(self, world):
+        config, full, subset, queries, root, cache = world
+        store_dir = root / "live"
+        build_store(subset, store_dir, bins=config.histogram_bins, cache=cache)
+        store = ReferenceStore.attach(store_dir)
+        pipeline = ShapeOnlyPipeline(ShapeDistance.L1).attach_store(store)
+        baseline = np.asarray(pipeline.score_views_batch(list(queries)))
+
+        started = threading.Event()
+        stop = threading.Event()
+        failures: list[str] = []
+        rounds = [0]
+
+        def serve_loop() -> None:
+            while not stop.is_set():
+                scores = np.asarray(pipeline.score_views_batch(list(queries)))
+                if not np.array_equal(scores, baseline):
+                    failures.append(f"score drift on round {rounds[0]}")
+                    break
+                rounds[0] += 1
+                started.set()
+
+        reader = threading.Thread(target=serve_loop, name="enroll-reader")
+        reader.start()
+        try:
+            assert started.wait(timeout=30.0)  # at least one pre-flip round
+            result = build_store(
+                full, store_dir, bins=config.histogram_bins, cache=cache
+            )  # the enroll: CURRENT flips while the reader is mid-stream
+            assert current_version(store_dir) == result.store_version
+            assert not store.is_current()  # the reader can tell it is stale…
+        finally:
+            stop.set()
+            reader.join(timeout=30.0)
+        assert not reader.is_alive()
+        assert failures == []
+        assert rounds[0] >= 1
+        # …and still serves its immutable version bit-identically.
+        assert np.array_equal(
+            np.asarray(pipeline.score_views_batch(list(queries))), baseline
+        )
+
+    def test_fresh_attach_after_enroll_sees_the_grown_matrix(self, world):
+        config, full, subset, queries, root, cache = world
+        store_dir = root / "live"  # published by the previous test orderings
+        build_store(subset, store_dir, bins=config.histogram_bins, cache=cache)
+        build_store(full, store_dir, bins=config.histogram_bins, cache=cache)
+        grown = ReferenceStore.attach(store_dir)
+        assert len(grown) == len(full)
+        fitted = ShapeOnlyPipeline(ShapeDistance.L1).fit(full)
+        attached = ShapeOnlyPipeline(ShapeDistance.L1).attach_store(grown)
+        assert np.array_equal(
+            np.asarray(fitted.score_views_batch(list(queries))),
+            np.asarray(attached.score_views_batch(list(queries))),
+        )
