@@ -38,6 +38,18 @@ attaches the store zero-copy per worker::
     repro store verify --store-dir .repro-store
     repro serve --workers 2 --store-dir .repro-store
     repro loadgen --workers 2 --slo-p99-ms 250
+
+Index commands (see README "Indexed retrieval"): ``repro index build``
+renders the seeded reference library, publishes it as a store and grows
+the two-stage retrieval index over it; ``repro index stats`` reports index
+geometry and the shard plan of an existing store; ``repro index audit``
+measures recall@top-1 of indexed-vs-brute champions over a seeded query
+sweep; ``repro loadgen --index`` serves through the indexed path::
+
+    repro index build --library-models 10 --library-views 20
+    repro index stats --store-dir .repro-store --workers 2
+    repro index audit --shortlist-k 64 --output AUDIT_index.json
+    repro loadgen --index --shortlist-k 32
 """
 
 from __future__ import annotations
@@ -48,6 +60,10 @@ import time
 
 from repro import experiments
 from repro.config import EngineSettings, ExperimentConfig, ServingSettings
+
+
+#: Shortlist size used when ``--index`` is passed without ``--shortlist-k``.
+DEFAULT_SHORTLIST_K = 64
 
 
 def _positive_int(value: str) -> int:
@@ -359,6 +375,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> tuple[str, int]:
 
     from repro.serving.loadgen import format_loadgen_report, run_loadgen
 
+    shortlist_k = args.shortlist_k
+    if shortlist_k is None and args.index:
+        shortlist_k = DEFAULT_SHORTLIST_K
     payload = run_loadgen(
         pipeline_name=args.pipeline,
         config=_make_config(args),
@@ -371,8 +390,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> tuple[str, int]:
         workers=args.workers or 1,
         store_dir=args.store_dir,
         slo_p99_ms=args.slo_p99_ms,
+        shortlist_k=shortlist_k,
     )
-    output = Path(args.output)
+    output = Path(args.output or "BENCH_serving.json")
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     slo = payload.get("slo")
     code = 1 if slo is not None and slo["violations"] else 0
@@ -426,6 +446,129 @@ def _cmd_store(args: argparse.Namespace) -> tuple[str, int]:
         "all digests match)",
         0,
     )
+
+
+def _cmd_index(args: argparse.Namespace) -> tuple[str, int]:
+    """Build, inspect or audit the two-stage retrieval tier.
+
+    ``repro index build`` renders the seeded reference library
+    (``classes x --library-models x --library-views`` views), publishes it
+    as a store and grows an index for every indexable pipeline; ``repro
+    index stats`` reports index geometry plus the class-aligned shard plan
+    of an EXISTING store; ``repro index audit`` measures recall@top-1 of
+    indexed-vs-brute champions over the SNS2 query sweep and writes the
+    JSON payload.  The audit exits 1 when any agreeing champion score is
+    not bit-identical to brute force — that is a structural guarantee, not
+    a tuning knob (see :mod:`repro.index.twostage`).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.errors import ReproError
+
+    subcommand = args.subcommand or "build"
+    if subcommand not in ("build", "stats", "audit"):
+        return (
+            f"index: unknown subcommand {subcommand!r} "
+            "(expected build, stats or audit)",
+            2,
+        )
+    config = _make_config(args)
+    store_dir = args.store_dir or ".repro-store"
+    shortlist_k = args.shortlist_k or DEFAULT_SHORTLIST_K
+
+    def _geometry_lines(report: dict) -> list[str]:
+        return [
+            f"  {spec['pipeline']:<11} rows {spec['rows']:>6}  "
+            f"dim {spec['dim']:>3}  shortlist K={spec['shortlist_k']}  "
+            f"mode {spec['scoring_mode']}"
+            for spec in report["indexes"]
+        ]
+
+    if subcommand == "build":
+        from repro.datasets.shapenet import build_reference_library
+        from repro.index import build_index_report
+        from repro.store import build_store
+
+        references = build_reference_library(
+            config,
+            models_per_class=args.library_models,
+            views_per_model=args.library_views,
+        )
+        started = time.perf_counter()
+        result = build_store(
+            references,
+            store_dir,
+            bins=config.histogram_bins,
+            families=("shape", "color"),
+        )
+        report = build_index_report(store_dir, shortlist_k, config)
+        elapsed = time.perf_counter() - started
+        verb = "built" if result.created else "republished"
+        lines = [
+            f"index: {verb} store version {report['store_version']} in "
+            f"{elapsed:.2f}s ({report['library_views']} views of "
+            f"{references.name})"
+        ] + _geometry_lines(report)
+        return "\n".join(lines), 0
+
+    if subcommand == "stats":
+        from repro.index import build_index_report, shard_plan_report
+
+        try:
+            report = build_index_report(store_dir, shortlist_k, config)
+            plan = shard_plan_report(store_dir, args.workers or 1)
+        except ReproError as exc:
+            return f"index: stats FAILED — {exc}", 1
+        lines = [
+            f"index: store version {report['store_version']} "
+            f"({report['library_views']} views)"
+        ] + _geometry_lines(report)
+        lines.append(f"  shard plan (workers={plan['workers']}):")
+        for shard in plan["shards"]:
+            start, stop = shard["rows"]
+            lines.append(
+                f"    rows [{start}, {stop})  {shard['views']:>6} views  "
+                f"classes {', '.join(shard['classes'])}"
+            )
+        return "\n".join(lines), 0
+
+    from repro.datasets.shapenet import build_reference_library, build_sns2
+    from repro.index import recall_audit
+
+    references = build_reference_library(
+        config,
+        models_per_class=args.library_models,
+        views_per_model=args.library_views,
+    )
+    queries = build_sns2(config)
+    if args.queries:
+        queries = queries.subset(
+            list(range(min(args.queries, len(queries)))), name="sns2-subset"
+        )
+    ks = args.ks or [8, 16, 32, shortlist_k]
+    payload = recall_audit(references, queries, ks, config=config)
+    output = Path(args.output or "AUDIT_index.json")
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    lines = [
+        f"index: audit over {payload['queries']} queries v. "
+        f"{payload['library_views']} views (K in {payload['ks']})"
+    ]
+    score_exact = True
+    for row in payload["rows"]:
+        lines.append(
+            f"  {row['pipeline']:<11} K={row['k']:>5}  "
+            f"recall {row['recall']:.4f} "
+            f"({row['agreements']}/{row['queries']})  "
+            f"score_exact {row['score_exact']}  "
+            f"exhaustive {row['exhaustive']}"
+        )
+        score_exact = score_exact and row["score_exact"]
+    lines.append(f"  wrote {output}")
+    if not score_exact:
+        lines.append("index: audit FAILED — re-ranked scores not bit-identical")
+        return "\n".join(lines), 1
+    return "\n".join(lines), 0
 
 
 def _cmd_patrol(args: argparse.Namespace) -> str:
@@ -529,6 +672,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "store": _cmd_store,
+    "index": _cmd_index,
     "lint": _cmd_lint,
     "all": _cmd_all,
 }
@@ -545,7 +689,8 @@ def build_parser() -> argparse.ArgumentParser:
         "subcommand",
         nargs="?",
         default=None,
-        help="store command: 'build' (default) or 'verify'",
+        help="store command: 'build' (default) or 'verify'; "
+        "index command: 'build' (default), 'stats' or 'audit'",
     )
     parser.add_argument("--seed", type=int, default=7, help="global random seed")
     parser.add_argument(
@@ -745,8 +890,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serving.add_argument(
         "--output",
-        default="BENCH_serving.json",
-        help="loadgen: where to write the benchmark payload",
+        default=None,
+        help="where to write the JSON payload (loadgen: BENCH_serving.json; "
+        "index audit: AUDIT_index.json)",
     )
     serving.add_argument(
         "--slo-p99-ms",
@@ -763,6 +909,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="store directory (store commands default to .repro-store; "
         "serve/loadgen --workers default to a temporary store)",
+    )
+    index = parser.add_argument_group(
+        "index", "two-stage retrieval tier (index build / stats / audit)"
+    )
+    index.add_argument(
+        "--index",
+        action="store_true",
+        help="loadgen: serve through the indexed retrieval path "
+        f"(shortlist K defaults to {DEFAULT_SHORTLIST_K})",
+    )
+    index.add_argument(
+        "--shortlist-k",
+        type=_positive_int,
+        default=None,
+        help="coarse-stage shortlist size K (implies --index on loadgen; "
+        f"index commands default to {DEFAULT_SHORTLIST_K})",
+    )
+    index.add_argument(
+        "--library-models",
+        type=_positive_int,
+        default=5,
+        help="index build/audit: reference-library models per class",
+    )
+    index.add_argument(
+        "--library-views",
+        type=_positive_int,
+        default=20,
+        help="index build/audit: views rendered per library model",
+    )
+    index.add_argument(
+        "--ks",
+        type=_positive_int,
+        nargs="+",
+        default=None,
+        metavar="K",
+        help="index audit: shortlist sizes to sweep "
+        "(default: 8 16 32 and --shortlist-k)",
     )
     lint = parser.add_argument_group("lint", "reprolint static analysis")
     lint.add_argument(

@@ -21,8 +21,14 @@ from repro.datasets.classes import (
     sns1_views_per_model,
 )
 from repro.datasets.dataset import ImageDataset, LabelledImage
+from repro.errors import DatasetError
 from repro.datasets.models import sample_model
-from repro.datasets.render import WHITE, canonical_view, render_view
+from repro.datasets.render import (
+    WHITE,
+    canonical_view,
+    random_viewpoint,
+    render_view,
+)
 
 #: Models per class in SNS2.  Ten views over five models gives the extra
 #: model diversity the paper attributes to the second, larger subset.
@@ -105,3 +111,70 @@ def build_sns2(config: ExperimentConfig | None = None) -> ImageDataset:
                 )
                 view_counter += 1
     return ImageDataset(name="ShapeNetSet2", items=tuple(items))
+
+
+#: Canonical poses rendered per model before the seeded continuous sweep
+#: takes over in :func:`build_reference_library`.
+_LIBRARY_CANONICAL_VIEWS = 10
+
+
+def build_reference_library(
+    config: ExperimentConfig | None = None,
+    models_per_class: int = 5,
+    views_per_model: int = 20,
+    name: str | None = None,
+) -> ImageDataset:
+    """A seeded synthetic reference library of arbitrary size.
+
+    The scale knob behind the indexed retrieval tier: where SNS1/SNS2 pin
+    the paper's 82/100-view sets, this builder renders
+    ``classes * models_per_class * views_per_model`` views — 10k+ at
+    ``models_per_class=50, views_per_model=20`` — deterministically from
+    ``config.seed``.  Each model renders the canonical view ring first
+    (poses shared with the paper sets) and then continuous seeded
+    viewpoints from :func:`~repro.datasets.render.random_viewpoint`, so no
+    two views of a model are identical renders.
+
+    Views are emitted grouped by class (labels form contiguous runs), which
+    is the layout :func:`repro.serving.shards.plan_shards` requires.
+    """
+    config = config or ExperimentConfig()
+    if models_per_class < 1 or views_per_model < 1:
+        raise DatasetError(
+            f"need >= 1 model and view per class, got {models_per_class} "
+            f"models x {views_per_model} views"
+        )
+    base = make_rng(config.seed + 2)
+    items: list[LabelledImage] = []
+    for class_name in CLASS_NAMES:
+        for model_idx in range(models_per_class):
+            model_id = f"{class_name}_lib_m{model_idx}"
+            model_rng = spawn(base, model_id)
+            model = sample_model(
+                class_name, model_id, model_rng, heterogeneity=_REFERENCE_HETEROGENEITY
+            )
+            for view_idx in range(views_per_model):
+                if view_idx < _LIBRARY_CANONICAL_VIEWS:
+                    viewpoint = canonical_view(view_idx)
+                else:
+                    viewpoint = random_viewpoint(model_rng)
+                image = render_view(
+                    model,
+                    viewpoint,
+                    config.render_size,
+                    background=WHITE,
+                    shading_rng=model_rng,
+                )
+                items.append(
+                    LabelledImage(
+                        image=image,
+                        label=class_name,
+                        source="synlib",
+                        model_id=model_id,
+                        view_id=view_idx,
+                    )
+                )
+    library_name = name or (
+        f"SynLibrary({models_per_class}x{views_per_model})"
+    )
+    return ImageDataset(name=library_name, items=tuple(items))

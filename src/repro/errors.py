@@ -96,6 +96,12 @@ class StoreIntegrityError(StoreError):
     degrade a service but never mis-score a query."""
 
 
+class RetrievalIndexError(ReproError):
+    """A two-stage retrieval index was misconfigured or misused (empty
+    library, bad shortlist size, dimension mismatch between a query
+    embedding and the indexed matrix)."""
+
+
 class EvaluationError(ReproError):
     """An evaluation routine received inconsistent predictions or labels."""
 

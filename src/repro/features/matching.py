@@ -121,7 +121,15 @@ class KDTreeMatcher:
     def knn_match(
         self, query: np.ndarray, train: np.ndarray, k: int = 2
     ) -> list[list[Match]]:
-        """For each query descriptor, the *k* nearest train descriptors."""
+        """For each query descriptor, the *k* nearest train descriptors.
+
+        Edge cases are explicit rather than inherited from scipy: ``k`` is
+        clamped to the train size (scipy would pad the short rows with
+        ``inf`` distances and the out-of-range index ``len(train)``), empty
+        query/train sets return empty match lists, and non-finite
+        descriptors raise (``cKDTree`` accepts NaN rows silently and then
+        returns meaningless neighbours).
+        """
         if k < 1:
             raise MatchingError(f"k must be >= 1, got {k}")
         query, train = _validate_pair(query, train)
@@ -129,6 +137,10 @@ class KDTreeMatcher:
             raise MatchingError("KDTreeMatcher requires float descriptors")
         if len(query) == 0 or len(train) == 0:
             return [[] for _ in range(len(query))]
+        if not np.isfinite(train).all():
+            raise MatchingError("train descriptors contain non-finite values")
+        if not np.isfinite(query).all():
+            raise MatchingError("query descriptors contain non-finite values")
         tree = cKDTree(train)
         k_eff = min(k, len(train))
         distances, indices = tree.query(query, k=k_eff)

@@ -1,0 +1,49 @@
+"""Two-stage retrieval tier: coarse candidates + exact re-rank.
+
+Turns O(library) brute-force scoring into a KD-tree (or Hamming-sketch)
+shortlist followed by exact block-kernel re-ranking — bit-identical final
+scores whenever the true champion is shortlisted, audited recall where it
+is not.  See :mod:`repro.index.twostage` for the correctness argument and
+:mod:`repro.index.audit` for the recall harness.
+"""
+
+from repro.index.audit import INDEXABLE_PIPELINES, recall_audit
+from repro.index.build import build_index_report, shard_plan_report
+from repro.index.coarse import (
+    HammingSketchIndex,
+    KDTreeCoarseIndex,
+    sketch_matrix,
+    view_sketch,
+)
+from repro.index.embeddings import (
+    L3_TRUST_SPREAD,
+    SENTINEL_COORD,
+    histogram_embedding,
+    hybrid_embedding,
+    l3_query_spread,
+    shape_column_scales,
+    shape_missing_terms,
+    shape_signature_embedding,
+)
+from repro.index.twostage import RetrievalResult, TwoStageRetriever
+
+__all__ = [
+    "INDEXABLE_PIPELINES",
+    "L3_TRUST_SPREAD",
+    "SENTINEL_COORD",
+    "HammingSketchIndex",
+    "KDTreeCoarseIndex",
+    "RetrievalResult",
+    "TwoStageRetriever",
+    "build_index_report",
+    "histogram_embedding",
+    "hybrid_embedding",
+    "l3_query_spread",
+    "recall_audit",
+    "shape_column_scales",
+    "shape_missing_terms",
+    "shape_signature_embedding",
+    "shard_plan_report",
+    "sketch_matrix",
+    "view_sketch",
+]

@@ -1,0 +1,100 @@
+"""Recall audit: indexed champions versus brute force, per pipeline, per K.
+
+The two-stage retriever's only approximation is stage 1: whenever the true
+champion row makes the shortlist, the re-ranked answer is bit-identical to
+brute force (see :mod:`repro.index.twostage`).  The audit quantifies that
+one degree of freedom — **recall@top-1 as a function of shortlist size K**
+— for each indexable registry pipeline, on a seeded query sweep, so CI can
+gate "the index does not change answers" with a number instead of a hope.
+
+For every (pipeline, K) cell the audit reports:
+
+* ``recall`` — fraction of queries whose indexed champion row equals the
+  brute-force champion row;
+* ``score_exact`` — whether every agreeing query's champion *score* is
+  bit-identical to brute force (the structural guarantee; anything but
+  True is a bug, not a tuning problem);
+* ``exhaustive`` — how many queries fell back to the degenerate-query
+  full scan (those agree by construction).
+
+Because KD-tree k-NN candidate sets are nested in K, per-query agreement
+is monotone in K, so recall is monotone and reaches 1.0 at K = library
+size — both ends of that invariant are pinned by the property suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import ExperimentConfig
+from repro.datasets.dataset import ImageDataset
+from repro.errors import RetrievalIndexError
+
+#: Registry pipelines that support :meth:`attach_index`.
+INDEXABLE_PIPELINES = ("shape-only", "color-only", "hybrid")
+
+
+def recall_audit(
+    references: ImageDataset,
+    queries: ImageDataset | Sequence,
+    ks: Sequence[int],
+    pipeline_names: Sequence[str] = INDEXABLE_PIPELINES,
+    config: ExperimentConfig | None = None,
+) -> dict:
+    """Audit indexed-vs-brute top-1 agreement over a query sweep.
+
+    Returns a JSON-ready payload: one row per (pipeline, K) with recall,
+    exact-score agreement, and fallback counts, plus per-pipeline brute
+    champion metadata so callers can drill into disagreements.
+    """
+    from repro.serving.registry import default_registry
+
+    queries = list(queries)
+    ks = sorted({int(k) for k in ks})
+    if not queries:
+        raise RetrievalIndexError("recall_audit needs at least one query")
+    if not ks or ks[0] < 1:
+        raise RetrievalIndexError(f"shortlist sizes must be >= 1, got {list(ks)}")
+    registry = default_registry()
+    rows = []
+    for name in pipeline_names:
+        pipeline = registry.build(name, config)
+        pipeline.fit(references)
+        brute = pipeline.champion_batch(queries)
+        for k in ks:
+            pipeline.attach_index(k)
+            indexed = pipeline.champion_batch(queries)
+            agree = [b.row == i.row for b, i in zip(brute, indexed)]
+            score_exact = all(
+                _same_bits(b.score, i.score)
+                for b, i, same_row in zip(brute, indexed, agree)
+                if same_row
+            )
+            rows.append(
+                {
+                    "pipeline": name,
+                    "k": k,
+                    "queries": len(queries),
+                    "agreements": int(sum(agree)),
+                    "recall": sum(agree) / len(queries),
+                    "score_exact": bool(score_exact),
+                    "exhaustive": int(sum(1 for i in indexed if i.exhaustive)),
+                    "mean_candidates": sum(i.candidates for i in indexed)
+                    / len(indexed),
+                }
+            )
+        pipeline.detach_index()
+    return {
+        "library_views": len(references),
+        "queries": len(queries),
+        "ks": ks,
+        "pipelines": list(pipeline_names),
+        "rows": rows,
+    }
+
+
+def _same_bits(a: float, b: float) -> bool:
+    """Bit-level float equality (NaN == NaN, +0.0 != -0.0 is irrelevant
+    here; champions are real scores)."""
+    # reprolint: disable=NUM201 -- the audit's whole point is bitwise identity
+    return a == b or (a != a and b != b)

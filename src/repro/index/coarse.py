@@ -1,0 +1,188 @@
+"""Coarse candidate generators: KD-tree and Hamming-sketch shortlists.
+
+Stage 1 of the retrieval tier.  A coarse index holds an embedded copy of
+the reference library (see :mod:`repro.index.embeddings`) and answers
+"the K embedded rows nearest this query" — nothing more.  Correctness of
+final scores never depends on the coarse stage: stage 2 re-ranks every
+candidate through the exact kernels, so a coarse miss can only lower
+recall@K, never corrupt a score.
+
+Two generators cover the two storage layouts of the reference store:
+
+* :class:`KDTreeCoarseIndex` — a :class:`scipy.spatial.cKDTree` over any
+  dense float embedding, generalising the tree already used for SIFT
+  descriptor matching in :class:`repro.features.matching.KDTreeMatcher`.
+* :class:`HammingSketchIndex` — packbits majority-bit sketches of ragged
+  ORB descriptor blocks, compared by XOR + popcount.  Linear scan, but
+  one ``(V, nbytes)`` table lookup per query versus the per-view
+  descriptor matching loop — orders of magnitude cheaper per row.
+
+Candidate lists are always returned **sorted ascending**.  That ordering
+is load-bearing: NumPy's argmin takes the *first* index among ties, so an
+ascending candidate list guarantees the re-ranked champion matches the
+brute-force champion whenever the true champion row is shortlisted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import RetrievalIndexError
+from repro.index.embeddings import SENTINEL_COORD
+
+#: Bit-count lookup for one byte — the packbits+popcount Hamming idiom
+#: shared with :class:`repro.features.matching.BruteForceMatcher`.
+_POPCOUNT = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
+    axis=1, dtype=np.uint16
+)
+
+
+class KDTreeCoarseIndex:
+    """KD-tree shortlist over an embedded reference matrix.
+
+    *embedding* is the ``(V, D)`` output of an embedding function; *p* the
+    Minkowski order it was built for.  Non-finite rows are coerced to the
+    library sentinel so the tree always builds; queries never land near
+    them because real embeddings are bounded far below
+    :data:`~repro.index.embeddings.SENTINEL_COORD`.
+
+    *always_include* lists rows every shortlist must contain regardless of
+    tree distance — the escape hatch for rows the embedding cannot rank
+    (shape rows with kernel-skipped terms, see
+    :func:`~repro.index.embeddings.shape_missing_terms`).  They are unioned
+    into every candidate list, so shortlists may exceed *k* by up to
+    ``len(always_include)`` rows.
+    """
+
+    def __init__(
+        self,
+        embedding: np.ndarray,
+        p: float = 2.0,
+        always_include: np.ndarray | None = None,
+    ) -> None:
+        matrix = np.atleast_2d(np.asarray(embedding, dtype=np.float64))
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise RetrievalIndexError(
+                f"cannot index an empty embedding (shape {matrix.shape})"
+            )
+        finite = np.isfinite(matrix).all(axis=1)
+        if not finite.all():
+            matrix = matrix.copy()
+            matrix[~finite, :] = SENTINEL_COORD
+        self._tree = cKDTree(matrix)
+        self._p = float(p)
+        self.n_rows = int(matrix.shape[0])
+        self.dim = int(matrix.shape[1])
+        if always_include is None:
+            self._always = None
+        else:
+            rows = np.unique(np.asarray(always_include, dtype=np.int64).ravel())
+            if rows.size and (rows[0] < 0 or rows[-1] >= self.n_rows):
+                raise RetrievalIndexError(
+                    f"always_include rows outside library of {self.n_rows} views"
+                )
+            self._always = rows if rows.size else None
+
+    @property
+    def always_included(self) -> int:
+        """How many rows are unioned into every shortlist."""
+        return 0 if self._always is None else int(self._always.shape[0])
+
+    def candidates(self, query_embedding: np.ndarray, k: int) -> np.ndarray:
+        """The ``min(k, V)`` nearest rows, sorted ascending.
+
+        *k* is clamped to the library size rather than letting scipy pad
+        with ``inf`` distances and the out-of-range index ``V`` — the
+        satellite-1 contract, applied here from day one.
+        """
+        return self.candidates_batch(np.atleast_2d(query_embedding), k)[0]
+
+    def candidates_batch(self, query_embeddings: np.ndarray, k: int) -> list[np.ndarray]:
+        """Per-query candidate lists for a ``(Q, D)`` query block."""
+        queries = np.atleast_2d(np.asarray(query_embeddings, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise RetrievalIndexError(
+                f"query embedding has {queries.shape[1]} dims, index has {self.dim}"
+            )
+        if k < 1:
+            raise RetrievalIndexError(f"shortlist size must be >= 1, got {k}")
+        if not np.isfinite(queries).all():
+            raise RetrievalIndexError(
+                "query embedding contains non-finite values; degenerate "
+                "queries must take the exhaustive path, not the tree"
+            )
+        k_eff = min(int(k), self.n_rows)
+        _, rows = self._tree.query(queries, k=k_eff, p=self._p)
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64)).reshape(len(queries), k_eff)
+        if self._always is None:
+            return [np.unique(row) for row in rows]  # unique() sorts ascending
+        return [np.union1d(row, self._always) for row in rows]  # sorted too
+
+
+def view_sketch(descriptors: np.ndarray, bits: int = 256) -> np.ndarray:
+    """Majority-bit Hamming sketch of one view's ORB descriptor block.
+
+    Each of the view's binary descriptors votes per bit column; the sketch
+    keeps the majority bit, packed to ``bits // 8`` bytes.  Views with no
+    descriptors sketch to all-zero.  Ties (exactly half the descriptors
+    set) round down — deterministic and symmetric across views.
+    """
+    if bits < 8 or bits % 8:
+        raise RetrievalIndexError(f"sketch bits must be a positive multiple of 8, got {bits}")
+    block = np.atleast_2d(np.asarray(descriptors, dtype=np.uint8))
+    width = min(block.shape[1], bits) if block.size else 0
+    votes = np.zeros(bits, dtype=np.uint8)
+    if block.shape[0] and width:
+        column_sums = (block[:, :width] > 0).sum(axis=0)
+        votes[:width] = (2 * column_sums > block.shape[0]).astype(np.uint8)
+    return np.packbits(votes)
+
+
+def sketch_matrix(descriptor_blocks, bits: int = 256) -> np.ndarray:
+    """Stack per-view sketches into a ``(V, bits // 8)`` uint8 matrix."""
+    sketches = [view_sketch(block, bits) for block in descriptor_blocks]
+    if not sketches:
+        raise RetrievalIndexError("cannot build a sketch matrix from zero views")
+    return np.vstack(sketches)
+
+
+class HammingSketchIndex:
+    """Shortlist generator over packed binary view sketches.
+
+    Distance is the bit-level Hamming distance computed by XOR + a
+    256-entry popcount table — one vectorised pass over the ``(V, nbytes)``
+    sketch matrix per query.
+    """
+
+    def __init__(self, sketches: np.ndarray) -> None:
+        matrix = np.atleast_2d(np.asarray(sketches, dtype=np.uint8))
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise RetrievalIndexError(
+                f"cannot index an empty sketch matrix (shape {matrix.shape})"
+            )
+        self._matrix = np.ascontiguousarray(matrix)
+        self.n_rows = int(matrix.shape[0])
+        self.n_bytes = int(matrix.shape[1])
+
+    def distances(self, sketch: np.ndarray) -> np.ndarray:
+        """Hamming distances of one packed sketch against every row."""
+        query = np.asarray(sketch, dtype=np.uint8).ravel()
+        if query.shape[0] != self.n_bytes:
+            raise RetrievalIndexError(
+                f"sketch has {query.shape[0]} bytes, index has {self.n_bytes}"
+            )
+        return _POPCOUNT[np.bitwise_xor(self._matrix, query[None, :])].sum(
+            axis=1, dtype=np.int64
+        )
+
+    def candidates(self, sketch: np.ndarray, k: int) -> np.ndarray:
+        """The ``min(k, V)`` rows with smallest Hamming distance, ascending."""
+        if k < 1:
+            raise RetrievalIndexError(f"shortlist size must be >= 1, got {k}")
+        distances = self.distances(sketch)
+        k_eff = min(int(k), self.n_rows)
+        if k_eff == self.n_rows:
+            return np.arange(self.n_rows, dtype=np.int64)
+        rows = np.argpartition(distances, k_eff - 1)[:k_eff]
+        return np.unique(rows.astype(np.int64, casting="safe"))

@@ -1,0 +1,259 @@
+"""Coarse-stage metric embeddings for the two-stage retrieval tier.
+
+The coarse stage of :mod:`repro.index` answers one question fast: *which
+K reference rows could plausibly be the champion?*  It does so by mapping
+each scoring family onto a vector space whose Minkowski distance either
+**exactly** reproduces the family's ranking or closely tracks it:
+
+=====================  =======================================  ========
+family                 embedding                                ranking
+=====================  =======================================  ========
+shape L2               raw Hu signature, p=1                    proxy
+shape L1               elementwise reciprocal signature, p=1    proxy
+shape L3               signature / per-column scale, p=inf      proxy
+color Hellinger        sqrt(histogram), p=2                     exact*
+color chi-square       sqrt(histogram), p=2                     proxy
+color intersection     histogram, p=1                           exact*
+color correlation      standardized unit rows, p=2              exact
+hybrid weighted-sum    [alpha * shape-L3, beta * sqrt(hist)]    proxy
+=====================  =======================================  ========
+
+(*) exact for L1-normalised histograms, which is what
+:func:`repro.imaging.rgb_histogram` produces: with total mass 1 the
+Hellinger denominator ``sqrt(mean1 * mean2) * N`` collapses to 1, so
+``hellinger^2 = 1 - bc = ||sqrt(h1) - sqrt(h2)||^2 / 2`` — Euclidean
+nearest neighbours in sqrt-space *are* the Hellinger ranking.  Likewise
+``sum(min(h1, h2)) = 1 - ||h1 - h2||_1 / 2`` for unit-mass rows, and
+Pearson correlation is ``1 - ||u - v||^2 / 2`` on standardized unit rows.
+
+Exactness of the coarse ranking is never *required* — the second stage
+re-scores every candidate with the real kernels — it only moves recall@K.
+Degenerate rows (NaN Hu signatures from contour-less images,
+zero-variance histograms) are mapped to a far-away finite sentinel on
+the *library* side, so they can be indexed but are never shortlisted
+ahead of real rows, and to NaN on the *query* side, which the retriever
+treats as "fall back to an exhaustive exact scan".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RetrievalIndexError
+from repro.imaging.histogram import HistogramMetric
+from repro.imaging.match_shapes import ShapeDistance
+
+#: Magnitudes below this are treated as zero — same eps as the shape kernels.
+_EPS = 1e-30
+
+#: Coordinate assigned to degenerate library rows.  Real embeddings live in
+#: a ball of radius ~1e3 (signatures are |m| <= 35, histograms <= 1), so a
+#: sentinel row is farther from any real query than any real row is.
+SENTINEL_COORD = 1.0e6
+
+
+def _apply_degenerate(embedding: np.ndarray, bad: np.ndarray, mode: str) -> np.ndarray:
+    """Overwrite rows flagged in *bad* according to *mode*.
+
+    ``"sentinel"`` (library side) pushes the row to :data:`SENTINEL_COORD`
+    in every coordinate; ``"nan"`` (query side) marks it NaN so the
+    retriever switches to its exhaustive exact path.
+    """
+    if mode not in ("sentinel", "nan"):
+        raise RetrievalIndexError(f"unknown degenerate mode {mode!r}")
+    if bad.any():
+        embedding[bad, :] = SENTINEL_COORD if mode == "sentinel" else np.nan
+    return embedding
+
+
+def shape_missing_terms(signature_matrix: np.ndarray) -> np.ndarray:
+    """Per-row flag: does any coordinate drop out of the shape kernels?
+
+    The matchShapes kernels skip every term where either signature's
+    magnitude is sub-eps (and NaN entries never compare usable), so a row
+    with missing terms is scored over *fewer* coordinates than a full one —
+    its distance is systematically smaller than any all-coordinate
+    embedding can express.  Such rows are rare (degenerate-ish renders) but
+    they win queries outright; the coarse stage therefore keeps them in an
+    always-shortlisted list instead of trusting the tree to find them, and
+    routes *queries* with missing terms to the exhaustive exact path.
+    """
+    matrix = np.atleast_2d(np.asarray(signature_matrix, dtype=np.float64))
+    if matrix.ndim != 2 or matrix.shape[1] != 7:
+        raise RetrievalIndexError(
+            f"expected a (V, 7) signature matrix, got shape {matrix.shape}"
+        )
+    return ~(np.abs(matrix) > _EPS).all(axis=1)
+
+
+#: Trust limit for the L3 coarse proxy.  The kernel weights coordinate i
+#: by 1/|q_i| while the embedding weights it by 1/scale_i; once the
+#: mismatch ratios scale_i/|q_i| spread beyond this max/min factor the
+#: tree ordering no longer tracks the kernel ordering, so such queries
+#: take the exhaustive exact path.  Seeded queries cluster below ~4;
+#: pathological ones (a coordinate barely above eps) jump past ~20.
+L3_TRUST_SPREAD = 8.0
+
+
+def l3_query_spread(signature: np.ndarray, scales: np.ndarray) -> float:
+    """Kernel-vs-embedding weight mismatch of one query signature.
+
+    Returns ``max_i(scale_i / |q_i|) / min_i(scale_i / |q_i|)`` over the
+    usable coordinates: 1.0 when the query's magnitudes are proportional
+    to the library column scales (the proxy ordering then provably
+    matches the kernel's up to that constant), growing as any single
+    coordinate's kernel weight diverges from its embedding weight.
+    Queries with no usable coordinate return inf.
+    """
+    query = np.asarray(signature, dtype=np.float64).ravel()
+    scale = np.asarray(scales, dtype=np.float64).ravel()
+    if query.shape != scale.shape:
+        raise RetrievalIndexError(
+            f"signature has {query.shape[0]} coordinates, scales {scale.shape[0]}"
+        )
+    magnitude = np.abs(query)
+    usable = np.isfinite(magnitude) & (magnitude > _EPS)
+    if not usable.any():
+        return float("inf")
+    mismatch = scale[usable] / magnitude[usable]
+    return float(mismatch.max() / mismatch.min())
+
+
+def shape_column_scales(signature_matrix: np.ndarray) -> np.ndarray:
+    """Per-column mean magnitude of a ``(V, 7)`` Hu-signature matrix.
+
+    Used to normalise the L3 embedding: the L3 distance is a *ratio*
+    (``max |q - r| / |q|``, typically O(0.1)) while raw signature columns
+    have magnitudes between ~3 and ~35, so dividing each column by its mean
+    magnitude puts coordinate deltas on the scale the kernel actually
+    compares.  Columns with no finite non-zero entry fall back to 1.0.
+    """
+    matrix = np.atleast_2d(np.asarray(signature_matrix, dtype=np.float64))
+    if matrix.ndim != 2 or matrix.shape[1] != 7:
+        raise RetrievalIndexError(
+            f"expected a (V, 7) signature matrix, got shape {matrix.shape}"
+        )
+    magnitude = np.abs(matrix)
+    usable = np.isfinite(magnitude) & (magnitude > _EPS)
+    counts = usable.sum(axis=0)
+    sums = np.where(usable, magnitude, 0.0).sum(axis=0)
+    scales = np.ones(matrix.shape[1], dtype=np.float64)
+    has_data = counts > 0
+    scales[has_data] = sums[has_data] / counts[has_data]
+    return scales
+
+
+def shape_signature_embedding(
+    signature_matrix: np.ndarray,
+    distance: ShapeDistance,
+    scales: np.ndarray | None = None,
+    degenerate: str = "sentinel",
+) -> tuple[np.ndarray, float]:
+    """Embed Hu-signature rows for coarse shape retrieval.
+
+    Returns ``(embedding, p)`` where *p* is the Minkowski order matching
+    the kernel's reduction: L1/L2 sum absolute terms (p=1), L3 takes a max
+    (p=inf).  Rows whose input contains NaN — or whose embedding would be
+    non-finite — are degenerate and handled per *degenerate* mode.
+    """
+    matrix = np.atleast_2d(np.asarray(signature_matrix, dtype=np.float64))
+    if matrix.ndim != 2 or matrix.shape[1] != 7:
+        raise RetrievalIndexError(
+            f"expected a (V, 7) signature matrix, got shape {matrix.shape}"
+        )
+    if distance == ShapeDistance.L1:
+        # I1 sums |1/q - 1/r|: Minkowski-1 between reciprocal signatures.
+        # Sub-eps entries are *skipped* by the kernel; 0 is the closest
+        # linear stand-in (contributes |1/r| instead of nothing).
+        usable = np.abs(matrix) > _EPS
+        with np.errstate(divide="ignore", invalid="ignore"):
+            embedding = np.where(usable, 1.0 / matrix, 0.0)
+        p = 1.0
+    elif distance == ShapeDistance.L2:
+        embedding = matrix.copy()
+        p = 1.0
+    elif distance == ShapeDistance.L3:
+        if scales is None:
+            scales = shape_column_scales(matrix)
+        else:
+            scales = np.asarray(scales, dtype=np.float64).ravel()
+            if scales.shape[0] != matrix.shape[1]:
+                raise RetrievalIndexError(
+                    f"expected {matrix.shape[1]} column scales, got {scales.shape[0]}"
+                )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            embedding = matrix / scales[None, :]
+        p = np.inf
+    else:
+        raise RetrievalIndexError(f"unknown shape distance {distance!r}")
+    bad = np.isnan(matrix).any(axis=1) | ~np.isfinite(embedding).all(axis=1)
+    return _apply_degenerate(embedding, bad, degenerate), p
+
+
+def histogram_embedding(
+    histogram_matrix: np.ndarray,
+    metric: HistogramMetric,
+    degenerate: str = "sentinel",
+) -> tuple[np.ndarray, float]:
+    """Embed stacked ``(V, B)`` histograms for coarse colour retrieval.
+
+    Returns ``(embedding, p)``; see the module docstring for which metrics
+    give exact rankings.  Histograms are assumed L1-normalised (the
+    :func:`repro.imaging.rgb_histogram` contract); un-normalised rows still
+    embed, the ranking just degrades from exact to approximate.
+    """
+    matrix = np.atleast_2d(np.asarray(histogram_matrix, dtype=np.float64))
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise RetrievalIndexError(
+            f"expected a (V, B) histogram matrix, got shape {matrix.shape}"
+        )
+    if metric in (HistogramMetric.HELLINGER, HistogramMetric.CHI_SQUARE):
+        embedding = np.sqrt(np.clip(matrix, 0.0, None))
+        p = 2.0
+    elif metric == HistogramMetric.INTERSECTION:
+        embedding = matrix.copy()
+        p = 1.0
+    elif metric == HistogramMetric.CORRELATION:
+        centered = matrix - matrix.mean(axis=1)[:, None]
+        norms = np.sqrt((centered**2).sum(axis=1))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            embedding = centered / norms[:, None]
+        p = 2.0
+    else:
+        raise RetrievalIndexError(f"unknown histogram metric {metric!r}")
+    bad = ~np.isfinite(embedding).all(axis=1)
+    return _apply_degenerate(embedding, bad, degenerate), p
+
+
+def hybrid_embedding(
+    signature_matrix: np.ndarray,
+    histogram_matrix: np.ndarray,
+    distance: ShapeDistance,
+    metric: HistogramMetric,
+    alpha: float,
+    beta: float,
+    scales: np.ndarray | None = None,
+    degenerate: str = "sentinel",
+) -> tuple[np.ndarray, float]:
+    """Joint embedding for the hybrid weighted-sum score.
+
+    Concatenates the alpha-weighted shape embedding with the beta-weighted
+    colour embedding under a single Euclidean metric.  The combination is a
+    proxy by construction (theta mixes a max-norm shape term with a
+    Hellinger term), but both parts are scale-aligned — the shape half is
+    the column-normalised L3 embedding regardless of *p* — so candidate
+    recall stays high; the audit harness measures exactly how high.  A row
+    is degenerate if either half is.
+    """
+    shape_emb, _ = shape_signature_embedding(
+        signature_matrix, distance, scales=scales, degenerate="nan"
+    )
+    color_emb, _ = histogram_embedding(histogram_matrix, metric, degenerate="nan")
+    if shape_emb.shape[0] != color_emb.shape[0]:
+        raise RetrievalIndexError(
+            "hybrid embedding halves disagree on row count: "
+            f"{shape_emb.shape[0]} shape vs {color_emb.shape[0]} colour rows"
+        )
+    embedding = np.hstack([alpha * shape_emb, beta * color_emb])
+    bad = ~np.isfinite(embedding).all(axis=1)
+    return _apply_degenerate(embedding, bad, degenerate), 2.0

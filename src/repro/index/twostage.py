@@ -1,0 +1,132 @@
+"""Two-stage retrieval: coarse shortlist, exact re-rank, provable ties.
+
+:class:`TwoStageRetriever` glues a coarse candidate generator to an exact
+re-rank callback and returns the champion row plus its exact score.  Its
+contract — and the property the test suite pins bit-for-bit — is:
+
+    Whenever the brute-force champion row is in the shortlist, the
+    two-stage champion is the *same row* with the *same float64 bits*.
+
+Both halves follow from structure rather than tolerance:
+
+* **Scores** — every scoring kernel (``match_shapes_batch``,
+  ``compare_histograms_batch``, the hybrid theta combination) computes
+  reference row *i* from the query and row *i* alone, with reductions
+  only over the trailing feature axis.  Therefore
+  ``kernel(q, matrix[rows]) == kernel(q, matrix)[rows]`` bitwise, and a
+  re-ranked score *is* the brute-force score.
+* **Ties** — NumPy's argmin/argmax return the first index among equals,
+  and candidate lists are sorted ascending.  If the global champion g is
+  shortlisted and some other candidate c tied with it, then either
+  c > g (g still wins the subset first-index rule) or c < g — impossible,
+  because g being the *global* first-index champion means no smaller row
+  anywhere ties it.  So the subset argmin lands on g exactly.
+
+Degenerate queries (contour-less images embed to NaN) skip the tree and
+scan the full library through the same exact kernels — slower, still
+bit-identical, so indexing never changes *any* answer for such queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import RetrievalIndexError
+from repro.index.coarse import KDTreeCoarseIndex
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """Champion row of one query: exact score, row index, and how we got
+    there (*candidates* scored; *exhaustive* marks the degenerate-query
+    full-scan fallback)."""
+
+    score: float
+    row: int
+    candidates: int
+    exhaustive: bool
+
+
+class TwoStageRetriever:
+    """Coarse-shortlist-then-exact-re-rank retrieval for one pipeline.
+
+    Parameters
+    ----------
+    coarse:
+        The stage-1 candidate generator over the library embedding.
+    embed_query:
+        Maps one query's extracted features to a ``(D,)`` embedding; NaN
+        anywhere in the result routes the query to the exhaustive path.
+    rerank:
+        Maps ``(features, rows)`` to the exact scores of those reference
+        rows — a restriction of the pipeline's brute-force kernel.
+    shortlist_k:
+        Stage-1 candidate count (clamped to the library size per query).
+    higher_is_better:
+        Score polarity of the pipeline being served.
+    """
+
+    def __init__(
+        self,
+        coarse: KDTreeCoarseIndex,
+        embed_query: Callable[[Any], np.ndarray],
+        rerank: Callable[[Any, np.ndarray], np.ndarray],
+        shortlist_k: int,
+        higher_is_better: bool = False,
+    ) -> None:
+        if shortlist_k < 1:
+            raise RetrievalIndexError(
+                f"shortlist size must be >= 1, got {shortlist_k}"
+            )
+        self._coarse = coarse
+        self._embed_query = embed_query
+        self._rerank = rerank
+        self.shortlist_k = int(shortlist_k)
+        self.higher_is_better = bool(higher_is_better)
+
+    @property
+    def n_rows(self) -> int:
+        return self._coarse.n_rows
+
+    @property
+    def dim(self) -> int:
+        return self._coarse.dim
+
+    def _champion_of(self, features: Any, rows: np.ndarray, exhaustive: bool) -> RetrievalResult:
+        scores = np.asarray(self._rerank(features, rows), dtype=np.float64)
+        if scores.shape[0] != rows.shape[0]:
+            raise RetrievalIndexError(
+                f"re-rank returned {scores.shape[0]} scores for {rows.shape[0]} rows"
+            )
+        best = int(np.argmax(scores) if self.higher_is_better else np.argmin(scores))
+        return RetrievalResult(
+            score=float(scores[best]),
+            row=int(rows[best]),
+            candidates=int(rows.shape[0]),
+            exhaustive=exhaustive,
+        )
+
+    def champion(self, features: Any) -> RetrievalResult:
+        """Indexed champion of one query's extracted features."""
+        embedding = np.asarray(self._embed_query(features), dtype=np.float64).ravel()
+        if not np.isfinite(embedding).all():
+            # Degenerate query: the embedding carries no signal, but the
+            # exact kernels have a defined answer — produce exactly it.
+            return self._champion_of(
+                features, np.arange(self.n_rows, dtype=np.int64), exhaustive=True
+            )
+        rows = self._coarse.candidates(embedding, self.shortlist_k)
+        return self._champion_of(features, rows, exhaustive=False)
+
+    def champion_brute(self, features: Any) -> RetrievalResult:
+        """Brute-force champion through the identical re-rank kernel.
+
+        The audit/bench baseline: full-library scan, same code path, same
+        tie rule — differs from :meth:`champion` only in candidate count.
+        """
+        return self._champion_of(
+            features, np.arange(self.n_rows, dtype=np.int64), exhaustive=True
+        )

@@ -36,6 +36,7 @@ from repro.errors import PipelineError, StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.executor import ParallelExecutor
+    from repro.index.twostage import RetrievalResult, TwoStageRetriever
     from repro.store.attach import ReferenceStore
 
 
@@ -170,6 +171,9 @@ class MatchingPipeline(RecognitionPipeline):
         #: ``(namespace, version)`` cache keyspace, derived once per fit
         #: instead of once per query in the extraction hot loop.
         self._feature_keyspace: tuple[str, str] | None = None
+        #: Two-stage retriever (coarse shortlist + exact re-rank) attached
+        #: by :meth:`attach_index`; None = brute-force scoring.
+        self._retriever: "TwoStageRetriever | None" = None
 
     @abc.abstractmethod
     def _extract(self, item: LabelledImage) -> Any:
@@ -202,8 +206,122 @@ class MatchingPipeline(RecognitionPipeline):
         """
         return None
 
+    def _coarse_spec(self) -> "tuple[np.ndarray, float, Any, np.ndarray | None] | None":
+        """Stage-1 description for :meth:`attach_index`.
+
+        ``None`` (the default) means the pipeline has no coarse embedding
+        and cannot be indexed.  Indexable pipelines return
+        ``(library_embedding, p, embed_query, always_include)``: the
+        embedded reference matrix, its Minkowski order, a callable mapping
+        one query's extracted features to a ``(D,)`` embedding (NaN for
+        degenerate queries, which then take the exhaustive exact path), and
+        the rows every shortlist must contain (``None`` for none) — rows
+        whose kernel score the embedding cannot rank, such as shape rows
+        with skipped terms.
+        """
+        return None
+
+    def _rerank_rows(self, query_features: Any, rows: np.ndarray) -> np.ndarray:
+        """Exact scores of *query_features* against reference rows *rows*.
+
+        Must be the literal restriction of the brute-force kernel: bitwise
+        equal to ``_score_batch(query_features)[rows]``.  Every scoring
+        kernel in :mod:`repro.imaging` computes reference row *i* from the
+        query and row *i* alone, so slicing the reference matrix before the
+        kernel call satisfies this for free.
+        """
+        raise PipelineError(f"{self.name}: pipeline has no re-rank kernel")
+
+    @property
+    def index_attached(self) -> bool:
+        """Whether a two-stage retrieval index is currently attached."""
+        return self._retriever is not None
+
+    @property
+    def retriever(self) -> "TwoStageRetriever":
+        """The attached two-stage retriever (raises when none is)."""
+        if self._retriever is None:
+            raise PipelineError(f"{self.name}: no retrieval index attached")
+        return self._retriever
+
+    def attach_index(self, shortlist_k: int) -> "MatchingPipeline":
+        """Attach a two-stage retrieval index over the reference matrix.
+
+        Builds the pipeline's coarse embedding (see :meth:`_coarse_spec`),
+        indexes it in a KD-tree, and routes subsequent :meth:`predict` /
+        :meth:`predict_batch` calls through shortlist-then-exact-re-rank
+        instead of full-library scoring.  Champion rows and scores are
+        bit-identical to brute force whenever the true champion is
+        shortlisted; ``keep_view_scores`` bypasses the index (a shortlist
+        cannot produce the full per-view score vector).
+        """
+        from repro.index.coarse import KDTreeCoarseIndex
+        from repro.index.twostage import TwoStageRetriever
+
+        if self._reference_matrix is None:
+            raise PipelineError(
+                f"{self.name}: attach_index requires a stacked reference "
+                "matrix (fit() or attach_store() first, with batch_scoring)"
+            )
+        spec = self._coarse_spec()
+        if spec is None:
+            raise PipelineError(
+                f"{self.name}: pipeline has no coarse embedding to index"
+            )
+        embedding, p, embed_query, always_include = spec
+        self._retriever = TwoStageRetriever(
+            KDTreeCoarseIndex(embedding, p=p, always_include=always_include),
+            embed_query,
+            self._rerank_rows,
+            shortlist_k,
+            higher_is_better=self.higher_is_better,
+        )
+        return self
+
+    def detach_index(self) -> "MatchingPipeline":
+        """Drop the retrieval index and return to brute-force scoring."""
+        self._retriever = None
+        return self
+
+    def champion_batch(self, queries: Sequence[LabelledImage]) -> "list[RetrievalResult]":
+        """Champion row + exact score per query, without full score rows.
+
+        With an index attached this is the two-stage path; without one it
+        is an exhaustive scan through the same kernels — the audit/bench
+        baseline.  Both share one tie rule (first index among equals).
+        """
+        from repro.index.twostage import RetrievalResult
+
+        self.references
+        results: list[RetrievalResult] = []
+        for query in queries:
+            features = self.extract_features(query)
+            with maybe_stage(self.stopwatch, "score"):
+                if self._retriever is not None:
+                    results.append(self._retriever.champion(features))
+                else:
+                    scores = self._score_features(features)
+                    best = int(
+                        np.argmax(scores) if self.higher_is_better else np.argmin(scores)
+                    )
+                    results.append(
+                        RetrievalResult(
+                            score=float(scores[best]),
+                            row=best,
+                            candidates=int(scores.shape[0]),
+                            exhaustive=True,
+                        )
+                    )
+        return results
+
+    def _prediction_of_hit(self, hit: "RetrievalResult") -> Prediction:
+        winner = self.references[hit.row]
+        return Prediction(label=winner.label, model_id=winner.model_id, score=hit.score)
+
     @property
     def scoring_mode(self) -> str:
+        if self._retriever is not None and not self.keep_view_scores:
+            return "indexed"
         return "batch" if self._reference_matrix is not None else "scalar"
 
     def feature_namespace(self) -> str:
@@ -243,6 +361,7 @@ class MatchingPipeline(RecognitionPipeline):
     def fit(self, references: ImageDataset) -> "MatchingPipeline":
         self._references = references
         self._feature_keyspace = None
+        self._retriever = None  # indexes an old library; rebuild explicitly
         self._reference_features = [self.extract_features(item) for item in references]
         self._reference_matrix = None
         if self.batch_scoring:
@@ -292,6 +411,7 @@ class MatchingPipeline(RecognitionPipeline):
                 f"shard rows [{start}, {stop}) outside store of {len(references)} views"
             )
         self._feature_keyspace = None
+        self._retriever = None  # indexes an old library; rebuild explicitly
         namespace, version = self.feature_keyspace()
         matrix = store.matrix(namespace, version)
         if matrix.shape[0] != len(references):
@@ -345,6 +465,8 @@ class MatchingPipeline(RecognitionPipeline):
             return np.vstack([self._score_features(f) for f in features])
 
     def predict(self, query: LabelledImage) -> Prediction:
+        if self._retriever is not None and not self.keep_view_scores:
+            return self._prediction_of_hit(self.champion_batch([query])[0])
         scores = self.score_views(query)
         with maybe_stage(self.stopwatch, "argmin"):
             best = int(np.argmax(scores) if self.higher_is_better else np.argmin(scores))
@@ -356,6 +478,8 @@ class MatchingPipeline(RecognitionPipeline):
         queries = list(queries)
         if not queries:
             return []
+        if self._retriever is not None and not self.keep_view_scores:
+            return [self._prediction_of_hit(hit) for hit in self.champion_batch(queries)]
         scores = self.score_views_batch(queries)
         with maybe_stage(self.stopwatch, "argmin"):
             best = scores.argmax(axis=1) if self.higher_is_better else scores.argmin(axis=1)

@@ -100,3 +100,29 @@ class ColorOnlyPipeline(MatchingPipeline):
         return compare_histograms_block(
             stack_histograms(features), self._reference_matrix, self.metric
         )
+
+    def _coarse_spec(self):
+        from repro.index.embeddings import histogram_embedding
+
+        matrix = np.asarray(self._reference_matrix, dtype=np.float64)
+        embedding, p = histogram_embedding(matrix, self.metric)
+
+        def embed_query(query_features: np.ndarray) -> np.ndarray:
+            emb, _ = histogram_embedding(
+                np.asarray(query_features, dtype=np.float64)[None, :],
+                self.metric,
+                degenerate="nan",
+            )
+            return emb[0]
+
+        # Histogram kernels never skip per-row terms, so no row needs to be
+        # force-shortlisted.
+        return embedding, p, embed_query, None
+
+    def _rerank_rows(self, query_features: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        # compare_histograms_batch computes each reference row from the query
+        # and that row alone (per-row means/denominators), so the sliced call
+        # equals _score_batch(...)[rows] bit for bit.
+        return compare_histograms_batch(
+            query_features, self._reference_matrix[rows], self.metric
+        )

@@ -65,6 +65,7 @@ from repro.pipelines.shape_only import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.index.twostage import RetrievalResult, TwoStageRetriever
     from repro.store.attach import ReferenceStore
 
 
@@ -120,6 +121,9 @@ class HybridPipeline(RecognitionPipeline):
         #: (the colour namespace embeds the bin count).
         self._shape_keyspace = (SHAPE_FEATURE_NAMESPACE, SHAPE_FEATURE_VERSION)
         self._color_keyspace = (color_feature_namespace(bins), COLOR_FEATURE_VERSION)
+        #: Two-stage retriever over the joint shape+colour embedding,
+        #: attached by :meth:`attach_index`; None = brute-force thetas.
+        self._retriever: "TwoStageRetriever | None" = None
 
     def _shape_of(self, item: LabelledImage) -> np.ndarray:
         # Shares the shape-only pipelines' cache namespace, so a hybrid fit
@@ -147,11 +151,165 @@ class HybridPipeline(RecognitionPipeline):
 
     @property
     def scoring_mode(self) -> str:
+        if self._retriever is not None and not self.keep_view_scores:
+            return "indexed"
         batched = self._shape_matrix is not None and self._color_matrix is not None
         return "batch" if batched else "scalar"
 
+    def extract_features(self, query: LabelledImage) -> tuple[np.ndarray, np.ndarray]:
+        """The (shape, colour) feature pair of one query, cache-backed."""
+        return self._shape_of(query), self._color_of(query)
+
+    @property
+    def index_attached(self) -> bool:
+        """Whether a two-stage retrieval index is currently attached."""
+        return self._retriever is not None
+
+    @property
+    def retriever(self) -> "TwoStageRetriever":
+        """The attached two-stage retriever (raises when none is)."""
+        if self._retriever is None:
+            raise PipelineError(f"{self.name}: no retrieval index attached")
+        return self._retriever
+
+    def attach_index(self, shortlist_k: int) -> "HybridPipeline":
+        """Attach a two-stage index over the joint shape+colour embedding.
+
+        Only the ``weighted_sum`` strategy is indexable: its champion is a
+        per-view argmin, which shortlist-then-re-rank preserves exactly.
+        The averaging strategies need *every* view's theta, so shortlisting
+        them would change answers — they raise instead.
+        """
+        from repro.index.coarse import KDTreeCoarseIndex
+        from repro.index.embeddings import (
+            L3_TRUST_SPREAD,
+            hybrid_embedding,
+            l3_query_spread,
+            shape_column_scales,
+            shape_missing_terms,
+        )
+        from repro.index.twostage import TwoStageRetriever
+
+        if self.strategy != HybridStrategy.WEIGHTED_SUM:
+            raise PipelineError(
+                f"{self.name}: attach_index supports only the weighted_sum "
+                "strategy (averaging strategies consume all per-view thetas)"
+            )
+        if self._shape_matrix is None or self._color_matrix is None:
+            raise PipelineError(
+                f"{self.name}: attach_index requires stacked matrices "
+                "(fit() or attach_store() first, with batch_scoring)"
+            )
+        shape_matrix = np.asarray(self._shape_matrix, dtype=np.float64)
+        color_matrix = np.asarray(self._color_matrix, dtype=np.float64)
+        scales = shape_column_scales(shape_matrix)
+        embedding, p = hybrid_embedding(
+            shape_matrix,
+            color_matrix,
+            self.shape_distance,
+            self.color_metric,
+            self.alpha,
+            self.beta,
+            scales=scales,
+        )
+
+        # The theta's shape term skips sub-eps signature terms per row, so
+        # rows with missing shape terms are force-shortlisted (see
+        # shape_missing_terms) and queries with missing terms go exhaustive.
+        missing = shape_missing_terms(shape_matrix)
+        always_include = np.flatnonzero(missing) if missing.any() else None
+
+        def embed_query(features: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+            query_shape, query_color = features
+            signature = hu_signature(query_shape)[None, :]
+            if shape_missing_terms(signature)[0]:
+                return np.full(embedding.shape[1], np.nan)
+            if (
+                self.shape_distance == ShapeDistance.L3
+                and l3_query_spread(signature, scales) > L3_TRUST_SPREAD
+            ):
+                # L3 weights each coordinate by 1/|q_i|; when that strays
+                # too far from the column scales the tree cannot be trusted.
+                return np.full(embedding.shape[1], np.nan)
+            emb, _ = hybrid_embedding(
+                signature,
+                np.asarray(query_color, dtype=np.float64)[None, :],
+                self.shape_distance,
+                self.color_metric,
+                self.alpha,
+                self.beta,
+                scales=scales,
+                degenerate="nan",
+            )
+            return emb[0]
+
+        self._retriever = TwoStageRetriever(
+            KDTreeCoarseIndex(embedding, p=p, always_include=always_include),
+            embed_query,
+            self._rerank_rows,
+            shortlist_k,
+            higher_is_better=False,
+        )
+        return self
+
+    def detach_index(self) -> "HybridPipeline":
+        """Drop the retrieval index and return to brute-force thetas."""
+        self._retriever = None
+        return self
+
+    def _rerank_rows(
+        self, features: tuple[np.ndarray, np.ndarray], rows: np.ndarray
+    ) -> np.ndarray:
+        """Exact thetas of a query against reference rows *rows*.
+
+        The literal restriction of :meth:`_thetas_of`: both kernels compute
+        each reference row from the query and that row alone, and the
+        weighted sum is elementwise, so the sliced call is bitwise equal to
+        ``_thetas_of(...)[rows]``.
+        """
+        query_shape, query_color = features
+        shape_scores = match_shapes_batch(
+            hu_signature(query_shape), self._shape_matrix[rows], self.shape_distance
+        )
+        color_scores = compare_histograms_batch(
+            query_color, self._color_matrix[rows], self.color_metric
+        )
+        if self.color_metric.higher_is_better:
+            color_scores = 1.0 - color_scores
+        return self.alpha * shape_scores + self.beta * color_scores
+
+    def champion_batch(self, queries: Sequence[LabelledImage]) -> "list[RetrievalResult]":
+        """Champion view + exact theta per query, without full theta rows.
+
+        Indexed when an index is attached, exhaustive otherwise; both use
+        the first-index argmin tie rule of the brute-force path.
+        """
+        from repro.index.twostage import RetrievalResult
+
+        self.references
+        results: list[RetrievalResult] = []
+        for query in queries:
+            with maybe_stage(self.stopwatch, "extract"):
+                features = self.extract_features(query)
+            with maybe_stage(self.stopwatch, "score"):
+                if self._retriever is not None:
+                    results.append(self._retriever.champion(features))
+                else:
+                    thetas = self._thetas_of(*features)
+                    best = int(np.argmin(thetas))
+                    results.append(
+                        RetrievalResult(
+                            score=float(thetas[best]),
+                            row=best,
+                            candidates=int(thetas.shape[0]),
+                            exhaustive=True,
+                        )
+                    )
+        return results
+
     def fit(self, references: ImageDataset) -> "HybridPipeline":
         self._references = references
+        self._retriever = None  # indexes an old library; rebuild explicitly
         with maybe_stage(self.stopwatch, "extract"):
             self._shape_refs = [self._shape_of(item) for item in references]
             self._color_refs = [self._color_of(item) for item in references]
@@ -210,6 +368,7 @@ class HybridPipeline(RecognitionPipeline):
             color_feature_namespace(self.bins), COLOR_FEATURE_VERSION
         )
         self._references = references.slice(start, stop)  # type: ignore[assignment]
+        self._retriever = None  # indexes an old library; rebuild explicitly
         self._shape_matrix = shape_matrix[start:stop]
         self._color_matrix = color_matrix[start:stop]
         self._shape_refs = []
@@ -315,6 +474,12 @@ class HybridPipeline(RecognitionPipeline):
         return top
 
     def predict(self, query: LabelledImage) -> Prediction:
+        if self._retriever is not None and not self.keep_view_scores:
+            hit = self.champion_batch([query])[0]
+            winner = self.references[hit.row]
+            return Prediction(
+                label=winner.label, model_id=winner.model_id, score=hit.score
+            )
         return self._predict_from_thetas(self.theta_scores(query))
 
     def predict_batch(self, queries: Sequence[LabelledImage]) -> list[Prediction]:
@@ -323,6 +488,17 @@ class HybridPipeline(RecognitionPipeline):
         queries = list(queries)
         if not queries:
             return []
+        if self._retriever is not None and not self.keep_view_scores:
+            references = self.references
+            out = []
+            for hit in self.champion_batch(queries):
+                winner = references[hit.row]
+                out.append(
+                    Prediction(
+                        label=winner.label, model_id=winner.model_id, score=hit.score
+                    )
+                )
+            return out
         thetas = self.theta_scores_batch(queries)
         if self.strategy == HybridStrategy.WEIGHTED_SUM and not self.keep_view_scores:
             # One argmin call for the whole block instead of one per row.

@@ -185,6 +185,7 @@ def run_loadgen(
     workers: int = 1,
     store_dir: str | None = None,
     slo_p99_ms: float | None = None,
+    shortlist_k: int | None = None,
 ) -> dict:
     """One full load-generation run; returns the BENCH_serving.json payload.
 
@@ -195,6 +196,13 @@ def run_loadgen(
     :mod:`repro.store` artifact built in *store_dir* (a temporary directory
     when omitted); *slo_p99_ms*, when set, adds a p99-latency SLO check to
     the payload.
+
+    *shortlist_k* routes the served path through the two-stage retrieval
+    index (per shard when sharded).  The sequential baseline stays brute
+    force, so the mismatch audit doubles as a live candidate-hit-rate
+    measurement: every mismatch is a query whose true champion missed the
+    shortlist.  The payload's ``index`` block records the shortlist
+    configuration and the measured hit rate.
     """
     if mode not in LOAD_MODES:
         raise ServingError(f"unknown load mode {mode!r}, expected one of {LOAD_MODES}")
@@ -206,6 +214,8 @@ def run_loadgen(
         raise ServingError(f"workers must be >= 1, got {workers}")
     if slo_p99_ms is not None and slo_p99_ms <= 0:
         raise ServingError(f"slo_p99_ms must be > 0, got {slo_p99_ms}")
+    if shortlist_k is not None and shortlist_k < 1:
+        raise ServingError(f"shortlist_k must be >= 1, got {shortlist_k}")
     config = config or ExperimentConfig(nyu_scale=0.05)
     settings = settings or ServingSettings()
 
@@ -255,6 +265,7 @@ def run_loadgen(
             settings=settings,
             config=config,
             fallback=fallback_pipeline,
+            shortlist_k=shortlist_k,
         ).start()
         store_info = {
             "dir": None if store_cleanup is not None else str(store_dir),
@@ -266,6 +277,14 @@ def run_loadgen(
             ],
         }
     else:
+        if shortlist_k is not None:
+            if not hasattr(pipeline, "attach_index"):
+                raise ServingError(
+                    f"pipeline {pipeline_name!r} has no retrieval index path"
+                )
+            # Attach after the baselines so sequential/scalar stay brute
+            # force — the mismatch audit then measures shortlist recall.
+            pipeline.attach_index(shortlist_k)
         service = RecognitionService(
             pipeline, settings=settings, fallback=fallback_pipeline
         ).start()
@@ -280,6 +299,9 @@ def run_loadgen(
             store_cleanup.cleanup()
 
     report = service.report()
+    evaluated = sum(
+        1 for answer in served if answer is not None and not answer.degraded
+    )
     mismatches = sum(
         1
         for answer, expected in zip(served, sequential)
@@ -288,6 +310,26 @@ def run_loadgen(
         and (answer.label, answer.model_id, answer.score)
         != (expected.label, expected.model_id, expected.score)
     )
+    index_info: dict | None = None
+    if shortlist_k is not None:
+        library_views = len(references)
+        if workers > 1:
+            shortlist_sizes = [
+                min(shortlist_k, len(shard)) for shard in service.shards
+            ]
+        else:
+            shortlist_sizes = [min(shortlist_k, library_views)]
+        index_info = {
+            "shortlist_k": shortlist_k,
+            "library_views": library_views,
+            "shortlist_sizes": shortlist_sizes,
+            "evaluated": evaluated,
+            # Against a brute-force sequential twin, every mismatch is a
+            # query whose true champion missed the shortlist.
+            "candidate_hit_rate": (
+                round(1.0 - mismatches / evaluated, 4) if evaluated else None
+            ),
+        }
     payload = {
         "pipeline": pipeline_name,
         "fallback": fallback,
@@ -312,6 +354,7 @@ def run_loadgen(
         "prediction_mismatches": mismatches,
         "workers": workers,
         "store": store_info,
+        "index": index_info,
         "slo": (
             {
                 "p99_ms": slo_p99_ms,
@@ -358,6 +401,21 @@ def format_loadgen_report(payload: dict) -> str:
         f"rejected, {serving['degraded']} degraded, {serving['failed']} failed, "
         f"{payload['prediction_mismatches']} mismatches",
     ]
+    index_info = payload.get("index")
+    if index_info is not None:
+        sizes = index_info["shortlist_sizes"]
+        hit_rate = index_info["candidate_hit_rate"]
+        lines.append(
+            f"  index     shortlist K={index_info['shortlist_k']} over "
+            f"{index_info['library_views']} views "
+            f"(per-shard {', '.join(str(s) for s in sizes)}), "
+            + (
+                f"candidate hit rate {hit_rate:.4f} "
+                f"over {index_info['evaluated']} answers"
+                if hit_rate is not None
+                else "candidate hit rate n/a"
+            )
+        )
     slo = payload.get("slo")
     if slo is not None:
         verdict = "VIOLATED" if slo["violations"] else "met"

@@ -135,6 +135,9 @@ class ShardTask:
     config: ExperimentConfig
     start: int
     stop: int
+    #: Two-stage retrieval shortlist size; ``None`` serves brute force.
+    #: Appended with a default so pre-index ShardTasks stay constructible.
+    shortlist_k: int | None = None
 
 
 #: One attached shard pipeline per (task) per worker process.  Plain memo —
@@ -151,6 +154,11 @@ def _shard_pipeline(task: ShardTask) -> RecognitionPipeline:
         store = ReferenceStore.attach(task.store_dir, version=task.store_version)
         pipeline = default_registry().build(task.pipeline, task.config)
         pipeline.attach_store(store, rows=(task.start, task.stop))  # type: ignore[attr-defined]
+        if task.shortlist_k is not None:
+            # Per-shard index over this worker's row range.  A shortlist of
+            # K within every shard covers at least the global top-K rows, so
+            # sharding never lowers recall below the single-index figure.
+            pipeline.attach_index(task.shortlist_k)  # type: ignore[attr-defined]
         _SHARD_PIPELINES[task] = pipeline
     return pipeline
 
@@ -168,6 +176,19 @@ def _score_shard(
     import numpy as np
 
     pipeline = _shard_pipeline(task)
+    if getattr(pipeline, "index_attached", False):
+        # Two-stage path: champion row + exact score per query, without the
+        # (Q, V_shard) score matrix.  Scores are bit-identical to the brute
+        # rows whenever the true shard champion is shortlisted, so the
+        # merge semantics below are unchanged.
+        references = pipeline.references
+        out = []
+        for hit in pipeline.champion_batch(queries):  # type: ignore[attr-defined]
+            winner = references[hit.row]
+            out.append(
+                (hit.score, task.start + hit.row, winner.label, winner.model_id)
+            )
+        return out
     if hasattr(pipeline, "theta_scores_batch"):
         scores = pipeline.theta_scores_batch(queries)  # type: ignore[attr-defined]
         higher_is_better = False
@@ -243,10 +264,13 @@ class ShardedRecognitionService:
         fallback: RecognitionPipeline | None = None,
         retry_policy: RetryPolicy | None = None,
         store_version: str | None = None,
+        shortlist_k: int | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 1:
             raise ServingError(f"workers must be >= 1, got {workers}")
+        if shortlist_k is not None and shortlist_k < 1:
+            raise ServingError(f"shortlist_k must be >= 1, got {shortlist_k}")
         self.settings = settings or ServingSettings()
         self.config = config or ExperimentConfig()
         self.pipeline_name = pipeline_name
@@ -260,6 +284,7 @@ class ShardedRecognitionService:
         store = ReferenceStore.attach(store_dir, version=store_version)
         self.store_dir = str(store_dir)
         self.store_version = store.store_version
+        self.shortlist_k = shortlist_k
         self._probe_registry_pipeline()
         labels = store.references().labels
         self.shards: tuple[WorkerShard, ...] = plan_shards(labels, workers)
@@ -272,6 +297,7 @@ class ShardedRecognitionService:
                 config=self.config,
                 start=shard.start,
                 stop=shard.stop,
+                shortlist_k=shortlist_k,
             )
             for shard in self.shards
         )

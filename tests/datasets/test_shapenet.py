@@ -1,10 +1,17 @@
 """Unit tests for the ShapeNetSet builders (Table 1 conformance)."""
 
 import numpy as np
+import pytest
 
 from repro.config import ExperimentConfig
-from repro.datasets.classes import SNS1_VIEW_COUNTS, SNS2_VIEW_COUNTS
-from repro.datasets.shapenet import SNS2_MODELS_PER_CLASS, build_sns1, build_sns2
+from repro.datasets.classes import CLASS_NAMES, SNS1_VIEW_COUNTS, SNS2_VIEW_COUNTS
+from repro.datasets.shapenet import (
+    SNS2_MODELS_PER_CLASS,
+    build_reference_library,
+    build_sns1,
+    build_sns2,
+)
+from repro.errors import DatasetError
 
 
 class TestSns1:
@@ -62,3 +69,54 @@ class TestSns2:
 
     def test_render_size_respected(self, config, sns2):
         assert sns2[0].image.shape == (config.render_size, config.render_size, 3)
+
+
+class TestReferenceLibrary:
+    @pytest.fixture(scope="class")
+    def library(self, config):
+        return build_reference_library(config, models_per_class=2, views_per_model=3)
+
+    def test_size_is_classes_times_models_times_views(self, library):
+        assert len(library) == len(CLASS_NAMES) * 2 * 3
+
+    def test_labels_form_contiguous_class_runs(self, library):
+        # plan_shards requires class-grouped rows.
+        labels = library.labels
+        seen = []
+        for label in labels:
+            if not seen or seen[-1] != label:
+                seen.append(label)
+        assert len(seen) == len(set(labels))
+
+    def test_deterministic_across_builds(self, config):
+        a = build_reference_library(config, models_per_class=1, views_per_model=2)
+        b = build_reference_library(config, models_per_class=1, views_per_model=2)
+        assert np.array_equal(a[0].image, b[0].image)
+        assert np.array_equal(a[-1].image, b[-1].image)
+
+    def test_views_of_one_model_differ(self, library):
+        groups = library.by_model()
+        views = next(iter(groups.values()))
+        assert not np.array_equal(views[0].image, views[1].image)
+
+    def test_random_viewpoints_differ_beyond_the_canonical_ring(self, config):
+        library = build_reference_library(
+            config, models_per_class=1, views_per_model=12
+        )
+        views = library.by_model()[library[0].model_id]
+        assert not np.array_equal(views[10].image, views[11].image)
+
+    def test_model_ids_disjoint_from_paper_sets(self, library, sns1, sns2):
+        ids = {item.model_id for item in library}
+        assert not ids & {item.model_id for item in sns1}
+        assert not ids & {item.model_id for item in sns2}
+
+    def test_source_tag_and_name(self, library):
+        assert {item.source for item in library} == {"synlib"}
+        assert library.name == "SynLibrary(2x3)"
+
+    def test_bad_arguments_rejected(self, config):
+        with pytest.raises(DatasetError):
+            build_reference_library(config, models_per_class=0)
+        with pytest.raises(DatasetError):
+            build_reference_library(config, views_per_model=0)

@@ -91,6 +91,40 @@ class TestKDTree:
         knn = KDTreeMatcher().knn_match(rng.random((3, 4)), rng.random((5, 4)), k=1)
         assert all(len(row) == 1 for row in knn)
 
+    def test_empty_train_returns_empty_rows(self):
+        knn = KDTreeMatcher().knn_match(np.ones((3, 4)), np.zeros((0, 4)))
+        assert knn == [[], [], []]
+
+    def test_empty_query_returns_no_rows(self):
+        assert KDTreeMatcher().knn_match(np.zeros((0, 4)), np.ones((3, 4))) == []
+
+    def test_k_beyond_train_clamps_without_padding(self):
+        # scipy pads short rows with inf distances and the out-of-range
+        # index len(train); the wrapper must clamp instead.
+        rng = np.random.default_rng(3)
+        train = rng.random((3, 4))
+        knn = KDTreeMatcher().knn_match(rng.random((2, 4)), train, k=10)
+        for row in knn:
+            assert len(row) == len(train)
+            assert all(0 <= m.train_idx < len(train) for m in row)
+            assert all(np.isfinite(m.distance) for m in row)
+
+    def test_k_below_one_rejected(self):
+        with pytest.raises(MatchingError):
+            KDTreeMatcher().knn_match(np.ones((1, 4)), np.ones((2, 4)), k=0)
+
+    def test_nonfinite_train_rejected(self):
+        train = np.ones((3, 4))
+        train[1, 2] = np.nan
+        with pytest.raises(MatchingError, match="train"):
+            KDTreeMatcher().knn_match(np.ones((1, 4)), train)
+
+    def test_nonfinite_query_rejected(self):
+        query = np.ones((2, 4))
+        query[0, 0] = np.inf
+        with pytest.raises(MatchingError, match="query"):
+            KDTreeMatcher().knn_match(query, np.ones((3, 4)))
+
 
 class TestRatioTest:
     def _pair(self, d1, d2):

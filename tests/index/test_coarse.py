@@ -1,0 +1,172 @@
+"""Coarse-stage candidate generators: KD-tree and Hamming sketches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RetrievalIndexError
+from repro.index import (
+    HammingSketchIndex,
+    KDTreeCoarseIndex,
+    SENTINEL_COORD,
+    sketch_matrix,
+    view_sketch,
+)
+
+
+class TestKDTreeCoarseIndex:
+    def test_candidates_sorted_unique(self, rng):
+        index = KDTreeCoarseIndex(rng.random((30, 4)))
+        rows = index.candidates(rng.random(4), k=8)
+        assert len(rows) == 8
+        assert list(rows) == sorted(set(int(r) for r in rows))
+
+    def test_k_clamped_to_library_size(self, rng):
+        index = KDTreeCoarseIndex(rng.random((5, 3)))
+        rows = index.candidates(rng.random(3), k=50)
+        np.testing.assert_array_equal(rows, np.arange(5))
+
+    def test_nearest_row_is_shortlisted(self, rng):
+        embedding = rng.random((20, 6))
+        query = embedding[13] + 1e-9
+        rows = KDTreeCoarseIndex(embedding).candidates(query, k=1)
+        assert list(rows) == [13]
+
+    def test_minkowski_order_respected(self):
+        # From the origin: p=inf compares max coordinates (0.5 < 0.9, row 1
+        # wins), p=1 compares sums (0.9 < 1.0, row 0 wins).
+        embedding = np.array([[0.0, 0.9], [0.5, 0.5]])
+        query = np.zeros(2)
+        assert list(KDTreeCoarseIndex(embedding, p=np.inf).candidates(query, 1)) == [1]
+        assert list(KDTreeCoarseIndex(embedding, p=1.0).candidates(query, 1)) == [0]
+
+    def test_nonfinite_library_rows_pushed_to_sentinel(self, rng):
+        embedding = rng.random((6, 3))
+        embedding[2] = np.nan
+        index = KDTreeCoarseIndex(embedding)
+        rows = index.candidates(np.full(3, 0.5), k=5)
+        assert 2 not in set(int(r) for r in rows)
+
+    def test_sentinel_rows_only_fill_a_full_scan(self, rng):
+        embedding = np.vstack([rng.random((3, 2)), np.full((1, 2), np.inf)])
+        rows = KDTreeCoarseIndex(embedding).candidates(np.zeros(2), k=4)
+        np.testing.assert_array_equal(rows, np.arange(4))
+
+    def test_empty_embedding_rejected(self):
+        with pytest.raises(RetrievalIndexError):
+            KDTreeCoarseIndex(np.zeros((0, 4)))
+        with pytest.raises(RetrievalIndexError):
+            KDTreeCoarseIndex(np.zeros((4, 0)))
+
+    def test_nonfinite_query_rejected(self, rng):
+        index = KDTreeCoarseIndex(rng.random((4, 3)))
+        with pytest.raises(RetrievalIndexError):
+            index.candidates(np.array([0.1, np.nan, 0.2]), k=2)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        index = KDTreeCoarseIndex(rng.random((4, 3)))
+        with pytest.raises(RetrievalIndexError):
+            index.candidates(np.zeros(5), k=2)
+
+    def test_k_below_one_rejected(self, rng):
+        index = KDTreeCoarseIndex(rng.random((4, 3)))
+        with pytest.raises(RetrievalIndexError):
+            index.candidates(np.zeros(3), k=0)
+
+    def test_batch_matches_single(self, rng):
+        embedding = rng.random((25, 5))
+        queries = rng.random((4, 5))
+        index = KDTreeCoarseIndex(embedding)
+        batch = index.candidates_batch(queries, k=6)
+        for query, rows in zip(queries, batch):
+            np.testing.assert_array_equal(rows, index.candidates(query, k=6))
+
+    def test_sentinel_dominates_real_coordinates(self):
+        assert SENTINEL_COORD > 1e3
+
+    def test_always_include_rows_in_every_shortlist(self, rng):
+        embedding = rng.random((40, 3))
+        far_rows = np.array([37, 11])
+        embedding[far_rows] += 100.0  # the tree alone would never pick these
+        index = KDTreeCoarseIndex(embedding, always_include=far_rows)
+        assert index.always_included == 2
+        rows = index.candidates(rng.random(3), k=4)
+        assert {11, 37} <= set(int(r) for r in rows)
+        assert list(rows) == sorted(set(int(r) for r in rows))
+        assert len(rows) <= 4 + 2
+
+    def test_always_include_bounds_validated(self, rng):
+        with pytest.raises(RetrievalIndexError):
+            KDTreeCoarseIndex(rng.random((5, 3)), always_include=[5])
+        with pytest.raises(RetrievalIndexError):
+            KDTreeCoarseIndex(rng.random((5, 3)), always_include=[-1])
+
+    def test_empty_always_include_is_a_noop(self, rng):
+        index = KDTreeCoarseIndex(rng.random((5, 3)), always_include=[])
+        assert index.always_included == 0
+        assert len(index.candidates(rng.random(3), k=2)) == 2
+
+
+class TestHammingSketch:
+    def test_majority_vote(self):
+        block = np.array(
+            [[1, 0, 1, 0, 0, 0, 0, 0]] * 2 + [[0, 0, 1, 0, 0, 0, 0, 0]],
+            dtype=np.uint8,
+        )
+        sketch = view_sketch(block, bits=8)
+        bits = np.unpackbits(sketch)
+        np.testing.assert_array_equal(bits, [1, 0, 1, 0, 0, 0, 0, 0])
+
+    def test_tie_rounds_down(self):
+        block = np.array([[1] * 8, [0] * 8], dtype=np.uint8)
+        assert np.unpackbits(view_sketch(block, bits=8)).sum() == 0
+
+    def test_empty_block_sketches_to_zero(self):
+        sketch = view_sketch(np.zeros((0, 32), dtype=np.uint8), bits=256)
+        assert sketch.shape == (32,)
+        assert not sketch.any()
+
+    def test_bits_validated(self):
+        with pytest.raises(RetrievalIndexError):
+            view_sketch(np.ones((1, 8), dtype=np.uint8), bits=12)
+
+    def test_distances_match_naive_popcount(self, rng):
+        blocks = [
+            (rng.random((rng.integers(1, 6), 32)) > 0.5).astype(np.uint8)
+            for _ in range(10)
+        ]
+        matrix = sketch_matrix(blocks, bits=32)
+        index = HammingSketchIndex(matrix)
+        query = matrix[4]
+        naive = [
+            int(np.unpackbits(np.bitwise_xor(row, query)).sum()) for row in matrix
+        ]
+        np.testing.assert_array_equal(index.distances(query), naive)
+
+    def test_candidates_sorted_and_clamped(self, rng):
+        matrix = (rng.random((8, 4)) > 0.5).astype(np.uint8)
+        index = HammingSketchIndex(np.packbits(matrix, axis=1))
+        rows = index.candidates(np.packbits(matrix[0]), k=3)
+        assert list(rows) == sorted(set(int(r) for r in rows))
+        np.testing.assert_array_equal(
+            index.candidates(np.packbits(matrix[0]), k=99), np.arange(8)
+        )
+
+    def test_self_distance_zero_and_shortlisted(self, rng):
+        matrix = (rng.random((12, 8)) > 0.5).astype(np.uint8)
+        packed = np.packbits(matrix, axis=1)
+        index = HammingSketchIndex(packed)
+        assert index.distances(packed[7])[7] == 0
+        assert 7 in set(int(r) for r in index.candidates(packed[7], k=1))
+
+    def test_empty_sketches_rejected(self):
+        with pytest.raises(RetrievalIndexError):
+            HammingSketchIndex(np.zeros((0, 4), dtype=np.uint8))
+        with pytest.raises(RetrievalIndexError):
+            sketch_matrix([])
+
+    def test_wrong_query_width_rejected(self, rng):
+        index = HammingSketchIndex(
+            np.packbits((rng.random((4, 16)) > 0.5).astype(np.uint8), axis=1)
+        )
+        with pytest.raises(RetrievalIndexError):
+            index.distances(np.zeros(3, dtype=np.uint8))

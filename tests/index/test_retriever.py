@@ -1,0 +1,123 @@
+"""TwoStageRetriever contract: bit-identity, tie rule, exhaustive fallback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RetrievalIndexError
+from repro.index import KDTreeCoarseIndex, TwoStageRetriever
+
+
+def _make_retriever(embedding, scores_matrix, shortlist_k, higher_is_better=False):
+    """A retriever over synthetic features: the 'features' of a query are its
+    row in *scores_matrix* (the exact score of every reference row)."""
+
+    def rerank(features, rows):
+        return scores_matrix[features][rows]
+
+    return TwoStageRetriever(
+        KDTreeCoarseIndex(embedding),
+        embed_query=lambda features: embedding[features],
+        rerank=rerank,
+        shortlist_k=shortlist_k,
+        higher_is_better=higher_is_better,
+    )
+
+
+class TestChampionContract:
+    def test_full_shortlist_is_bitwise_brute(self, rng):
+        embedding = rng.random((15, 4))
+        scores = rng.random((15, 15))
+        retriever = _make_retriever(embedding, scores, shortlist_k=15)
+        for query in range(15):
+            indexed = retriever.champion(query)
+            brute = retriever.champion_brute(query)
+            assert indexed.row == brute.row
+            # Bit-identity is the contract, so exact float equality is the
+            # assertion — approx would hide the regression this test pins.
+            assert indexed.score == brute.score
+            assert not indexed.exhaustive and brute.exhaustive
+
+    def test_self_query_wins_with_k1(self, rng):
+        embedding = rng.random((10, 3))
+        scores = np.ones((10, 10))
+        np.fill_diagonal(scores, 0.0)
+        retriever = _make_retriever(embedding, scores, shortlist_k=1)
+        for query in range(10):
+            hit = retriever.champion(query)
+            assert hit.row == query
+            assert hit.candidates == 1
+
+    def test_tie_breaks_to_first_row(self, rng):
+        embedding = rng.random((8, 3))
+        scores = np.zeros((8, 8))  # every row ties
+        retriever = _make_retriever(embedding, scores, shortlist_k=8)
+        for query in range(8):
+            assert retriever.champion(query).row == 0
+            assert retriever.champion_brute(query).row == 0
+
+    def test_higher_is_better_polarity(self, rng):
+        embedding = rng.random((6, 2))
+        scores = np.zeros((6, 6))
+        scores[:, 4] = 1.0
+        retriever = _make_retriever(embedding, scores, 6, higher_is_better=True)
+        assert retriever.champion(0).row == 4
+
+    def test_candidate_count_reported(self, rng):
+        embedding = rng.random((20, 3))
+        scores = rng.random((20, 20))
+        retriever = _make_retriever(embedding, scores, shortlist_k=5)
+        hit = retriever.champion(3)
+        assert hit.candidates == 5
+        assert retriever.champion_brute(3).candidates == 20
+
+    def test_nan_embedding_takes_exhaustive_path(self, rng):
+        embedding = rng.random((9, 3))
+        scores = rng.random((9, 9))
+
+        def rerank(features, rows):
+            return scores[features][rows]
+
+        retriever = TwoStageRetriever(
+            KDTreeCoarseIndex(embedding),
+            embed_query=lambda features: np.full(3, np.nan),
+            rerank=rerank,
+            shortlist_k=2,
+        )
+        hit = retriever.champion(5)
+        assert hit.exhaustive
+        assert hit.candidates == 9
+        assert hit.row == int(np.argmin(scores[5]))
+
+    def test_geometry_properties(self, rng):
+        retriever = _make_retriever(rng.random((7, 4)), rng.random((7, 7)), 3)
+        assert retriever.n_rows == 7
+        assert retriever.dim == 4
+
+    def test_shortlist_k_validated(self, rng):
+        with pytest.raises(RetrievalIndexError):
+            _make_retriever(rng.random((5, 2)), rng.random((5, 5)), 0)
+
+    def test_rerank_length_mismatch_rejected(self, rng):
+        retriever = TwoStageRetriever(
+            KDTreeCoarseIndex(rng.random((5, 2))),
+            embed_query=lambda features: np.zeros(2),
+            rerank=lambda features, rows: np.zeros(1),
+            shortlist_k=3,
+        )
+        with pytest.raises(RetrievalIndexError):
+            retriever.champion(0)
+
+
+class TestMonotoneRecall:
+    def test_candidate_sets_nested_in_k(self, rng):
+        """KD-tree shortlists grow monotonically: candidates@K is a subset of
+        candidates@K' for K <= K' — the structural reason recall@K is
+        monotone (pinned end-to-end in test_recall_audit.py)."""
+        embedding = rng.random((40, 5))
+        index = KDTreeCoarseIndex(embedding)
+        query = rng.random(5)
+        previous: set[int] = set()
+        for k in (1, 2, 4, 8, 16, 40):
+            current = set(int(r) for r in index.candidates(query, k))
+            assert previous <= current
+            previous = current

@@ -38,6 +38,7 @@ PAYLOAD_KEYS = {
     "workers",
     "store",
     "slo",
+    "index",
 }
 
 

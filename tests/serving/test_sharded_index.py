@@ -1,0 +1,94 @@
+"""Sharded serving through the two-stage index: identity and validation.
+
+A per-shard shortlist of K covers at least as many global rows as one
+global top-K, so routing every shard through its own index at a full-size
+K must reproduce the brute sharded answers bit for bit — the sharded
+extension of the retriever's identity contract.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig, ServingSettings
+from repro.engine.cache import FeatureCache
+from repro.errors import ServingError
+from repro.serving.registry import default_registry
+from repro.serving.shards import ShardedRecognitionService, ShardTask
+from repro.store import build_store
+
+from tests.serving.test_sharded import grouped_set, make_image_set
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    config = ExperimentConfig(seed=7, nyu_scale=0.01)
+    references = grouped_set(seed=31, count=18, name="idx-refs")
+    queries = list(
+        make_image_set(seed=32, count=8, name="idx-queries", source="sns2")
+    )
+    root = tmp_path_factory.mktemp("sharded-index")
+    cache = FeatureCache(disk_dir=str(root / "cache"))
+    build_store(
+        references,
+        root / "store",
+        bins=config.histogram_bins,
+        families=("shape", "color"),
+        cache=cache,
+    )
+    return config, references, queries, str(root / "store")
+
+
+class TestShardedIndexedService:
+    @pytest.mark.parametrize("pipeline_name", ["shape-only", "hybrid"])
+    def test_full_shortlist_matches_unindexed_service(self, served, pipeline_name):
+        config, references, queries, store_dir = served
+        single = default_registry().build(pipeline_name, config).fit(references)
+        expected = single.predict_batch(queries)
+        service = ShardedRecognitionService(
+            pipeline_name,
+            store_dir,
+            workers=2,
+            settings=ServingSettings(max_batch_size=4, max_wait_ms=5.0),
+            config=config,
+            shortlist_k=len(references),  # full K: identity is guaranteed
+        )
+        with service:
+            futures = [service.submit(query) for query in queries]
+            got = [future.result(timeout=60.0) for future in futures]
+        for want, answer in zip(expected, got):
+            assert (answer.label, answer.model_id, answer.score) == (
+                want.label,
+                want.model_id,
+                want.score,
+            )
+
+    def test_small_shortlist_still_serves(self, served):
+        config, _, queries, store_dir = served
+        service = ShardedRecognitionService(
+            "shape-only", store_dir, workers=2, config=config, shortlist_k=2
+        )
+        with service:
+            futures = [service.submit(query) for query in queries]
+            answers = [future.result(timeout=60.0) for future in futures]
+            report = service.report()
+        assert all(answer is not None for answer in answers)
+        assert report.completed == len(queries)
+
+    def test_shortlist_k_validated(self, served):
+        config, _, _, store_dir = served
+        with pytest.raises(ServingError):
+            ShardedRecognitionService(
+                "shape-only", store_dir, config=config, shortlist_k=0
+            )
+
+    def test_shard_task_default_stays_unindexed(self):
+        task = ShardTask(
+            store_dir="somewhere",
+            store_version="v0",
+            pipeline="shape-only",
+            config=ExperimentConfig(seed=7),
+            start=0,
+            stop=4,
+        )
+        assert task.shortlist_k is None
