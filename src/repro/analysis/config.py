@@ -10,6 +10,7 @@ the module scopes of the scoped rule families::
     kernel-modules = ["repro.imaging", "repro.features", "repro.engine.chaos"]
     scoring-modules = ["repro.pipelines", "repro.imaging", "repro.neural"]
     lock-modules = ["repro.serving", "repro.engine"]
+    resilience-modules = ["repro.serving", "repro.store"]
 """
 
 from __future__ import annotations
@@ -35,6 +36,9 @@ class LintConfig:
     functions must be pure in time.  ``scoring_modules`` scope the bare
     ``np.empty`` rule (NUM203): modules whose arrays feed scores.
     ``lock_modules`` scope the lock-discipline family (LCK3xx).
+    ``resilience_modules`` scope the swallowed-error family (RES4xx):
+    modules where every error must propagate, be recorded, or degrade
+    loudly.
     """
 
     paths: tuple[str, ...] = ("src",)
@@ -52,6 +56,7 @@ class LintConfig:
         "repro.features",
     )
     lock_modules: tuple[str, ...] = ("repro.serving", "repro.engine")
+    resilience_modules: tuple[str, ...] = ("repro.serving", "repro.store")
 
     _KEYS = {
         "paths": "paths",
@@ -60,6 +65,7 @@ class LintConfig:
         "kernel-modules": "kernel_modules",
         "scoring-modules": "scoring_modules",
         "lock-modules": "lock_modules",
+        "resilience-modules": "resilience_modules",
     }
 
     @classmethod

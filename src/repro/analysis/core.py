@@ -165,10 +165,10 @@ class RuleRegistry:
 
 def default_registry() -> RuleRegistry:
     """The registry holding every built-in rule family."""
-    from repro.analysis.rules import concurrency, determinism, numeric
+    from repro.analysis.rules import concurrency, determinism, numeric, resilience
 
     registry = RuleRegistry()
-    for module in (determinism, numeric, concurrency):
+    for module in (determinism, numeric, concurrency, resilience):
         for rule in module.RULES:
             registry.register(rule)
     return registry

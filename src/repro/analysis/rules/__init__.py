@@ -1,11 +1,12 @@
 """Rule families: determinism (DET1xx), numeric safety (NUM2xx),
-lock discipline (LCK3xx).  Each module exposes a ``RULES`` tuple which
-:func:`repro.analysis.core.default_registry` registers in order."""
+lock discipline (LCK3xx), resilience (RES4xx).  Each module exposes a
+``RULES`` tuple which :func:`repro.analysis.core.default_registry`
+registers in order."""
 
 from __future__ import annotations
 
-from repro.analysis.rules import concurrency, determinism, numeric
+from repro.analysis.rules import concurrency, determinism, numeric, resilience
 
-ALL_RULES = determinism.RULES + numeric.RULES + concurrency.RULES
+ALL_RULES = determinism.RULES + numeric.RULES + concurrency.RULES + resilience.RULES
 
-__all__ = ["ALL_RULES", "concurrency", "determinism", "numeric"]
+__all__ = ["ALL_RULES", "concurrency", "determinism", "numeric", "resilience"]

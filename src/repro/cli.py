@@ -285,6 +285,9 @@ def _make_serving_settings(args: argparse.Namespace) -> ServingSettings:
         max_attempts=(
             args.max_attempts if args.max_attempts is not None else base.max_attempts
         ),
+        hedge_after_ms=(
+            args.hedge_ms if args.hedge_ms is not None else base.hedge_after_ms
+        ),
     )
 
 
@@ -390,7 +393,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> tuple[str, int]:
         workers=args.workers or 1,
         store_dir=args.store_dir,
         slo_p99_ms=args.slo_p99_ms,
+        slo_max_degraded=args.slo_max_degraded,
         shortlist_k=shortlist_k,
+        swap_mid_run=args.swap_mid_run,
     )
     output = Path(args.output or "BENCH_serving.json")
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -900,6 +905,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="loadgen: p99 latency SLO in milliseconds; a violated SLO "
         "exits 1 (for CI gating)",
+    )
+    serving.add_argument(
+        "--slo-max-degraded",
+        type=int,
+        default=None,
+        help="loadgen: maximum tolerated degraded + rejected request count; "
+        "exceeding it exits 1 (for CI gating of chaos/swap runs)",
+    )
+    serving.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        help="sharded serving: hedge a straggler shard's sub-batch to a "
+        "spare worker after this many milliseconds (default: hedging off)",
+    )
+    serving.add_argument(
+        "--swap-mid-run",
+        action="store_true",
+        help="loadgen: publish a second store version and hot-swap the "
+        "sharded service onto it while the workload is in flight "
+        "(requires --workers >= 2)",
     )
     store = parser.add_argument_group(
         "store", "memory-mapped reference store (store build / store verify)"

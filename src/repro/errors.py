@@ -84,6 +84,12 @@ class DeadlineExceeded(ServingError):
     this; without one, the caller sees it."""
 
 
+class SwapError(ServingError):
+    """A live artifact hot-swap (``swap_store`` / ``swap_index``) failed
+    verification and was rolled back: the service keeps serving the old
+    epoch, and the caller learns the new artifact never went live."""
+
+
 class StoreError(ReproError):
     """The memory-mapped reference store was misconfigured or misused."""
 

@@ -25,7 +25,11 @@ from repro.index.embeddings import (
     shape_missing_terms,
     shape_signature_embedding,
 )
-from repro.index.twostage import RetrievalResult, TwoStageRetriever
+from repro.index.twostage import (
+    RetrievalResult,
+    TwoStageRetriever,
+    validate_shortlist,
+)
 
 __all__ = [
     "INDEXABLE_PIPELINES",
@@ -35,6 +39,7 @@ __all__ = [
     "KDTreeCoarseIndex",
     "RetrievalResult",
     "TwoStageRetriever",
+    "validate_shortlist",
     "build_index_report",
     "histogram_embedding",
     "hybrid_embedding",

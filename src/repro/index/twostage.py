@@ -38,6 +38,27 @@ from repro.errors import RetrievalIndexError
 from repro.index.coarse import KDTreeCoarseIndex
 
 
+def validate_shortlist(shortlist_k: int, n_rows: int | None = None) -> int:
+    """Validate a stage-1 shortlist size; returns it as a plain ``int``.
+
+    Raises :class:`~repro.errors.RetrievalIndexError` for a non-positive
+    size, or for one exceeding *n_rows* when a library size is given (a
+    shortlist as large as the library is legal — it degenerates to exact
+    brute force — but beyond it is a configuration error, not a clamp).
+    Shared by the retriever constructor and the serving tier's
+    ``swap_index`` verification, so a bad shortlist fails before going live.
+    """
+    if shortlist_k < 1:
+        raise RetrievalIndexError(
+            f"shortlist size must be >= 1, got {shortlist_k}"
+        )
+    if n_rows is not None and shortlist_k > n_rows:
+        raise RetrievalIndexError(
+            f"shortlist size {shortlist_k} exceeds the library size {n_rows}"
+        )
+    return int(shortlist_k)
+
+
 @dataclass(frozen=True)
 class RetrievalResult:
     """Champion row of one query: exact score, row index, and how we got
@@ -77,14 +98,10 @@ class TwoStageRetriever:
         shortlist_k: int,
         higher_is_better: bool = False,
     ) -> None:
-        if shortlist_k < 1:
-            raise RetrievalIndexError(
-                f"shortlist size must be >= 1, got {shortlist_k}"
-            )
         self._coarse = coarse
         self._embed_query = embed_query
         self._rerank = rerank
-        self.shortlist_k = int(shortlist_k)
+        self.shortlist_k = validate_shortlist(shortlist_k)
         self.higher_is_better = bool(higher_is_better)
 
     @property

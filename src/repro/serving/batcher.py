@@ -17,7 +17,10 @@ The batcher is generic over item type (the service queues request records);
 ``flush`` runs on the batcher's thread with no lock held, so it may block
 without stalling admission.  A full queue rejects new submissions with
 :class:`~repro.errors.ServiceOverloaded` — admission control, not silent
-unbounded queueing.
+unbounded queueing.  Submissions carry an integer *priority* (default 0):
+when the queue is full, a strictly higher-priority arrival sheds the
+lowest-priority queued item (newest first among ties) instead of being
+rejected, so sustained overload degrades the cheapest traffic first.
 """
 
 from __future__ import annotations
@@ -37,7 +40,8 @@ class MicroBatcher:
     exceptions it raises are routed to *on_error* (default: swallowed, so a
     bad batch can never kill the flush thread — the service resolves its
     requests' futures itself and never raises from its flush).  *on_discard*
-    receives items dropped by a non-draining :meth:`stop`.
+    receives items dropped by a non-draining :meth:`stop`; *on_shed*
+    receives items evicted from a full queue by a higher-priority arrival.
     """
 
     def __init__(
@@ -48,6 +52,7 @@ class MicroBatcher:
         max_queue_depth: int | None = None,
         on_error: Callable[[Sequence, BaseException], None] | None = None,
         on_discard: Callable[[Any], None] | None = None,
+        on_shed: Callable[[Any], None] | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch_size < 1:
@@ -64,8 +69,10 @@ class MicroBatcher:
         self.max_queue_depth = max_queue_depth
         self._on_error = on_error
         self._on_discard = on_discard
+        self._on_shed = on_shed
         self._clock = clock
-        self._queue: deque[tuple[Any, float]] = deque()
+        #: (item, enqueued_at, priority), submission order.
+        self._queue: deque[tuple[Any, float, int]] = deque()
         self._cond = threading.Condition()
         self._thread: threading.Thread | None = None
         self._stopping = False
@@ -94,13 +101,17 @@ class MicroBatcher:
                 self._thread.start()
         return self
 
-    def submit(self, item: Any) -> int:
+    def submit(self, item: Any, priority: int = 0) -> int:
         """Enqueue *item*; returns the queue depth after enqueue.
 
         Raises :class:`ServiceOverloaded` when the queue is at
-        ``max_queue_depth`` and :class:`ServiceNotReady` when the batcher is
-        not running.
+        ``max_queue_depth`` and nothing queued ranks strictly below
+        *priority* — otherwise the lowest-priority queued item (newest
+        among ties) is shed to ``on_shed`` to make room.  Raises
+        :class:`ServiceNotReady` when the batcher is not running.
         """
+        shed_item: Any = None
+        shed_any = False
         with self._cond:
             if self._thread is None or self._stopping:
                 raise ServiceNotReady("micro-batcher is not running")
@@ -108,13 +119,38 @@ class MicroBatcher:
                 self.max_queue_depth is not None
                 and len(self._queue) >= self.max_queue_depth
             ):
-                raise ServiceOverloaded(
-                    f"admission queue full ({self.max_queue_depth} requests queued)"
-                )
-            self._queue.append((item, self._clock()))
+                shed_index = self._shed_slot(priority)
+                if shed_index is None:
+                    raise ServiceOverloaded(
+                        f"admission queue full ({self.max_queue_depth} requests queued)"
+                    )
+                shed_item = self._queue[shed_index][0]
+                shed_any = True
+                del self._queue[shed_index]
+            self._queue.append((item, self._clock(), priority))
             depth = len(self._queue)
             self._cond.notify()
+        if shed_any and self._on_shed is not None:
+            # Outside the lock: the callback resolves a future, which may
+            # run arbitrary client code.
+            self._on_shed(shed_item)
         return depth
+
+    def _shed_slot(self, priority: int) -> int | None:
+        """Index of the queued item to evict for a *priority* arrival.
+
+        Deterministic victim rule: the lowest-priority item strictly below
+        *priority*; among equals, the newest (so the oldest cheap request —
+        closest to flushing — survives longest).  ``None`` when nothing
+        queued is sheddable.  Caller holds the condition's lock.
+        """
+        shed_index: int | None = None
+        for index, (_, _, queued_priority) in enumerate(self._queue):
+            if queued_priority >= priority:
+                continue
+            if shed_index is None or queued_priority <= self._queue[shed_index][2]:
+                shed_index = index
+        return shed_index
 
     def stop(self, drain: bool = True, timeout: float | None = 10.0) -> None:
         """Stop the flush thread.
@@ -159,7 +195,7 @@ class MicroBatcher:
                 self._cond.wait()
             if self._stopping and (not self._queue or not self._draining):
                 if self._queue and self._on_discard is not None:
-                    for item, _ in self._queue:
+                    for item, _, _ in self._queue:
                         self._on_discard(item)
                 self._queue.clear()
                 return None

@@ -44,13 +44,14 @@ an integer violation flag CI asserts on.
 
 from __future__ import annotations
 
+import dataclasses
 import tempfile
 import threading
 import time
 from typing import Any, Sequence
 
 from repro.config import ExperimentConfig, ServingSettings, rng as make_rng
-from repro.datasets.dataset import LabelledImage
+from repro.datasets.dataset import ImageDataset, LabelledImage
 from repro.datasets.nyu import build_nyu
 from repro.datasets.shapenet import build_sns1
 from repro.errors import ServiceOverloaded, ServingError
@@ -172,6 +173,85 @@ def _drive_open_loop(
     return results
 
 
+def _swap_when_warm(
+    service: Any, version: str, requests: int, out: dict
+) -> None:
+    """Hot-swap *service* onto *version* once the run is genuinely mid-flight.
+
+    Waits for roughly a third of the workload to complete (bounded by a
+    20 s safety timeout) so the swap races live scatter traffic, then
+    commits; the :class:`~repro.serving.shards.SwapReport` (or the error)
+    lands in *out* for the payload's ``swap`` block.
+    """
+    target = max(1, requests // 3)
+    deadline = time.monotonic() + 20.0
+    while time.monotonic() < deadline:
+        if service.report().completed >= target:
+            break
+        time.sleep(0.005)
+    out["completed_before_swap"] = service.report().completed
+    try:
+        out["report"] = service.swap_store(version=version, verify="full")
+    except Exception as exc:
+        out["error"] = f"{type(exc).__name__}: {exc}"
+
+
+def _post_swap_audit(
+    service: Any,
+    swap_result: dict,
+    registry: Any,
+    pipeline_name: str,
+    config: ExperimentConfig,
+    queries: Sequence[LabelledImage],
+    drained: bool,
+) -> dict:
+    """Post-drain equivalence probe for a mid-run hot-swap.
+
+    After the old epoch drains, the swapped service must answer a query
+    subset bit-identically to a *cold attach* of the new store version —
+    the acceptance bar for live swaps: a swap is only live when no trace
+    of the old artifact can influence an answer.
+    """
+    from repro.store.attach import ReferenceStore
+
+    info: dict = {
+        "performed": "report" in swap_result,
+        "error": swap_result.get("error"),
+        "drained": drained,
+        "completed_before_swap": swap_result.get("completed_before_swap"),
+        "old_version": None,
+        "new_version": None,
+        "epoch": None,
+        "post_swap_probe": 0,
+        "post_swap_mismatches": None,
+    }
+    report = swap_result.get("report")
+    if report is None:
+        return info
+    info["old_version"] = report.old
+    info["new_version"] = report.new
+    info["epoch"] = report.epoch
+    cold = registry.build(pipeline_name, config)
+    store = ReferenceStore.attach(
+        service.store_dir, version=report.new, verify="full"
+    )
+    cold.attach_store(store)
+    probe = list(queries)[: min(16, len(queries))]
+    expected = cold.predict_batch(probe)
+    mismatches = 0
+    for query, want in zip(probe, expected):
+        got = service.recognize(query)
+        if got.degraded or (got.label, got.model_id, got.score) != (
+            want.label,
+            want.model_id,
+            want.score,
+        ):
+            mismatches += 1
+    info["post_swap_probe"] = len(probe)
+    info["post_swap_mismatches"] = mismatches
+    return info
+
+
 def run_loadgen(
     pipeline_name: str = "hybrid",
     config: ExperimentConfig | None = None,
@@ -185,7 +265,9 @@ def run_loadgen(
     workers: int = 1,
     store_dir: str | None = None,
     slo_p99_ms: float | None = None,
+    slo_max_degraded: int | None = None,
     shortlist_k: int | None = None,
+    swap_mid_run: bool = False,
 ) -> dict:
     """One full load-generation run; returns the BENCH_serving.json payload.
 
@@ -194,8 +276,14 @@ def run_loadgen(
     micro-batched service under the chosen load model.  With ``workers >=
     2`` the service is the multi-process sharded topology over a
     :mod:`repro.store` artifact built in *store_dir* (a temporary directory
-    when omitted); *slo_p99_ms*, when set, adds a p99-latency SLO check to
-    the payload.
+    when omitted).
+
+    Two SLO gates feed the payload's ``slo.violations`` count (the CLI
+    exits non-zero when it is positive): *slo_p99_ms* bounds the measured
+    p99 latency, and *slo_max_degraded* bounds the rejected + degraded
+    request count — a chaos or swap run that quietly shunts too much
+    traffic onto the fallback path fails the gate even when its latency
+    looks healthy.
 
     *shortlist_k* routes the served path through the two-stage retrieval
     index (per shard when sharded).  The sequential baseline stays brute
@@ -203,6 +291,15 @@ def run_loadgen(
     measurement: every mismatch is a query whose true champion missed the
     shortlist.  The payload's ``index`` block records the shortlist
     configuration and the measured hit rate.
+
+    *swap_mid_run* (sharded only) publishes a second store version before
+    the run, then hot-swaps the service onto it while the workload is in
+    flight.  The second version appends one duplicate view of the last
+    reference, so every prediction stays bit-identical across versions and
+    the standard mismatch audit keeps pinning correctness through the
+    swap; afterwards the run waits for the old epoch to drain and probes
+    the post-swap service against a cold attach of the new version
+    (``swap.post_swap_mismatches`` must be 0).
     """
     if mode not in LOAD_MODES:
         raise ServingError(f"unknown load mode {mode!r}, expected one of {LOAD_MODES}")
@@ -214,8 +311,14 @@ def run_loadgen(
         raise ServingError(f"workers must be >= 1, got {workers}")
     if slo_p99_ms is not None and slo_p99_ms <= 0:
         raise ServingError(f"slo_p99_ms must be > 0, got {slo_p99_ms}")
+    if slo_max_degraded is not None and slo_max_degraded < 0:
+        raise ServingError(
+            f"slo_max_degraded must be >= 0, got {slo_max_degraded}"
+        )
     if shortlist_k is not None and shortlist_k < 1:
         raise ServingError(f"shortlist_k must be >= 1, got {shortlist_k}")
+    if swap_mid_run and workers < 2:
+        raise ServingError("swap_mid_run requires a sharded service (workers >= 2)")
     config = config or ExperimentConfig(nyu_scale=0.05)
     settings = settings or ServingSettings()
 
@@ -258,6 +361,23 @@ def run_loadgen(
             bins=config.histogram_bins,
             families=("shape", "color"),
         )
+        if swap_mid_run:
+            # Publish the swap target up front: the last reference gains a
+            # duplicate view (a tie the first-index rule never picks, so
+            # predictions are bit-identical across versions) — the store is
+            # content-addressed, so the augmented set is a distinct version.
+            last = references.items[-1]
+            augmented = ImageDataset(
+                name=f"{references.name}+swap",
+                items=references.items
+                + (dataclasses.replace(last, view_id=last.view_id + 1_000_000),),
+            )
+            swap_built = build_store(
+                augmented,
+                store_dir,
+                bins=config.histogram_bins,
+                families=("shape", "color"),
+            )
         service = ShardedRecognitionService(
             pipeline_name,
             store_dir,
@@ -265,6 +385,7 @@ def run_loadgen(
             settings=settings,
             config=config,
             fallback=fallback_pipeline,
+            store_version=built.store_version,
             shortlist_k=shortlist_k,
         ).start()
         store_info = {
@@ -288,11 +409,34 @@ def run_loadgen(
         service = RecognitionService(
             pipeline, settings=settings, fallback=fallback_pipeline
         ).start()
+    swap_info: dict | None = None
     try:
+        swapper: threading.Thread | None = None
+        swap_result: dict = {}
+        if swap_mid_run:
+            swapper = threading.Thread(
+                target=_swap_when_warm,
+                args=(service, swap_built.store_version, requests, swap_result),
+                name="loadgen-swapper",
+                daemon=True,
+            )
+            swapper.start()
         if mode == "closed":
             served = _drive_closed_loop(service, queries, clients)
         else:
             served = _drive_open_loop(service, queries, rate_hz, seed=config.seed)
+        if swapper is not None:
+            swapper.join(timeout=30.0)
+            drained = service.wait_drained(timeout=30.0)
+            swap_info = _post_swap_audit(
+                service,
+                swap_result,
+                registry,
+                pipeline_name,
+                config,
+                queries,
+                drained,
+            )
     finally:
         service.stop(drain=True)
         if store_cleanup is not None:
@@ -355,16 +499,23 @@ def run_loadgen(
         "workers": workers,
         "store": store_info,
         "index": index_info,
-        "slo": (
-            {
-                "p99_ms": slo_p99_ms,
-                "measured_p99_ms": round(report.latency_p99_ms, 3),
-                "violations": int(report.latency_p99_ms > slo_p99_ms),
-            }
-            if slo_p99_ms is not None
-            else None
-        ),
+        "swap": swap_info,
+        "slo": None,
     }
+    if slo_p99_ms is not None or slo_max_degraded is not None:
+        measured_degraded = report.degraded + report.rejected
+        violations = 0
+        if slo_p99_ms is not None and report.latency_p99_ms > slo_p99_ms:
+            violations += 1
+        if slo_max_degraded is not None and measured_degraded > slo_max_degraded:
+            violations += 1
+        payload["slo"] = {
+            "p99_ms": slo_p99_ms,
+            "measured_p99_ms": round(report.latency_p99_ms, 3),
+            "max_degraded": slo_max_degraded,
+            "measured_degraded": measured_degraded,
+            "violations": violations,
+        }
     return payload
 
 
@@ -416,11 +567,41 @@ def format_loadgen_report(payload: dict) -> str:
                 else "candidate hit rate n/a"
             )
         )
+    resilience = serving.get("resilience")
+    if resilience is not None and any(resilience.values()):
+        lines.append(
+            f"  resilience {resilience['shed']} shed, "
+            f"{resilience['shard_errors']} shard errors, "
+            f"{resilience['rescued']} rescued, "
+            f"{resilience['hedge_wins']}/{resilience['hedges']} hedges won "
+            f"({resilience['hedge_mismatches']} mismatched), "
+            f"{resilience['swaps']} swaps"
+        )
+    swap = payload.get("swap")
+    if swap is not None:
+        if swap["performed"]:
+            lines.append(
+                f"  swap      {swap['old_version']} -> {swap['new_version']} "
+                f"(epoch {swap['epoch']}, after {swap['completed_before_swap']} "
+                f"answers, drained={swap['drained']}), post-swap probe "
+                f"{swap['post_swap_mismatches']}/{swap['post_swap_probe']} "
+                f"mismatches"
+            )
+        else:
+            lines.append(f"  swap      FAILED: {swap['error']}")
     slo = payload.get("slo")
     if slo is not None:
         verdict = "VIOLATED" if slo["violations"] else "met"
-        lines.append(
-            f"  slo       p99 <= {slo['p99_ms']:g}ms {verdict} "
-            f"(measured {slo['measured_p99_ms']:.1f}ms)"
-        )
+        gates = []
+        if slo["p99_ms"] is not None:
+            gates.append(
+                f"p99 <= {slo['p99_ms']:g}ms "
+                f"(measured {slo['measured_p99_ms']:.1f}ms)"
+            )
+        if slo["max_degraded"] is not None:
+            gates.append(
+                f"degraded+rejected <= {slo['max_degraded']} "
+                f"(measured {slo['measured_degraded']})"
+            )
+        lines.append(f"  slo       {verdict}: " + ", ".join(gates))
     return "\n".join(lines)

@@ -38,7 +38,12 @@ from typing import TYPE_CHECKING, Callable
 from repro.config import ExperimentConfig, ServingSettings
 from repro.datasets.dataset import ImageDataset, LabelledImage
 from repro.engine.faults import RetryPolicy
-from repro.errors import DeadlineExceeded, ServiceNotReady, ServingError
+from repro.errors import (
+    DeadlineExceeded,
+    ServiceNotReady,
+    ServiceOverloaded,
+    ServingError,
+)
 from repro.pipelines.base import Prediction, RecognitionPipeline
 from repro.serving.batcher import MicroBatcher
 from repro.serving.stats import ServiceStats, ServingReport
@@ -48,9 +53,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class _PendingRequest:
-    """One admitted request: the query, its future, and its time budget."""
+    """One admitted request: the query, its future, and its time budget.
 
-    __slots__ = ("query", "future", "enqueued_at", "deadline", "index")
+    ``priority`` is the admission-control rank (default 0): when the queue
+    is full, a strictly higher-priority arrival sheds the lowest-priority
+    queued request instead of being rejected.
+    """
+
+    __slots__ = ("query", "future", "enqueued_at", "deadline", "index", "priority")
 
     def __init__(
         self,
@@ -58,12 +68,14 @@ class _PendingRequest:
         enqueued_at: float,
         deadline: float | None,
         index: int,
+        priority: int = 0,
     ) -> None:
         self.query = query
         self.future: Future = Future()
         self.enqueued_at = enqueued_at
         self.deadline = deadline
         self.index = index
+        self.priority = priority
 
 
 class RecognitionService:
@@ -107,6 +119,7 @@ class RecognitionService:
             max_wait_ms=self.settings.max_wait_ms,
             max_queue_depth=self.settings.max_queue_depth,
             on_discard=self._discard,
+            on_shed=self._shed,
             clock=clock,
         )
 
@@ -175,15 +188,20 @@ class RecognitionService:
         self.stop()
 
     def submit(
-        self, query: LabelledImage, deadline_ms: float | None = None
+        self,
+        query: LabelledImage,
+        deadline_ms: float | None = None,
+        priority: int = 0,
     ) -> Future:
         """Admit one query; returns a future resolving to its Prediction.
 
         Raises :class:`~repro.errors.ServiceOverloaded` when the admission
-        queue is full and :class:`~repro.errors.ServiceNotReady` before
-        :meth:`start` / after :meth:`stop`.  *deadline_ms* overrides the
-        settings default; an expired request is served by the fallback
-        (degraded) or fails with :class:`~repro.errors.DeadlineExceeded`.
+        queue is full (and nothing queued ranks strictly below *priority* —
+        otherwise the cheapest queued request is shed to make room) and
+        :class:`~repro.errors.ServiceNotReady` before :meth:`start` / after
+        :meth:`stop`.  *deadline_ms* overrides the settings default; an
+        expired request is served by the fallback (degraded) or fails with
+        :class:`~repro.errors.DeadlineExceeded`.
         """
         if not self._ready:
             raise ServiceNotReady(f"{self.name}: service is not running")
@@ -200,9 +218,10 @@ class RecognitionService:
             enqueued_at=now,
             deadline=now + deadline_ms / 1000.0 if deadline_ms is not None else None,
             index=index,
+            priority=priority,
         )
         try:
-            depth = self._batcher.submit(request)
+            depth = self._batcher.submit(request, priority=priority)
         except ServingError:
             self.stats.record_rejected()
             raise
@@ -260,8 +279,8 @@ class RecognitionService:
             for request, prediction in zip(live, predictions):
                 try:
                     request.future.set_result(prediction)
-                except Exception:
-                    pass  # the caller cancelled or abandoned the future
+                except Exception:  # reprolint: disable=RES402 -- the caller cancelled or abandoned the future
+                    pass
             self.stats.record_completed_many(
                 [done - request.enqueued_at for request in live]
             )
@@ -309,8 +328,8 @@ class RecognitionService:
         )
         try:
             request.future.set_result(prediction)
-        except Exception:
-            pass  # the caller cancelled or abandoned the future
+        except Exception:  # reprolint: disable=RES402 -- the caller cancelled or abandoned the future
+            pass
 
     def _fail(
         self, request: _PendingRequest, exc: BaseException, expired: bool = False
@@ -318,11 +337,22 @@ class RecognitionService:
         self.stats.record_failed(expired=expired)
         try:
             request.future.set_exception(exc)
-        except Exception:
-            pass  # the caller cancelled or abandoned the future
+        except Exception:  # reprolint: disable=RES402 -- the caller cancelled or abandoned the future
+            pass
 
     def _discard(self, request: _PendingRequest) -> None:
         """A non-draining stop dropped this queued request."""
         self._fail(
             request, ServiceNotReady(f"{self.name}: service stopped before flush")
+        )
+
+    def _shed(self, request: _PendingRequest) -> None:
+        """A higher-priority arrival evicted this queued request."""
+        self.stats.record_shed()
+        self._fail(
+            request,
+            ServiceOverloaded(
+                f"{self.name}: request shed from a full admission queue by "
+                f"higher-priority traffic (priority {request.priority})"
+            ),
         )

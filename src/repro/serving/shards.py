@@ -20,6 +20,28 @@ for ``higher_is_better``), index ascending — reproduces NumPy's
 argmin/argmax first-index tie rule over the full matrix exactly.  The
 equivalence suite and the loadgen mismatch audit both pin this.
 
+Resilience tier (see README "Resilience"):
+
+* **Shard health** — every shard has a :class:`~repro.serving.health.
+  ShardHealth` breaker fed by dispatch outcomes.  An EJECTED shard (open
+  breaker) is skipped by the scatter — no stalled barrier — and its row
+  range is served through the in-process *rescue* path: the front-end
+  attaches the same store rows zero-copy and brute-force scores them with
+  the same kernels, so rescue answers are exact; they are still flagged
+  ``degraded`` because the fault-free run may have served the range
+  through its per-shard index.
+* **Hedged dispatch** — with ``hedge_after_ms`` set, a straggling shard's
+  sub-batch is re-dispatched to a spare worker after the threshold and the
+  first result is taken; the losing leg is audited against the served
+  block (both legs score the same immutable rows, so any bitwise
+  disagreement is counted as a ``hedge_mismatch``).
+* **Live hot-swap** — :meth:`~ShardedRecognitionService.swap_store` /
+  :meth:`~ShardedRecognitionService.swap_index` verify-then-commit a new
+  artifact epoch mid-traffic: in-flight flushes drain against their own
+  epoch's tasks while new admissions scatter against the new one, and any
+  verification failure raises :class:`~repro.errors.SwapError` leaving
+  the old epoch serving.
+
 Fault handling follows :class:`~repro.engine.executor.ParallelExecutor`'s
 process backend: a :class:`~concurrent.futures.process.BrokenProcessPool`
 (a worker died mid-batch) rebuilds the pool once and replays the batch —
@@ -32,17 +54,28 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.config import ExperimentConfig, ServingSettings
 from repro.datasets.dataset import LabelledImage
+from repro.engine.chaos import ShardChaos, apply_shard_chaos
 from repro.engine.faults import RetryPolicy
-from repro.errors import DeadlineExceeded, ServingError, StoreError
+from repro.errors import (
+    DeadlineExceeded,
+    ReproError,
+    ServiceNotReady,
+    ServiceOverloaded,
+    ServingError,
+    StoreError,
+    SwapError,
+)
+from repro.index.twostage import validate_shortlist
 from repro.pipelines.base import Prediction, RecognitionPipeline
 from repro.serving.batcher import MicroBatcher
+from repro.serving.health import HealthPolicy, ShardHealth
 from repro.serving.service import _PendingRequest
 from repro.serving.stats import ServiceStats, ServingReport
 from repro.store.attach import ReferenceStore
@@ -138,11 +171,33 @@ class ShardTask:
     #: Two-stage retrieval shortlist size; ``None`` serves brute force.
     #: Appended with a default so pre-index ShardTasks stay constructible.
     shortlist_k: int | None = None
+    #: Service artifact epoch, bumped by live hot-swaps: the memo key
+    #: changes so workers re-attach, and the front-end tracks in-flight
+    #: batches per epoch for drain accounting.
+    epoch: int = 0
+    #: Seeded fault plan run before scoring (chaos suites); ``None`` = off.
+    chaos: ShardChaos | None = None
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """Receipt of one committed live hot-swap.
+
+    ``kind`` is ``"store"`` or ``"index"``; ``old`` / ``new`` the swapped
+    artifact identities (store version ids, or shortlist sizes as text);
+    ``epoch`` the new service epoch and ``shards`` its shard count.
+    """
+
+    kind: str
+    old: str
+    new: str
+    epoch: int
+    shards: int
 
 
 #: One attached shard pipeline per (task) per worker process.  Plain memo —
 #: each worker process is single-threaded, and the key includes the store
-#: version so a new publish naturally re-attaches.
+#: version and epoch so a new publish or hot-swap naturally re-attaches.
 _SHARD_PIPELINES: dict[ShardTask, RecognitionPipeline] = {}
 
 
@@ -159,36 +214,23 @@ def _shard_pipeline(task: ShardTask) -> RecognitionPipeline:
             # K within every shard covers at least the global top-K rows, so
             # sharding never lowers recall below the single-index figure.
             pipeline.attach_index(task.shortlist_k)  # type: ignore[attr-defined]
+        # A hot-swap bumped the epoch: drop attachments of superseded epochs
+        # so a long-lived worker never pins every store version it has ever
+        # served (a stale-epoch task that still arrives just re-attaches).
+        for stale in [key for key in _SHARD_PIPELINES if key.epoch < task.epoch]:
+            del _SHARD_PIPELINES[stale]
         _SHARD_PIPELINES[task] = pipeline
     return pipeline
 
 
-def _score_shard(
-    task: ShardTask, queries: list[LabelledImage]
+def _brute_champions(
+    pipeline: RecognitionPipeline, start: int, queries: list[LabelledImage]
 ) -> list[tuple[float, int, str, str]]:
-    """Worker entry point: each query's champion within this shard.
+    """Exact per-query champions of one attached row range, brute force.
 
-    Returns one ``(score, global_index, label, model_id)`` per query; the
-    index is global (shard start + local argmin) so the front-end merge can
-    reproduce the whole-matrix first-index tie rule.  Module-level so the
-    process backend can pickle it by reference.
+    Shared by the worker scoring path and the front-end rescue path, so a
+    rescued shard reproduces its worker's brute-force answers bit-for-bit.
     """
-    import numpy as np
-
-    pipeline = _shard_pipeline(task)
-    if getattr(pipeline, "index_attached", False):
-        # Two-stage path: champion row + exact score per query, without the
-        # (Q, V_shard) score matrix.  Scores are bit-identical to the brute
-        # rows whenever the true shard champion is shortlisted, so the
-        # merge semantics below are unchanged.
-        references = pipeline.references
-        out = []
-        for hit in pipeline.champion_batch(queries):  # type: ignore[attr-defined]
-            winner = references[hit.row]
-            out.append(
-                (hit.score, task.start + hit.row, winner.label, winner.model_id)
-            )
-        return out
     if hasattr(pipeline, "theta_scores_batch"):
         scores = pipeline.theta_scores_batch(queries)  # type: ignore[attr-defined]
         higher_is_better = False
@@ -203,12 +245,43 @@ def _score_shard(
         out.append(
             (
                 float(row[int(local)]),
-                task.start + int(local),
+                start + int(local),
                 winner.label,
                 winner.model_id,
             )
         )
     return out
+
+
+def _score_shard(
+    task: ShardTask, queries: list[LabelledImage], dispatch_key: str = ""
+) -> list[tuple[float, int, str, str]]:
+    """Worker entry point: each query's champion within this shard.
+
+    Returns one ``(score, global_index, label, model_id)`` per query; the
+    index is global (shard start + local argmin) so the front-end merge can
+    reproduce the whole-matrix first-index tie rule.  Module-level so the
+    process backend can pickle it by reference.  *dispatch_key* names the
+    flush (plus a ``h``/``r`` leg suffix for hedges and replays) and feeds
+    the task's seeded chaos plan, when one is attached.
+    """
+    if task.chaos is not None:
+        apply_shard_chaos(task.chaos, task.start, dispatch_key)
+    pipeline = _shard_pipeline(task)
+    if getattr(pipeline, "index_attached", False):
+        # Two-stage path: champion row + exact score per query, without the
+        # (Q, V_shard) score matrix.  Scores are bit-identical to the brute
+        # rows whenever the true shard champion is shortlisted, so the
+        # merge semantics below are unchanged.
+        references = pipeline.references
+        out = []
+        for hit in pipeline.champion_batch(queries):  # type: ignore[attr-defined]
+            winner = references[hit.row]
+            out.append(
+                (hit.score, task.start + hit.row, winner.label, winner.model_id)
+            )
+        return out
+    return _brute_champions(pipeline, task.start, queries)
 
 
 def merge_champions(
@@ -220,11 +293,17 @@ def merge_champions(
     Lexicographic on ``(score, global_index)`` — score ascending (or
     descending when *higher_is_better*), then lowest index — which equals
     NumPy's argmin/argmax first-index rule over the concatenated score row.
+
+    Empty champion blocks (a shard whose every row was ejected from the
+    reduction upstream) are skipped: the merge seeds from the first
+    non-empty block, so determinism of the tie rule is unaffected by which
+    shard went dark.
     """
-    if not per_shard:
+    blocks = [rows for rows in per_shard if len(rows) > 0]
+    if not blocks:
         return []
-    merged: list[tuple[float, int, str, str]] = list(per_shard[0])
-    for shard_rows in per_shard[1:]:
+    merged: list[tuple[float, int, str, str]] = list(blocks[0])
+    for shard_rows in blocks[1:]:
         for query_index, candidate in enumerate(shard_rows):
             champion = merged[query_index]
             better = (
@@ -246,12 +325,14 @@ class ShardedRecognitionService:
     batch scoring path (the matching families; the hybrid is served in its
     weighted-sum strategy).  Workers attach the published *store_dir*
     version zero-copy; the front-end keeps only the admission queue, the
-    deadline/fallback machinery and the merge — reference matrices live in
-    the workers' shared page cache.
+    deadline/fallback machinery, the shard health board and the merge —
+    reference matrices live in the workers' shared page cache.
 
     The submit/recognize/report surface mirrors
     :class:`~repro.serving.service.RecognitionService`, so the load
-    generator drives either interchangeably.
+    generator drives either interchangeably.  *chaos* attaches a seeded
+    :class:`~repro.engine.chaos.ShardChaos` fault plan to every worker
+    dispatch (test/soak harnesses only).
     """
 
     def __init__(
@@ -265,12 +346,16 @@ class ShardedRecognitionService:
         retry_policy: RetryPolicy | None = None,
         store_version: str | None = None,
         shortlist_k: int | None = None,
+        chaos: ShardChaos | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 1:
             raise ServingError(f"workers must be >= 1, got {workers}")
-        if shortlist_k is not None and shortlist_k < 1:
-            raise ServingError(f"shortlist_k must be >= 1, got {shortlist_k}")
+        if shortlist_k is not None:
+            try:
+                validate_shortlist(shortlist_k)
+            except ReproError as exc:
+                raise ServingError(str(exc)) from exc
         self.settings = settings or ServingSettings()
         self.config = config or ExperimentConfig()
         self.pipeline_name = pipeline_name
@@ -280,26 +365,37 @@ class ShardedRecognitionService:
         )
         self.name = f"sharded-serving({pipeline_name}x{workers})"
         self.stats = ServiceStats()
+        self.chaos = chaos
         self._clock = clock
+        self._requested_workers = workers
         store = ReferenceStore.attach(store_dir, version=store_version)
         self.store_dir = str(store_dir)
         self.store_version = store.store_version
         self.shortlist_k = shortlist_k
         self._probe_registry_pipeline()
+        self._health_policy = HealthPolicy(
+            window=self.settings.health_window,
+            degrade_errors=self.settings.health_degrade_errors,
+            eject_consecutive=self.settings.health_eject_consecutive,
+            probation_after=self.settings.health_probation_after,
+            recover_successes=self.settings.health_recover_successes,
+        )
         labels = store.references().labels
         self.shards: tuple[WorkerShard, ...] = plan_shards(labels, workers)
         self.workers = len(self.shards)
-        self._tasks: tuple[ShardTask, ...] = tuple(
-            ShardTask(
-                store_dir=self.store_dir,
-                store_version=self.store_version,
-                pipeline=pipeline_name,
-                config=self.config,
-                start=shard.start,
-                stop=shard.stop,
-                shortlist_k=shortlist_k,
-            )
-            for shard in self.shards
+        # Epoch-guarded serving state: the tasks each flush scatters against,
+        # the per-shard health board, and the in-flight count per epoch.  All
+        # of it is read/replaced under the one condition so a hot-swap commit
+        # is atomic with respect to the flush thread's snapshot.
+        self._state_lock = threading.Condition()
+        self._epoch = 0
+        self._flush_index = 0
+        self._inflight: dict[int, int] = {}
+        self._tasks: tuple[ShardTask, ...] = self._build_tasks(
+            self.shards, self.store_version, shortlist_k, epoch=0
+        )
+        self._health: tuple[ShardHealth, ...] = tuple(
+            ShardHealth(self._health_policy) for _ in self.shards
         )
         self._ready = False
         self._admitted = 0
@@ -311,12 +407,20 @@ class ShardedRecognitionService:
         self._pool_lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_rebuilds = 0
+        # Serializes hot-swaps; the rescue-pipeline memo has its own lock
+        # because the flush thread populates it while a swap may clear it.
+        self._swap_lock = threading.Lock()
+        self._rescue_lock = threading.Lock()
+        self._rescue_pipelines: dict[
+            tuple[str, int, int], RecognitionPipeline
+        ] = {}
         self._batcher = MicroBatcher(
             self._flush,
             max_batch_size=self.settings.max_batch_size,
             max_wait_ms=self.settings.max_wait_ms,
             max_queue_depth=self.settings.max_queue_depth,
             on_discard=self._discard,
+            on_shed=self._shed,
             clock=clock,
         )
 
@@ -338,6 +442,28 @@ class ShardedRecognitionService:
             )
         self._higher_is_better = bool(getattr(probe, "higher_is_better", False))
 
+    def _build_tasks(
+        self,
+        shards: Sequence[WorkerShard],
+        store_version: str,
+        shortlist_k: int | None,
+        epoch: int,
+    ) -> tuple[ShardTask, ...]:
+        return tuple(
+            ShardTask(
+                store_dir=self.store_dir,
+                store_version=store_version,
+                pipeline=self.pipeline_name,
+                config=self.config,
+                start=shard.start,
+                stop=shard.stop,
+                shortlist_k=shortlist_k,
+                epoch=epoch,
+                chaos=self.chaos,
+            )
+            for shard in shards
+        )
+
     # -- lifecycle ------------------------------------------------------------
 
     @property
@@ -356,18 +482,37 @@ class ShardedRecognitionService:
         with self._pool_lock:
             return self._pool_rebuilds
 
+    @property
+    def epoch(self) -> int:
+        """The current artifact epoch (bumped by every committed swap)."""
+        with self._state_lock:
+            return self._epoch
+
+    def _pool_size(self) -> int:
+        """Worker processes: one per shard, plus hedging spares."""
+        spares = (
+            self.settings.spare_workers
+            if self.settings.hedge_after_ms is not None
+            else 0
+        )
+        return self.workers + spares
+
     def start(self) -> "ShardedRecognitionService":
         """Spawn the worker pool, pre-attach every shard, start batching.
 
         Warm-up scatters one empty scoring round so each worker pays its
         store attach before the service reports ready — the sharded
-        equivalent of the registry's warm-start probe.
+        equivalent of the registry's warm-start probe.  (The warm-up
+        dispatch key is a non-primary leg, so seeded chaos plans never fire
+        before the first real flush.)
         """
         with self._pool_lock:
             if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                self._pool = ProcessPoolExecutor(max_workers=self._pool_size())
             pool = self._pool
-        warmups = [pool.submit(_score_shard, task, []) for task in self._tasks]
+        with self._state_lock:
+            tasks = self._tasks
+        warmups = [pool.submit(_score_shard, task, [], "warm") for task in tasks]
         for future in warmups:
             future.result()
         self._batcher.start()
@@ -392,11 +537,19 @@ class ShardedRecognitionService:
     # -- admission ------------------------------------------------------------
 
     def submit(
-        self, query: LabelledImage, deadline_ms: float | None = None
+        self,
+        query: LabelledImage,
+        deadline_ms: float | None = None,
+        priority: int = 0,
     ) -> "Future[Prediction]":
-        """Admit one query; returns a future resolving to its Prediction."""
-        from repro.errors import ServiceNotReady
+        """Admit one query; returns a future resolving to its Prediction.
 
+        *priority* ranks the request for load shedding: when the admission
+        queue is full, a strictly higher-priority arrival evicts the
+        cheapest queued request (resolved with
+        :class:`~repro.errors.ServiceOverloaded`) instead of being
+        rejected itself.
+        """
         if not self._ready:
             raise ServiceNotReady(f"{self.name}: service is not running")
         if deadline_ms is None:
@@ -412,9 +565,10 @@ class ShardedRecognitionService:
             enqueued_at=now,
             deadline=now + deadline_ms / 1000.0 if deadline_ms is not None else None,
             index=index,
+            priority=priority,
         )
         try:
-            depth = self._batcher.submit(request)
+            depth = self._batcher.submit(request, priority=priority)
         except ServingError:
             self.stats.record_rejected()
             raise
@@ -432,6 +586,154 @@ class ShardedRecognitionService:
     def report(self) -> ServingReport:
         """Current service-level statistics snapshot."""
         return self.stats.snapshot(queue_depth=self._batcher.depth)
+
+    def health_report(self) -> dict[str, dict]:
+        """Per-shard health snapshots, keyed by ``"start:stop"`` row range."""
+        with self._state_lock:
+            shards = self.shards
+            board = self._health
+        return {
+            f"{shard.start}:{shard.stop}": tracker.snapshot()
+            for shard, tracker in zip(shards, board)
+        }
+
+    # -- live hot-swap ---------------------------------------------------------
+
+    def swap_store(
+        self, version: str | None = None, verify: str = "full"
+    ) -> SwapReport:
+        """Atomically repoint every shard worker at another store version.
+
+        Verify-then-commit, mid-traffic: the target version (``None`` =
+        re-resolve the store's CURRENT pointer) is attached and verified in
+        the front-end, a fresh class-aligned shard plan is drawn from its
+        labels, and every new task is probed in the worker pool *before*
+        any state changes.  Only then is the new epoch committed under the
+        state lock — flushes already in flight finish against their own
+        epoch's tasks (:meth:`wait_drained` observes the drain) while new
+        admissions scatter against the new one.  Any verification or probe
+        failure raises :class:`~repro.errors.SwapError` and the old epoch
+        keeps serving untouched; the health board and rescue cache reset on
+        commit, since they described the superseded artifact.
+        """
+        with self._swap_lock:
+            try:
+                store = ReferenceStore.attach(
+                    self.store_dir, version=version, verify=verify
+                )
+            except ReproError as exc:
+                raise SwapError(
+                    f"{self.name}: swap target failed verification, old "
+                    f"epoch kept: {exc}"
+                ) from exc
+            labels = store.references().labels
+            new_shards = plan_shards(labels, self._requested_workers)
+            with self._state_lock:
+                new_epoch = self._epoch + 1
+            new_tasks = self._build_tasks(
+                new_shards, store.store_version, self.shortlist_k, new_epoch
+            )
+            self._probe_tasks(new_tasks)
+            with self._state_lock:
+                old_version = self.store_version
+                self._epoch = new_epoch
+                self._tasks = new_tasks
+                self.shards = new_shards
+                self.workers = len(new_shards)
+                self.store_version = store.store_version
+                self._health = tuple(
+                    ShardHealth(self._health_policy) for _ in new_shards
+                )
+                self._state_lock.notify_all()
+            with self._rescue_lock:
+                self._rescue_pipelines.clear()
+            self.stats.record_swap()
+            return SwapReport(
+                kind="store",
+                old=old_version,
+                new=store.store_version,
+                epoch=new_epoch,
+                shards=len(new_shards),
+            )
+
+    def swap_index(self, shortlist_k: int | None) -> SwapReport:
+        """Hot-swap the per-shard retrieval tier under the same store.
+
+        A new shortlist size (``None`` = back to brute force) goes live the
+        same way a store swap does: new-epoch tasks are probed in the pool
+        first, then committed under the state lock; in-flight flushes drain
+        against the old tier.  Raises :class:`~repro.errors.SwapError` when
+        the probe fails.
+        """
+        if shortlist_k is not None:
+            validate_shortlist(shortlist_k)
+        with self._swap_lock:
+            with self._state_lock:
+                new_epoch = self._epoch + 1
+                shards = self.shards
+            new_tasks = self._build_tasks(
+                shards, self.store_version, shortlist_k, new_epoch
+            )
+            self._probe_tasks(new_tasks)
+            with self._state_lock:
+                old_k = self.shortlist_k
+                self._epoch = new_epoch
+                self._tasks = new_tasks
+                self.shortlist_k = shortlist_k
+                self._state_lock.notify_all()
+            self.stats.record_swap()
+            return SwapReport(
+                kind="index",
+                old=str(old_k),
+                new=str(shortlist_k),
+                epoch=new_epoch,
+                shards=len(shards),
+            )
+
+    def _probe_tasks(self, tasks: Sequence[ShardTask]) -> None:
+        """Attach every new-epoch task in the pool before committing it.
+
+        A swap that cannot serve must fail while the old epoch still
+        serves; the probe key is a non-primary leg, so chaos plans never
+        fire inside a swap probe.
+        """
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            raise SwapError(f"{self.name}: cannot swap while the pool is down")
+        futures = [pool.submit(_score_shard, task, [], "swap") for task in tasks]
+        try:
+            for future in futures:
+                future.result()
+        except BrokenProcessPool as exc:
+            self._rebuild_pool()
+            raise SwapError(
+                f"{self.name}: worker pool broke during the swap probe; "
+                "pool rebuilt, old epoch kept"
+            ) from exc
+        except Exception as exc:
+            raise SwapError(
+                f"{self.name}: swap probe failed, old epoch kept: {exc}"
+            ) from exc
+
+    def wait_drained(self, timeout: float | None = 10.0) -> bool:
+        """Block until every pre-swap in-flight flush has resolved.
+
+        Returns ``False`` on timeout.  After a ``True`` return, all traffic
+        is served by the current epoch's tasks — the moment a swap caller
+        may retire the superseded artifact.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._state_lock:
+            while any(epoch < self._epoch for epoch in self._inflight):
+                if deadline is None:
+                    self._state_lock.wait()
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._state_lock.wait(remaining)
+            return True
 
     # -- flush path (micro-batcher thread) ------------------------------------
 
@@ -454,52 +756,244 @@ class ShardedRecognitionService:
         if not live:
             return
         queries = [request.query for request in live]
+        # Snapshot the epoch's tasks and health board atomically and count
+        # this flush in flight against that epoch, so a concurrent swap can
+        # commit immediately and observe the drain.
+        with self._state_lock:
+            epoch = self._epoch
+            tasks = self._tasks
+            board = self._health
+            dispatch_key = str(self._flush_index)
+            self._flush_index += 1
+            self._inflight[epoch] = self._inflight.get(epoch, 0) + 1
         try:
-            champions = self._scatter_gather(queries)
-        except BrokenProcessPool:
-            # One rebuild + one replay: scoring is deterministic and
-            # read-only against an immutable store version, so replaying
-            # the whole batch is safe and cheap.
-            self._rebuild_pool()
             try:
-                champions = self._scatter_gather(queries)
+                champions, flagged = self._scatter_gather(
+                    tasks, board, queries, dispatch_key
+                )
+            except BrokenProcessPool:
+                # One rebuild + one replay: scoring is deterministic and
+                # read-only against an immutable store version, so replaying
+                # the whole batch is safe and cheap.  The replay key is a
+                # non-primary leg: a scheduled chaos kill does not re-fire.
+                self._rebuild_pool()
+                try:
+                    champions, flagged = self._scatter_gather(
+                        tasks, board, queries, dispatch_key + "r"
+                    )
+                except Exception as exc:
+                    for request in live:
+                        self._serve_degraded(request, exc)
+                    return
             except Exception as exc:
                 for request in live:
                     self._serve_degraded(request, exc)
                 return
-        except Exception as exc:
-            for request in live:
-                self._serve_degraded(request, exc)
-            return
-        done = self._clock()
-        for request, (score, _, label, model_id) in zip(live, champions):
-            try:
-                request.future.set_result(
-                    Prediction(label=label, model_id=model_id, score=score)
-                )
-            except Exception:
-                pass  # the caller cancelled or abandoned the future
-        self.stats.record_completed_many(
-            [done - request.enqueued_at for request in live]
-        )
+            done = self._clock()
+            plain_latencies: list[float] = []
+            for request, champion, degraded in zip(live, champions, flagged):
+                score, _, label, model_id = champion
+                try:
+                    request.future.set_result(
+                        Prediction(
+                            label=label,
+                            model_id=model_id,
+                            score=score,
+                            degraded=degraded,
+                        )
+                    )
+                except Exception:  # reprolint: disable=RES402 -- the caller cancelled or abandoned the future
+                    pass
+                if degraded:
+                    self.stats.record_completed(
+                        done - request.enqueued_at, degraded=True
+                    )
+                else:
+                    plain_latencies.append(done - request.enqueued_at)
+            self.stats.record_completed_many(plain_latencies)
+        finally:
+            with self._state_lock:
+                self._inflight[epoch] -= 1
+                if self._inflight[epoch] <= 0:
+                    del self._inflight[epoch]
+                self._state_lock.notify_all()
 
     def _scatter_gather(
-        self, queries: list[LabelledImage]
-    ) -> list[tuple[float, int, str, str]]:
+        self,
+        tasks: Sequence[ShardTask],
+        board: Sequence[ShardHealth],
+        queries: list[LabelledImage],
+        dispatch_key: str,
+    ) -> tuple[list[tuple[float, int, str, str]], list[bool]]:
+        """Scatter to healthy shards, hedge stragglers, rescue the sick.
+
+        Returns ``(champions, flags)``: the merged global champion per
+        query, plus a flag marking queries whose winner came from a
+        rescue-served row range — those predictions must surface as
+        ``degraded`` (a healthy shard's winner is provably the fault-free
+        winner: it beat the rescue path's *exact* brute-force champion, so
+        it also beats anything a per-shard shortlist would have returned).
+        """
         with self._pool_lock:
             pool = self._pool
         if pool is None:
             raise ServingError(f"{self.name}: worker pool is not running")
-        futures = [pool.submit(_score_shard, task, queries) for task in self._tasks]
-        per_shard = [future.result() for future in futures]
-        return merge_champions(per_shard, higher_is_better=self._higher_is_better)
+        started = self._clock()
+        primaries: dict[int, Future] = {}
+        rescue_positions: list[int] = []
+        for position, task in enumerate(tasks):
+            if board[position].allow_dispatch():
+                primaries[position] = pool.submit(
+                    _score_shard, task, queries, dispatch_key
+                )
+            else:
+                # Breaker open: skip the shard, serve its rows in-process.
+                rescue_positions.append(position)
+        hedges = self._hedge_stragglers(pool, tasks, primaries, queries, dispatch_key)
+        blocks: dict[int, list[tuple[float, int, str, str]]] = {}
+        for position in sorted(primaries):
+            try:
+                blocks[position] = self._gather_shard(
+                    position, board, primaries[position], hedges.get(position), started
+                )
+            except BrokenProcessPool:
+                # Attribution is approximate — the dead worker may have been
+                # running any shard's task — but the pool is gone either
+                # way: record the first observer and let _flush rebuild.
+                board[position].record_error()
+                self.stats.record_shard_error()
+                raise
+            except Exception:
+                board[position].record_error()
+                self.stats.record_shard_error()
+                rescue_positions.append(position)
+        for position in sorted(rescue_positions):
+            blocks[position] = self._rescue_shard(tasks[position], queries)
+            self.stats.record_rescued()
+        ordered = [blocks[position] for position in range(len(tasks))]
+        champions = merge_champions(ordered, higher_is_better=self._higher_is_better)
+        rescued_ranges = [
+            (tasks[position].start, tasks[position].stop)
+            for position in rescue_positions
+        ]
+        flags = [
+            any(start <= champion[1] < stop for start, stop in rescued_ranges)
+            for champion in champions
+        ]
+        return champions, flags
+
+    def _hedge_stragglers(
+        self,
+        pool: ProcessPoolExecutor,
+        tasks: Sequence[ShardTask],
+        primaries: dict[int, Future],
+        queries: list[LabelledImage],
+        dispatch_key: str,
+    ) -> dict[int, Future]:
+        """Re-dispatch still-pending shards after the hedge threshold."""
+        hedge_after_ms = self.settings.hedge_after_ms
+        if hedge_after_ms is None or not primaries:
+            return {}
+        _, pending = wait(set(primaries.values()), timeout=hedge_after_ms / 1000.0)
+        if not pending:
+            return {}
+        hedges: dict[int, Future] = {}
+        for position, future in primaries.items():
+            if future in pending:
+                hedges[position] = pool.submit(
+                    _score_shard, tasks[position], queries, dispatch_key + "h"
+                )
+        return hedges
+
+    def _gather_shard(
+        self,
+        position: int,
+        board: Sequence[ShardHealth],
+        primary: Future,
+        hedge: Future | None,
+        started: float,
+    ) -> list[tuple[float, int, str, str]]:
+        """One shard's block: primary result, or the winner of a hedge race."""
+        if hedge is None:
+            block = primary.result()
+            board[position].record_success(self._clock() - started)
+            return block
+        done, _ = wait({primary, hedge}, return_when=FIRST_COMPLETED)
+        # Prefer the primary on a photo-finish: deterministic tie handling.
+        winner, loser, hedge_won = (
+            (primary, hedge, False) if primary in done else (hedge, primary, True)
+        )
+        try:
+            block = winner.result()
+        except BrokenProcessPool:
+            raise
+        except Exception:
+            # The winning leg failed; fall back to the other leg (which may
+            # itself raise — then the shard errors and the rescue path runs).
+            block = loser.result()
+            winner, loser, hedge_won = loser, winner, not hedge_won
+        self.stats.record_hedge(won=hedge_won)
+        board[position].record_success(self._clock() - started)
+        self._audit_hedge(loser, block)
+        return block
+
+    def _audit_hedge(
+        self, loser: Future, served_block: list[tuple[float, int, str, str]]
+    ) -> None:
+        """Compare the losing leg to the served block once it lands.
+
+        Both legs score the same immutable rows with the same kernels, so
+        any bitwise disagreement is a real divergence: it is counted
+        (``hedge_mismatches``) for the chaos suites to assert on; the
+        served block is kept either way.
+        """
+
+        def _compare(future: Future) -> None:
+            try:
+                block = future.result()
+            except Exception:
+                return  # the losing leg failed outright; nothing to audit
+            if block != served_block:
+                self.stats.record_hedge_mismatch()
+
+        loser.add_done_callback(_compare)
+
+    # -- in-process rescue -----------------------------------------------------
+
+    def _rescue_shard(
+        self, task: ShardTask, queries: list[LabelledImage]
+    ) -> list[tuple[float, int, str, str]]:
+        """Serve one sick shard's rows in the front-end process, exactly.
+
+        Brute-force scores the shard's row range through the same kernels
+        its worker runs — zero-copy against the same memmapped store, no
+        shortlist — so rescue answers are exact; their merged winners are
+        still flagged degraded because the fault-free run may have served
+        the range through its per-shard index.
+        """
+        return _brute_champions(self._rescue_pipeline(task), task.start, queries)
+
+    def _rescue_pipeline(self, task: ShardTask) -> RecognitionPipeline:
+        key = (task.store_version, task.start, task.stop)
+        with self._rescue_lock:
+            pipeline = self._rescue_pipelines.get(key)
+            if pipeline is None:
+                from repro.serving.registry import default_registry
+
+                store = ReferenceStore.attach(
+                    self.store_dir, version=task.store_version
+                )
+                pipeline = default_registry().build(task.pipeline, task.config)
+                pipeline.attach_store(store, rows=(task.start, task.stop))  # type: ignore[attr-defined]
+                self._rescue_pipelines[key] = pipeline
+        return pipeline
 
     def _rebuild_pool(self) -> None:
         with self._pool_lock:
             broken, self._pool = self._pool, None
             if broken is not None:
                 broken.shutdown(wait=False, cancel_futures=True)
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = ProcessPoolExecutor(max_workers=self._pool_size())
             self._pool_rebuilds += 1
 
     # -- degradation ----------------------------------------------------------
@@ -520,8 +1014,8 @@ class ShardedRecognitionService:
         )
         try:
             request.future.set_result(replace(prediction, degraded=True))
-        except Exception:
-            pass  # the caller cancelled or abandoned the future
+        except Exception:  # reprolint: disable=RES402 -- the caller cancelled or abandoned the future
+            pass
 
     def _fail(
         self, request: _PendingRequest, exc: BaseException, expired: bool = False
@@ -529,12 +1023,21 @@ class ShardedRecognitionService:
         self.stats.record_failed(expired=expired)
         try:
             request.future.set_exception(exc)
-        except Exception:
-            pass  # the caller cancelled or abandoned the future
+        except Exception:  # reprolint: disable=RES402 -- the caller cancelled or abandoned the future
+            pass
 
     def _discard(self, request: _PendingRequest) -> None:
-        from repro.errors import ServiceNotReady
-
         self._fail(
             request, ServiceNotReady(f"{self.name}: service stopped before flush")
+        )
+
+    def _shed(self, request: _PendingRequest) -> None:
+        """A higher-priority arrival evicted this queued request."""
+        self.stats.record_shed()
+        self._fail(
+            request,
+            ServiceOverloaded(
+                f"{self.name}: request shed from a full admission queue by "
+                f"higher-priority traffic (priority {request.priority})"
+            ),
         )

@@ -51,6 +51,22 @@ class ServingReport:
     latency_p99_ms: float = 0.0
     latency_max_ms: float = 0.0
     wall_seconds: float = 0.0
+    #: Resilience counters (sharded service only; all 0 elsewhere).
+    #: ``shed`` counts lower-priority requests evicted from a full admission
+    #: queue to make room; ``shard_errors`` individual shard dispatch
+    #: failures (faults, crashes, corrupt attaches); ``rescued`` sub-batches
+    #: served through the in-process exhaustive rescue path after a breaker
+    #: opened; ``hedges``/``hedge_wins``/``hedge_mismatches`` the hedged
+    #: straggler re-dispatches, how often the hedge leg won the race, and
+    #: how often primary and hedge disagreed bit-wise (audited, primary
+    #: kept); ``swaps`` committed live artifact hot-swaps.
+    shed: int = 0
+    shard_errors: int = 0
+    rescued: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_mismatches: int = 0
+    swaps: int = 0
 
     @property
     def pending(self) -> int:
@@ -80,10 +96,18 @@ class ServingReport:
         extras = []
         if self.rejected:
             extras.append(f"{self.rejected} rejected")
+        if self.shed:
+            extras.append(f"{self.shed} shed")
         if self.degraded:
             extras.append(f"{self.degraded} degraded")
         if self.failed:
             extras.append(f"{self.failed} failed")
+        if self.rescued:
+            extras.append(f"{self.rescued} rescued")
+        if self.hedges:
+            extras.append(f"{self.hedge_wins}/{self.hedges} hedges won")
+        if self.swaps:
+            extras.append(f"{self.swaps} swaps")
         if extras:
             text += ", " + ", ".join(extras)
         return text
@@ -112,6 +136,15 @@ class ServingReport:
             },
             "throughput_qps": round(self.throughput_qps, 2),
             "wall_seconds": round(self.wall_seconds, 4),
+            "resilience": {
+                "shed": self.shed,
+                "shard_errors": self.shard_errors,
+                "rescued": self.rescued,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+                "hedge_mismatches": self.hedge_mismatches,
+                "swaps": self.swaps,
+            },
         }
 
 
@@ -133,6 +166,13 @@ class ServiceStats:
         self._degraded = 0
         self._expired = 0
         self._peak_depth = 0
+        self._shed = 0
+        self._shard_errors = 0
+        self._rescued = 0
+        self._hedges = 0
+        self._hedge_wins = 0
+        self._hedge_mismatches = 0
+        self._swaps = 0
         self._batch_histogram: dict[int, int] = {}
         self._latencies: list[float] = []
         self._first_submit: float | None = None
@@ -179,6 +219,43 @@ class ServiceStats:
             self._latencies.extend(latencies_seconds)
             self._last_resolve = self._clock()
 
+    def record_shed(self) -> None:
+        """One queued request evicted to admit a higher-priority one."""
+        with self._lock:
+            self._shed += 1
+
+    def record_shard_error(self) -> None:
+        """One shard dispatch failed (fault, crash, corrupt attach)."""
+        with self._lock:
+            self._shard_errors += 1
+
+    def record_rescued(self) -> None:
+        """One shard sub-batch served through the in-process rescue path."""
+        with self._lock:
+            self._rescued += 1
+
+    def record_hedge(self, won: bool, mismatched: bool = False) -> None:
+        """One hedged re-dispatch resolved; *won* when the hedge leg's
+        result was used, *mismatched* when both legs finished and their
+        results were not bit-identical (audit counter — primary is kept)."""
+        with self._lock:
+            self._hedges += 1
+            if won:
+                self._hedge_wins += 1
+            if mismatched:
+                self._hedge_mismatches += 1
+
+    def record_hedge_mismatch(self) -> None:
+        """A hedge race's losing leg disagreed bitwise with the served
+        block (recorded asynchronously, when the loser lands)."""
+        with self._lock:
+            self._hedge_mismatches += 1
+
+    def record_swap(self) -> None:
+        """One live artifact hot-swap committed."""
+        with self._lock:
+            self._swaps += 1
+
     def record_failed(self, expired: bool = False) -> None:
         """One request resolved with an exception."""
         with self._lock:
@@ -214,4 +291,11 @@ class ServiceStats:
                 latency_p99_ms=float(p99) * 1000.0,
                 latency_max_ms=float(worst) * 1000.0,
                 wall_seconds=wall,
+                shed=self._shed,
+                shard_errors=self._shard_errors,
+                rescued=self._rescued,
+                hedges=self._hedges,
+                hedge_wins=self._hedge_wins,
+                hedge_mismatches=self._hedge_mismatches,
+                swaps=self._swaps,
             )

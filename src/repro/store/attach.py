@@ -132,6 +132,10 @@ class ReferenceStore:
         self._matrices: dict[tuple[str, str], np.ndarray] = {}
         self._ragged: dict[tuple[str, str], list[np.ndarray]] = {}
         self._references: StoreReferences | None = None
+        #: Times a shard memmap open hit a transient ``OSError`` and
+        #: succeeded (or was condemned) on the single retry — surfaced so
+        #: serving health reports can tell flaky I/O from real corruption.
+        self.transient_retries = 0
 
     @classmethod
     def attach(
@@ -282,7 +286,22 @@ class ReferenceStore:
                 )
         try:
             array = np.load(path, mmap_mode="r", allow_pickle=False)
-        except (OSError, ValueError) as exc:
+        except OSError:
+            # A memmap open can fail transiently (EINTR, NFS attribute
+            # churn, a racing page-cache eviction) with the file perfectly
+            # intact; retry exactly once before condemning the shard — a
+            # ValueError (garbled npy header) is never transient and gets
+            # no retry.
+            self.transient_retries += 1
+            try:
+                array = np.load(path, mmap_mode="r", allow_pickle=False)
+            except (OSError, ValueError) as exc:
+                quarantine(path)
+                raise StoreIntegrityError(
+                    f"cannot map shard file {filename} (after one retry): "
+                    f"{exc} — quarantined"
+                ) from exc
+        except ValueError as exc:
             # Missing, truncated, or a garbled npy header: quarantine the
             # file so a rebuild never races a half-read, then degrade loudly.
             quarantine(path)

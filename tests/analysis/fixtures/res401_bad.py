@@ -1,0 +1,9 @@
+"""Offending fixture for RES401 (linted as a resilience module): a bare
+``except:`` clause also swallows SystemExit/KeyboardInterrupt."""
+
+
+def drain(queue):
+    try:
+        return queue.get_nowait()
+    except:  # line 8: bare except in a serving/store module
+        return None

@@ -1,0 +1,16 @@
+"""Offending fixture for RES402 (linted as a resilience module): catch-all
+handlers whose body is only ``pass``/``...`` erase the fault entirely."""
+
+
+def resolve(future, value):
+    try:
+        future.set_result(value)
+    except Exception:  # line 8: swallowed catch-all
+        pass
+
+
+def notify(callback):
+    try:
+        callback()
+    except (ValueError, BaseException):  # line 15: BaseException in the tuple
+        ...

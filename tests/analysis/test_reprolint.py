@@ -39,6 +39,8 @@ _SCOPED_MODULES = {
     "lck301": "repro.serving.fake_locks",
     "lck302": "repro.serving.fake_locks",
     "lck303": "repro.serving.fake_locks",
+    "res401": "repro.store.fake_errors",
+    "res402": "repro.serving.fake_errors",
 }
 
 #: Exact (rule_id, line) expectations for every offending fixture.
@@ -52,6 +54,8 @@ _EXPECTED = {
     "lck301": [("LCK301", 16)],
     "lck302": [("LCK302", 11)],
     "lck303": [("LCK303", 10)],
+    "res401": [("RES401", 8)],
+    "res402": [("RES402", 8), ("RES402", 15)],
 }
 
 
@@ -90,6 +94,10 @@ class TestModuleScoping:
     def test_lock_rules_ignore_non_lock_modules(self):
         source = (FIXTURES / "lck302_bad.py").read_text()
         assert lint_source(source, module="repro.datasets.render") == []
+
+    def test_resilience_rules_ignore_non_resilience_modules(self):
+        source = (FIXTURES / "res402_bad.py").read_text()
+        assert lint_source(source, module="repro.engine.executor") == []
 
     def test_scope_includes_submodules(self):
         source = (FIXTURES / "det102_bad.py").read_text()
@@ -155,6 +163,8 @@ class TestRegistryAndConfig:
             "NUM201",
             "NUM202",
             "NUM203",
+            "RES401",
+            "RES402",
         )
 
     def test_duplicate_registration_rejected(self):

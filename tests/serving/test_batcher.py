@@ -151,6 +151,68 @@ class TestAdmissionControl:
         # The rejected item is gone; the admitted ones all flushed.
         assert recorder.items == ["primer", "a", "b"]
 
+    def test_higher_priority_arrival_sheds_the_cheapest_queued_item(self):
+        shed = []
+        recorder = FlushRecorder(hold=True)
+        batcher = MicroBatcher(
+            recorder,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue_depth=2,
+            on_shed=shed.append,
+        ).start()
+        batcher.submit("primer")
+        recorder.entered.wait(timeout=5.0)
+        batcher.submit("cheap-old", priority=0)
+        batcher.submit("cheap-new", priority=0)
+        # Queue full: a priority-1 arrival evicts the newest priority-0 item
+        # (ties shed newest first, so the oldest — closest to flushing —
+        # survives) instead of being rejected.
+        assert batcher.submit("urgent", priority=1) == 2
+        assert shed == ["cheap-new"]
+        recorder.release()
+        batcher.stop(drain=True)
+        assert recorder.items == ["primer", "cheap-old", "urgent"]
+
+    def test_equal_priority_still_rejects_on_full_queue(self):
+        shed = []
+        recorder = FlushRecorder(hold=True)
+        batcher = MicroBatcher(
+            recorder,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue_depth=1,
+            on_shed=shed.append,
+        ).start()
+        batcher.submit("primer")
+        recorder.entered.wait(timeout=5.0)
+        batcher.submit("queued", priority=3)
+        with pytest.raises(ServiceOverloaded):
+            batcher.submit("equal", priority=3)  # not strictly higher: rejected
+        assert shed == []
+        recorder.release()
+        batcher.stop(drain=True)
+
+    def test_shed_victim_is_the_lowest_priority_queued(self):
+        shed = []
+        recorder = FlushRecorder(hold=True)
+        batcher = MicroBatcher(
+            recorder,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue_depth=2,
+            on_shed=shed.append,
+        ).start()
+        batcher.submit("primer")
+        recorder.entered.wait(timeout=5.0)
+        batcher.submit("mid", priority=1)
+        batcher.submit("low", priority=0)
+        batcher.submit("high", priority=2)
+        assert shed == ["low"]  # the cheapest goes first, not the newest
+        recorder.release()
+        batcher.stop(drain=True)
+        assert recorder.items == ["primer", "mid", "high"]
+
     def test_depth_reports_queued_items(self):
         recorder = FlushRecorder(hold=True)
         batcher = MicroBatcher(recorder, max_batch_size=1, max_wait_ms=0.0).start()

@@ -1,0 +1,137 @@
+"""The shard health state machine: counter-based, wall-clock-free.
+
+Every trajectory below is a pure function of the recorded outcome sequence
+and the dispatch-round count, so the assertions pin exact states — no
+sleeps, no tolerances.  This is the property that makes the service-level
+chaos suites deterministic: a breaker that opened on flush 7 opens on
+flush 7 in every rerun.
+"""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.health import HealthPolicy, ShardHealth, ShardState
+
+
+def make(policy: HealthPolicy | None = None) -> ShardHealth:
+    return ShardHealth(
+        policy
+        or HealthPolicy(
+            window=8,
+            degrade_errors=2,
+            eject_consecutive=3,
+            probation_after=2,
+            recover_successes=2,
+        )
+    )
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "window",
+            "degrade_errors",
+            "eject_consecutive",
+            "probation_after",
+            "recover_successes",
+        ],
+    )
+    def test_every_threshold_must_be_positive(self, field):
+        with pytest.raises(ServingError, match=field):
+            HealthPolicy(**{field: 0})
+
+    def test_defaults_are_valid(self):
+        assert ShardHealth().state is ShardState.HEALTHY
+
+
+class TestTransitions:
+    def test_window_errors_degrade_then_clear_back_to_healthy(self):
+        tracker = make()
+        tracker.record_error()
+        assert tracker.state is ShardState.HEALTHY  # one error, threshold is 2
+        tracker.record_success(0.01)  # breaks the consecutive streak
+        tracker.record_error()
+        assert tracker.state is ShardState.DEGRADED  # two errors in the window
+        # Successes push the errors out of the 8-slot window one by one.
+        for _ in range(5):
+            tracker.record_success(0.01)
+        assert tracker.state is ShardState.DEGRADED  # both errors still inside
+        tracker.record_success(0.01)  # first error falls off the window edge
+        assert tracker.state is ShardState.HEALTHY
+
+    def test_consecutive_errors_eject(self):
+        tracker = make()
+        assert tracker.record_error() is ShardState.HEALTHY
+        assert tracker.record_error() is ShardState.DEGRADED
+        assert tracker.record_error() is ShardState.EJECTED
+
+    def test_ejected_sits_out_then_probes_then_recovers(self):
+        tracker = make()
+        for _ in range(3):
+            tracker.record_error()
+        assert tracker.state is ShardState.EJECTED
+        # probation_after=2: one full round skipped, the second flips to probe.
+        assert tracker.allow_dispatch() is False
+        assert tracker.allow_dispatch() is True
+        assert tracker.state is ShardState.PROBATION
+        tracker.record_success(0.01)
+        assert tracker.state is ShardState.PROBATION  # needs 2 probe successes
+        tracker.record_success(0.01)
+        assert tracker.state is ShardState.HEALTHY
+        assert tracker.snapshot()["window_errors"] == 0  # recovery resets it
+
+    def test_failed_probe_reopens_the_breaker(self):
+        tracker = make()
+        for _ in range(3):
+            tracker.record_error()
+        tracker.allow_dispatch()
+        assert tracker.allow_dispatch() is True  # the probe round
+        tracker.record_error()
+        assert tracker.state is ShardState.EJECTED
+        snapshot = tracker.snapshot()
+        assert snapshot["ejections"] == 2
+        assert snapshot["probes"] == 1
+
+    def test_healthy_and_degraded_always_dispatch(self):
+        tracker = make()
+        assert tracker.allow_dispatch() is True
+        tracker.record_error()
+        tracker.record_success(0.01)
+        tracker.record_error()
+        assert tracker.state is ShardState.DEGRADED
+        assert tracker.allow_dispatch() is True  # degraded still serves
+
+
+class TestDeterminism:
+    def test_identical_outcome_sequences_produce_identical_snapshots(self):
+        outcomes = [1, 1, 0, 0, 0, 1, 0, 1, 1, 1]
+
+        def run() -> list[dict]:
+            tracker = make()
+            trail = []
+            for outcome in outcomes:
+                tracker.allow_dispatch()
+                if outcome:
+                    tracker.record_success(0.005)
+                else:
+                    tracker.record_error()
+                trail.append(tracker.snapshot())
+            return trail
+
+        assert run() == run()
+
+
+class TestSnapshot:
+    def test_counters_and_percentile_shape(self):
+        tracker = make()
+        for latency in (0.010, 0.020, 0.030):
+            tracker.record_success(latency)
+        tracker.record_error()
+        snapshot = tracker.snapshot()
+        assert snapshot["state"] == "healthy"
+        assert snapshot["dispatches"] == 4
+        assert snapshot["errors"] == 1
+        assert snapshot["window_errors"] == 1
+        # Nearest-rank p95 over [10, 20, 30] ms lands on the top sample.
+        assert snapshot["window_latency_p95_ms"] == 30.0

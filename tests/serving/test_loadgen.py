@@ -38,6 +38,7 @@ PAYLOAD_KEYS = {
     "workers",
     "store",
     "slo",
+    "swap",
     "index",
 }
 
@@ -88,6 +89,7 @@ class TestRunLoadgen:
         assert payload["workers"] == 1
         assert payload["store"] is None
         assert payload["slo"] is None
+        assert payload["swap"] is None
 
     def test_no_prediction_mismatches(self, payload):
         # The core guarantee: micro-batched answers bit-equal sequential.

@@ -109,6 +109,27 @@ class TestMergeChampions:
         merged = merge_champions(per_shard, higher_is_better=True)
         assert merged == [(0.95, 9, "c", "m9")]
 
+    def test_empty_champion_blocks_are_skipped(self):
+        # A shard whose rows were all served elsewhere (ejected upstream)
+        # contributes an empty block; the merge must seed from the first
+        # non-empty one rather than indexing into nothing.
+        per_shard = [[], [(0.3, 5, "b", "m5")], []]
+        assert merge_champions(per_shard) == [(0.3, 5, "b", "m5")]
+
+    def test_all_blocks_empty_merges_to_nothing(self):
+        assert merge_champions([[], [], []]) == []
+        assert merge_champions([]) == []
+
+    def test_empty_block_preserves_the_first_index_tie_rule(self):
+        per_shard = [
+            [(0.5, 0, "a", "m0")],
+            [],
+            [(0.5, 9, "c", "m9")],  # ties the first block's score
+        ]
+        # The tie still resolves to the lower global index, exactly as if
+        # the empty middle shard had never existed.
+        assert merge_champions(per_shard) == [(0.5, 0, "a", "m0")]
+
     def test_merge_agrees_with_numpy_argmin_for_random_score_matrices(self):
         rng = np.random.default_rng(42)
         scores = rng.integers(0, 4, size=(6, 12)).astype(np.float64)  # many ties

@@ -1,0 +1,97 @@
+"""Transient-I/O handling of the memmap open: retry once, then condemn.
+
+A memmap open can fail with ``OSError`` while the file is perfectly intact
+(EINTR, NFS attribute churn, a racing page-cache eviction); quarantining on
+the first such error would destroy a healthy artifact.  The contract pinned
+here: exactly one retry for ``OSError``, no retry for ``ValueError`` (a
+garbled npy header is never transient), quarantine + loud
+``StoreIntegrityError`` when the retry fails too, and the
+``transient_retries`` counter surfacing each flaky open.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.datasets.dataset import ImageDataset
+from repro.errors import StoreIntegrityError
+from repro.store import build_store
+from repro.store.attach import ReferenceStore
+
+from tests.engine.synthetic import make_image_set
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    config = ExperimentConfig(seed=5)
+    items = sorted(
+        make_image_set(seed=5, count=6, name="retry-refs", source="sns1"),
+        key=lambda item: item.label,
+    )
+    references = ImageDataset(name="retry-refs", items=tuple(items))
+    build_store(
+        references,
+        tmp_path / "store",
+        bins=config.histogram_bins,
+        families=("shape",),
+    )
+    return tmp_path / "store"
+
+
+def _flaky_np_load(fail_times: int, exception: type[Exception]):
+    """An ``np.load`` stand-in failing the first *fail_times* calls."""
+    real = np.load
+    calls = {"n": 0}
+
+    def load(path, *args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] <= fail_times:
+            raise exception(f"injected open failure #{calls['n']}")
+        return real(path, *args, **kwargs)
+
+    return load, calls
+
+
+class TestTransientRetry:
+    def test_single_transient_oserror_is_retried_and_counted(
+        self, store_dir, monkeypatch
+    ):
+        store = ReferenceStore.attach(store_dir)
+        spec = store.manifest.shards[0]
+        load, calls = _flaky_np_load(1, OSError)
+        monkeypatch.setattr("repro.store.attach.np.load", load)
+        matrix = store.matrix(spec.namespace, spec.version)
+        assert matrix.shape == spec.shape
+        assert calls["n"] == 2  # first open failed, the retry mapped it
+        assert store.transient_retries == 1
+        # The file was never quarantined: a fresh attach still works.
+        assert (store.path / spec.filename).is_file()
+
+    def test_second_oserror_quarantines_and_raises(self, store_dir, monkeypatch):
+        store = ReferenceStore.attach(store_dir)
+        spec = store.manifest.shards[0]
+        load, calls = _flaky_np_load(2, OSError)
+        monkeypatch.setattr("repro.store.attach.np.load", load)
+        with pytest.raises(StoreIntegrityError, match="after one retry"):
+            store.matrix(spec.namespace, spec.version)
+        assert calls["n"] == 2  # exactly one retry, never more
+        assert store.transient_retries == 1
+        assert not (store.path / spec.filename).is_file()  # quarantined aside
+        assert (store.path / f"{spec.filename}.corrupt").is_file()
+
+    def test_value_error_gets_no_retry(self, store_dir, monkeypatch):
+        store = ReferenceStore.attach(store_dir)
+        spec = store.manifest.shards[0]
+        load, calls = _flaky_np_load(5, ValueError)
+        monkeypatch.setattr("repro.store.attach.np.load", load)
+        with pytest.raises(StoreIntegrityError):
+            store.matrix(spec.namespace, spec.version)
+        assert calls["n"] == 1  # a garbled header is never transient
+        assert store.transient_retries == 0
+        assert not (store.path / spec.filename).is_file()
+
+    def test_clean_open_leaves_the_counter_at_zero(self, store_dir):
+        store = ReferenceStore.attach(store_dir, verify="full")
+        spec = store.manifest.shards[0]
+        store.matrix(spec.namespace, spec.version)
+        assert store.transient_retries == 0
