@@ -54,9 +54,14 @@ class LintConfig:
         "repro.imaging",
         "repro.neural",
         "repro.features",
+        "repro.openset",
     )
     lock_modules: tuple[str, ...] = ("repro.serving", "repro.engine")
-    resilience_modules: tuple[str, ...] = ("repro.serving", "repro.store")
+    resilience_modules: tuple[str, ...] = (
+        "repro.serving",
+        "repro.store",
+        "repro.openset",
+    )
 
     _KEYS = {
         "paths": "paths",

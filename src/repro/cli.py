@@ -39,6 +39,19 @@ attaches the store zero-copy per worker::
     repro serve --workers 2 --store-dir .repro-store
     repro loadgen --workers 2 --slo-p99-ms 250
 
+Open-set commands (see README "Open-set recognition & enrollment"):
+``repro openset calibrate`` fits per-pipeline rejection thresholds on the
+seeded reference library and publishes them as a content-addressed
+calibration artifact; ``repro openset eval`` runs the seeded class-holdout
+evaluation and writes ``BENCH_openset.json``; ``repro loadgen
+--unknown-rate`` injects held-out-class queries under a calibrated
+threshold, and ``--enroll-rate`` enrolls novel classes into the live
+sharded service mid-run::
+
+    repro openset calibrate --store-dir .repro-store
+    repro openset eval --seed 7 --min-color-auroc 0.8
+    repro loadgen --workers 2 --unknown-rate 0.2 --enroll-rate 0.02
+
 Index commands (see README "Indexed retrieval"): ``repro index build``
 renders the seeded reference library, publishes it as a store and grows
 the two-stage retrieval index over it; ``repro index stats`` reports index
@@ -396,11 +409,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> tuple[str, int]:
         slo_max_degraded=args.slo_max_degraded,
         shortlist_k=shortlist_k,
         swap_mid_run=args.swap_mid_run,
+        unknown_rate=args.unknown_rate,
+        enroll_rate=args.enroll_rate,
     )
-    output = Path(args.output or "BENCH_serving.json")
+    default_output = (
+        "BENCH_openset.json"
+        if args.unknown_rate > 0 or args.enroll_rate > 0
+        else "BENCH_serving.json"
+    )
+    output = Path(args.output or default_output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     slo = payload.get("slo")
     code = 1 if slo is not None and slo["violations"] else 0
+    enroll = payload.get("enroll")
+    if enroll is not None and (
+        enroll["post_enroll_failures"]
+        or enroll["errors"]
+        or payload["prediction_mismatches"]
+    ):
+        # Enrollment acceptance gate: every enrolled class recognizable,
+        # zero closed-set champion mismatches through the swaps.
+        code = 1
     return format_loadgen_report(payload) + f"\n  wrote {output}", code
 
 
@@ -576,6 +605,105 @@ def _cmd_index(args: argparse.Namespace) -> tuple[str, int]:
     return "\n".join(lines), 0
 
 
+def _cmd_openset(args: argparse.Namespace) -> tuple[str, int]:
+    """Calibrate or evaluate open-set rejection thresholds.
+
+    ``repro openset calibrate`` fits every reporting pipeline's rejection
+    threshold on the seeded reference library and publishes the set as a
+    content-addressed calibration artifact under ``--store-dir``; ``repro
+    openset eval`` runs the seeded class-holdout evaluation (novel views
+    of enrolled objects as known probes, every view of the held-out
+    classes as unknowns) and writes ``BENCH_openset.json``.  With
+    ``--min-color-auroc`` the eval exits 1 when no colour pipeline
+    separates knowns from unknowns at that AUROC — the CI acceptance
+    gate.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.openset import (
+        build_artifact,
+        calibrate_pipeline,
+        default_openset_pipelines,
+        format_openset_report,
+        run_openset_eval,
+        save_calibration,
+    )
+
+    subcommand = args.subcommand or "eval"
+    if subcommand not in ("calibrate", "eval"):
+        return (
+            f"openset: unknown subcommand {subcommand!r} "
+            "(expected calibrate or eval)",
+            2,
+        )
+    config = _make_config(args)
+
+    if subcommand == "calibrate":
+        from repro.datasets.shapenet import build_reference_library
+
+        store_dir = args.store_dir or ".repro-store"
+        references = build_reference_library(
+            config, models_per_class=3, views_per_model=12
+        )
+        started = time.perf_counter()
+        models = []
+        lines = [
+            f"openset: calibrating on {len(references)} views of "
+            f"{references.name} (target FAR {args.target_far:g})"
+        ]
+        for pipeline in default_openset_pipelines(config):
+            pipeline.fit(references)
+            model = calibrate_pipeline(
+                pipeline, references, seed=config.seed, target_far=args.target_far
+            )
+            models.append(model)
+            lines.append(
+                f"  {pipeline.name:<28} threshold {model.threshold:>8.4f}  "
+                f"auroc {model.auroc:.3f}  far {model.far:.3f}  "
+                f"frr {model.frr:.3f}"
+            )
+        artifact = build_artifact(
+            references, models, seed=config.seed, target_far=args.target_far
+        )
+        path = save_calibration(artifact, store_dir)
+        elapsed = time.perf_counter() - started
+        lines.append(
+            f"  published calibration {artifact.calibration_version} in "
+            f"{elapsed:.2f}s -> {path}"
+        )
+        return "\n".join(lines), 0
+
+    payload = run_openset_eval(
+        config,
+        holdout=args.holdout,
+        target_far=args.target_far,
+        store_dir=args.store_dir,
+    )
+    output = Path(args.output or "BENCH_openset.json")
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    lines = [format_openset_report(payload), f"  wrote {output}"]
+    code = 0
+    if args.min_color_auroc is not None:
+        rows: dict = payload["pipelines"]  # type: ignore[assignment]
+        best = max(
+            (row["auroc"] for name, row in rows.items() if name.startswith("color")),
+            default=0.0,
+        )
+        if best < args.min_color_auroc:
+            lines.append(
+                f"openset: FAILED — best colour AUROC {best:.3f} < "
+                f"{args.min_color_auroc:g}"
+            )
+            code = 1
+        else:
+            lines.append(
+                f"  colour AUROC gate met: best {best:.3f} >= "
+                f"{args.min_color_auroc:g}"
+            )
+    return "\n".join(lines), code
+
+
 def _cmd_patrol(args: argparse.Namespace) -> str:
     """Run a simulated robot patrol and answer a few map queries.
 
@@ -678,6 +806,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "store": _cmd_store,
     "index": _cmd_index,
+    "openset": _cmd_openset,
     "lint": _cmd_lint,
     "all": _cmd_all,
 }
@@ -695,7 +824,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="store command: 'build' (default) or 'verify'; "
-        "index command: 'build' (default), 'stats' or 'audit'",
+        "index command: 'build' (default), 'stats' or 'audit'; "
+        "openset command: 'calibrate' or 'eval' (default)",
     )
     parser.add_argument("--seed", type=int, default=7, help="global random seed")
     parser.add_argument(
@@ -972,6 +1102,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="index audit: shortlist sizes to sweep "
         "(default: 8 16 32 and --shortlist-k)",
+    )
+    openset = parser.add_argument_group(
+        "openset", "open-set rejection and live enrollment (openset / loadgen)"
+    )
+    openset.add_argument(
+        "--holdout",
+        type=_positive_int,
+        default=2,
+        help="openset eval: classes held out of the library as unknowns",
+    )
+    openset.add_argument(
+        "--target-far",
+        type=float,
+        default=0.05,
+        help="openset: imposter false-accept rate the thresholds are fitted at",
+    )
+    openset.add_argument(
+        "--min-color-auroc",
+        type=float,
+        default=None,
+        help="openset eval: exit 1 unless some colour pipeline reaches this "
+        "known-vs-unknown AUROC (for CI gating)",
+    )
+    openset.add_argument(
+        "--unknown-rate",
+        type=float,
+        default=0.0,
+        help="loadgen: replace this fraction of requests with held-out-class "
+        "unknowns and score the calibrated rejection online",
+    )
+    openset.add_argument(
+        "--enroll-rate",
+        type=float,
+        default=0.0,
+        help="loadgen: enroll roughly this fraction of the request count as "
+        "novel-class views while the workload is in flight "
+        "(requires --workers >= 2)",
     )
     lint = parser.add_argument_group("lint", "reprolint static analysis")
     lint.add_argument(

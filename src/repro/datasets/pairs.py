@@ -147,6 +147,83 @@ def build_training_pairs(
     return PairDataset(name="sns2-train-pairs", pairs=tuple(pairs[i] for i in order))
 
 
+def sample_imposter_pairs(
+    dataset: ImageDataset,
+    count: int,
+    rng: np.random.Generator | int | None = None,
+) -> PairDataset:
+    """*count* seeded cross-class ("imposter") couples of *dataset*.
+
+    The open-set calibration sampler (ShapeY-style): each pair couples two
+    views of *different* classes, labelled ``0``.  Draws are index-based and
+    purely a function of the generator state, so the same seed yields the
+    identical pair list in any process — pinned by a cross-process
+    determinism regression test.  Pairs are drawn with replacement (the
+    imposter pool is quadratic; calibration only needs a score sample).
+    """
+    if count < 1:
+        raise DatasetError(f"need at least 1 imposter pair, got {count}")
+    generator = make_rng(rng)
+    labels = dataset.labels
+    if len(set(labels)) < 2:
+        raise DatasetError("imposter pairs need at least two classes")
+    n = len(dataset)
+    pairs: list[ImagePair] = []
+    while len(pairs) < count:
+        # Draw couples in blocks and keep the cross-class ones; block
+        # rejection keeps the draw count deterministic per accepted pair.
+        block = generator.integers(0, n, size=(count, 2))
+        for i, j in block:
+            if labels[int(i)] == labels[int(j)]:
+                continue
+            pairs.append(
+                ImagePair(first=dataset[int(i)], second=dataset[int(j)], label=0)
+            )
+            if len(pairs) == count:
+                break
+    return PairDataset(name="imposter-pairs", pairs=tuple(pairs))
+
+
+def sample_genuine_pairs(
+    dataset: ImageDataset,
+    count: int,
+    rng: np.random.Generator | int | None = None,
+) -> PairDataset:
+    """*count* seeded same-class ("genuine") couples of *dataset*.
+
+    The positive counterpart of :func:`sample_imposter_pairs`: each pair
+    couples two *distinct* views of the same class (cross-model when the
+    class has more than one model, so genuine scores are not dominated by
+    near-duplicate renders), labelled ``1``.
+    """
+    if count < 1:
+        raise DatasetError(f"need at least 1 genuine pair, got {count}")
+    generator = make_rng(rng)
+    labels = dataset.labels
+    n = len(dataset)
+    by_class: dict[str, list[int]] = {}
+    for idx in range(n):
+        by_class.setdefault(labels[idx], []).append(idx)
+    eligible = {c: idxs for c, idxs in by_class.items() if len(idxs) > 1}
+    if not eligible:
+        raise DatasetError("genuine pairs need a class with at least two views")
+    class_names = sorted(eligible)
+    pairs: list[ImagePair] = []
+    while len(pairs) < count:
+        name = class_names[int(generator.integers(0, len(class_names)))]
+        idxs = eligible[name]
+        cross = [
+            (i, j)
+            for i in idxs
+            for j in idxs
+            if i != j and dataset[i].model_id != dataset[j].model_id
+        ]
+        pool = cross or [(i, j) for i in idxs for j in idxs if i != j]
+        i, j = pool[int(generator.integers(0, len(pool)))]
+        pairs.append(ImagePair(first=dataset[i], second=dataset[j], label=1))
+    return PairDataset(name="genuine-pairs", pairs=tuple(pairs))
+
+
 def build_sns1_test_pairs(sns1: ImageDataset) -> PairDataset:
     """All C(n, 2) unordered couples of SNS1, labelled by class equality.
 

@@ -166,6 +166,21 @@ class FeatureCache:
             self._entries.clear()
             self.stats = CacheStats()
 
+    def invalidate_namespace(self, namespace: str) -> int:
+        """Drop every in-memory entry of *namespace*, returning the count.
+
+        The targeted eviction live enrollment needs: the swapped-in
+        reference set re-addresses everything through content hashes, so
+        stale entries could never be *served* — but the old namespace
+        entries would pin memory until LRU pressure found them.  Disk-tier
+        files stay (they are content-addressed and still valid).
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == namespace]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
     # -- internals ----------------------------------------------------------
 
     def _store(self, key: tuple[str, str, str], value: Any) -> None:
@@ -344,6 +359,20 @@ class ReferenceMatrixCache:
         with self._lock:
             self._entries.clear()
             self.stats = CacheStats()
+
+    def invalidate_namespace(self, namespace: str) -> int:
+        """Drop every stacked matrix of *namespace*, returning the count.
+
+        Enrollment republishes the reference set under a new fingerprint,
+        so old-fingerprint stacks can never be re-addressed; evicting them
+        eagerly frees the ``(V, D)`` float64 blocks instead of waiting for
+        LRU pressure.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == namespace]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     # Locks don't pickle; the process backend ships pipelines (holding their
     # matrix cache) to workers — same copy semantics as FeatureCache.

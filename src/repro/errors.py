@@ -84,6 +84,13 @@ class DeadlineExceeded(ServingError):
     this; without one, the caller sees it."""
 
 
+class EnrollmentError(ServingError):
+    """A live enrollment request was rejected: enrollment is disabled on
+    this service, the caller's token failed authentication, or the merged
+    reference set could not be republished.  The service keeps serving its
+    current epoch either way — a failed enrollment never changes answers."""
+
+
 class SwapError(ServingError):
     """A live artifact hot-swap (``swap_store`` / ``swap_index``) failed
     verification and was rolled back: the service keeps serving the old
@@ -110,6 +117,12 @@ class RetrievalIndexError(ReproError):
 
 class EvaluationError(ReproError):
     """An evaluation routine received inconsistent predictions or labels."""
+
+
+class CalibrationError(ReproError):
+    """An open-set calibration was requested with inconsistent inputs
+    (empty score distributions, unknown pipeline, version mismatch between
+    a calibration artifact and the reference library it was fitted on)."""
 
 
 class KnowledgeError(ReproError):

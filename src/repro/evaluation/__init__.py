@@ -21,6 +21,13 @@ from repro.evaluation.curves import (
     precision_recall_curve,
     roc_curve,
 )
+from repro.evaluation.openset import (
+    OpenSetReport,
+    OscrCurve,
+    openset_auroc,
+    openset_report,
+    oscr_curve,
+)
 from repro.evaluation.significance import (
     ConfidenceInterval,
     PairedComparison,
@@ -49,6 +56,11 @@ __all__ = [
     "format_dataset_table",
     "format_pair_table",
     "CmcCurve",
+    "OpenSetReport",
+    "OscrCurve",
+    "openset_auroc",
+    "openset_report",
+    "oscr_curve",
     "PrecisionRecallCurve",
     "RocCurve",
     "cmc_curve",

@@ -1,0 +1,227 @@
+"""Open-set evaluation: OSCR curves, open-set AUROC, rejection reports.
+
+The closed-set metrics in :mod:`repro.evaluation.metrics` assume every
+query's true class is in the reference vocabulary; these routines evaluate
+the complementary question — how well champion scores *separate* known from
+unknown queries, and what a calibrated threshold actually did to them.
+
+Conventions: "known" queries belong to enrolled classes (their correctness
+is judged against their true label); "unknown" queries belong to held-out
+classes and are correct exactly when rejected.  Scores may run either way —
+``higher_is_better=False`` (distances, the repo default) negates them so
+the sweep logic is written once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.evaluation.curves import roc_curve
+
+
+def _oriented(scores: np.ndarray, higher_is_better: bool) -> np.ndarray:
+    oriented = np.asarray(scores, dtype=np.float64).ravel()
+    return oriented if higher_is_better else -oriented
+
+
+@dataclass(frozen=True)
+class OscrCurve:
+    """An Open-Set Classification Rate curve.
+
+    Sweeping the accept threshold from strict to lax traces
+    ``correct_classification_rate`` (known queries accepted *and* correctly
+    labelled, over all knowns) against ``false_positive_rate`` (unknown
+    queries accepted, over all unknowns).  ``thresholds`` are in oriented
+    (higher-accepts) space, descending in strictness.
+    """
+
+    false_positive_rate: np.ndarray
+    correct_classification_rate: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def area(self) -> float:
+        """Area under CCR over FPR on [0, 1] (higher is better)."""
+        return float(
+            np.trapezoid(self.correct_classification_rate, self.false_positive_rate)
+        )
+
+
+def oscr_curve(
+    known_scores: np.ndarray,
+    known_correct: np.ndarray,
+    unknown_scores: np.ndarray,
+    higher_is_better: bool = False,
+) -> OscrCurve:
+    """The OSCR curve of champion scores under a sweeping accept threshold.
+
+    *known_correct* flags, per known query, whether its closed-set champion
+    label was correct; a query only counts toward CCR while both accepted
+    and correct.
+    """
+    known = _oriented(known_scores, higher_is_better)
+    unknown = _oriented(unknown_scores, higher_is_better)
+    correct = np.asarray(known_correct, dtype=bool).ravel()
+    if known.size == 0 or unknown.size == 0:
+        raise EvaluationError(
+            f"OSCR needs known and unknown scores (got {known.size}/{unknown.size})"
+        )
+    if correct.size != known.size:
+        raise EvaluationError(
+            f"{known.size} known scores but {correct.size} correctness flags"
+        )
+
+    # Strict-to-lax sweep: start above every score (nothing accepted), end
+    # below every score (everything accepted, CCR = closed-set accuracy).
+    candidates = np.unique(np.concatenate([known, unknown]))[::-1]
+    fpr = [0.0]
+    ccr = [0.0]
+    thresholds = [np.inf]
+    for threshold in candidates:
+        accepted_known = known > threshold
+        fpr.append(float(np.mean(unknown > threshold)))
+        ccr.append(float(np.mean(accepted_known & correct)))
+        thresholds.append(float(threshold))
+    fpr.append(1.0)
+    ccr.append(float(np.mean(correct)))
+    thresholds.append(-np.inf)
+    return OscrCurve(
+        false_positive_rate=np.asarray(fpr, dtype=np.float64),
+        correct_classification_rate=np.asarray(ccr, dtype=np.float64),
+        thresholds=np.asarray(thresholds, dtype=np.float64),
+    )
+
+
+def openset_auroc(
+    known_scores: np.ndarray,
+    unknown_scores: np.ndarray,
+    higher_is_better: bool = False,
+) -> float:
+    """AUROC of champion scores as a known-vs-unknown detector.
+
+    Threshold-free: measures whether the score distributions separate at
+    all, independent of where a calibration put the cutoff.
+    """
+    known = _oriented(known_scores, higher_is_better)
+    unknown = _oriented(unknown_scores, higher_is_better)
+    if known.size == 0 or unknown.size == 0:
+        raise EvaluationError(
+            f"AUROC needs known and unknown scores (got {known.size}/{unknown.size})"
+        )
+    labels = np.concatenate(
+        [np.ones(known.size, dtype=np.int64), np.zeros(unknown.size, dtype=np.int64)]
+    )
+    return roc_curve(labels, np.concatenate([known, unknown])).auc
+
+
+def _rate(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+@dataclass(frozen=True)
+class OpenSetReport:
+    """Counts and rates of one thresholded open-set run.
+
+    The five disjoint outcome counts cover every query: a known query is
+    either accepted-and-correct, accepted-but-wrong, or rejected; an
+    unknown query is either (correctly) rejected or (falsely) accepted.
+    """
+
+    known_total: int
+    unknown_total: int
+    known_correct_accepted: int
+    known_wrong_accepted: int
+    known_rejected: int
+    unknown_rejected: int
+    unknown_accepted: int
+
+    @property
+    def known_accuracy(self) -> float:
+        """Known queries accepted with the correct label, over all knowns."""
+        return _rate(self.known_correct_accepted, self.known_total)
+
+    @property
+    def false_unknown_rate(self) -> float:
+        """Known queries wrongly rejected as unknown, over all knowns."""
+        return _rate(self.known_rejected, self.known_total)
+
+    @property
+    def unknown_recall(self) -> float:
+        """Unknown queries correctly rejected, over all unknowns."""
+        return _rate(self.unknown_rejected, self.unknown_total)
+
+    @property
+    def open_set_precision(self) -> float:
+        """Correct known labels over *everything* the system accepted."""
+        accepted = (
+            self.known_correct_accepted
+            + self.known_wrong_accepted
+            + self.unknown_accepted
+        )
+        return _rate(self.known_correct_accepted, accepted)
+
+    @property
+    def open_set_recall(self) -> float:
+        """Correct known labels over all known queries (== known_accuracy)."""
+        return self.known_accuracy
+
+    @property
+    def open_set_f1(self) -> float:
+        precision, recall = self.open_set_precision, self.open_set_recall
+        if precision + recall <= 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "known_total": self.known_total,
+            "unknown_total": self.unknown_total,
+            "known_correct_accepted": self.known_correct_accepted,
+            "known_wrong_accepted": self.known_wrong_accepted,
+            "known_rejected": self.known_rejected,
+            "unknown_rejected": self.unknown_rejected,
+            "unknown_accepted": self.unknown_accepted,
+            "known_accuracy": self.known_accuracy,
+            "false_unknown_rate": self.false_unknown_rate,
+            "unknown_recall": self.unknown_recall,
+            "open_set_precision": self.open_set_precision,
+            "open_set_recall": self.open_set_recall,
+            "open_set_f1": self.open_set_f1,
+        }
+
+
+def openset_report(
+    known_unknown_flags: np.ndarray,
+    known_correct: np.ndarray,
+    unknown_unknown_flags: np.ndarray,
+) -> OpenSetReport:
+    """Build an :class:`OpenSetReport` from per-query rejection outcomes.
+
+    *known_unknown_flags* / *unknown_unknown_flags* are the ``unknown``
+    flags of the served predictions for the known / unknown query sets;
+    *known_correct* flags whether each known query's champion label matched
+    its true label (ignored for rejected queries).
+    """
+    known_rejected_flags = np.asarray(known_unknown_flags, dtype=bool).ravel()
+    correct = np.asarray(known_correct, dtype=bool).ravel()
+    unknown_rejected_flags = np.asarray(unknown_unknown_flags, dtype=bool).ravel()
+    if known_rejected_flags.size != correct.size:
+        raise EvaluationError(
+            f"{known_rejected_flags.size} known flags but {correct.size} "
+            "correctness flags"
+        )
+    if known_rejected_flags.size == 0:
+        raise EvaluationError("open-set report needs at least one known query")
+    accepted = ~known_rejected_flags
+    return OpenSetReport(
+        known_total=int(known_rejected_flags.size),
+        unknown_total=int(unknown_rejected_flags.size),
+        known_correct_accepted=int(np.sum(accepted & correct)),
+        known_wrong_accepted=int(np.sum(accepted & ~correct)),
+        known_rejected=int(np.sum(known_rejected_flags)),
+        unknown_rejected=int(np.sum(unknown_rejected_flags)),
+        unknown_accepted=int(np.sum(~unknown_rejected_flags)),
+    )

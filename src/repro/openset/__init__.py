@@ -1,0 +1,58 @@
+"""Open-set recognition: calibrated unknown rejection + live enrollment.
+
+The paper's closed-world pipelines force every query into the 10 reference
+classes; a patrol robot meets objects its library has never seen.  This
+subsystem adds the open-world cut in three pieces:
+
+* **calibration** — per-pipeline score thresholds fitted on seeded
+  genuine/imposter champion-score distributions drawn from the reference
+  library (ShapeY-style imposter methodology), persisted as versioned,
+  content-addressed artifacts next to the store manifest;
+* **rejection** — :class:`~repro.pipelines.base.Prediction` grows an
+  ``unknown``/``margin`` path applied at a single pipeline choke point, a
+  strict no-op while no threshold is attached;
+* **enrollment** — class-contiguity-preserving reference merges feeding the
+  serving tier's authenticated live ``enroll`` path (an epoch-guarded store
+  republish through the PR 8 hot-swap machinery).
+"""
+
+from repro.openset.artifact import (
+    CalibrationArtifact,
+    build_artifact,
+    calibration_version_id,
+    load_calibration,
+    save_calibration,
+)
+from repro.openset.calibration import (
+    DEFAULT_TARGET_FAR,
+    ThresholdModel,
+    calibrate_pipeline,
+    fit_threshold,
+)
+from repro.openset.enroll import enrollment_views, merge_enrollment
+from repro.openset.evaluate import (
+    default_openset_pipelines,
+    format_openset_report,
+    run_openset_eval,
+    split_holdout_classes,
+    subset_by_classes,
+)
+
+__all__ = [
+    "CalibrationArtifact",
+    "DEFAULT_TARGET_FAR",
+    "ThresholdModel",
+    "build_artifact",
+    "calibrate_pipeline",
+    "calibration_version_id",
+    "default_openset_pipelines",
+    "enrollment_views",
+    "fit_threshold",
+    "format_openset_report",
+    "load_calibration",
+    "merge_enrollment",
+    "run_openset_eval",
+    "save_calibration",
+    "split_holdout_classes",
+    "subset_by_classes",
+]

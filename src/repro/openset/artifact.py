@@ -1,0 +1,227 @@
+"""Versioned, content-addressed calibration artifacts.
+
+Mirrors the reference-store manifest discipline (:mod:`repro.store.manifest`):
+an artifact's version id is a digest of its canonical payload, each version
+is written once under ``<store_dir>/calibration/<version>.json`` via
+write-temp-then-``os.replace``, and a single ``CURRENT`` pointer names the
+live version — also flipped atomically.  A reader resolving ``CURRENT`` at
+any instant sees either the old complete artifact or the new complete one,
+never a torn file, and :func:`load_calibration` re-derives the content
+address on read so silent corruption surfaces as
+:class:`~repro.errors.CalibrationError` rather than a wrong threshold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import DEFAULT_SEED
+from repro.datasets.dataset import ImageDataset
+from repro.engine.cache import dataset_fingerprint
+from repro.errors import CalibrationError
+from repro.openset.calibration import DEFAULT_TARGET_FAR, ThresholdModel
+
+#: Bump when the artifact layout changes so stale files stop being read.
+CALIBRATION_FORMAT = 1
+
+#: Directory (under the store root) holding calibration versions.
+CALIBRATION_DIR = "calibration"
+
+#: Pointer file naming the live calibration version.
+CURRENT_NAME = "CURRENT"
+
+
+@dataclass(frozen=True)
+class CalibrationArtifact:
+    """A set of per-pipeline threshold models fitted on one reference set.
+
+    ``fingerprint`` is the reference dataset's content fingerprint and
+    ``store_version`` the (optional) reference-store version the thresholds
+    were calibrated against, tying the artifact to the exact library it is
+    valid for.  ``calibration_version`` is the content address of the rest.
+    """
+
+    calibration_version: str
+    fingerprint: str
+    store_version: str
+    seed: int
+    target_far: float
+    models: tuple[ThresholdModel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise CalibrationError("calibration artifact holds no threshold models")
+        names = [model.pipeline for model in self.models]
+        if len(set(names)) != len(names):
+            raise CalibrationError(f"duplicate pipeline thresholds: {names}")
+
+    @property
+    def pipelines(self) -> tuple[str, ...]:
+        """The calibrated pipeline names, in artifact order."""
+        return tuple(model.pipeline for model in self.models)
+
+    def model_for(self, pipeline_name: str) -> ThresholdModel:
+        """The threshold model of *pipeline_name* (raises when absent)."""
+        for model in self.models:
+            if model.pipeline == pipeline_name:
+                return model
+        raise CalibrationError(
+            f"no threshold calibrated for {pipeline_name!r} "
+            f"(artifact holds {sorted(self.pipelines)})"
+        )
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "format": CALIBRATION_FORMAT,
+            "calibration_version": self.calibration_version,
+            "fingerprint": self.fingerprint,
+            "store_version": self.store_version,
+            "seed": self.seed,
+            "target_far": self.target_far,
+            "models": [model.to_dict() for model in self.models],
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, object]) -> "CalibrationArtifact":
+        try:
+            if payload["format"] != CALIBRATION_FORMAT:
+                raise CalibrationError(
+                    f"unsupported calibration format {payload['format']!r}"
+                )
+            return CalibrationArtifact(
+                calibration_version=str(payload["calibration_version"]),
+                fingerprint=str(payload["fingerprint"]),
+                store_version=str(payload["store_version"]),
+                seed=int(payload["seed"]),  # type: ignore[arg-type]
+                target_far=float(payload["target_far"]),  # type: ignore[arg-type]
+                models=tuple(
+                    ThresholdModel.from_dict(entry)
+                    for entry in payload["models"]  # type: ignore[union-attr]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CalibrationError(f"malformed calibration payload: {exc}") from exc
+
+
+def calibration_version_id(
+    fingerprint: str,
+    store_version: str,
+    seed: int,
+    target_far: float,
+    models: tuple[ThresholdModel, ...],
+) -> str:
+    """The content address of an artifact's payload (order-independent in
+    the model set: models are digested sorted by pipeline name)."""
+    canonical = json.dumps(
+        {
+            "format": CALIBRATION_FORMAT,
+            "fingerprint": fingerprint,
+            "store_version": store_version,
+            "seed": seed,
+            "target_far": target_far,
+            "models": sorted(
+                (model.to_dict() for model in models),
+                key=lambda entry: str(entry["pipeline"]),
+            ),
+        },
+        sort_keys=True,
+    )
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def build_artifact(
+    references: ImageDataset,
+    models: tuple[ThresholdModel, ...] | list[ThresholdModel],
+    *,
+    seed: int = DEFAULT_SEED,
+    target_far: float = DEFAULT_TARGET_FAR,
+    store_version: str = "",
+) -> CalibrationArtifact:
+    """Assemble a content-addressed artifact from fitted threshold models."""
+    models = tuple(models)
+    fingerprint = dataset_fingerprint(references)
+    return CalibrationArtifact(
+        calibration_version=calibration_version_id(
+            fingerprint, store_version, seed, target_far, models
+        ),
+        fingerprint=fingerprint,
+        store_version=store_version,
+        seed=seed,
+        target_far=target_far,
+        models=models,
+    )
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def save_calibration(artifact: CalibrationArtifact, store_dir: str | Path) -> Path:
+    """Publish *artifact* under ``<store_dir>/calibration`` and flip CURRENT.
+
+    Idempotent for identical content (the version file is content-addressed,
+    so a republish rewrites byte-identical JSON); the ``CURRENT`` pointer
+    always ends up naming *artifact*.
+    """
+    root = Path(store_dir) / CALIBRATION_DIR
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{artifact.calibration_version}.json"
+    _atomic_write(path, json.dumps(artifact.to_payload(), indent=2, sort_keys=True))
+    _atomic_write(root / CURRENT_NAME, artifact.calibration_version + "\n")
+    return path
+
+
+def current_calibration(store_dir: str | Path) -> str | None:
+    """The version named by CURRENT, or None before any publish."""
+    pointer = Path(store_dir) / CALIBRATION_DIR / CURRENT_NAME
+    try:
+        return pointer.read_text().strip() or None
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise CalibrationError(f"cannot read {pointer}: {exc}") from exc
+
+
+def load_calibration(
+    store_dir: str | Path, version: str | None = None
+) -> CalibrationArtifact:
+    """Load (and integrity-check) a published calibration artifact.
+
+    With *version* omitted the ``CURRENT`` pointer is resolved.  The content
+    address is recomputed from the loaded payload and must match the file's
+    claimed version — a flipped bit yields an error, never a wrong threshold.
+    """
+    root = Path(store_dir) / CALIBRATION_DIR
+    if version is None:
+        version = current_calibration(store_dir)
+        if version is None:
+            raise CalibrationError(
+                f"no calibration published under {root} (no {CURRENT_NAME})"
+            )
+    path = root / f"{version}.json"
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise CalibrationError(f"calibration version {version!r} not found") from exc
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CalibrationError(f"cannot read calibration {path}: {exc}") from exc
+    artifact = CalibrationArtifact.from_payload(payload)
+    expected = calibration_version_id(
+        artifact.fingerprint,
+        artifact.store_version,
+        artifact.seed,
+        artifact.target_far,
+        artifact.models,
+    )
+    if expected != version or artifact.calibration_version != version:
+        raise CalibrationError(
+            f"calibration {path} fails its content address "
+            f"(claimed {version!r}, derived {expected!r})"
+        )
+    return artifact

@@ -1,0 +1,257 @@
+"""Per-pipeline rejection-threshold calibration.
+
+ShapeY's nearest-neighbor matching methodology (PAPERS.md) motivates the
+statistic: instead of an ad-hoc score cutoff, the threshold comes from the
+two champion-score distributions a deployed matcher actually produces —
+
+* **genuine** — a library view matched leave-one-out against the rest of
+  the library (its best partner is typically another view of its own
+  model: the re-encounter statistic of a robot that meets an enrolled
+  object again from a new viewpoint), and
+* **imposter** — the same view matched against every *other* class, which
+  is exactly the champion an unknown object of that appearance would get.
+
+Both are computed through the pipeline's own scoring kernels
+(:meth:`~repro.pipelines.base.MatchingPipeline.score_views`), so the
+calibrated threshold and the serve-time decision use the same statistic
+bit-for-bit.  The threshold is the imposter-distribution quantile at the
+target false-accept rate; all comparisons at apply time are strict
+inequalities (a champion exactly on the threshold is rejected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED, rng as make_rng, spawn
+from repro.datasets.dataset import ImageDataset
+from repro.errors import CalibrationError
+from repro.evaluation.curves import roc_curve
+from repro.pipelines.base import UNKNOWN_LABEL, Prediction, RecognitionPipeline
+
+#: Default target false-accept rate: the fraction of imposter champions the
+#: fitted threshold is allowed to accept.
+DEFAULT_TARGET_FAR = 0.05
+
+
+@dataclass(frozen=True)
+class ThresholdModel:
+    """A calibrated accept/reject threshold for one pipeline's champions.
+
+    ``higher_is_better`` mirrors the pipeline's score direction: similarity
+    pipelines accept champions *above* the threshold, distance pipelines
+    accept champions *below* it.  ``auroc`` / ``far`` / ``frr`` summarise
+    the calibration distributions the threshold was fitted on (``far`` =
+    imposter champions accepted, ``frr`` = genuine champions rejected).
+    """
+
+    pipeline: str
+    threshold: float
+    higher_is_better: bool
+    target_far: float
+    auroc: float
+    far: float
+    frr: float
+    genuine_count: int
+    imposter_count: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_far < 1.0:
+            raise CalibrationError(
+                f"target_far must lie in (0, 1), got {self.target_far}"
+            )
+        if not np.isfinite(self.threshold):
+            raise CalibrationError(f"threshold must be finite, got {self.threshold}")
+
+    def margin_of(self, score: float) -> float:
+        """Signed distance of *score* to the threshold, accept side positive."""
+        if self.higher_is_better:
+            return float(score) - self.threshold
+        return self.threshold - float(score)
+
+    def accepts(self, score: float) -> bool:
+        """Whether a champion at *score* clears the threshold (strictly)."""
+        return self.margin_of(score) > 0.0
+
+    def apply(self, prediction: Prediction) -> Prediction:
+        """Screen one champion: pass-through with a margin, or reject.
+
+        Accepted predictions keep their label and gain the positive margin;
+        rejected ones are relabelled :data:`~repro.pipelines.base.UNKNOWN_LABEL`
+        with ``unknown=True``, keeping the rejected champion's ``model_id``
+        and ``score`` for introspection.
+        """
+        margin = self.margin_of(prediction.score)
+        if margin > 0.0:
+            return replace(prediction, margin=margin)
+        return replace(
+            prediction, label=UNKNOWN_LABEL, unknown=True, margin=margin
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "pipeline": self.pipeline,
+            "threshold": self.threshold,
+            "higher_is_better": self.higher_is_better,
+            "target_far": self.target_far,
+            "auroc": self.auroc,
+            "far": self.far,
+            "frr": self.frr,
+            "genuine_count": self.genuine_count,
+            "imposter_count": self.imposter_count,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, object]) -> "ThresholdModel":
+        try:
+            return ThresholdModel(
+                pipeline=str(payload["pipeline"]),
+                threshold=float(payload["threshold"]),  # type: ignore[arg-type]
+                higher_is_better=bool(payload["higher_is_better"]),
+                target_far=float(payload["target_far"]),  # type: ignore[arg-type]
+                auroc=float(payload["auroc"]),  # type: ignore[arg-type]
+                far=float(payload["far"]),  # type: ignore[arg-type]
+                frr=float(payload["frr"]),  # type: ignore[arg-type]
+                genuine_count=int(payload["genuine_count"]),  # type: ignore[arg-type]
+                imposter_count=int(payload["imposter_count"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CalibrationError(f"malformed threshold payload: {exc}") from exc
+
+
+def fit_threshold(
+    pipeline_name: str,
+    genuine_scores: np.ndarray,
+    imposter_scores: np.ndarray,
+    *,
+    higher_is_better: bool,
+    target_far: float = DEFAULT_TARGET_FAR,
+) -> ThresholdModel:
+    """Fit a :class:`ThresholdModel` from two champion-score distributions.
+
+    The threshold is the imposter quantile admitting *target_far* of the
+    imposter champions: for distances the ``target_far`` quantile (accept
+    below), for similarities the ``1 - target_far`` quantile (accept above).
+    """
+    genuine = np.asarray(genuine_scores, dtype=np.float64).ravel()
+    imposter = np.asarray(imposter_scores, dtype=np.float64).ravel()
+    if genuine.size == 0 or imposter.size == 0:
+        raise CalibrationError(
+            f"{pipeline_name}: calibration needs non-empty genuine and "
+            f"imposter score sets (got {genuine.size}/{imposter.size})"
+        )
+    if not 0.0 < target_far < 1.0:
+        raise CalibrationError(f"target_far must lie in (0, 1), got {target_far}")
+    if not (np.isfinite(genuine).all() and np.isfinite(imposter).all()):
+        raise CalibrationError(f"{pipeline_name}: non-finite calibration scores")
+
+    if higher_is_better:
+        threshold = float(np.quantile(imposter, 1.0 - target_far))
+    else:
+        threshold = float(np.quantile(imposter, target_far))
+
+    # Orient so higher = more genuine, then reuse the binary ROC machinery.
+    oriented = np.concatenate([genuine, imposter])
+    if not higher_is_better:
+        oriented = -oriented
+    labels = np.concatenate(
+        [np.ones(genuine.size, dtype=np.int64), np.zeros(imposter.size, dtype=np.int64)]
+    )
+    auroc = roc_curve(labels, oriented).auc
+
+    probe = ThresholdModel(
+        pipeline=pipeline_name,
+        threshold=threshold,
+        higher_is_better=higher_is_better,
+        target_far=target_far,
+        auroc=auroc,
+        far=0.0,
+        frr=0.0,
+        genuine_count=int(genuine.size),
+        imposter_count=int(imposter.size),
+    )
+    accepted_imposters = sum(1 for s in imposter if probe.accepts(float(s)))
+    rejected_genuine = sum(1 for s in genuine if not probe.accepts(float(s)))
+    return replace(
+        probe,
+        far=accepted_imposters / imposter.size,
+        frr=rejected_genuine / genuine.size,
+    )
+
+
+def calibration_scores(
+    pipeline: RecognitionPipeline,
+    references: ImageDataset,
+    *,
+    seed: int = DEFAULT_SEED,
+    max_anchors: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded genuine/imposter champion-score distributions of *pipeline*.
+
+    Each sampled anchor view contributes one genuine champion (best score
+    against the whole library excluding the anchor row itself — the
+    leave-one-out re-encounter statistic) and one imposter champion (best
+    score against every other class — the champion an unknown of that
+    appearance would get).  The anchor sample is a pure function of *seed*,
+    so two processes draw identical pair sets.
+    """
+    score_views = getattr(pipeline, "score_views", None) or getattr(
+        pipeline, "theta_scores", None
+    )
+    if score_views is None:
+        raise CalibrationError(
+            f"{pipeline.name}: pipeline has no per-view scoring entry point"
+        )
+    labels = references.labels
+    if len(set(labels)) < 2:
+        raise CalibrationError("calibration needs at least two reference classes")
+    higher = bool(getattr(pipeline, "higher_is_better", False))
+    best = np.max if higher else np.min
+
+    n = len(references)
+    generator = spawn(make_rng(seed), f"openset-calibration:{pipeline.name}")
+    if max_anchors is None or max_anchors >= n:
+        anchors = np.arange(n)
+    else:
+        anchors = np.sort(generator.choice(n, size=max_anchors, replace=False))
+
+    label_array = np.asarray(labels)
+    genuine: list[float] = []
+    imposter: list[float] = []
+    for anchor in anchors:
+        anchor = int(anchor)
+        scores = np.asarray(score_views(references[anchor]), dtype=np.float64)
+        same_class = label_array == labels[anchor]
+        leave_one_out = np.ones(n, dtype=bool)
+        leave_one_out[anchor] = False
+        genuine.append(float(best(scores[leave_one_out])))
+        imposter.append(float(best(scores[~same_class])))
+    return np.asarray(genuine, dtype=np.float64), np.asarray(imposter, dtype=np.float64)
+
+
+def calibrate_pipeline(
+    pipeline: RecognitionPipeline,
+    references: ImageDataset,
+    *,
+    seed: int = DEFAULT_SEED,
+    target_far: float = DEFAULT_TARGET_FAR,
+    max_anchors: int | None = None,
+) -> ThresholdModel:
+    """Fit *pipeline*'s rejection threshold on *references*.
+
+    The pipeline must already be fitted on *references* (calibration reads
+    raw champion scores through the scoring kernels, bypassing any attached
+    threshold, so re-calibrating an open-set pipeline is safe).
+    """
+    genuine, imposter = calibration_scores(
+        pipeline, references, seed=seed, max_anchors=max_anchors
+    )
+    return fit_threshold(
+        pipeline.name,
+        genuine,
+        imposter,
+        higher_is_better=bool(getattr(pipeline, "higher_is_better", False)),
+        target_far=target_far,
+    )

@@ -1,0 +1,218 @@
+"""Seeded open-set evaluation over class-holdout splits.
+
+The protocol mirrors the paper's mobile-robot deployment: the robot
+enrolls a set of objects (gallery views of each reference model), later
+re-encounters those same objects from *new viewpoints* (the known-class
+probes), and also meets objects of classes it was never taught (the
+held-out-class probes — every view of the held-out classes is an unknown).
+Pipelines are fitted and calibrated on the known-class gallery only; the
+calibrated thresholds must reject held-out-class probes while keeping
+known-object probes flowing through with correct labels.
+
+Both splits — which classes are held out, and which views of each model
+are gallery vs probe — are pure functions of the experiment seed, so two
+processes (or two CI runs) evaluate the identical open-set task.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import ExperimentConfig, rng as make_rng, spawn
+from repro.datasets.dataset import ImageDataset
+from repro.datasets.shapenet import build_reference_library
+from repro.errors import EvaluationError
+from repro.evaluation.openset import openset_auroc, openset_report, oscr_curve
+from repro.openset.artifact import build_artifact, save_calibration
+from repro.openset.calibration import (
+    DEFAULT_TARGET_FAR,
+    calibrate_pipeline,
+)
+from repro.pipelines.base import RecognitionPipeline
+
+
+def split_holdout_classes(
+    dataset: ImageDataset,
+    holdout: int = 2,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Split *dataset*'s classes into (known, held-out) with a seeded draw.
+
+    Returns class-name tuples; known classes keep their original order.
+    """
+    classes = dataset.classes
+    if not 0 < holdout < len(classes):
+        raise EvaluationError(
+            f"holdout must lie in (0, {len(classes)}), got {holdout}"
+        )
+    generator = make_rng(rng)
+    picks = generator.choice(len(classes), size=holdout, replace=False)
+    held = tuple(classes[int(i)] for i in np.sort(picks))
+    known = tuple(name for name in classes if name not in held)
+    return known, held
+
+
+def subset_by_classes(
+    dataset: ImageDataset, classes: Sequence[str], name: str | None = None
+) -> ImageDataset:
+    """The views of *dataset* whose label is in *classes*, original order."""
+    wanted = set(classes)
+    indices = [i for i, label in enumerate(dataset.labels) if label in wanted]
+    if not indices:
+        raise EvaluationError(f"no views of classes {sorted(wanted)} in {dataset.name}")
+    return dataset.subset(indices, name=name or f"{dataset.name}-subset")
+
+
+def default_openset_pipelines(config: ExperimentConfig) -> list[RecognitionPipeline]:
+    """The pipeline set open-set calibration and evaluation report on."""
+    from repro.imaging.histogram import HistogramMetric
+    from repro.imaging.match_shapes import ShapeDistance
+    from repro.pipelines.color_only import ColorOnlyPipeline
+    from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+    from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+    return [
+        ShapeOnlyPipeline(ShapeDistance.L3),
+        ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=config.histogram_bins),
+        ColorOnlyPipeline(HistogramMetric.INTERSECTION, bins=config.histogram_bins),
+        HybridPipeline(HybridStrategy.WEIGHTED_SUM, bins=config.histogram_bins),
+    ]
+
+
+def run_openset_eval(
+    config: ExperimentConfig | None = None,
+    *,
+    holdout: int = 2,
+    target_far: float = DEFAULT_TARGET_FAR,
+    pipelines: Sequence[RecognitionPipeline] | None = None,
+    store_dir: str | None = None,
+    models_per_class: int = 3,
+    views_per_model: int = 12,
+    probe_views: int = 4,
+) -> dict[str, object]:
+    """Evaluate calibrated rejection on a seeded class-holdout split.
+
+    Builds a seeded reference library (*models_per_class* ×
+    *views_per_model* per class), reserves the last *probe_views* views of
+    every model as probes, and holds *holdout* classes out entirely.  Each
+    pipeline is fitted and calibrated on the known-class gallery; known
+    probes (novel views of enrolled objects) feed accuracy/false-unknown
+    rates, and every view of the held-out classes feeds unknown recall.
+    AUROC and the OSCR area are threshold-free (pure score separability);
+    the report block is what the fitted threshold actually did.
+
+    With *store_dir* the fitted thresholds are additionally published as a
+    content-addressed calibration artifact under that directory.
+    """
+    config = config or ExperimentConfig()
+    if not 0 < probe_views < views_per_model:
+        raise EvaluationError(
+            f"probe_views must lie in (0, {views_per_model}), got {probe_views}"
+        )
+    library = build_reference_library(
+        config, models_per_class=models_per_class, views_per_model=views_per_model
+    )
+    known, held = split_holdout_classes(
+        library, holdout, spawn(make_rng(config.seed), "openset-holdout")
+    )
+    gallery_split = views_per_model - probe_views
+    gallery = library.subset(
+        [i for i, item in enumerate(library) if item.view_id < gallery_split],
+        name="openset-gallery",
+    )
+    probes = library.subset(
+        [i for i, item in enumerate(library) if item.view_id >= gallery_split],
+        name="openset-probes",
+    )
+    known_refs = subset_by_classes(gallery, known, name="gallery-known")
+    known_queries = subset_by_classes(probes, known, name="probes-known")
+    unknown_queries = subset_by_classes(library, held, name="probes-unknown")
+
+    payload: dict[str, object] = {
+        "seed": config.seed,
+        "holdout": holdout,
+        "target_far": target_far,
+        "known_classes": list(known),
+        "holdout_classes": list(held),
+        "reference_views": len(known_refs),
+        "known_queries": len(known_queries),
+        "unknown_queries": len(unknown_queries),
+        "pipelines": {},
+    }
+
+    models = []
+    rows: dict[str, object] = {}
+    for pipeline in (
+        pipelines if pipelines is not None else default_openset_pipelines(config)
+    ):
+        pipeline.fit(known_refs)
+        model = calibrate_pipeline(
+            pipeline, known_refs, seed=config.seed, target_far=target_far
+        )
+        models.append(model)
+        higher = bool(getattr(pipeline, "higher_is_better", False))
+
+        known_preds = pipeline.predict_batch(list(known_queries))
+        unknown_preds = pipeline.predict_batch(list(unknown_queries))
+        known_scores = np.asarray([p.score for p in known_preds], dtype=np.float64)
+        unknown_scores = np.asarray([p.score for p in unknown_preds], dtype=np.float64)
+        known_correct = np.asarray(
+            [p.label == q.label for p, q in zip(known_preds, known_queries)],
+            dtype=bool,
+        )
+        thresholded_known = [model.apply(p) for p in known_preds]
+        thresholded_unknown = [model.apply(p) for p in unknown_preds]
+        report = openset_report(
+            np.asarray([p.unknown for p in thresholded_known], dtype=bool),
+            known_correct,
+            np.asarray([p.unknown for p in thresholded_unknown], dtype=bool),
+        )
+        curve = oscr_curve(known_scores, known_correct, unknown_scores, higher)
+        rows[pipeline.name] = {
+            "higher_is_better": higher,
+            "threshold": model.threshold,
+            "auroc": openset_auroc(known_scores, unknown_scores, higher),
+            "oscr_area": curve.area,
+            "closed_set_accuracy": float(np.mean(known_correct)),
+            "calibration": {
+                "auroc": model.auroc,
+                "far": model.far,
+                "frr": model.frr,
+                "genuine_count": model.genuine_count,
+                "imposter_count": model.imposter_count,
+            },
+            "report": report.to_dict(),
+        }
+    payload["pipelines"] = rows
+
+    artifact = build_artifact(
+        known_refs, models, seed=config.seed, target_far=target_far
+    )
+    payload["calibration_version"] = artifact.calibration_version
+    if store_dir is not None:
+        save_calibration(artifact, store_dir)
+        payload["calibration_path"] = str(store_dir)
+    return payload
+
+
+def format_openset_report(payload: dict[str, object]) -> str:
+    """A human-readable table of one :func:`run_openset_eval` payload."""
+    lines = [
+        "Open-set evaluation "
+        f"(seed={payload['seed']}, holdout={payload['holdout_classes']}, "
+        f"target FAR={payload['target_far']})",
+        f"{'pipeline':<28} {'AUROC':>7} {'OSCR':>7} {'known acc':>9} "
+        f"{'unk recall':>10} {'false unk':>9}",
+    ]
+    pipelines: dict[str, dict[str, object]] = payload["pipelines"]  # type: ignore[assignment]
+    for name, row in pipelines.items():
+        report: dict[str, float] = row["report"]  # type: ignore[assignment]
+        lines.append(
+            f"{name:<28} {row['auroc']:>7.3f} {row['oscr_area']:>7.3f} "
+            f"{report['known_accuracy']:>9.3f} {report['unknown_recall']:>10.3f} "
+            f"{report['false_unknown_rate']:>9.3f}"
+        )
+    lines.append(f"calibration version: {payload['calibration_version']}")
+    return "\n".join(lines)

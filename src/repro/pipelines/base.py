@@ -37,7 +37,13 @@ from repro.errors import PipelineError, StoreError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.executor import ParallelExecutor
     from repro.index.twostage import RetrievalResult, TwoStageRetriever
+    from repro.openset.calibration import ThresholdModel
     from repro.store.attach import ReferenceStore
+
+#: The label open-set rejection assigns when a query's champion score fails
+#: the calibrated threshold.  Deliberately outside every dataset's class
+#: vocabulary (dataset classes are concrete nouns like "mug").
+UNKNOWN_LABEL = "unknown"
 
 
 @dataclass(frozen=True)
@@ -54,6 +60,14 @@ class Prediction:
     prediction served by a fallback stage after the primary pipeline failed
     (see :class:`~repro.pipelines.fallback.FallbackPipeline`) — coarser, but
     better than a dropped query.
+
+    The open-set fields (PR 9) default to the closed-set values so every
+    pre-existing construction site is untouched: ``unknown`` is True when a
+    calibrated threshold rejected the champion (``label`` is then
+    :data:`UNKNOWN_LABEL` and ``model_id``/``score`` keep the rejected
+    champion for introspection), and ``margin`` is the signed distance of
+    the champion score to the threshold in the accept direction (positive =
+    accepted, negative = rejected; ``None`` when no threshold was applied).
     """
 
     label: str
@@ -61,6 +75,8 @@ class Prediction:
     score: float = 0.0
     view_scores: np.ndarray | None = field(default=None, repr=False)
     degraded: bool = False
+    unknown: bool = False
+    margin: float | None = None
 
 
 class RecognitionPipeline(abc.ABC):
@@ -87,6 +103,53 @@ class RecognitionPipeline(abc.ABC):
         #: dominant memory cost of a full NYUSet sweep.  Evaluation code
         #: that needs score curves (rank fusion, recall@k analysis) opts in.
         self.keep_view_scores: bool = False
+        #: Calibrated open-set threshold model applied to every champion
+        #: (see :meth:`attach_thresholds`); None = closed-set behaviour,
+        #: bit-identical to the pre-openset path.
+        self._threshold_model: "ThresholdModel | None" = None
+
+    @property
+    def thresholds_attached(self) -> bool:
+        """Whether a calibrated rejection threshold is currently attached."""
+        return self._threshold_model is not None
+
+    def attach_thresholds(self, model: "ThresholdModel") -> "RecognitionPipeline":
+        """Attach a calibrated open-set threshold model.
+
+        Every subsequent champion is screened against the model: champions
+        on the reject side of the threshold come back with
+        ``label=UNKNOWN_LABEL`` and ``unknown=True``; accepted champions
+        keep their label and additionally carry the signed ``margin``.
+        :meth:`detach_thresholds` restores the exact closed-set behaviour.
+        """
+        from repro.errors import CalibrationError
+
+        higher = getattr(self, "higher_is_better", False)
+        if bool(model.higher_is_better) != bool(higher):
+            raise CalibrationError(
+                f"{self.name}: threshold model calibrated for "
+                f"higher_is_better={model.higher_is_better}, pipeline scores "
+                f"have higher_is_better={higher}"
+            )
+        self._threshold_model = model
+        return self
+
+    def detach_thresholds(self) -> "RecognitionPipeline":
+        """Drop the threshold model and return to closed-set prediction."""
+        self._threshold_model = None
+        return self
+
+    def _finalize(self, prediction: Prediction) -> Prediction:
+        """Apply the attached threshold model, if any.
+
+        The single choke point of the rejection path: with no model
+        attached the prediction object passes through untouched, keeping
+        the closed-set path bit-identical.
+        """
+        model = self._threshold_model
+        if model is None:
+            return prediction
+        return model.apply(prediction)
 
     @property
     def references(self) -> ImageDataset:
@@ -316,7 +379,9 @@ class MatchingPipeline(RecognitionPipeline):
 
     def _prediction_of_hit(self, hit: "RetrievalResult") -> Prediction:
         winner = self.references[hit.row]
-        return Prediction(label=winner.label, model_id=winner.model_id, score=hit.score)
+        return self._finalize(
+            Prediction(label=winner.label, model_id=winner.model_id, score=hit.score)
+        )
 
     @property
     def scoring_mode(self) -> str:
@@ -490,11 +555,13 @@ class MatchingPipeline(RecognitionPipeline):
 
     def _prediction_at(self, best: int, scores: np.ndarray) -> Prediction:
         winner = self.references[best]
-        return Prediction(
-            label=winner.label,
-            model_id=winner.model_id,
-            score=float(scores[best]),
-            view_scores=scores if self.keep_view_scores else None,
+        return self._finalize(
+            Prediction(
+                label=winner.label,
+                model_id=winner.model_id,
+                score=float(scores[best]),
+                view_scores=scores if self.keep_view_scores else None,
+            )
         )
 
     def predict_topk(self, query: LabelledImage, k: int = 3) -> list[Prediction]:

@@ -477,8 +477,10 @@ class HybridPipeline(RecognitionPipeline):
         if self._retriever is not None and not self.keep_view_scores:
             hit = self.champion_batch([query])[0]
             winner = self.references[hit.row]
-            return Prediction(
-                label=winner.label, model_id=winner.model_id, score=hit.score
+            return self._finalize(
+                Prediction(
+                    label=winner.label, model_id=winner.model_id, score=hit.score
+                )
             )
         return self._predict_from_thetas(self.theta_scores(query))
 
@@ -494,8 +496,12 @@ class HybridPipeline(RecognitionPipeline):
             for hit in self.champion_batch(queries):
                 winner = references[hit.row]
                 out.append(
-                    Prediction(
-                        label=winner.label, model_id=winner.model_id, score=hit.score
+                    self._finalize(
+                        Prediction(
+                            label=winner.label,
+                            model_id=winner.model_id,
+                            score=hit.score,
+                        )
                     )
                 )
             return out
@@ -509,10 +515,12 @@ class HybridPipeline(RecognitionPipeline):
             for index, row in zip(best, thetas):
                 winner = references[int(index)]
                 out.append(
-                    Prediction(
-                        label=winner.label,
-                        model_id=winner.model_id,
-                        score=float(row[index]),
+                    self._finalize(
+                        Prediction(
+                            label=winner.label,
+                            model_id=winner.model_id,
+                            score=float(row[index]),
+                        )
                     )
                 )
             return out
@@ -526,11 +534,13 @@ class HybridPipeline(RecognitionPipeline):
             with maybe_stage(self.stopwatch, "argmin"):
                 best = int(np.argmin(thetas))
             winner = references[best]
-            return Prediction(
-                label=winner.label,
-                model_id=winner.model_id,
-                score=float(thetas[best]),
-                view_scores=view_scores,
+            return self._finalize(
+                Prediction(
+                    label=winner.label,
+                    model_id=winner.model_id,
+                    score=float(thetas[best]),
+                    view_scores=view_scores,
+                )
             )
 
         if self.strategy == HybridStrategy.MICRO_AVERAGE:
@@ -551,8 +561,10 @@ class HybridPipeline(RecognitionPipeline):
             model_id = best_key
         else:
             label, model_id = best_key, ""
-        return Prediction(
-            label=label, model_id=model_id, score=best_mean, view_scores=view_scores
+        return self._finalize(
+            Prediction(
+                label=label, model_id=model_id, score=best_mean, view_scores=view_scores
+            )
         )
 
 

@@ -50,7 +50,7 @@ import threading
 import time
 from typing import Any, Sequence
 
-from repro.config import ExperimentConfig, ServingSettings, rng as make_rng
+from repro.config import ExperimentConfig, ServingSettings, rng as make_rng, spawn
 from repro.datasets.dataset import ImageDataset, LabelledImage
 from repro.datasets.nyu import build_nyu
 from repro.datasets.shapenet import build_sns1
@@ -59,6 +59,17 @@ from repro.pipelines.base import Prediction, RecognitionPipeline
 from repro.serving.service import RecognitionService
 
 LOAD_MODES = ("closed", "open")
+
+#: Classes held out of the reference fit when ``unknown_rate > 0``.
+_OPENSET_HOLDOUT = 2
+
+#: The token loadgen configures its own service with for ``enroll_rate``
+#: runs — the run both owns the service and enrolls into it.
+_ENROLL_TOKEN = "loadgen-enroll"
+
+#: Upper bound on mid-run enrollment events: each one republishes the
+#: store and hot-swaps every shard, so a handful is plenty of churn.
+_MAX_ENROLL_EVENTS = 4
 
 
 def build_workload(
@@ -252,6 +263,84 @@ def _post_swap_audit(
     return info
 
 
+def _enroll_when_warm(
+    service: Any,
+    config: ExperimentConfig,
+    base_classes: Sequence[str],
+    requests: int,
+    events: int,
+    out: dict,
+) -> None:
+    """Enroll *events* synthetic novel classes while the run is in flight.
+
+    Event *k* waits (bounded by a safety timeout) until roughly
+    ``(k + 1) / (events + 1)`` of the workload has completed, then enrolls
+    a fresh two-view class through the service's authenticated republish
+    path, so every enrollment races live scatter traffic.  Reports, errors
+    and one probe view per enrolled class land in *out*.
+    """
+    from repro.openset.enroll import enrollment_views
+
+    reports: list = []
+    errors: list[str] = []
+    probes: list[LabelledImage] = []
+    for event in range(events):
+        target = max(1, (event + 1) * requests // (events + 1))
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            if service.report().completed >= target:
+                break
+            time.sleep(0.005)
+        additions = enrollment_views(
+            f"novel{event}",
+            base_classes[event % len(base_classes)],
+            config,
+            views=2,
+        )
+        try:
+            reports.append(service.enroll(additions, token=_ENROLL_TOKEN))
+            probes.append(additions[0])
+        except Exception as exc:
+            errors.append(f"{type(exc).__name__}: {exc}")
+    out["reports"] = reports
+    out["errors"] = errors
+    out["probes"] = probes
+
+
+def _post_enroll_audit(service: Any, enroll_result: dict) -> dict:
+    """Post-drain probe: every enrolled class must be live and recognizable.
+
+    One view of each enrolled class goes back through the service; a
+    champion that is not the enrolled class (or arrives degraded) counts
+    as a failure — the acceptance bar for live enrollment.
+    """
+    reports = enroll_result.get("reports", [])
+    failures = 0
+    for probe in enroll_result.get("probes", []):
+        answer = service.recognize(probe)
+        if answer.degraded or answer.label != probe.label:
+            failures += 1
+    return {
+        "events": len(reports) + len(enroll_result.get("errors", [])),
+        "committed": len(reports),
+        "errors": enroll_result.get("errors", []),
+        "views_added": sum(report.views_added for report in reports),
+        "new_classes": [
+            name for report in reports for name in report.new_classes
+        ],
+        "final_epoch": reports[-1].epoch if reports else None,
+        "invalidated_features": sum(
+            report.invalidated_features for report in reports
+        ),
+        "invalidated_matrices": sum(
+            report.invalidated_matrices for report in reports
+        ),
+        "latency_s": [round(report.latency_s, 3) for report in reports],
+        "post_enroll_probe": len(enroll_result.get("probes", [])),
+        "post_enroll_failures": failures,
+    }
+
+
 def run_loadgen(
     pipeline_name: str = "hybrid",
     config: ExperimentConfig | None = None,
@@ -268,6 +357,8 @@ def run_loadgen(
     slo_max_degraded: int | None = None,
     shortlist_k: int | None = None,
     swap_mid_run: bool = False,
+    unknown_rate: float = 0.0,
+    enroll_rate: float = 0.0,
 ) -> dict:
     """One full load-generation run; returns the BENCH_serving.json payload.
 
@@ -300,6 +391,28 @@ def run_loadgen(
     swap; afterwards the run waits for the old epoch to drain and probes
     the post-swap service against a cold attach of the new version
     (``swap.post_swap_mismatches`` must be 0).
+
+    *unknown_rate* turns the run open-set: two seeded classes are held out
+    of the reference fit, a rejection threshold is calibrated on the known
+    library and attached to both the served path and the sequential
+    baseline (so the mismatch audit stays like-for-like), and a seeded
+    fraction of the workload is replaced by held-out-class queries.  The
+    whole workload switches to cycled library views — known queries and
+    injected unknowns then share one domain, so the payload's ``openset``
+    block (served unknown-recall / false-unknown rates and
+    score-separability AUROC) measures class membership rather than
+    NYU-vs-render domain shift.
+
+    *enroll_rate* (sharded only) enrolls synthetic novel classes through
+    the authenticated live republish path while the workload is in flight
+    — roughly ``enroll_rate * requests`` events, capped at a handful.  The
+    known workload switches to cycled reference views, whose self-match
+    champions (distance zero at the original row; ties resolve to the
+    lower, pre-existing index) are provably stable across an enrollment
+    swap — so the standard zero-mismatch audit keeps pinning closed-set
+    correctness *through* the enrollments, and a post-drain probe asserts
+    every enrolled class is recognizable (``enroll.post_enroll_failures``
+    must be 0).
     """
     if mode not in LOAD_MODES:
         raise ServingError(f"unknown load mode {mode!r}, expected one of {LOAD_MODES}")
@@ -319,6 +432,12 @@ def run_loadgen(
         raise ServingError(f"shortlist_k must be >= 1, got {shortlist_k}")
     if swap_mid_run and workers < 2:
         raise ServingError("swap_mid_run requires a sharded service (workers >= 2)")
+    if not 0.0 <= unknown_rate < 1.0:
+        raise ServingError(f"unknown_rate must lie in [0, 1), got {unknown_rate}")
+    if enroll_rate < 0.0:
+        raise ServingError(f"enroll_rate must be >= 0, got {enroll_rate}")
+    if enroll_rate > 0.0 and workers < 2:
+        raise ServingError("enroll_rate requires a sharded service (workers >= 2)")
     config = config or ExperimentConfig(nyu_scale=0.05)
     settings = settings or ServingSettings()
 
@@ -326,8 +445,56 @@ def run_loadgen(
 
     registry = registry or default_registry()
     references = build_sns1(config)
+    held_classes: tuple[str, ...] = ()
+    unknown_pool: list[LabelledImage] = []
+    if unknown_rate > 0.0:
+        from repro.openset.evaluate import split_holdout_classes, subset_by_classes
+
+        known_classes, held_classes = split_holdout_classes(
+            references,
+            _OPENSET_HOLDOUT,
+            spawn(make_rng(config.seed), "openset-holdout"),
+        )
+        unknown_pool = list(
+            subset_by_classes(references, held_classes, name="loadgen-unknowns")
+        )
+        references = subset_by_classes(
+            references, known_classes, name="loadgen-known-refs"
+        )
     pipeline = registry.warm_start(pipeline_name, references, config)
-    queries = build_workload(config, requests)
+    threshold_model: Any = None
+    if unknown_rate > 0.0:
+        from repro.openset.calibration import calibrate_pipeline
+
+        # One threshold calibrated on the known library, attached to the
+        # baseline pipeline (screens via its _finalize choke point) and,
+        # below, to the sharded front-end — both paths reject identically,
+        # so the mismatch audit compares like-for-like.
+        threshold_model = calibrate_pipeline(pipeline, references, seed=config.seed)
+        pipeline.attach_thresholds(threshold_model)
+    if unknown_rate > 0.0 or enroll_rate > 0.0:
+        # Library-view workload.  For open-set runs this is the paper's
+        # re-encounter protocol in-domain: known queries and injected
+        # unknowns are both clean library views, so the served AUROC
+        # measures class membership, not NYU-vs-render domain shift.  For
+        # enrollment runs it is also the stability guarantee: a known
+        # query's champion is its own row at distance zero — ties resolve
+        # to the original lower index, so enrolling mid-run cannot move it.
+        order = make_rng(config.seed).permutation(len(references))
+        queries = [
+            references[int(order[i % len(references)])] for i in range(requests)
+        ]
+    else:
+        queries = build_workload(config, requests)
+    unknown_flags = [False] * len(queries)
+    if unknown_rate > 0.0:
+        mask = spawn(make_rng(config.seed), "openset-unknown-mask").random(requests)
+        cursor = 0
+        for position in range(requests):
+            if mask[position] < unknown_rate:
+                queries[position] = unknown_pool[cursor % len(unknown_pool)]
+                unknown_flags[position] = True
+                cursor += 1
 
     # Prime the feature cache with every query once, so both the baseline
     # and the service score warm — the comparison isolates scheduling +
@@ -387,7 +554,11 @@ def run_loadgen(
             fallback=fallback_pipeline,
             store_version=built.store_version,
             shortlist_k=shortlist_k,
+            references=references if enroll_rate > 0.0 else None,
+            enroll_token=_ENROLL_TOKEN if enroll_rate > 0.0 else None,
         ).start()
+        if threshold_model is not None:
+            service.attach_thresholds(threshold_model)
         store_info = {
             "dir": None if store_cleanup is not None else str(store_dir),
             "version": built.store_version,
@@ -410,6 +581,7 @@ def run_loadgen(
             pipeline, settings=settings, fallback=fallback_pipeline
         ).start()
     swap_info: dict | None = None
+    enroll_info: dict | None = None
     try:
         swapper: threading.Thread | None = None
         swap_result: dict = {}
@@ -421,6 +593,26 @@ def run_loadgen(
                 daemon=True,
             )
             swapper.start()
+        enroller: threading.Thread | None = None
+        enroll_result: dict = {}
+        if enroll_rate > 0.0:
+            enroll_events = max(
+                1, min(_MAX_ENROLL_EVENTS, round(enroll_rate * requests))
+            )
+            enroller = threading.Thread(
+                target=_enroll_when_warm,
+                args=(
+                    service,
+                    config,
+                    references.classes,
+                    requests,
+                    enroll_events,
+                    enroll_result,
+                ),
+                name="loadgen-enroller",
+                daemon=True,
+            )
+            enroller.start()
         if mode == "closed":
             served = _drive_closed_loop(service, queries, clients)
         else:
@@ -437,6 +629,10 @@ def run_loadgen(
                 queries,
                 drained,
             )
+        if enroller is not None:
+            enroller.join(timeout=60.0)
+            service.wait_drained(timeout=30.0)
+            enroll_info = _post_enroll_audit(service, enroll_result)
     finally:
         service.stop(drain=True)
         if store_cleanup is not None:
@@ -446,11 +642,15 @@ def run_loadgen(
     evaluated = sum(
         1 for answer in served if answer is not None and not answer.degraded
     )
+    # Injected unknowns are excluded from the audit only when the library
+    # mutates mid-run: an enrolled class may legitimately become a held-out
+    # query's champion, while known self-match champions cannot move.
     mismatches = sum(
         1
-        for answer, expected in zip(served, sequential)
+        for answer, expected, injected in zip(served, sequential, unknown_flags)
         if answer is not None
         and not answer.degraded
+        and not (injected and enroll_rate > 0.0)
         and (answer.label, answer.model_id, answer.score)
         != (expected.label, expected.model_id, expected.score)
     )
@@ -473,6 +673,53 @@ def run_loadgen(
             "candidate_hit_rate": (
                 round(1.0 - mismatches / evaluated, 4) if evaluated else None
             ),
+        }
+    openset_info: dict | None = None
+    if threshold_model is not None:
+        import numpy as np
+
+        from repro.evaluation.openset import openset_auroc, openset_report
+
+        known_scores: list[float] = []
+        known_correct: list[bool] = []
+        known_unknown: list[bool] = []
+        unknown_scores: list[float] = []
+        unknown_unknown: list[bool] = []
+        for query, answer, injected in zip(queries, served, unknown_flags):
+            if answer is None or answer.degraded:
+                continue
+            if injected:
+                unknown_scores.append(answer.score)
+                unknown_unknown.append(answer.unknown)
+            else:
+                known_scores.append(answer.score)
+                known_correct.append(
+                    not answer.unknown and answer.label == query.label
+                )
+                known_unknown.append(answer.unknown)
+        served_report: dict | None = None
+        served_auroc: float | None = None
+        if known_scores and unknown_scores:
+            served_report = openset_report(
+                np.asarray(known_unknown, dtype=bool),
+                np.asarray(known_correct, dtype=bool),
+                np.asarray(unknown_unknown, dtype=bool),
+            ).to_dict()
+            served_auroc = openset_auroc(
+                np.asarray(known_scores, dtype=np.float64),
+                np.asarray(unknown_scores, dtype=np.float64),
+                bool(threshold_model.higher_is_better),
+            )
+        openset_info = {
+            "unknown_rate": unknown_rate,
+            "holdout_classes": list(held_classes),
+            "target_far": threshold_model.target_far,
+            "threshold": threshold_model.threshold,
+            "calibration_auroc": threshold_model.auroc,
+            "known_answers": len(known_scores),
+            "unknown_answers": len(unknown_scores),
+            "served_auroc": served_auroc,
+            "report": served_report,
         }
     payload = {
         "pipeline": pipeline_name,
@@ -500,6 +747,8 @@ def run_loadgen(
         "store": store_info,
         "index": index_info,
         "swap": swap_info,
+        "openset": openset_info,
+        "enroll": enroll_info,
         "slo": None,
     }
     if slo_p99_ms is not None or slo_max_degraded is not None:
@@ -577,6 +826,35 @@ def format_loadgen_report(payload: dict) -> str:
             f"({resilience['hedge_mismatches']} mismatched), "
             f"{resilience['swaps']} swaps"
         )
+    openset = payload.get("openset")
+    if openset is not None:
+        report_block = openset.get("report")
+        if report_block is not None:
+            lines.append(
+                f"  openset   holdout {', '.join(openset['holdout_classes'])} "
+                f"@ rate {openset['unknown_rate']:g}: "
+                f"unk recall {report_block['unknown_recall']:.3f}, "
+                f"false unk {report_block['false_unknown_rate']:.3f}, "
+                f"served AUROC {openset['served_auroc']:.3f} "
+                f"({openset['known_answers']}+{openset['unknown_answers']} answers)"
+            )
+        else:
+            lines.append(
+                f"  openset   holdout {', '.join(openset['holdout_classes'])} "
+                f"@ rate {openset['unknown_rate']:g}: too few answers to score"
+            )
+    enroll = payload.get("enroll")
+    if enroll is not None:
+        lines.append(
+            f"  enroll    {enroll['committed']}/{enroll['events']} committed "
+            f"({enroll['views_added']} views, classes "
+            f"{', '.join(enroll['new_classes']) or 'none'}, "
+            f"epoch {enroll['final_epoch']}), post-enroll probe "
+            f"{enroll['post_enroll_failures']}/{enroll['post_enroll_probe']} "
+            f"failures"
+        )
+        for error in enroll["errors"]:
+            lines.append(f"            enroll error: {error}")
     swap = payload.get("swap")
     if swap is not None:
         if swap["performed"]:

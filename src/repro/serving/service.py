@@ -29,17 +29,19 @@ concurrent missions then share one warm pipeline and batch together.
 
 from __future__ import annotations
 
+import hmac
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import replace
-from typing import TYPE_CHECKING, Callable
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.config import ExperimentConfig, ServingSettings
 from repro.datasets.dataset import ImageDataset, LabelledImage
 from repro.engine.faults import RetryPolicy
 from repro.errors import (
     DeadlineExceeded,
+    EnrollmentError,
     ServiceNotReady,
     ServiceOverloaded,
     ServingError,
@@ -50,6 +52,48 @@ from repro.serving.stats import ServiceStats, ServingReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serving.registry import PipelineRegistry
+
+
+@dataclass(frozen=True)
+class EnrollReport:
+    """Receipt of one committed online enrollment.
+
+    ``new_classes`` lists labels the library had never seen (first-seen
+    order); ``old_version`` / ``new_version`` identify the reference
+    artifact before and after (store version ids for the sharded service,
+    dataset names for the single-process one).  ``epoch`` is the serving
+    epoch the merged library went live in, and the ``invalidated_*``
+    counts are cache entries dropped for the republished namespaces.
+    """
+
+    views_added: int
+    new_classes: tuple[str, ...]
+    old_version: str
+    new_version: str
+    epoch: int
+    invalidated_features: int
+    invalidated_matrices: int
+    latency_s: float
+
+
+def authorize_enroll(
+    service_name: str, expected: str | None, token: str | None
+) -> None:
+    """Gate an enrollment request on the service's configured token.
+
+    Raises :class:`~repro.errors.EnrollmentError` when enrollment is
+    disabled (no token configured) or the presented token mismatches; the
+    comparison is constant-time so the token cannot be probed byte-by-byte
+    through the error latency.
+    """
+    if expected is None:
+        raise EnrollmentError(
+            f"{service_name}: enrollment is disabled (no enroll token configured)"
+        )
+    if token is None or not hmac.compare_digest(
+        expected.encode("utf-8"), token.encode("utf-8")
+    ):
+        raise EnrollmentError(f"{service_name}: enrollment token rejected")
 
 
 class _PendingRequest:
@@ -96,6 +140,7 @@ class RecognitionService:
         settings: ServingSettings | None = None,
         fallback: RecognitionPipeline | None = None,
         retry_policy: RetryPolicy | None = None,
+        enroll_token: str | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.pipeline = pipeline
@@ -109,18 +154,25 @@ class RecognitionService:
         self._clock = clock
         self._ready = False
         self._admitted = 0
+        self._enroll_token = enroll_token
+        self._enrollments = 0
+        # Serializes enrollments: each one quiesces and refits the pipeline.
+        self._enroll_lock = threading.Lock()
         # Guards the admission counter: submit() runs on arbitrary client
         # threads, and a bare `self._admitted += 1` would hand two concurrent
         # requests the same index (found by reprolint LCK302).
         self._admit_lock = threading.Lock()
-        self._batcher = MicroBatcher(
+        self._batcher = self._new_batcher()
+
+    def _new_batcher(self) -> MicroBatcher:
+        return MicroBatcher(
             self._flush,
             max_batch_size=self.settings.max_batch_size,
             max_wait_ms=self.settings.max_wait_ms,
             max_queue_depth=self.settings.max_queue_depth,
             on_discard=self._discard,
             on_shed=self._shed,
-            clock=clock,
+            clock=self._clock,
         )
 
     @classmethod
@@ -242,6 +294,53 @@ class RecognitionService:
     def report(self) -> ServingReport:
         """Current service-level statistics snapshot."""
         return self.stats.snapshot(queue_depth=self._batcher.depth)
+
+    # -- online enrollment ----------------------------------------------------
+
+    def enroll(
+        self, additions: Sequence[LabelledImage], token: str | None = None
+    ) -> EnrollReport:
+        """Teach the live service new reference views (or whole classes).
+
+        Authenticated by the constructor's *enroll_token* (enrollment is
+        rejected with :class:`~repro.errors.EnrollmentError` when no token
+        is configured or *token* mismatches).  The single-process service
+        has no artifact epochs, so the merge is a quiesce-and-refit: the
+        admission queue drains against the old library — every in-flight
+        request keeps its old-library champion — then the pipeline (and
+        fallback) refit on the merged dataset and admission reopens.
+        """
+        authorize_enroll(self.name, self._enroll_token, token)
+        from repro.openset.enroll import merge_enrollment
+
+        additions = list(additions)
+        with self._enroll_lock:
+            started = self._clock()
+            references = self.pipeline.references
+            known = set(references.labels)
+            merged = merge_enrollment(references, additions)
+            new_classes = tuple(
+                dict.fromkeys(
+                    item.label for item in additions if item.label not in known
+                )
+            )
+            self.stop(drain=True)
+            self.pipeline.fit(merged)
+            if self.fallback is not None:
+                self.fallback.fit(merged)
+            self._batcher = self._new_batcher()
+            self.start()
+            self._enrollments += 1
+            return EnrollReport(
+                views_added=len(additions),
+                new_classes=new_classes,
+                old_version=references.name,
+                new_version=merged.name,
+                epoch=self._enrollments,
+                invalidated_features=0,
+                invalidated_matrices=0,
+                latency_s=self._clock() - started,
+            )
 
     # -- flush path (micro-batcher thread) -----------------------------------
 

@@ -57,14 +57,16 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.config import ExperimentConfig, ServingSettings
-from repro.datasets.dataset import LabelledImage
+from repro.datasets.dataset import ImageDataset, LabelledImage
 from repro.engine.chaos import ShardChaos, apply_shard_chaos
 from repro.engine.faults import RetryPolicy
 from repro.errors import (
+    CalibrationError,
     DeadlineExceeded,
+    EnrollmentError,
     ReproError,
     ServiceNotReady,
     ServiceOverloaded,
@@ -76,9 +78,12 @@ from repro.index.twostage import validate_shortlist
 from repro.pipelines.base import Prediction, RecognitionPipeline
 from repro.serving.batcher import MicroBatcher
 from repro.serving.health import HealthPolicy, ShardHealth
-from repro.serving.service import _PendingRequest
+from repro.serving.service import EnrollReport, _PendingRequest, authorize_enroll
 from repro.serving.stats import ServiceStats, ServingReport
 from repro.store.attach import ReferenceStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.openset.calibration import ThresholdModel
 
 
 @dataclass(frozen=True)
@@ -347,6 +352,9 @@ class ShardedRecognitionService:
         store_version: str | None = None,
         shortlist_k: int | None = None,
         chaos: ShardChaos | None = None,
+        references: ImageDataset | None = None,
+        enroll_token: str | None = None,
+        threshold_model: "ThresholdModel | None" = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 1:
@@ -407,6 +415,16 @@ class ShardedRecognitionService:
         self._pool_lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_rebuilds = 0
+        # Online enrollment state: the pixel-bearing reference dataset the
+        # store was built from (store rows are image-free, so a republish
+        # needs the real dataset), the HMAC-compared token gating enroll(),
+        # and the calibrated rejection threshold applied post-merge.
+        self._references = references
+        self._enroll_token = enroll_token
+        self._enroll_lock = threading.Lock()
+        self._threshold_model: "ThresholdModel | None" = None
+        if threshold_model is not None:
+            self.attach_thresholds(threshold_model)
         # Serializes hot-swaps; the rescue-pipeline memo has its own lock
         # because the flush thread populates it while a swap may clear it.
         self._swap_lock = threading.Lock()
@@ -597,6 +615,37 @@ class ShardedRecognitionService:
             for shard, tracker in zip(shards, board)
         }
 
+    # -- open-set thresholds ---------------------------------------------------
+
+    @property
+    def thresholds_attached(self) -> bool:
+        """Whether served champions are screened by a calibrated threshold."""
+        return self._threshold_model is not None
+
+    def attach_thresholds(
+        self, model: "ThresholdModel"
+    ) -> "ShardedRecognitionService":
+        """Screen every served champion through *model* post-merge.
+
+        The threshold applies at the front-end, after the cross-shard
+        champion merge — a per-shard rejection would corrupt the
+        first-index tie rule the merge reproduces.  Raises
+        :class:`~repro.errors.CalibrationError` when *model*'s score
+        direction disagrees with the served pipeline's.
+        """
+        if bool(model.higher_is_better) != self._higher_is_better:
+            raise CalibrationError(
+                f"{self.name}: threshold direction "
+                f"(higher_is_better={model.higher_is_better}) disagrees with "
+                f"pipeline {self.pipeline_name!r}"
+            )
+        self._threshold_model = model
+        return self
+
+    def detach_thresholds(self) -> None:
+        """Back to pure closed-set serving (bit-identical champions)."""
+        self._threshold_model = None
+
     # -- live hot-swap ---------------------------------------------------------
 
     def swap_store(
@@ -735,6 +784,102 @@ class ShardedRecognitionService:
                 self._state_lock.wait(remaining)
             return True
 
+    # -- online enrollment -----------------------------------------------------
+
+    def _store_families(self, store: ReferenceStore) -> tuple[str, ...]:
+        """The build families of *store*, recovered from its shard namespaces."""
+        families: list[str] = []
+        for shard in store.manifest.shards:
+            if shard.namespace == "shape-hu":
+                families.append("shape")
+            elif shard.namespace.startswith("color-hist"):
+                families.append("color")
+            else:
+                families.append(shard.namespace)
+        return tuple(dict.fromkeys(families))
+
+    def enroll(
+        self, additions: Sequence[LabelledImage], token: str | None = None
+    ) -> EnrollReport:
+        """Teach the live service new reference views (or whole classes).
+
+        Authenticated by the constructor's *enroll_token* and gated on the
+        pixel-bearing *references* dataset (store rows are image-free, so
+        republish needs the real dataset).  The merged library is built as
+        a fresh content-addressed store version and committed through
+        :meth:`swap_store`'s verify-then-commit epoch machinery: in-flight
+        flushes drain against the old version — every pre-existing-class
+        request keeps its old champion bit-for-bit — while new admissions
+        scatter against the enrolled one.  On commit the republished
+        feature namespaces are invalidated from the process-wide caches
+        (exactly the shape/colour namespaces the store carries), and any
+        build or swap failure raises
+        :class:`~repro.errors.EnrollmentError` with the old epoch still
+        serving.
+        """
+        authorize_enroll(self.name, self._enroll_token, token)
+        from repro.engine.cache import default_cache, default_matrix_cache
+        from repro.openset.enroll import merge_enrollment
+        from repro.store.builder import build_store
+
+        additions = list(additions)
+        with self._enroll_lock:
+            started = self._clock()
+            references = self._references
+            if references is None:
+                raise EnrollmentError(
+                    f"{self.name}: no reference dataset attached — construct "
+                    "the service with references=<ImageDataset> to enroll"
+                )
+            store = ReferenceStore.attach(self.store_dir, version=self.store_version)
+            known = set(references.labels)
+            merged = merge_enrollment(references, additions)
+            new_classes = tuple(
+                dict.fromkeys(
+                    item.label for item in additions if item.label not in known
+                )
+            )
+            old_version = self.store_version
+            bins = store.manifest.histogram_bins
+            try:
+                result = build_store(
+                    merged,
+                    self.store_dir,
+                    bins=bins,
+                    families=self._store_families(store),
+                )
+                swap = self.swap_store(version=result.store_version, verify="full")
+            except (ReproError, SwapError) as exc:
+                raise EnrollmentError(
+                    f"{self.name}: enrollment republish failed, old library "
+                    f"({old_version}) kept serving: {exc}"
+                ) from exc
+            # The republished namespaces now have more rows than any cached
+            # (V, D) stack; drop exactly those namespaces so the next fit
+            # or rescue attach rebuilds against the enrolled library.
+            namespaces = [shard.namespace for shard in result.manifest.shards]
+            feature_cache = default_cache()
+            matrix_cache = default_matrix_cache()
+            invalidated_features = sum(
+                feature_cache.invalidate_namespace(namespace)
+                for namespace in namespaces
+            )
+            invalidated_matrices = sum(
+                matrix_cache.invalidate_namespace(namespace)
+                for namespace in namespaces
+            )
+            self._references = merged
+            return EnrollReport(
+                views_added=len(additions),
+                new_classes=new_classes,
+                old_version=old_version,
+                new_version=swap.new,
+                epoch=swap.epoch,
+                invalidated_features=invalidated_features,
+                invalidated_matrices=invalidated_matrices,
+                latency_s=self._clock() - started,
+            )
+
     # -- flush path (micro-batcher thread) ------------------------------------
 
     def _flush(self, requests: list[_PendingRequest]) -> None:
@@ -790,18 +935,23 @@ class ShardedRecognitionService:
                     self._serve_degraded(request, exc)
                 return
             done = self._clock()
+            # Snapshot once per flush: an attach/detach mid-batch must not
+            # screen half the block.  Applied post-merge so the cross-shard
+            # first-index tie rule is decided before any rejection.
+            threshold = self._threshold_model
             plain_latencies: list[float] = []
             for request, champion, degraded in zip(live, champions, flagged):
                 score, _, label, model_id = champion
+                prediction = Prediction(
+                    label=label,
+                    model_id=model_id,
+                    score=score,
+                    degraded=degraded,
+                )
+                if threshold is not None:
+                    prediction = threshold.apply(prediction)
                 try:
-                    request.future.set_result(
-                        Prediction(
-                            label=label,
-                            model_id=model_id,
-                            score=score,
-                            degraded=degraded,
-                        )
-                    )
+                    request.future.set_result(prediction)
                 except Exception:  # reprolint: disable=RES402 -- the caller cancelled or abandoned the future
                     pass
                 if degraded:

@@ -1,0 +1,17 @@
+"""Offending fixture: calibration-threshold logic with unsafe numerics.
+
+Linted as ``repro.openset.fake_calibration`` so the scoring-scoped rules
+apply alongside the global ones: an uninitialised margin buffer, a float
+``==`` against the fitted threshold, and an unseeded imposter draw each
+silently flip accept/reject verdicts.
+"""
+import numpy as np
+
+
+def reject(scores, threshold):
+    margins = np.empty(len(scores))  # line 12: bare empty margin buffer
+    for i, score in enumerate(scores):
+        margins[i] = threshold - score
+    ties = [margin == 0.0 for margin in margins]  # line 15: float == margin
+    imposters = np.random.rand(len(scores))  # line 16: unseeded imposter draw
+    return margins, ties, imposters

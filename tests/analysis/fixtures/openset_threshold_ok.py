@@ -1,0 +1,16 @@
+"""Clean fixture: the same calibration-threshold logic done safely.
+
+Margins come from a zero-initialised buffer, the accept decision is a
+strict inequality (the tie rule is part of the contract, not a float
+``==``), and the imposter draw is seeded.
+"""
+import numpy as np
+
+
+def reject(scores, threshold, seed):
+    margins = np.zeros(len(scores))
+    for i, score in enumerate(scores):
+        margins[i] = threshold - score
+    accepts = [margin > 0.0 for margin in margins]
+    imposters = np.random.default_rng(seed).random(len(scores))
+    return margins, accepts, imposters

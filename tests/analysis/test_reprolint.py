@@ -39,6 +39,7 @@ _SCOPED_MODULES = {
     "lck301": "repro.serving.fake_locks",
     "lck302": "repro.serving.fake_locks",
     "lck303": "repro.serving.fake_locks",
+    "openset_threshold": "repro.openset.fake_calibration",
     "res401": "repro.store.fake_errors",
     "res402": "repro.serving.fake_errors",
 }
@@ -56,6 +57,9 @@ _EXPECTED = {
     "lck303": [("LCK303", 10)],
     "res401": [("RES401", 8)],
     "res402": [("RES402", 8), ("RES402", 15)],
+    # Calibration-threshold numerics: repro.openset joined scoring-modules
+    # in PR 9, so the NUM/DET families must keep firing on threshold code.
+    "openset_threshold": [("NUM203", 12), ("NUM201", 15), ("DET101", 16)],
 }
 
 

@@ -1,5 +1,9 @@
 """Unit tests for pair-dataset construction (Sec. 3.4 protocols)."""
 
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -9,6 +13,8 @@ from repro.datasets.pairs import (
     build_nyu_sns1_test_pairs,
     build_sns1_test_pairs,
     build_training_pairs,
+    sample_genuine_pairs,
+    sample_imposter_pairs,
 )
 from repro.errors import DatasetError
 
@@ -78,6 +84,77 @@ class TestNyuSns1Pairs:
         for pair in pairs:
             if pair.label == 1:
                 assert pair.first.label == pair.second.label
+
+
+_SUBPROCESS_SNIPPET = """
+from repro.config import ExperimentConfig
+from repro.datasets.pairs import sample_imposter_pairs
+from repro.datasets.shapenet import build_sns1
+
+sns1 = build_sns1(ExperimentConfig(seed=7, nyu_scale=0.01))
+pairs = sample_imposter_pairs(sns1, 40, rng=7)
+for pair in pairs:
+    print(pair.first.key, pair.second.key)
+"""
+
+
+class TestCalibrationPairs:
+    """The open-set calibration samplers (ShapeY-style imposter protocol)."""
+
+    def test_imposter_pairs_are_cross_class(self, sns1):
+        pairs = sample_imposter_pairs(sns1, 50, rng=3)
+        assert len(pairs) == 50
+        for pair in pairs:
+            assert pair.label == 0
+            assert pair.first.label != pair.second.label
+
+    def test_genuine_pairs_are_same_class_distinct_views(self, sns1):
+        pairs = sample_genuine_pairs(sns1, 50, rng=3)
+        assert len(pairs) == 50
+        for pair in pairs:
+            assert pair.label == 1
+            assert pair.first.label == pair.second.label
+            assert pair.first.key != pair.second.key
+
+    def test_same_seed_is_identical_in_process(self, sns1):
+        keys = lambda pairs: [(p.first.key, p.second.key) for p in pairs]  # noqa: E731
+        assert keys(sample_imposter_pairs(sns1, 30, rng=9)) == keys(
+            sample_imposter_pairs(sns1, 30, rng=9)
+        )
+        assert keys(sample_genuine_pairs(sns1, 30, rng=9)) == keys(
+            sample_genuine_pairs(sns1, 30, rng=9)
+        )
+
+    def test_validation(self, sns1):
+        with pytest.raises(DatasetError):
+            sample_imposter_pairs(sns1, 0)
+        with pytest.raises(DatasetError):
+            sample_genuine_pairs(sns1, 0)
+        one_class = sns1.subset(
+            [i for i, label in enumerate(sns1.labels) if label == "chair"],
+            name="chairs",
+        )
+        with pytest.raises(DatasetError):
+            sample_imposter_pairs(one_class, 5)
+
+    def test_imposter_sample_is_identical_across_processes(self, sns1):
+        """Cross-process determinism regression: calibration in a worker
+        process must draw the exact pair set the parent would."""
+        src = Path(__file__).parents[2] / "src"
+        result = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SNIPPET],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        child = [tuple(line.split()) for line in result.stdout.splitlines()]
+        parent = [
+            (pair.first.key, pair.second.key)
+            for pair in sample_imposter_pairs(sns1, 40, rng=7)
+        ]
+        assert child == parent
 
 
 class TestContainers:

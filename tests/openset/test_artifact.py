@@ -1,0 +1,114 @@
+"""Calibration artifacts: content addressing, atomic publish, tamper checks.
+
+Mirrors the store-manifest discipline: the version id is a digest of the
+canonical payload, CURRENT flips atomically to the latest publish, and a
+loaded artifact must re-derive its own content address — corruption is an
+error, never a silently wrong threshold.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.openset import (
+    CalibrationArtifact,
+    ThresholdModel,
+    build_artifact,
+    load_calibration,
+    save_calibration,
+)
+from repro.openset.artifact import current_calibration
+
+
+def model(name="color", threshold=0.5):
+    return ThresholdModel(
+        pipeline=name,
+        threshold=threshold,
+        higher_is_better=False,
+        target_far=0.05,
+        auroc=0.9,
+        far=0.05,
+        frr=0.2,
+        genuine_count=10,
+        imposter_count=10,
+    )
+
+
+class TestContentAddress:
+    def test_version_is_deterministic(self, sns1):
+        a = build_artifact(sns1, [model("color"), model("shape", 1.0)], seed=7)
+        b = build_artifact(sns1, [model("color"), model("shape", 1.0)], seed=7)
+        assert a.calibration_version == b.calibration_version
+
+    def test_model_order_does_not_change_the_address(self, sns1):
+        a = build_artifact(sns1, [model("color"), model("shape", 1.0)])
+        b = build_artifact(sns1, [model("shape", 1.0), model("color")])
+        assert a.calibration_version == b.calibration_version
+
+    def test_content_changes_change_the_address(self, sns1):
+        a = build_artifact(sns1, [model(threshold=0.5)])
+        b = build_artifact(sns1, [model(threshold=0.6)])
+        c = build_artifact(sns1, [model(threshold=0.5)], seed=8)
+        assert len({x.calibration_version for x in (a, b, c)}) == 3
+
+    def test_artifact_validation(self, sns1):
+        with pytest.raises(CalibrationError):
+            build_artifact(sns1, [])
+        with pytest.raises(CalibrationError):
+            build_artifact(sns1, [model("dup"), model("dup")])
+
+    def test_model_lookup(self, sns1):
+        artifact = build_artifact(sns1, [model("color")])
+        assert artifact.model_for("color").pipeline == "color"
+        with pytest.raises(CalibrationError):
+            artifact.model_for("absent")
+
+
+class TestPublishAndLoad:
+    def test_round_trip_through_current(self, sns1, tmp_path):
+        artifact = build_artifact(sns1, [model("color"), model("shape", 1.0)])
+        path = save_calibration(artifact, tmp_path)
+        assert path.is_file()
+        assert current_calibration(tmp_path) == artifact.calibration_version
+        loaded = load_calibration(tmp_path)
+        assert loaded == artifact
+
+    def test_current_tracks_the_latest_publish(self, sns1, tmp_path):
+        first = build_artifact(sns1, [model(threshold=0.5)])
+        second = build_artifact(sns1, [model(threshold=0.7)])
+        save_calibration(first, tmp_path)
+        save_calibration(second, tmp_path)
+        assert current_calibration(tmp_path) == second.calibration_version
+        # Both versions stay addressable: the old one by explicit version.
+        assert load_calibration(tmp_path, first.calibration_version) == first
+
+    def test_no_publish_means_none_and_load_error(self, tmp_path):
+        assert current_calibration(tmp_path) is None
+        with pytest.raises(CalibrationError):
+            load_calibration(tmp_path)
+        with pytest.raises(CalibrationError):
+            load_calibration(tmp_path, "deadbeefdeadbeef")
+
+    def test_tampered_threshold_fails_the_content_address(self, sns1, tmp_path):
+        artifact = build_artifact(sns1, [model(threshold=0.5)])
+        path = save_calibration(artifact, tmp_path)
+        payload = json.loads(path.read_text())
+        payload["models"][0]["threshold"] = 9.9
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CalibrationError, match="content address"):
+            load_calibration(tmp_path)
+
+    def test_malformed_payload_is_an_error_not_a_crash(self, sns1, tmp_path):
+        artifact = build_artifact(sns1, [model()])
+        path = save_calibration(artifact, tmp_path)
+        path.write_text("{ not json")
+        with pytest.raises(CalibrationError):
+            load_calibration(tmp_path)
+
+    def test_unsupported_format_rejected(self, sns1, tmp_path):
+        artifact = build_artifact(sns1, [model()])
+        payload = artifact.to_payload()
+        payload["format"] = 99
+        with pytest.raises(CalibrationError):
+            CalibrationArtifact.from_payload(payload)

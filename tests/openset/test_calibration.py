@@ -1,0 +1,160 @@
+"""Threshold calibration: model semantics, fitting, seeded determinism.
+
+The accept/reject contract is strict-inequality on the signed margin (a
+champion exactly on the threshold is rejected), the fitted threshold is
+the imposter-distribution quantile at the target FAR, and everything is a
+pure function of the experiment seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.imaging.histogram import HistogramMetric
+from repro.openset import ThresholdModel, calibrate_pipeline, fit_threshold
+from repro.openset.calibration import calibration_scores
+from repro.pipelines.base import UNKNOWN_LABEL, Prediction
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+
+def model(threshold=1.0, higher=False, **overrides):
+    kwargs = dict(
+        pipeline="test",
+        threshold=threshold,
+        higher_is_better=higher,
+        target_far=0.05,
+        auroc=0.9,
+        far=0.05,
+        frr=0.2,
+        genuine_count=50,
+        imposter_count=50,
+    )
+    kwargs.update(overrides)
+    return ThresholdModel(**kwargs)
+
+
+class TestThresholdModel:
+    def test_distance_direction_accepts_below(self):
+        m = model(threshold=1.0, higher=False)
+        assert m.accepts(0.5) and not m.accepts(1.5)
+        assert m.margin_of(0.5) == pytest.approx(0.5)
+        assert m.margin_of(1.5) == pytest.approx(-0.5)
+
+    def test_similarity_direction_accepts_above(self):
+        m = model(threshold=1.0, higher=True)
+        assert m.accepts(1.5) and not m.accepts(0.5)
+        assert m.margin_of(1.5) == pytest.approx(0.5)
+
+    def test_exactly_on_threshold_is_rejected_both_directions(self):
+        assert not model(threshold=1.0, higher=False).accepts(1.0)
+        assert not model(threshold=1.0, higher=True).accepts(1.0)
+
+    def test_apply_accept_keeps_label_and_gains_margin(self):
+        before = Prediction(label="chair", model_id="m1", score=0.25)
+        after = model(threshold=1.0).apply(before)
+        assert not after.unknown
+        assert (after.label, after.model_id, after.score) == ("chair", "m1", 0.25)
+        assert after.margin == pytest.approx(0.75)
+
+    def test_apply_reject_relabels_unknown_but_keeps_champion(self):
+        before = Prediction(label="chair", model_id="m1", score=2.5)
+        after = model(threshold=1.0).apply(before)
+        assert after.unknown
+        assert after.label == UNKNOWN_LABEL
+        assert (after.model_id, after.score) == ("m1", 2.5)
+        assert after.margin == pytest.approx(-1.5)
+
+    def test_dict_round_trip(self):
+        m = model(threshold=0.123)
+        assert ThresholdModel.from_dict(m.to_dict()) == m
+
+    def test_malformed_payload_raises(self):
+        payload = model().to_dict()
+        del payload["threshold"]
+        with pytest.raises(CalibrationError):
+            ThresholdModel.from_dict(payload)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            model(target_far=0.0)
+        with pytest.raises(CalibrationError):
+            model(threshold=float("nan"))
+
+
+class TestFitThreshold:
+    def test_distance_threshold_is_imposter_quantile(self):
+        genuine = np.full(100, 0.1)
+        imposter = np.linspace(1.0, 2.0, 100)
+        m = fit_threshold("d", genuine, imposter, higher_is_better=False, target_far=0.05)
+        assert m.threshold == pytest.approx(np.quantile(imposter, 0.05))
+        assert m.far <= 0.05 + 1e-9
+        assert m.frr == 0.0
+        assert m.auroc == pytest.approx(1.0)
+
+    def test_similarity_threshold_uses_upper_quantile(self):
+        genuine = np.full(100, 2.0)
+        imposter = np.linspace(0.0, 1.0, 100)
+        m = fit_threshold("s", genuine, imposter, higher_is_better=True, target_far=0.1)
+        assert m.threshold == pytest.approx(np.quantile(imposter, 0.9))
+        assert m.auroc == pytest.approx(1.0)
+
+    def test_overlapping_distributions_have_nonzero_error_rates(self):
+        rng = np.random.default_rng(0)
+        genuine = rng.normal(0.4, 0.2, 500)
+        imposter = rng.normal(0.6, 0.2, 500)
+        m = fit_threshold("o", genuine, imposter, higher_is_better=False)
+        assert 0.5 < m.auroc < 1.0
+        assert m.frr > 0.0
+
+    def test_empty_or_non_finite_scores_raise(self):
+        ok = np.ones(3)
+        with pytest.raises(CalibrationError):
+            fit_threshold("x", np.array([]), ok, higher_is_better=False)
+        with pytest.raises(CalibrationError):
+            fit_threshold("x", ok, np.array([np.inf, 1.0]), higher_is_better=False)
+
+    def test_target_far_bounds(self):
+        ok = np.ones(3)
+        with pytest.raises(CalibrationError):
+            fit_threshold("x", ok, ok, higher_is_better=False, target_far=1.0)
+
+
+class TestCalibratePipeline:
+    def test_colour_calibration_separates_classes(self, config, sns1):
+        pipeline = ColorOnlyPipeline(
+            HistogramMetric.HELLINGER, bins=config.histogram_bins
+        ).fit(sns1)
+        m = calibrate_pipeline(pipeline, sns1, seed=7)
+        assert m.pipeline == pipeline.name
+        assert not m.higher_is_better
+        assert m.genuine_count == len(sns1)
+        assert m.imposter_count == len(sns1)
+        # Genuine champions (leave-one-out same-object views) must score
+        # better than cross-class imposters more often than not.
+        assert m.auroc > 0.6
+
+    def test_same_seed_is_bit_identical(self, config, sns1):
+        pipeline = ColorOnlyPipeline(
+            HistogramMetric.HELLINGER, bins=config.histogram_bins
+        ).fit(sns1)
+        a = calibrate_pipeline(pipeline, sns1, seed=7, max_anchors=30)
+        b = calibrate_pipeline(pipeline, sns1, seed=7, max_anchors=30)
+        assert a == b
+
+    def test_anchor_sample_is_seed_dependent(self, config, sns1):
+        pipeline = ColorOnlyPipeline(
+            HistogramMetric.HELLINGER, bins=config.histogram_bins
+        ).fit(sns1)
+        a = calibration_scores(pipeline, sns1, seed=7, max_anchors=20)
+        b = calibration_scores(pipeline, sns1, seed=8, max_anchors=20)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_single_class_library_rejected(self, config, sns1):
+        only = sns1.subset(
+            [i for i, label in enumerate(sns1.labels) if label == sns1.labels[0]],
+            name="one-class",
+        )
+        pipeline = ShapeOnlyPipeline().fit(only)
+        with pytest.raises(CalibrationError):
+            calibrate_pipeline(pipeline, only)

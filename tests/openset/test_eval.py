@@ -1,0 +1,116 @@
+"""The seeded open-set evaluation protocol: splits, payload, publication.
+
+Both splits — which classes are held out and which views are probes — are
+pure functions of the experiment seed, so two processes (or two CI runs)
+score the identical open-set task.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig, rng as make_rng, spawn
+from repro.errors import EvaluationError
+from repro.imaging.histogram import HistogramMetric
+from repro.openset import (
+    default_openset_pipelines,
+    format_openset_report,
+    load_calibration,
+    run_openset_eval,
+    split_holdout_classes,
+    subset_by_classes,
+)
+from repro.pipelines.color_only import ColorOnlyPipeline
+
+
+class TestSplits:
+    def test_holdout_is_a_pure_function_of_the_seed(self, sns1):
+        draws = [
+            split_holdout_classes(sns1, 2, spawn(make_rng(7), "openset-holdout"))
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+        known, held = draws[0]
+        assert len(held) == 2
+        assert set(known) | set(held) == set(sns1.classes)
+        assert not set(known) & set(held)
+
+    def test_known_classes_keep_their_original_order(self, sns1):
+        known, held = split_holdout_classes(sns1, 3, 11)
+        ordered = [name for name in sns1.classes if name not in held]
+        assert list(known) == ordered
+
+    def test_holdout_bounds(self, sns1):
+        with pytest.raises(EvaluationError):
+            split_holdout_classes(sns1, 0)
+        with pytest.raises(EvaluationError):
+            split_holdout_classes(sns1, len(sns1.classes))
+
+    def test_subset_by_classes_preserves_order_and_validates(self, sns1):
+        subset = subset_by_classes(sns1, ["chair", "lamp"], name="two")
+        assert set(subset.labels) == {"chair", "lamp"}
+        keys = [item.key for item in sns1 if item.label in ("chair", "lamp")]
+        assert [item.key for item in subset] == keys
+        with pytest.raises(EvaluationError):
+            subset_by_classes(sns1, ["not-a-class"])
+
+
+class TestRunOpensetEval:
+    @pytest.fixture(scope="class")
+    def payload(self, tmp_path_factory):
+        store_dir = tmp_path_factory.mktemp("openset-eval")
+        config = ExperimentConfig(seed=7, nyu_scale=0.01)
+        return store_dir, run_openset_eval(
+            config,
+            holdout=2,
+            pipelines=[ColorOnlyPipeline(HistogramMetric.HELLINGER, bins=16)],
+            store_dir=str(store_dir),
+            models_per_class=2,
+            views_per_model=6,
+            probe_views=2,
+        )
+
+    def test_payload_shape_and_counts(self, payload):
+        _, result = payload
+        assert result["seed"] == 7
+        assert len(result["holdout_classes"]) == 2
+        assert len(result["known_classes"]) == 8
+        # 8 known classes x 2 models x 4 gallery views
+        assert result["reference_views"] == 64
+        # 8 known classes x 2 models x 2 probe views
+        assert result["known_queries"] == 32
+        # every view of the 2 held-out classes
+        assert result["unknown_queries"] == 24
+
+    def test_colour_pipeline_separates_unknowns(self, payload):
+        _, result = payload
+        (row,) = result["pipelines"].values()
+        assert 0.0 <= row["oscr_area"] <= row["auroc"] <= 1.0
+        assert row["auroc"] > 0.7
+        report = row["report"]
+        assert 0.0 <= report["unknown_recall"] <= 1.0
+
+    def test_calibration_artifact_is_published(self, payload):
+        store_dir, result = payload
+        artifact = load_calibration(store_dir)
+        assert artifact.calibration_version == result["calibration_version"]
+        assert artifact.pipelines == tuple(result["pipelines"])
+
+    def test_report_formats_every_pipeline(self, payload):
+        _, result = payload
+        text = format_openset_report(result)
+        for name in result["pipelines"]:
+            assert name in text
+        assert str(result["calibration_version"]) in text
+
+    def test_probe_views_bounds(self):
+        with pytest.raises(EvaluationError):
+            run_openset_eval(views_per_model=6, probe_views=6)
+
+
+class TestDefaultPipelines:
+    def test_reporting_set_covers_shape_colour_hybrid(self):
+        config = ExperimentConfig(seed=7, nyu_scale=0.01)
+        names = [p.name for p in default_openset_pipelines(config)]
+        assert len(names) == len(set(names)) == 4
+        assert any(name.startswith("shape") for name in names)
+        assert sum(name.startswith("color") for name in names) == 2
+        assert any(name.startswith("hybrid") for name in names)

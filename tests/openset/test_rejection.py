@@ -1,0 +1,158 @@
+"""Rejection at the pipeline choke point: a strict no-op until attached.
+
+The acceptance bar of the open-set tier: with thresholds disabled every
+pipeline family is *bit-identical* to the pre-openset closed-set path —
+same labels, same model ids, same float64 scores, ``unknown`` False and
+``margin`` None on every prediction.  With a model attached, accepted
+champions keep their exact closed-set answer (plus a margin) and rejected
+ones flip to the unknown label without disturbing the stored champion.
+
+Twin comparisons use two freshly constructed instances (the PR 7
+equivalence idiom): descriptor pipelines deliberately advance a seeded
+tie-break stream per call, so repeat-call comparison on one instance
+would conflate RNG state with threshold behaviour.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.datasets.shapenet import build_sns1, build_sns2
+from repro.errors import CalibrationError
+from repro.imaging.histogram import HistogramMetric
+from repro.imaging.match_shapes import ShapeDistance
+from repro.openset import ThresholdModel, calibrate_pipeline
+from repro.pipelines.base import UNKNOWN_LABEL
+from repro.pipelines.color_only import ColorOnlyPipeline
+from repro.pipelines.descriptor import DescriptorPipeline
+from repro.pipelines.hybrid import HybridPipeline, HybridStrategy
+from repro.pipelines.shape_only import ShapeOnlyPipeline
+
+SEEDS = (7, 23)
+N_QUERIES = 4
+
+
+@pytest.fixture(scope="module", params=SEEDS, ids=lambda s: f"seed{s}")
+def corpus(request):
+    config = ExperimentConfig(seed=request.param, nyu_scale=0.01)
+    references = build_sns1(config)
+    queries = build_sns2(config).items[:N_QUERIES]
+    return config, references, queries
+
+
+def five_pipeline_factories(config):
+    """One fresh-instance factory per family — the PR 7 equivalence set."""
+    return [
+        lambda: ShapeOnlyPipeline(ShapeDistance.L1),
+        lambda: ColorOnlyPipeline(
+            HistogramMetric.HELLINGER, bins=config.histogram_bins
+        ),
+        lambda: HybridPipeline(HybridStrategy.WEIGHTED_SUM, bins=config.histogram_bins),
+        lambda: DescriptorPipeline(method="sift"),
+        lambda: DescriptorPipeline(method="orb"),
+    ]
+
+
+def extreme_model(pipeline, accept_all):
+    """A threshold no champion can fail (or none can pass)."""
+    higher = bool(getattr(pipeline, "higher_is_better", False))
+    big = 1e12 if (accept_all != higher) else -1e12
+    return ThresholdModel(
+        pipeline=pipeline.name,
+        threshold=big,
+        higher_is_better=higher,
+        target_far=0.05,
+        auroc=1.0,
+        far=0.0,
+        frr=0.0,
+        genuine_count=1,
+        imposter_count=1,
+    )
+
+
+def assert_closed_set_identical(expected, actual):
+    assert len(expected) == len(actual)
+    for want, got in zip(expected, actual):
+        assert (got.label, got.model_id) == (want.label, want.model_id)
+        assert got.score == want.score  # bitwise, no tolerance
+        assert not got.unknown
+        assert got.margin is None
+
+
+class TestDisabledThresholdsAreANoOp:
+    def test_every_family_matches_a_fresh_twin_without_thresholds(self, corpus):
+        config, references, queries = corpus
+        for factory in five_pipeline_factories(config):
+            baseline = factory().fit(references)
+            subject = factory().fit(references)
+            assert not subject.thresholds_attached
+            assert_closed_set_identical(
+                baseline.predict_batch(list(queries)),
+                subject.predict_batch(list(queries)),
+            )
+
+    def test_attach_then_detach_restores_bit_identity(self, corpus):
+        config, references, queries = corpus
+        for factory in five_pipeline_factories(config):
+            baseline = factory().fit(references)
+            subject = factory().fit(references)
+            subject.attach_thresholds(extreme_model(subject, accept_all=False))
+            assert subject.thresholds_attached
+            subject.detach_thresholds()
+            assert not subject.thresholds_attached
+            assert_closed_set_identical(
+                baseline.predict_batch(list(queries)),
+                subject.predict_batch(list(queries)),
+            )
+
+    def test_single_predict_matches_batch_under_thresholds(self, corpus):
+        config, references, queries = corpus
+        pipeline = ColorOnlyPipeline(
+            HistogramMetric.HELLINGER, bins=config.histogram_bins
+        ).fit(references)
+        pipeline.attach_thresholds(calibrate_pipeline(pipeline, references, seed=7))
+        batch = pipeline.predict_batch(list(queries))
+        for query, from_batch in zip(queries, batch):
+            single = pipeline.predict(query)
+            assert (single.label, single.unknown, single.score) == (
+                from_batch.label,
+                from_batch.unknown,
+                from_batch.score,
+            )
+
+
+class TestAttachedThresholds:
+    def test_accept_all_keeps_every_closed_set_answer(self, corpus):
+        config, references, queries = corpus
+        baseline = ShapeOnlyPipeline(ShapeDistance.L1).fit(references)
+        subject = ShapeOnlyPipeline(ShapeDistance.L1).fit(references)
+        subject.attach_thresholds(extreme_model(subject, accept_all=True))
+        expected = baseline.predict_batch(list(queries))
+        screened = subject.predict_batch(list(queries))
+        for want, got in zip(expected, screened):
+            assert not got.unknown
+            assert (got.label, got.model_id, got.score) == (
+                want.label,
+                want.model_id,
+                want.score,
+            )
+            assert got.margin is not None and got.margin > 0.0
+
+    def test_reject_all_keeps_champion_for_introspection(self, corpus):
+        config, references, queries = corpus
+        baseline = ShapeOnlyPipeline(ShapeDistance.L1).fit(references)
+        subject = ShapeOnlyPipeline(ShapeDistance.L1).fit(references)
+        subject.attach_thresholds(extreme_model(subject, accept_all=False))
+        expected = baseline.predict_batch(list(queries))
+        screened = subject.predict_batch(list(queries))
+        for want, got in zip(expected, screened):
+            assert got.unknown and got.label == UNKNOWN_LABEL
+            assert (got.model_id, got.score) == (want.model_id, want.score)
+
+    def test_direction_mismatch_is_rejected_at_attach_time(self, corpus):
+        config, references, _ = corpus
+        pipeline = ShapeOnlyPipeline(ShapeDistance.L1).fit(references)
+        wrong = extreme_model(pipeline, accept_all=True)
+        wrong = ThresholdModel.from_dict({**wrong.to_dict(), "higher_is_better": True})
+        with pytest.raises(CalibrationError, match="higher_is_better"):
+            pipeline.attach_thresholds(wrong)
+        assert not pipeline.thresholds_attached

@@ -40,6 +40,8 @@ PAYLOAD_KEYS = {
     "slo",
     "swap",
     "index",
+    "openset",
+    "enroll",
 }
 
 
@@ -90,6 +92,9 @@ class TestRunLoadgen:
         assert payload["store"] is None
         assert payload["slo"] is None
         assert payload["swap"] is None
+        # Open-set blocks stay None unless the open-set knobs are set.
+        assert payload["openset"] is None
+        assert payload["enroll"] is None
 
     def test_no_prediction_mismatches(self, payload):
         # The core guarantee: micro-batched answers bit-equal sequential.
@@ -134,3 +139,15 @@ class TestRunLoadgen:
             run_loadgen(clients=0, config=config)
         with pytest.raises(ServingError):
             run_loadgen(mode="open", rate_hz=0.0, config=config)
+
+    def test_openset_knob_validation(self, config):
+        with pytest.raises(ServingError):
+            run_loadgen(unknown_rate=-0.1, config=config)
+        with pytest.raises(ServingError):
+            run_loadgen(unknown_rate=1.0, config=config)
+        with pytest.raises(ServingError):
+            run_loadgen(enroll_rate=-0.5, config=config)
+        # Live enrollment republishes through the sharded hot-swap path, so
+        # it is refused on the single-process service.
+        with pytest.raises(ServingError):
+            run_loadgen(enroll_rate=0.05, workers=1, config=config)
