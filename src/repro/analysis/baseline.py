@@ -1,0 +1,130 @@
+"""The findings ratchet: a committed baseline that only burns down.
+
+New whole-program rule families land against a tree with pre-existing
+(and sometimes deliberately tolerated) findings.  Blocking CI on all of
+them at once forces a big-bang cleanup; ignoring them lets new ones in.
+The ratchet does neither: ``repro lint --baseline write`` fingerprints the
+current active findings into a committed JSON file, and
+``--baseline check`` fails only on findings *not* in the baseline while
+reporting how many legacy ones have burned down (the baseline is then
+re-written to drop them).
+
+Fingerprints are **line-independent**: a finding is identified by
+``(rule, path, message, k)`` where *k* counts identical findings above it
+in the same file.  Editing unrelated lines above a legacy finding does not
+churn the baseline; moving, duplicating or changing the finding does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import Finding
+from repro.analysis.runner import LintReport
+
+#: Bumped when the fingerprint recipe changes, so a stale baseline is
+#: rejected loudly instead of silently matching nothing.
+BASELINE_VERSION = 1
+
+#: Default committed location, repo-root relative.
+DEFAULT_BASELINE_PATH = "reprolint-baseline.json"
+
+
+def fingerprint(finding: Finding, occurrence: int = 0) -> str:
+    """Stable id for one finding: line numbers deliberately excluded."""
+    payload = "\x1f".join(
+        [finding.rule_id, finding.path, finding.message, str(occurrence)]
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=12).hexdigest()
+
+
+def _fingerprints(findings: Iterable[Finding]) -> dict[str, Finding]:
+    """Fingerprint -> finding, occurrence-counting duplicates per file."""
+    seen: dict[tuple[str, str, str], int] = {}
+    out: dict[str, Finding] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)):
+        key = (finding.rule_id, finding.path, finding.message)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out[fingerprint(finding, occurrence)] = finding
+    return out
+
+
+@dataclass
+class BaselineCheck:
+    """Outcome of comparing a lint run against the committed baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    legacy: list[Finding] = field(default_factory=list)  #: still present
+    fixed: list[str] = field(default_factory=list)  #: burned-down fingerprints
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+    def summary(self) -> str:
+        return (
+            f"ratchet: {len(self.new)} new, {len(self.legacy)} legacy, "
+            f"{len(self.fixed)} burned down"
+        )
+
+
+def write_baseline(report: LintReport, path: str | Path) -> int:
+    """Fingerprint the report's active findings into *path*; returns count.
+
+    Suppressed findings are not baselined — they already carry an in-source
+    waiver, which is the stronger (and reviewed) mechanism.
+    """
+    entries = _fingerprints(report.active)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": {
+            fp: {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "message": finding.message,
+                "line": finding.line,  # informational; not part of identity
+            }
+            for fp, finding in sorted(entries.items())
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """The committed fingerprint map; empty when the file does not exist."""
+    target = Path(path)
+    if not target.is_file():
+        return {}
+    payload = json.loads(target.read_text())
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {target} has version {version!r}, expected "
+            f"{BASELINE_VERSION}; re-run `repro lint --baseline write`"
+        )
+    findings = payload.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"baseline {target} is malformed: findings not a map")
+    return findings
+
+
+def check_baseline(report: LintReport, path: str | Path) -> BaselineCheck:
+    """Split the report's active findings into new vs baselined legacy."""
+    baseline = load_baseline(path)
+    current = _fingerprints(report.active)
+    check = BaselineCheck()
+    for fp, finding in sorted(current.items(), key=lambda kv: kv[0]):
+        if fp in baseline:
+            check.legacy.append(finding)
+        else:
+            check.new.append(finding)
+    check.new.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    check.legacy.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    check.fixed = sorted(fp for fp in baseline if fp not in current)
+    return check

@@ -38,7 +38,12 @@ class LintConfig:
     ``lock_modules`` scope the lock-discipline family (LCK3xx).
     ``resilience_modules`` scope the swallowed-error family (RES4xx):
     modules where every error must propagate, be recorded, or degrade
-    loudly.
+    loudly.  ``kernel_entry_points`` name the scoring/kernel functions the
+    interprocedural dtype rules (DFA5xx) defend: any call whose bare name
+    matches is an entry into float64-contract territory.
+    ``rng_scope_modules`` root the RNG-flow rules (DET13x): an unseeded
+    generator constructed in (or reachable from) these modules taints
+    scoring, calibration or chaos results.
     """
 
     paths: tuple[str, ...] = ("src",)
@@ -62,6 +67,23 @@ class LintConfig:
         "repro.store",
         "repro.openset",
     )
+    kernel_entry_points: tuple[str, ...] = (
+        "match_shapes_batch",
+        "match_shapes_block",
+        "compare_histograms_batch",
+        "compare_histograms_block",
+        "hu_signature",
+        "hu_signature_matrix",
+        "_rerank_rows",
+        "_score_batch",
+    )
+    rng_scope_modules: tuple[str, ...] = (
+        "repro.pipelines",
+        "repro.imaging",
+        "repro.openset",
+        "repro.engine.chaos",
+        "repro.index",
+    )
 
     _KEYS = {
         "paths": "paths",
@@ -71,6 +93,8 @@ class LintConfig:
         "scoring-modules": "scoring_modules",
         "lock-modules": "lock_modules",
         "resilience-modules": "resilience_modules",
+        "kernel-entry-points": "kernel_entry_points",
+        "rng-scope-modules": "rng_scope_modules",
     }
 
     @classmethod

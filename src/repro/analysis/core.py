@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.config import LintConfig
+    from repro.analysis.project import ProjectGraph
 
 
 @dataclass(frozen=True)
@@ -129,23 +130,78 @@ class Rule(ast.NodeVisitor):
         return instance.findings
 
 
+class ProjectRule:
+    """Base class for whole-program rules: one pass over a ProjectGraph.
+
+    Where :class:`Rule` sees one parsed file, a project rule sees the
+    :class:`~repro.analysis.project.ProjectGraph` — the import, call and
+    lock graphs over every file of the run — and reports findings anchored
+    at (path, line) like any other rule, so suppressions and the baseline
+    ratchet treat them identically.  A fresh instance runs per lint.
+    """
+
+    rule_id: str = ""
+    family: str = ""
+    description: str = ""
+    rationale: str = ""
+
+    def __init__(self, graph: "ProjectGraph", config: "LintConfig | None") -> None:
+        self.graph = graph
+        self.config = config
+        self.findings: list[Finding] = []
+
+    # -- subclass API --------------------------------------------------------
+
+    def run(self) -> None:
+        """Inspect ``self.graph`` and call :meth:`report`."""
+        raise NotImplementedError
+
+    def report(self, path: str, line: int, col: int, message: str) -> None:
+        """Record a finding at an explicit source location."""
+        self.findings.append(
+            Finding(
+                rule_id=self.rule_id, path=path, line=line, col=col, message=message
+            )
+        )
+
+    # -- runner entry point --------------------------------------------------
+
+    @classmethod
+    def check(
+        cls, graph: "ProjectGraph", config: "LintConfig | None" = None
+    ) -> list[Finding]:
+        """Run this rule over one project graph."""
+        instance = cls(graph, config)
+        instance.run()
+        return instance.findings
+
+
 class RuleRegistry:
-    """Ordered registry of rule classes, keyed by ``rule_id``."""
+    """Ordered registry of rule classes, keyed by ``rule_id``.
+
+    Holds both per-file :class:`Rule` subclasses and whole-program
+    :class:`ProjectRule` subclasses; :meth:`rules` returns the former,
+    :meth:`project_rules` the latter, ``ids()`` both.
+    """
 
     def __init__(self) -> None:
         self._rules: dict[str, type[Rule]] = {}
+        self._project_rules: dict[str, type[ProjectRule]] = {}
 
-    def register(self, rule: type[Rule]) -> type[Rule]:
+    def register(self, rule: "type[Rule] | type[ProjectRule]"):
         """Register *rule* (usable as a class decorator)."""
         if not rule.rule_id:
             raise ValueError(f"{rule.__name__} has no rule_id")
-        if rule.rule_id in self._rules:
+        if rule.rule_id in self._rules or rule.rule_id in self._project_rules:
             raise ValueError(f"duplicate rule id {rule.rule_id!r}")
-        self._rules[rule.rule_id] = rule
+        if isinstance(rule, type) and issubclass(rule, ProjectRule):
+            self._project_rules[rule.rule_id] = rule
+        else:
+            self._rules[rule.rule_id] = rule
         return rule
 
     def rules(self, disable: Iterable[str] = ()) -> list[type[Rule]]:
-        """Registered rules in id order, minus the *disable* set."""
+        """Registered per-file rules in id order, minus the *disable* set."""
         skipped = set(disable)
         return [
             rule
@@ -153,23 +209,43 @@ class RuleRegistry:
             if rule_id not in skipped
         ]
 
+    def project_rules(self, disable: Iterable[str] = ()) -> list[type[ProjectRule]]:
+        """Registered whole-program rules in id order, minus *disable*."""
+        skipped = set(disable)
+        return [
+            rule
+            for rule_id, rule in sorted(self._project_rules.items())
+            if rule_id not in skipped
+        ]
+
+    def all_rules(self) -> "list[type[Rule] | type[ProjectRule]]":
+        return [*self.rules(), *self.project_rules()]
+
     def ids(self) -> tuple[str, ...]:
-        return tuple(sorted(self._rules))
+        return tuple(sorted([*self._rules, *self._project_rules]))
 
     def __contains__(self, rule_id: str) -> bool:
-        return rule_id in self._rules
+        return rule_id in self._rules or rule_id in self._project_rules
 
     def __len__(self) -> int:
-        return len(self._rules)
+        return len(self._rules) + len(self._project_rules)
 
 
 def default_registry() -> RuleRegistry:
     """The registry holding every built-in rule family."""
-    from repro.analysis.rules import concurrency, determinism, numeric, resilience
+    from repro.analysis.rules import (
+        concurrency,
+        dataflow,
+        determinism,
+        numeric,
+        resilience,
+    )
 
     registry = RuleRegistry()
-    for module in (determinism, numeric, concurrency, resilience):
-        for rule in module.RULES:
+    for module in (determinism, numeric, concurrency, resilience, dataflow):
+        for rule in getattr(module, "RULES", ()):
+            registry.register(rule)
+        for rule in getattr(module, "PROJECT_RULES", ()):
             registry.register(rule)
     return registry
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 
-from repro.analysis.core import FileContext, Rule, dotted_name
+from repro.analysis.core import FileContext, ProjectRule, Rule, dotted_name
 
 #: Method names that mutate their receiver in place.
 _MUTATING_METHODS = frozenset(
@@ -329,4 +329,84 @@ class ThreadedClosureMutationRule(_LockModuleRule):
         return False
 
 
+class LockOrderCycleRule(ProjectRule):
+    """LCK310: a cycle in the whole-program lock-acquisition graph.
+
+    The :class:`~repro.analysis.project.ProjectGraph` records an edge
+    ``A -> B`` wherever some path — a lexical ``with A: with B:`` nesting,
+    or a call made under ``A`` into a method that may take ``B`` — acquires
+    ``B`` while holding ``A``.  A cycle in that graph is the classic
+    deadlock recipe: two threads entering the cycle at different points
+    block each other forever.  The serving stack's swap/drain/enroll paths
+    thread four locks through three classes, which is exactly where no
+    single file shows the inversion.
+    """
+
+    rule_id = "LCK310"
+    family = "concurrency"
+    description = "lock-order cycle across call paths (deadlock risk)"
+    rationale = (
+        "two call paths acquiring the same locks in opposite orders "
+        "deadlock under load; the paths may never share a file, so only "
+        "the whole-program acquisition graph can see the cycle"
+    )
+
+    def run(self) -> None:
+        for cycle in self.graph.lock_cycles():
+            order = " -> ".join([edge.held for edge in cycle] + [cycle[0].held])
+            witnesses = "; ".join(
+                f"{edge.held}->{edge.acquired} in {edge.method}"
+                + (f" via {edge.via[0]}" if edge.via else "")
+                for edge in cycle
+            )
+            first = cycle[0]
+            self.report(
+                first.path,
+                first.lineno,
+                0,
+                f"lock-order cycle {order} ({witnesses}); impose one global "
+                "acquisition order or collapse the locks",
+            )
+
+
+class LockReacquisitionRule(ProjectRule):
+    """LCK311: re-acquisition of a non-reentrant lock along a call path.
+
+    A method that holds ``self._lock`` (a plain ``threading.Lock`` or a
+    ``Condition``) and calls — possibly through several hops — a method
+    that takes the same lock again self-deadlocks on first execution of
+    that path.  RLocks and semaphores are exempt; lexical re-entry
+    (``with self._lock: with self._lock:``) is flagged too.
+    """
+
+    rule_id = "LCK311"
+    family = "concurrency"
+    description = "nested re-acquisition of a non-reentrant lock"
+    rationale = (
+        "threading.Lock does not re-enter: the same thread taking it twice "
+        "along one call path hangs the shard on the spot, and the two "
+        "acquisitions are usually in different methods"
+    )
+
+    def run(self) -> None:
+        seen: set[tuple[str, str, int]] = set()
+        for record in self.graph.reacquisitions:
+            if self.graph.lock_kind(record.held) in ("RLock", "Semaphore"):
+                continue
+            key = (record.held, record.method, record.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            hop = f" (via {record.via[0]})" if record.via else ""
+            self.report(
+                record.path,
+                record.lineno,
+                0,
+                f"{record.held} is a non-reentrant "
+                f"{self.graph.lock_kind(record.held)} already held here and "
+                f"re-acquired{hop}; use an RLock or split the locked method",
+            )
+
+
 RULES = (MixedLockAttributeRule, UnlockedCounterRule, ThreadedClosureMutationRule)
+PROJECT_RULES = (LockOrderCycleRule, LockReacquisitionRule)

@@ -1,0 +1,468 @@
+"""Interprocedural dtype-propagation rules (DFA5xx).
+
+The scoring kernels (``match_shapes_batch``, ``compare_histograms_block``,
+``hu_signature_matrix``, the ``_rerank_rows`` re-rank path) carry a float64
+contract: their bit-identity guarantees — batch == scalar, indexed == brute
+force, merge == local argmin — are proved at float64 and silently void at
+anything narrower.  The kernel-speed campaign (ROADMAP item 5) will
+deliberately introduce float32/int8 paths, which is precisely when a
+narrowed array produced two modules away must not *leak* into a kernel that
+still assumes float64.
+
+A per-file rule cannot see that leak.  These rules run over the
+:class:`~repro.analysis.project.ProjectGraph`: every function gets a
+summary saying whether its return value is *narrowed* (``astype`` to a
+narrow dtype, ``np.asarray(dtype=...)`` narrow construction,
+``np.packbits``), the summaries propagate across resolved call edges to a
+fixed point, and any kernel-entry call fed a narrowed value without an
+explicit widening (``.astype(np.float64)`` / ``dtype=np.float64``) is
+flagged:
+
+* **DFA501** — the narrowing happens in the calling function itself;
+* **DFA502** — the narrowed value crosses one or more call edges (the
+  producer may live in another module entirely);
+* **DFA503** — the narrowed value rides an instance attribute
+  (``self.X = packbits(...)`` in one method, ``kernel(self.X)`` in
+  another).
+
+Unresolved calls contribute nothing — an unknown callee is "no evidence",
+not "narrow" — so dynamic dispatch degrades the analysis, never crashes it
+or convicts innocent code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.analysis.core import ProjectRule, dotted_name
+from repro.analysis.rules.numeric import _NARROWING_DTYPES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.project import ProjectGraph
+
+#: dtype spellings that restore (or keep) the float64 contract.
+_WIDE_DTYPES = frozenset(
+    {"float", "np.float64", "numpy.float64", "float64", "np.double", "double"}
+)
+
+#: Array constructors whose ``dtype=`` keyword fixes the result dtype.
+_ARRAY_FACTORIES = frozenset(
+    {
+        "np.asarray",
+        "np.array",
+        "np.zeros",
+        "np.ones",
+        "np.full",
+        "np.empty",
+        "np.zeros_like",
+        "np.full_like",
+        "np.frombuffer",
+        "np.fromfile",
+        "numpy.asarray",
+        "numpy.array",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.full",
+        "numpy.empty",
+    }
+)
+
+#: Calls that produce packed/narrow arrays regardless of keywords.
+_ALWAYS_NARROW_CALLS = frozenset({"np.packbits", "numpy.packbits"})
+
+
+def _dtype_label(node: ast.AST) -> str:
+    """The dtype argument as written: ``np.float32`` or ``"float32"``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return dotted_name(node)
+
+
+def _call_dtype(node: ast.Call) -> str | None:
+    """The ``dtype`` argument of a call (keyword or None)."""
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            return _dtype_label(kw.value)
+    return None
+
+
+class _NarrowTag:
+    """Why a value is considered narrowed, for the finding message."""
+
+    __slots__ = ("detail", "crossed_call", "producer")
+
+    def __init__(
+        self, detail: str, crossed_call: bool = False, producer: str = ""
+    ) -> None:
+        self.detail = detail
+        self.crossed_call = crossed_call
+        self.producer = producer  #: qualname of the out-of-function producer
+
+
+class _FunctionSummary:
+    """Whether one function's return value is narrowed, plus the evidence."""
+
+    def __init__(self, qualname: str) -> None:
+        self.qualname = qualname
+        self.narrow_return: _NarrowTag | None = None
+
+
+class _DtypeFlow:
+    """The shared narrow-dtype dataflow engine the three DFA rules query.
+
+    One instance is built per lint run (the first DFA rule to run constructs
+    it and parks it on the graph), so summaries and per-class attribute
+    narrowing are computed once.
+    """
+
+    def __init__(self, graph: "ProjectGraph") -> None:
+        self.graph = graph
+        self.summaries: dict[str, _FunctionSummary] = {
+            qualname: _FunctionSummary(qualname) for qualname in graph.function_nodes
+        }
+        #: class qualname -> {attr: tag} for narrowed instance attributes.
+        self.narrow_attrs: dict[str, dict[str, _NarrowTag]] = {}
+        self._summarise()
+
+    @classmethod
+    def of(cls, graph: "ProjectGraph") -> "_DtypeFlow":
+        cached = getattr(graph, "_dtype_flow", None)
+        if cached is None:
+            cached = cls(graph)
+            graph._dtype_flow = cached  # type: ignore[attr-defined]
+        return cached
+
+    # -- expression classification ------------------------------------------
+
+    def classify(
+        self,
+        node: ast.AST,
+        env: dict[str, _NarrowTag],
+        module: str,
+        class_qual: str | None,
+    ) -> _NarrowTag | None:
+        """The narrow tag of an expression, or ``None`` if not narrowed.
+
+        ``env`` maps local names to their tags; ``class_qual`` enables
+        ``self.X`` lookup against the class's narrowed attributes.
+        """
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Starred):
+            return self.classify(node.value, env, module, class_qual)
+        if class_qual is not None:
+            attr = _self_attr(node)
+            if attr is not None:
+                return self.narrow_attrs.get(class_qual, {}).get(attr)
+        if not isinstance(node, ast.Call):
+            return None
+        name = dotted_name(node.func)
+        if name in _ALWAYS_NARROW_CALLS:
+            return _NarrowTag(f"{name}() packs to uint8")
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            if not node.args:
+                return None
+            target = _dtype_label(node.args[0])
+            if target in _NARROWING_DTYPES:
+                return _NarrowTag(f"astype({target})")
+            if target in _WIDE_DTYPES:
+                return None  # explicit widening clears any upstream narrowing
+            return None
+        if name in _ARRAY_FACTORIES:
+            dtype = _call_dtype(node)
+            if dtype in _NARROWING_DTYPES:
+                return _NarrowTag(f"{name}(dtype={dtype})")
+            if dtype in _WIDE_DTYPES:
+                return None
+            if name in ("np.asarray", "np.array", "numpy.asarray", "numpy.array"):
+                # Dtype-preserving passthrough: as narrow as its input.
+                if node.args:
+                    return self.classify(node.args[0], env, module, class_qual)
+            return None
+        # A resolved call to a narrow-returning project function.
+        resolved = self._resolve(name, module, class_qual)
+        if resolved is not None:
+            summary = self.summaries.get(resolved)
+            if summary is not None and summary.narrow_return is not None:
+                inner = summary.narrow_return
+                return _NarrowTag(
+                    f"{resolved}() returns {inner.detail}",
+                    crossed_call=True,
+                    producer=resolved,
+                )
+        return None
+
+    def _resolve(
+        self, raw: str, module: str, class_qual: str | None
+    ) -> str | None:
+        class_name = class_qual.rsplit(".", 1)[1] if class_qual else None
+        return self.graph._resolve_call_target(raw, class_name, module)
+
+    # -- function summaries --------------------------------------------------
+
+    def _summarise(self) -> None:
+        # Narrowed instance attributes first (they don't depend on returns).
+        for cls in self.graph.classes.values():
+            attrs: dict[str, _NarrowTag] = {}
+            for method_qual in cls.methods.values():
+                fn = self.graph.function_nodes.get(method_qual)
+                if fn is None:
+                    continue
+                for child in ast.walk(fn):
+                    if not isinstance(child, ast.Assign):
+                        continue
+                    tag = self.classify(child.value, {}, cls.module, None)
+                    if tag is None:
+                        continue
+                    for target in child.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            attrs.setdefault(attr, tag)
+            if attrs:
+                self.narrow_attrs[cls.qualname] = attrs
+        # Fixed point over return summaries: a function narrows if a return
+        # expression is narrow under its local env (which may consult other
+        # functions' summaries through resolved calls).
+        for _ in range(6):
+            changed = False
+            for qualname, fn in self.graph.function_nodes.items():
+                summary = self.summaries[qualname]
+                if summary.narrow_return is not None:
+                    continue
+                info = self.graph.functions[qualname]
+                tag = self._narrow_return(fn, info.module, info.owner_class)
+                if tag is not None:
+                    summary.narrow_return = tag
+                    changed = True
+            if not changed:
+                break
+
+    def _narrow_return(
+        self, fn: ast.AST, module: str, class_qual: str | None
+    ) -> _NarrowTag | None:
+        env: dict[str, _NarrowTag] = {}
+        found: list[_NarrowTag] = []
+
+        def process(statements: list[ast.stmt]) -> None:
+            for stmt in statements:
+                if isinstance(stmt, ast.Assign):
+                    tag = self.classify(stmt.value, env, module, class_qual)
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            if tag is not None:
+                                env[target.id] = tag
+                            else:
+                                env.pop(target.id, None)
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    tag = self.classify(stmt.value, env, module, class_qual)
+                    if isinstance(stmt.target, ast.Name) and tag is not None:
+                        env[stmt.target.id] = tag
+                elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                    tag = self.classify(stmt.value, env, module, class_qual)
+                    if tag is not None:
+                        found.append(tag)
+                for block in ("body", "orelse", "finalbody"):
+                    inner = getattr(stmt, block, None)
+                    if inner and not isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        process(inner)
+                for handler in getattr(stmt, "handlers", []):
+                    process(handler.body)
+
+        process(getattr(fn, "body", []))
+        return found[0] if found else None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _KernelFeedRule(ProjectRule):
+    """Shared scaffolding: find kernel-entry calls fed narrowed arguments."""
+
+    family = "dataflow"
+
+    def _entry_points(self) -> frozenset[str]:
+        if self.config is not None:
+            return frozenset(self.config.kernel_entry_points)
+        from repro.analysis.config import LintConfig
+
+        return frozenset(LintConfig().kernel_entry_points)
+
+    def run(self) -> None:
+        flow = _DtypeFlow.of(self.graph)
+        entries = self._entry_points()
+        for qualname, fn in sorted(self.graph.function_nodes.items()):
+            info = self.graph.functions[qualname]
+            self._scan_function(flow, entries, qualname, fn, info)
+
+    def _scan_function(self, flow, entries, qualname, fn, info) -> None:
+        env: dict[str, _NarrowTag] = {}
+        module, class_qual = info.module, info.owner_class
+
+        def is_entry(raw: str) -> bool:
+            leaf = raw.split(".")[-1]
+            if leaf in entries:
+                return True
+            resolved = flow._resolve(raw, module, class_qual)
+            return resolved is not None and resolved.split(".")[-1] in entries
+
+        def scan_exprs(stmt: ast.stmt) -> None:
+            """Check kernel calls in *stmt*'s own expressions (not nested
+            statement blocks, which ``process`` visits in order)."""
+            for field_name, value in ast.iter_fields(stmt):
+                if field_name in ("body", "orelse", "finalbody", "handlers"):
+                    continue
+                parts = value if isinstance(value, list) else [value]
+                for part in parts:
+                    if not isinstance(part, ast.AST):
+                        continue
+                    for node in ast.walk(part):
+                        if isinstance(node, ast.Call):
+                            raw = dotted_name(node.func)
+                            if (
+                                raw
+                                and is_entry(raw)
+                                and raw.split(".")[-1] != qualname.split(".")[-1]
+                            ):
+                                self._check_call(
+                                    flow, node, raw, env, module, class_qual, info
+                                )
+
+        def process(statements: list[ast.stmt]) -> None:
+            for stmt in statements:
+                if isinstance(stmt, ast.Assign):
+                    tag = flow.classify(stmt.value, env, module, class_qual)
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            if tag is not None:
+                                env[target.id] = tag
+                            else:
+                                env.pop(target.id, None)
+                scan_exprs(stmt)
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested defs get their own summaries
+                for block in ("body", "orelse", "finalbody"):
+                    inner = getattr(stmt, block, None)
+                    if inner:
+                        process(inner)
+                for handler in getattr(stmt, "handlers", []):
+                    process(handler.body)
+
+        process(getattr(fn, "body", []))
+
+    def _check_call(
+        self, flow, node: ast.Call, raw: str, env, module, class_qual, info
+    ) -> None:
+        arguments = [*node.args, *[kw.value for kw in node.keywords]]
+        for arg in arguments:
+            tag = flow.classify(arg, env, module, class_qual)
+            if tag is None:
+                continue
+            self._verdict(node, raw, arg, tag, info)
+
+    def _verdict(self, node, raw, arg, tag, info) -> None:
+        """Subclasses decide which provenance they own and report it."""
+        raise NotImplementedError
+
+
+class LocalNarrowingRule(_KernelFeedRule):
+    """DFA501: a value narrowed in this function reaches a kernel entry.
+
+    The narrowing (``astype(float32)``, ``packbits``, narrow-dtype
+    construction) and the kernel call share a function body.  Widen with
+    ``.astype(np.float64)`` before the call, or waive with the reason the
+    kernel genuinely accepts the narrow dtype.
+    """
+
+    rule_id = "DFA501"
+    description = "locally narrowed array passed to a scoring kernel"
+    rationale = (
+        "kernel bit-identity guarantees are proved at float64; a narrowed "
+        "operand silently voids them in the function that did the narrowing"
+    )
+
+    def _verdict(self, node, raw, arg, tag, info) -> None:
+        if tag.crossed_call or (
+            _self_attr(arg) is not None and info.owner_class is not None
+        ):
+            return  # DFA502 / DFA503 territory
+        self.report(
+            info.path,
+            node.lineno,
+            node.col_offset,
+            f"{raw}() is fed a narrowed array ({tag.detail}); widen with "
+            ".astype(np.float64) or waive with the kernel's dtype contract",
+        )
+
+
+class CrossCallNarrowingRule(_KernelFeedRule):
+    """DFA502: a narrowed return value crosses call edges into a kernel.
+
+    The producer (``astype``/``packbits``/narrow construction in its return
+    path) may live in another module; the call graph connects it to the
+    kernel entry here.  Widen at the boundary or waive at the call site
+    with the producer's dtype contract.
+    """
+
+    rule_id = "DFA502"
+    description = "narrowed return value crosses call edges into a kernel"
+    rationale = (
+        "interprocedural narrowing is invisible to per-file review: the "
+        "producing module looks fine, the consuming module looks fine, and "
+        "the float64 contract dies in between"
+    )
+
+    def _verdict(self, node, raw, arg, tag, info) -> None:
+        if not tag.crossed_call:
+            return
+        self.report(
+            info.path,
+            node.lineno,
+            node.col_offset,
+            f"{raw}() receives a narrowed array produced by {tag.producer} "
+            f"({tag.detail}); widen at the boundary or waive with the "
+            "producer's dtype contract",
+        )
+
+
+class AttributeNarrowingRule(_KernelFeedRule):
+    """DFA503: a narrowed instance attribute is fed to a kernel entry.
+
+    ``self.X`` was assigned a narrowed array in some method (packed bits,
+    a float32 table, a narrow memmap attach) and another method passes it
+    into a kernel.  The attribute is a time-shifted dataflow edge no local
+    read can see.
+    """
+
+    rule_id = "DFA503"
+    description = "narrowed instance attribute passed to a scoring kernel"
+    rationale = (
+        "attributes carry dtypes across time as well as modules: the "
+        "narrowing method and the kernel call may never appear in the same "
+        "diff"
+    )
+
+    def _verdict(self, node, raw, arg, tag, info) -> None:
+        attr = _self_attr(arg)
+        if attr is None or info.owner_class is None or tag.crossed_call:
+            return
+        self.report(
+            info.path,
+            node.lineno,
+            node.col_offset,
+            f"{raw}() is fed self.{attr}, assigned a narrowed array "
+            f"({tag.detail}) elsewhere in {info.class_name}; widen it or "
+            "waive with the attribute's dtype contract",
+        )
+
+
+PROJECT_RULES = (LocalNarrowingRule, CrossCallNarrowingRule, AttributeNarrowingRule)

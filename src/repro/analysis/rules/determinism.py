@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ast
 
-from repro.analysis.core import FileContext, Rule, dotted_name
+from repro.analysis.core import FileContext, ProjectRule, Rule, dotted_name
 
 #: Module-level functions of the stdlib ``random`` module that draw from the
 #: shared global generator.  ``random.Random(seed)`` instances are fine.
@@ -276,4 +276,133 @@ class SetIterationRule(Rule):
     visit_DictComp = _visit_comprehension
 
 
+#: Generator-constructor spellings the RNG-flow rules trace.
+_RNG_FACTORY_LEAVES = frozenset({"default_rng", "Random", "RandomState"})
+
+
+def _unseeded_rng_call(node: ast.Call) -> str | None:
+    """The factory name if *node* constructs a generator with no seed."""
+    name = dotted_name(node.func)
+    leaf = name.split(".")[-1]
+    if leaf not in _RNG_FACTORY_LEAVES:
+        return None
+    if leaf == "Random" and "random" not in name and name != "Random":
+        return None  # SystemRandom etc. keep their dotted spelling
+    seeded = any(
+        not (isinstance(arg, ast.Constant) and arg.value is None)
+        for arg in node.args
+    ) or any(
+        kw.arg == "seed"
+        and not (isinstance(kw.value, ast.Constant) and kw.value.value is None)
+        for kw in node.keywords
+    )
+    return None if seeded else name
+
+
+class UnseededGeneratorFlowRule(ProjectRule):
+    """DET131: an unseeded generator reachable from scoring/calibration code.
+
+    ``np.random.default_rng()`` (no seed) is legal numpy and deterministic
+    nowhere: every construction pulls fresh OS entropy.  Constructed inside
+    — or anywhere *reachable through the call graph from* — the pipeline
+    scoring, open-set calibration or chaos-injection modules
+    (``rng_scope_modules``), it makes a sweep unrepeatable even though
+    every individual file passes DET101.  Seed it from the experiment
+    config, or waive with the reason the entropy is wanted.
+    """
+
+    rule_id = "DET131"
+    family = "determinism"
+    description = "unseeded RNG construction reachable from scoring paths"
+    rationale = (
+        "an unseeded generator two calls below predict_batch silently "
+        "unpins every seeded guarantee above it; reachability, not file "
+        "membership, is what taints the result"
+    )
+
+    def run(self) -> None:
+        from repro.analysis.config import LintConfig
+
+        config = self.config if self.config is not None else LintConfig()
+        roots = self.graph.functions_in(config.rng_scope_modules)
+        reachable = self.graph.reachable_from(roots)
+        for qualname, fn in sorted(self.graph.function_nodes.items()):
+            if qualname not in reachable:
+                continue
+            info = self.graph.functions[qualname]
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    factory = _unseeded_rng_call(node)
+                    if factory is not None:
+                        self.report(
+                            info.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"{factory}() constructs an unseeded generator in "
+                            f"{qualname}, reachable from scoring/calibration "
+                            "code; thread a seed through, or waive with why "
+                            "fresh entropy is correct here",
+                        )
+
+
+class SharedModuleGeneratorRule(ProjectRule):
+    """DET132: a module-level generator drawn from inside functions.
+
+    A generator bound at module scope — even a *seeded* one — is shared
+    mutable state: every draw advances it, so the value a function sees
+    depends on every call that ran before it, across threads and call
+    sites.  Drawing from it inside a function in the RNG-scope modules
+    couples results to call order.  Build the table at import time (a
+    module-level draw is fine — it runs exactly once), or pass a
+    per-call generator down.
+    """
+
+    rule_id = "DET132"
+    family = "determinism"
+    description = "module-level RNG drawn from inside a scoring-path function"
+    rationale = (
+        "a shared module generator sequences all its callers: results "
+        "change with call order and thread interleaving even when the "
+        "seed is fixed"
+    )
+
+    def run(self) -> None:
+        from repro.analysis.config import LintConfig
+
+        config = self.config if self.config is not None else LintConfig()
+        scoped = set(self.graph.functions_in(config.rng_scope_modules))
+        for module, ctx in sorted(self.graph.contexts.items()):
+            generators: set[str] = set()
+            for stmt in ctx.tree.body:
+                if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                    leaf = dotted_name(stmt.value.func).split(".")[-1]
+                    if leaf in _RNG_FACTORY_LEAVES:
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                generators.add(target.id)
+            if not generators:
+                continue
+            for qualname, fn in self.graph.function_nodes.items():
+                info = self.graph.functions[qualname]
+                if info.module != module or qualname not in scoped:
+                    continue
+                for node in ast.walk(fn):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in generators
+                    ):
+                        self.report(
+                            info.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"{node.func.value.id}.{node.func.attr}() draws "
+                            f"from a module-level generator inside {qualname}; "
+                            "results now depend on call order — pass a "
+                            "generator in, or draw once at import time",
+                        )
+
+
 RULES = (UnseededRandomRule, WallClockInKernelRule, SetIterationRule)
+PROJECT_RULES = (UnseededGeneratorFlowRule, SharedModuleGeneratorRule)

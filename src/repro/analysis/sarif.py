@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 output for lint runs.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the file annotates the PR diff with each
+finding at its source line.  One run object carries the tool's full rule
+catalog (id, short description, rationale as help text) so the annotations
+link back to the contract each rule enforces; suppressed findings are
+emitted with an ``inSource`` suppression object rather than dropped, which
+matches the repo's "waivers are visible" policy.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import Finding, RuleRegistry, default_registry
+from repro.analysis.runner import SYNTAX_RULE_ID, LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SARIF severity per rule family prefix; everything unknown is "warning".
+_LEVELS = {
+    "LCK": "error",  # races and deadlocks
+    "SYN": "error",
+    "DFA": "warning",
+    "DET": "warning",
+    "NUM": "warning",
+    "RES": "warning",
+}
+
+
+def _level(rule_id: str) -> str:
+    return _LEVELS.get(rule_id[:3], "warning")
+
+
+def _rule_descriptor(rule) -> dict:
+    return {
+        "id": rule.rule_id,
+        "name": rule.__name__,
+        "shortDescription": {"text": rule.description or rule.rule_id},
+        "help": {"text": rule.rationale or rule.description or rule.rule_id},
+        "defaultConfiguration": {"level": _level(rule.rule_id)},
+    }
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _level(finding.rule_id),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if finding.suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": finding.reason or "no reason given",
+            }
+        ]
+    return result
+
+
+def report_as_sarif(
+    report: LintReport, registry: RuleRegistry | None = None
+) -> str:
+    """The full lint report as a SARIF 2.1.0 JSON document."""
+    registry = registry if registry is not None else default_registry()
+    rules = [_rule_descriptor(rule) for rule in registry.all_rules()]
+    rules.append(
+        {
+            "id": SYNTAX_RULE_ID,
+            "name": "SyntaxError",
+            "shortDescription": {"text": "file does not parse"},
+            "help": {"text": "a tree the linter cannot read is a finding"},
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "https://github.com/",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(finding, rule_index) for finding in report.findings
+                ],
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.errors,
+                        "toolExecutionNotifications": [
+                            {"level": "error", "message": {"text": error}}
+                            for error in report.errors
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,13 @@
+"""Mutant of a chaos-style jitter helper: the generator is built without a
+seed inside a function the scoring path reaches through one call hop."""
+
+import numpy as np
+
+
+def jitter(values: np.ndarray) -> np.ndarray:
+    rng = np.random.default_rng()
+    return values + rng.normal(size=values.shape)
+
+
+def score_batch(values: np.ndarray) -> np.ndarray:
+    return jitter(values)

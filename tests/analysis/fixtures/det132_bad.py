@@ -1,0 +1,10 @@
+"""Mutant sharing one module-level generator across calls: even seeded,
+every draw advances it, so each result depends on what ran before."""
+
+import numpy as np
+
+_JITTER_RNG = np.random.default_rng(2024)
+
+
+def perturb(values: np.ndarray) -> np.ndarray:
+    return values + _JITTER_RNG.normal(size=values.shape)

@@ -1,0 +1,11 @@
+"""Clean twin: import-time draws run exactly once (fine); per-call use
+takes the generator as an argument."""
+
+import numpy as np
+
+_ROT_RNG = np.random.default_rng(2024)
+_TABLE = _ROT_RNG.normal(size=32)
+
+
+def perturb(values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    return values + rng.normal(size=values.shape)

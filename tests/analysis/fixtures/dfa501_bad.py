@@ -1,0 +1,11 @@
+"""Mutant of the re-rank path: rows quantised in the same function that
+calls the kernel (pipelines/base.py narrows nothing today; item 5 will)."""
+
+import numpy as np
+
+from repro.imaging.match_shapes import match_shapes_batch
+
+
+def rerank(query: np.ndarray, references: np.ndarray) -> np.ndarray:
+    compact = references.astype(np.float32, casting="same_kind")
+    return match_shapes_batch(query, compact)

@@ -1,0 +1,11 @@
+"""Clean twin: the quantised copy is widened back before the kernel sees it."""
+
+import numpy as np
+
+from repro.imaging.match_shapes import match_shapes_batch
+
+
+def rerank(query: np.ndarray, references: np.ndarray) -> np.ndarray:
+    compact = references.astype(np.float32, casting="same_kind")
+    widened = compact.astype(np.float64, casting="safe")
+    return match_shapes_batch(query, widened)

@@ -1,0 +1,15 @@
+"""Mutant of a quantised store feed: the narrowing hides in a helper the
+kernel caller never sees — only the call graph connects the two."""
+
+import numpy as np
+
+from repro.imaging.match_shapes import match_shapes_batch
+
+
+def quantise(rows: np.ndarray) -> np.ndarray:
+    return rows.astype(np.float32, casting="same_kind")
+
+
+def rerank(query: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    compact = quantise(rows)
+    return match_shapes_batch(query, compact)

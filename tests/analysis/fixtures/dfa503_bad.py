@@ -1,0 +1,14 @@
+"""Mutant of the packed-store attach: bit-packed rows cached on the
+instance in __init__ reach the float64 kernel from another method."""
+
+import numpy as np
+
+from repro.imaging.match_shapes import match_shapes_batch
+
+
+class PackedScorer:
+    def __init__(self, rows: np.ndarray) -> None:
+        self._packed = np.packbits(np.asarray(rows, dtype=np.uint8), axis=1)
+
+    def score(self, query: np.ndarray) -> np.ndarray:
+        return match_shapes_batch(query, self._packed)

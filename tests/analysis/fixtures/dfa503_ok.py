@@ -1,0 +1,14 @@
+"""Clean twin: the packed cache is unpacked and widened before scoring."""
+
+import numpy as np
+
+from repro.imaging.match_shapes import match_shapes_batch
+
+
+class PackedScorer:
+    def __init__(self, rows: np.ndarray) -> None:
+        self._packed = np.packbits(np.asarray(rows, dtype=np.uint8), axis=1)
+
+    def score(self, query: np.ndarray) -> np.ndarray:
+        rows = np.unpackbits(self._packed, axis=1).astype(np.float64, casting="safe")
+        return match_shapes_batch(query, rows)

@@ -1,0 +1,20 @@
+"""Mutant of the shard hot-swap path: swap_store nests swap->state while
+drain nests state->swap — the classic two-thread deadlock inversion."""
+
+import threading
+
+
+class SwapBoard:
+    def __init__(self) -> None:
+        self._swap_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+
+    def swap_store(self) -> None:
+        with self._swap_lock:
+            with self._state_lock:
+                pass
+
+    def drain(self) -> None:
+        with self._state_lock:
+            with self._swap_lock:
+                pass

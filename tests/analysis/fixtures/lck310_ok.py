@@ -1,0 +1,19 @@
+"""Clean twin: every path acquires swap before state — one global order."""
+
+import threading
+
+
+class SwapBoard:
+    def __init__(self) -> None:
+        self._swap_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+
+    def swap_store(self) -> None:
+        with self._swap_lock:
+            with self._state_lock:
+                pass
+
+    def drain(self) -> None:
+        with self._swap_lock:
+            with self._state_lock:
+                pass

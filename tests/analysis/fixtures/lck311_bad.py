@@ -1,0 +1,19 @@
+"""Mutant of the shard health board with its RLock demoted to a Lock:
+record_error holds it and calls _eject, which takes it again — the first
+ejection hangs the shard."""
+
+import threading
+
+
+class HealthBoard:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.ejected = False
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._eject()
+
+    def _eject(self) -> None:
+        with self._lock:
+            self.ejected = True

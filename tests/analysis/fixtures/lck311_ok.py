@@ -1,0 +1,17 @@
+"""Clean twin: the real health board's shape — an RLock re-enters safely."""
+
+import threading
+
+
+class HealthBoard:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.ejected = False
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._eject()
+
+    def _eject(self) -> None:
+        with self._lock:
+            self.ejected = True
